@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out:
+ *  - better-fit handoff on/off (our extension over Algorithm 1)
+ *  - the reportThreshold streak tolerance (paper uses 3)
+ *  - the 1 %-of-energy peak rule threshold
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+namespace
+{
+
+struct Outcome
+{
+    double fp_pct = 0.0;
+    double coverage_pct = 0.0;
+    double tpr_pct = 0.0;
+    double latency_ms = -1.0;
+};
+
+Outcome
+evaluate(const core::Pipeline &pipe, const core::TrainedModel &model,
+         std::size_t target, std::size_t runs)
+{
+    std::vector<core::RunMetrics> all;
+    for (std::size_t i = 0; i < runs; ++i)
+        all.push_back(pipe.monitorRun(model, 27000 + i).metrics);
+    for (std::size_t i = 0; i < runs; ++i) {
+        all.push_back(pipe.monitorRun(
+                             model, 27100 + i,
+                             inject::canonicalLoopInjection(
+                                 target, 1.0, 27100 + i))
+                          .metrics);
+    }
+    const auto agg = core::aggregate(all);
+    return {agg.false_positive_pct, agg.coverage_pct,
+            agg.true_positive_pct, agg.detection_latency_ms};
+}
+
+void
+row(const char *label, const Outcome &o)
+{
+    std::printf("%-34s %8.2f%% %10.1f%% %9.1f%% %10s\n", label,
+                o.fp_pct, o.coverage_pct, o.tpr_pct,
+                bench::fmt(o.latency_ms, 2).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Ablations: handoff, report threshold, peak-energy rule",
+        "workload: bitcount; canonical 8-instr loop injection");
+
+    auto w = workloads::makeWorkload("bitcount", opt.scale);
+    const std::size_t target = inject::defaultTargetLoop(w);
+
+    std::printf("%-34s %9s %11s %10s %11s\n", "variant", "FP",
+                "coverage", "TPR", "latency");
+    bench::printRule();
+
+    // Baseline.
+    {
+        core::Pipeline pipe(workloads::makeWorkload("bitcount",
+                                                    opt.scale),
+                            bench::simConfig(opt));
+        const auto model = pipe.trainModel();
+        row("baseline", evaluate(pipe, model, target,
+                                 opt.monitor_runs));
+    }
+    // U-test instead of K-S (the comparison of paper Sec. 4.2).
+    {
+        auto cfg = bench::simConfig(opt);
+        cfg.monitor.test = core::TestKind::MannWhitney;
+        core::Pipeline pipe(workloads::makeWorkload("bitcount",
+                                                    opt.scale),
+                            cfg);
+        const auto model = pipe.trainModel();
+        row("Mann-Whitney U instead of K-S",
+            evaluate(pipe, model, target, opt.monitor_runs));
+    }
+    // Handoff disabled (literal Algorithm 1).
+    {
+        auto cfg = bench::simConfig(opt);
+        cfg.monitor.enable_handoff = false;
+        core::Pipeline pipe(workloads::makeWorkload("bitcount",
+                                                    opt.scale),
+                            cfg);
+        const auto model = pipe.trainModel();
+        row("no better-fit handoff",
+            evaluate(pipe, model, target, opt.monitor_runs));
+    }
+    // Report threshold sweep.
+    for (std::size_t thr : {std::size_t(0), std::size_t(1),
+                            std::size_t(3), std::size_t(7)}) {
+        auto cfg = bench::simConfig(opt);
+        cfg.monitor.report_threshold = thr;
+        core::Pipeline pipe(workloads::makeWorkload("bitcount",
+                                                    opt.scale),
+                            cfg);
+        const auto model = pipe.trainModel();
+        char label[64];
+        std::snprintf(label, sizeof label, "reportThreshold = %zu",
+                      thr);
+        row(label, evaluate(pipe, model, target, opt.monitor_runs));
+    }
+    // Peak-energy rule.
+    for (double frac : {0.002, 0.01, 0.05}) {
+        auto cfg = bench::simConfig(opt);
+        cfg.features.peaks.min_energy_frac = frac;
+        core::Pipeline pipe(workloads::makeWorkload("bitcount",
+                                                    opt.scale),
+                            cfg);
+        const auto model = pipe.trainModel();
+        char label[64];
+        std::snprintf(label, sizeof label,
+                      "peak rule: %.1f%% of energy", frac * 100.0);
+        row(label, evaluate(pipe, model, target, opt.monitor_runs));
+    }
+    bench::printRule();
+    std::printf("Reading: the median-only U test inflates false "
+                "positives (the paper's reason for\nchoosing K-S); "
+                "the report threshold trades FP for latency; the "
+                "1%% peak rule sits\nin the stable middle of its "
+                "sweep (too strict and the features collapse).\n");
+    return 0;
+}

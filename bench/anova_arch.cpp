@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Section 5.3 ANOVA study: which architectural parameters have a
+ * statistically significant effect on EDDIE's detection latency?
+ *
+ * The paper sweeps issue width, pipeline depth, and (for OOO) ROB
+ * size across 51 configurations and finds: nothing significant for
+ * in-order cores; only pipeline depth (weakly) significant for
+ * out-of-order cores, and only for small injections.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+#include "stats/anova.h"
+
+using namespace eddie;
+
+namespace
+{
+
+double
+configLatency(const char *workload, const cpu::CoreConfig &core,
+              const bench::BenchOptions &opt, std::size_t payload,
+              std::uint64_t seed)
+{
+    auto cfg = bench::simConfig(opt);
+    cfg.core = core;
+    cfg.train_runs = std::max<std::size_t>(opt.train_runs / 2, 3);
+    auto w = workloads::makeWorkload(workload, opt.scale * 0.7);
+    const std::size_t target = inject::defaultTargetLoop(w);
+    core::Pipeline pipe(std::move(w), cfg);
+    const auto model = pipe.trainModel();
+
+    double sum = 0.0;
+    std::size_t detected = 0;
+    const std::size_t runs = std::max<std::size_t>(
+        opt.monitor_runs / 2, 2);
+    for (std::size_t i = 0; i < runs; ++i) {
+        const auto ev = pipe.monitorRun(
+            model, seed + i,
+            inject::loopPayload(target, payload, 1.0, seed + i));
+        if (ev.metrics.detection_latency >= 0.0) {
+            sum += ev.metrics.detection_latency;
+            ++detected;
+        }
+    }
+    return detected > 0 ? 1000.0 * sum / double(detected) : 50.0;
+}
+
+void
+anovaReport(const char *title,
+            const std::vector<std::string> &factors,
+            const std::vector<stats::AnovaObservation> &obs)
+{
+    const auto res = stats::anova(factors, obs, 0.05);
+    std::printf("\n%s (%zu observations)\n", title, obs.size());
+    std::printf("%-12s %10s %8s %10s %12s\n", "factor", "SS", "dof",
+                "F", "p-value");
+    for (const auto &e : res.effects) {
+        std::printf("%-12s %10.2f %8.0f %10.2f %12.4f %s\n",
+                    e.name.c_str(), e.sum_squares, e.dof, e.f,
+                    e.p_value, e.significant ? "SIGNIFICANT" : "");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Sec. 5.3: N-way ANOVA of architectural parameters vs "
+        "detection latency",
+        "in-order: width x depth; out-of-order: width x depth x ROB; "
+        "small (2-instr) and large (8-instr) injections");
+
+    const std::vector<std::size_t> widths = {1, 2, 4};
+    const std::vector<std::size_t> depths = {4, 12};
+    const std::vector<std::size_t> robs = {32, 128};
+    const char *workloads_used[] = {"bitcount", "sha"};
+
+    for (std::size_t payload : {std::size_t(2), std::size_t(8)}) {
+        std::printf("\n=== payload: %zu injected instructions per "
+                    "iteration ===\n", payload);
+
+        // In-order sweep.
+        std::vector<stats::AnovaObservation> in_obs;
+        for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+            for (std::size_t di = 0; di < depths.size(); ++di) {
+                for (const char *wl : workloads_used) {
+                    cpu::CoreConfig c;
+                    c.out_of_order = false;
+                    c.issue_width = widths[wi];
+                    c.pipeline_depth = depths[di];
+                    const double lat = configLatency(
+                        wl, c, opt, payload,
+                        11000 + 97 * wi + 13 * di);
+                    in_obs.push_back({{wi, di}, lat});
+                    std::printf("  inorder w%zu d%-2zu %-10s "
+                                "latency %6.2f ms\n",
+                                widths[wi], depths[di], wl, lat);
+                    std::fflush(stdout);
+                }
+            }
+        }
+        anovaReport("In-order ANOVA", {"width", "depth"}, in_obs);
+
+        // Out-of-order sweep.
+        std::vector<stats::AnovaObservation> ooo_obs;
+        for (std::size_t wi = 0; wi < widths.size(); ++wi) {
+            for (std::size_t di = 0; di < depths.size(); ++di) {
+                for (std::size_t ri = 0; ri < robs.size(); ++ri) {
+                    for (const char *wl : workloads_used) {
+                        cpu::CoreConfig c;
+                        c.out_of_order = true;
+                        c.issue_width = widths[wi];
+                        c.pipeline_depth = depths[di];
+                        c.rob_size = robs[ri];
+                        const double lat = configLatency(
+                            wl, c, opt, payload,
+                            12000 + 89 * wi + 17 * di + 5 * ri);
+                        ooo_obs.push_back({{wi, di, ri}, lat});
+                    }
+                }
+            }
+            std::printf("  ooo width %zu done\n", widths[wi]);
+            std::fflush(stdout);
+        }
+        anovaReport("Out-of-order ANOVA", {"width", "depth", "rob"},
+                    ooo_obs);
+    }
+    std::printf("\nShape check vs paper Sec. 5.3: in-order factors "
+                "not significant; for OOO only the\npipeline depth "
+                "approaches significance, and mainly for the small "
+                "injection.\n");
+    return 0;
+}

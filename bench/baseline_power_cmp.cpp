@@ -1,0 +1,149 @@
+/**
+ * @file
+ * EDDIE vs a WattsUpDoc-style system-wide power detector (paper
+ * Sec. 6): power-sum monitoring catches gross consumption anomalies
+ * but is blind to injections that leave mean power near normal,
+ * while EDDIE keys on the *spectral structure* and catches both.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/baseline_power.h"
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+namespace
+{
+
+struct Outcome
+{
+    double fp_pct = 0.0;
+    double tpr_pct = 0.0;
+};
+
+/** Scores the power-sum detector on the same runs EDDIE sees. */
+Outcome
+powerDetector(const core::Pipeline &pipe, std::size_t target,
+              std::size_t runs, const cpu::InjectionPlan &plan_proto,
+              std::size_t window, std::size_t hop)
+{
+    // Train on clean power traces.
+    std::vector<std::vector<double>> training;
+    for (std::size_t i = 0; i < 6; ++i) {
+        const auto rr = pipe.simulate(1000 + i);
+        training.push_back(core::windowMeans(rr.power, window, hop));
+    }
+    const auto model = core::trainPowerDetector(training, 0.5);
+
+    std::size_t clean_windows = 0, clean_flags = 0;
+    std::size_t inj_windows = 0, inj_flags = 0;
+    for (std::size_t i = 0; i < runs; ++i) {
+        const auto clean = pipe.simulate(7000 + i);
+        for (bool f : core::powerDetectorFlags(
+                 model, core::windowMeans(clean.power, window, hop))) {
+            ++clean_windows;
+            clean_flags += f;
+        }
+        auto plan = plan_proto;
+        plan.seed = 7100 + i;
+        const auto rr = pipe.simulate(7100 + i, plan);
+        const auto means = core::windowMeans(rr.power, window, hop);
+        const auto flags = core::powerDetectorFlags(model, means);
+        for (std::size_t w = 0; w < flags.size(); ++w) {
+            // Charge the window to its position in the trace.
+            const std::size_t sample = w * hop + window / 2;
+            const bool injected = sample < rr.injected.size() &&
+                rr.injected[sample];
+            if (injected) {
+                ++inj_windows;
+                inj_flags += flags[w];
+            }
+        }
+    }
+    Outcome o;
+    if (clean_windows > 0)
+        o.fp_pct = 100.0 * double(clean_flags) / double(clean_windows);
+    if (inj_windows > 0)
+        o.tpr_pct = 100.0 * double(inj_flags) / double(inj_windows);
+    (void)target;
+    return o;
+}
+
+Outcome
+eddieDetector(const core::Pipeline &pipe,
+              const core::TrainedModel &model, std::size_t runs,
+              const cpu::InjectionPlan &plan_proto)
+{
+    std::vector<core::RunMetrics> all;
+    for (std::size_t i = 0; i < runs; ++i)
+        all.push_back(pipe.monitorRun(model, 7000 + i).metrics);
+    for (std::size_t i = 0; i < runs; ++i) {
+        auto plan = plan_proto;
+        plan.seed = 7100 + i;
+        all.push_back(pipe.monitorRun(model, 7100 + i, plan).metrics);
+    }
+    const auto agg = core::aggregate(all);
+    return {agg.false_positive_pct, agg.true_positive_pct};
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Baseline comparison: EDDIE vs system-wide power monitoring "
+        "(WattsUpDoc-style)",
+        "same traces, same injections; the power detector sees only "
+        "window-mean power");
+
+    auto w = workloads::makeWorkload("bitcount", opt.scale);
+    const std::size_t target = inject::defaultTargetLoop(w);
+    core::Pipeline pipe(std::move(w), bench::simConfig(opt));
+    const auto model = pipe.trainModel();
+
+    // Window sizes chosen to give the power detector the same
+    // decision cadence as EDDIE's STFT windows.
+    const std::size_t window = pipe.config().stft_window;
+    const std::size_t hop = pipe.config().stft_hop;
+
+    struct Scenario
+    {
+        const char *name;
+        cpu::InjectionPlan plan;
+    };
+    const Scenario scenarios[] = {
+        {"8-instr loop injection (mixed)",
+         inject::canonicalLoopInjection(target, 1.0, 1)},
+        {"8 adds/iteration (on-chip only)",
+         inject::onChipLoopInjection(target, 1)},
+        {"off-chip stores (power-heavy)",
+         inject::offChipLoopInjection(target, 1)},
+        {"476k instr shell burst",
+         inject::shellBurst(pipe.workload(), target, 1, 1)},
+    };
+
+    std::printf("%-34s %14s %14s %14s %14s\n", "",
+                "EDDIE FP", "EDDIE TPR", "power FP", "power TPR");
+    bench::printRule();
+    for (const auto &s : scenarios) {
+        const auto e = eddieDetector(pipe, model, opt.monitor_runs,
+                                     s.plan);
+        const auto p = powerDetector(pipe, target, opt.monitor_runs,
+                                     s.plan, window, hop);
+        std::printf("%-34s %13.2f%% %13.1f%% %13.2f%% %13.1f%%\n",
+                    s.name, e.fp_pct, e.tpr_pct, p.fp_pct, p.tpr_pct);
+        std::fflush(stdout);
+    }
+    bench::printRule();
+    std::printf("Shape check vs paper Sec. 6: EDDIE detects all "
+                "injection styles; mean-power\nmonitoring only "
+                "responds when the injection moves total "
+                "consumption, and pays a\nstructural false-positive "
+                "floor from its percentile thresholds.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace eddie::bench
+{
+
+namespace
+{
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::atof(v) : fallback;
+}
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr ? std::size_t(std::atoll(v)) : fallback;
+}
+
+} // namespace
+
+BenchOptions
+benchOptions()
+{
+    BenchOptions opt;
+    opt.fast = envSize("EDDIE_FAST", 0) != 0;
+    opt.scale = envDouble("EDDIE_SCALE", opt.fast ? 0.4 : 1.5);
+    opt.train_runs = envSize("EDDIE_TRAIN_RUNS", opt.fast ? 4 : 8);
+    opt.monitor_runs = envSize("EDDIE_MONITOR_RUNS", opt.fast ? 3 : 5);
+    return opt;
+}
+
+core::PipelineConfig
+iotConfig(const BenchOptions &opt)
+{
+    core::PipelineConfig cfg;
+    cfg.train_runs = opt.train_runs;
+    cfg.path = core::SignalPath::EmBaseband;
+    cfg.channel.snr_db = 30.0; // near-field probe: strong signal
+    cfg.channel.interferers.push_back({3.7e6, 0.05});
+    cfg.channel.interferers.push_back({-6.2e6, 0.03});
+    // The device runs an OS: interrupts and system activity produce
+    // occasional deviant STSs, as on the paper's Linux board.
+    cfg.core.os_irq_rate_hz = 1000.0;
+    return cfg;
+}
+
+core::PipelineConfig
+simConfig(const BenchOptions &opt)
+{
+    core::PipelineConfig cfg;
+    cfg.train_runs = opt.train_runs;
+    cfg.path = core::SignalPath::Power;
+    return cfg;
+}
+
+core::AggregateMetrics
+evaluateWorkload(const core::Pipeline &pipe,
+                 const core::TrainedModel &model, std::size_t clean_runs,
+                 std::size_t injected_runs, const PlanFactory &make_plan,
+                 std::uint64_t seed_base)
+{
+    std::vector<core::RunMetrics> runs;
+    for (std::size_t i = 0; i < clean_runs; ++i) {
+        const auto ev = pipe.monitorRun(model, seed_base + i);
+        runs.push_back(ev.metrics);
+    }
+    for (std::size_t i = 0; i < injected_runs; ++i) {
+        const auto plan = make_plan ? make_plan(i) : cpu::InjectionPlan();
+        const auto ev = pipe.monitorRun(model,
+                                        seed_base + 100 + i, plan);
+        runs.push_back(ev.metrics);
+    }
+    return core::aggregate(runs);
+}
+
+void
+printRule(std::size_t width)
+{
+    for (std::size_t i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+void
+printHeader(const std::string &title, const std::string &detail)
+{
+    printRule();
+    std::printf("%s\n", title.c_str());
+    if (!detail.empty())
+        std::printf("%s\n", detail.c_str());
+    printRule();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    if (value < 0.0)
+        return "-";
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+} // namespace eddie::bench

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: canonical pipeline
+ * configurations matching the paper's two setups, evaluation drivers,
+ * and table printing.
+ *
+ * Environment knobs (all optional):
+ *   EDDIE_SCALE         workload scale (default 0.5)
+ *   EDDIE_TRAIN_RUNS    training runs per benchmark (default 8)
+ *   EDDIE_MONITOR_RUNS  monitored runs per condition (default 5)
+ *   EDDIE_FAST          set to 1 for a quick smoke configuration
+ */
+
+#ifndef EDDIE_BENCH_BENCH_UTIL_H
+#define EDDIE_BENCH_BENCH_UTIL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+namespace eddie::bench
+{
+
+/** Benchmark-wide knobs read from the environment. */
+struct BenchOptions
+{
+    double scale = 0.5;
+    std::size_t train_runs = 8;
+    std::size_t monitor_runs = 5;
+    bool fast = false;
+};
+
+/** Reads BenchOptions from the environment. */
+BenchOptions benchOptions();
+
+/**
+ * The paper's Table-1 setup: EM capture with channel noise and two
+ * narrowband interferers.
+ */
+core::PipelineConfig iotConfig(const BenchOptions &opt);
+
+/** The paper's Table-2 setup: clean simulator power signal. */
+core::PipelineConfig simConfig(const BenchOptions &opt);
+
+/** Produces the injection plan for monitored run @p i (or an empty
+ *  plan for clean runs when the function is absent). */
+using PlanFactory = std::function<cpu::InjectionPlan(std::size_t run)>;
+
+/**
+ * Full evaluation: train once, monitor clean runs (false positives,
+ * coverage) and injected runs (latency, accuracy), aggregate in
+ * paper units.
+ */
+core::AggregateMetrics evaluateWorkload(const core::Pipeline &pipe,
+                                        const core::TrainedModel &model,
+                                        std::size_t clean_runs,
+                                        std::size_t injected_runs,
+                                        const PlanFactory &make_plan,
+                                        std::uint64_t seed_base = 7000);
+
+/** Prints a horizontal rule sized for the standard table width. */
+void printRule(std::size_t width = 78);
+
+/** Prints the standard experiment header. */
+void printHeader(const std::string &title, const std::string &detail);
+
+/** Formats a metric or "-" when unavailable (negative). */
+std::string fmt(double value, int precision = 1);
+
+} // namespace eddie::bench
+
+#endif // EDDIE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 3: selecting the K-S group size n — false rejection rate vs
+ * detection latency for three loops with different spectra: one with
+ * a sharp peak (and harmonics), one with several peaks, and one with
+ * poorly defined peaks.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "core/trainer.h"
+
+using namespace eddie;
+
+namespace
+{
+
+struct Target
+{
+    const char *workload;
+    std::size_t loop_region;
+    const char *flavor;
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Figure 3: false rejection rate vs K-S group size (latency)",
+        "Three loops: sharp peak / several peaks / poorly defined "
+        "peaks");
+
+    // bitcount L0: unrolled bit-serial loop, one sharp stable peak
+    //   (FRR settles immediately — the paper's left panel).
+    // gsm L0: autocorrelation nest whose peaks drift between lag
+    //   phases (FRR rises then falls — the middle panel).
+    // susan L0: smoothing nest whose strongest peak alternates
+    //   between harmonics across passes (needs the largest n —
+    //   the right panel).
+    const Target targets[] = {
+        {"bitcount", 0, "sharp peak + harmonics"},
+        {"gsm", 0, "several peaks"},
+        {"susan", 0, "poorly defined / alternating peaks"},
+    };
+    const std::vector<std::size_t> grid = {4, 8, 12, 16, 24, 32, 48,
+                                           64, 96, 128};
+
+    for (const auto &t : targets) {
+        auto w = workloads::makeWorkload(t.workload, opt.scale);
+        core::Pipeline pipe(std::move(w), bench::iotConfig(opt));
+
+        // Collect the training streams once.
+        std::vector<std::vector<core::Sts>> runs;
+        for (std::size_t i = 0; i < opt.train_runs; ++i)
+            runs.push_back(pipe.captureRun(1000 + i));
+        const double sentinel = core::missingPeakSentinel(
+            pipe.config().core.clock_hz /
+            double(pipe.config().core.cycles_per_sample));
+        core::TrainerConfig tc;
+        tc.n_grid = grid;
+        const auto model = core::train(runs, pipe.workload().regions,
+                                       sentinel, tc);
+        const auto &rm = model.regions[t.loop_region];
+        std::printf("\n%s loop L%zu (%s)%s\n", t.workload,
+                    t.loop_region, t.flavor,
+                    rm.trained ? "" : "  [UNTRAINED]");
+        if (!rm.trained)
+            continue;
+        const double hop_ms =
+            1000.0 * double(pipe.config().stft_hop) /
+            (pipe.config().core.clock_hz /
+             double(pipe.config().core.cycles_per_sample));
+        std::printf("%8s %14s %22s\n", "n", "latency(ms)",
+                    "false rejection rate");
+        for (std::size_t n : grid) {
+            const double frr = core::falseRejectionRate(
+                rm, runs, t.loop_region, n, model.alpha,
+                tc.reject_peak_divisor);
+            std::printf("%8zu %14.2f %21.2f%%\n", n,
+                        double(n) * hop_ms, 100.0 * frr);
+        }
+        std::printf("selected n = %zu\n", rm.group_n);
+    }
+    std::printf("\nShape check vs paper: the sharp-peak loop reaches "
+                "~zero FRR at small n; loops with\nmore diffuse "
+                "spectra need larger n (longer latency) before the "
+                "FRR settles.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 5: false negative rate vs contamination rate — the fraction
+ * of a loop's iterations carrying the 8-instruction injection is
+ * swept from 100 % down to 10 % (paper Sec. 5.4).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Figure 5: false negative rate vs contamination rate",
+        "8-instr loop injection; contamination = fraction of "
+        "iterations injected");
+
+    const char *names[] = {"basicmath", "bitcount", "gsm", "patricia",
+                           "susan"};
+    const double rates[] = {0.10, 0.25, 0.50, 0.75, 1.00};
+
+    std::printf("%-12s", "rate");
+    for (const char *n : names)
+        std::printf(" %12s", n);
+    std::printf("\n");
+    bench::printRule();
+
+    // Train one model per workload.
+    std::vector<core::Pipeline> pipes;
+    std::vector<core::TrainedModel> models;
+    std::vector<std::size_t> targets;
+    for (const char *n : names) {
+        auto w = workloads::makeWorkload(n, opt.scale);
+        targets.push_back(inject::defaultTargetLoop(w));
+        pipes.emplace_back(std::move(w), bench::simConfig(opt));
+        models.push_back(pipes.back().trainModel());
+    }
+
+    for (double rate : rates) {
+        std::printf("%-11.0f%%", rate * 100.0);
+        for (std::size_t k = 0; k < pipes.size(); ++k) {
+            std::size_t injected = 0, fn = 0;
+            for (std::size_t i = 0; i < opt.monitor_runs; ++i) {
+                const auto ev = pipes[k].monitorRun(
+                    models[k], 21000 + i,
+                    inject::canonicalLoopInjection(targets[k], rate,
+                                                   21000 + i));
+                injected += ev.metrics.injected_groups;
+                fn += ev.metrics.false_negatives;
+            }
+            const double fn_pct = injected > 0 ?
+                100.0 * double(fn) / double(injected) : -1.0;
+            std::printf(" %11s%%", bench::fmt(fn_pct, 1).c_str());
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    bench::printRule();
+    std::printf("Shape check vs paper Fig. 5: false negatives rise "
+                "as contamination drops; robust\nbenchmarks "
+                "(bitcount) degrade least, gsm degrades most.\n");
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Figure 6 (a, b, c): true positive rate vs detection latency for
+ * injections of 2, 4, 6, and 8 instructions into a loop body, for
+ * the same three loop flavors as Figure 3 (paper Sec. 5.5).
+ *
+ * The latency axis is produced by sweeping the K-S group size n; the
+ * TPR at each point is measured.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+namespace
+{
+
+struct Target
+{
+    const char *workload;
+    std::size_t loop_region;
+    const char *flavor;
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Figure 6: TPR vs detection latency for 2/4/6/8 injected "
+        "instructions",
+        "(a) sharp-peak loop, (b) multi-peak loop, (c) diffuse-peak "
+        "loop; store+add payloads");
+
+    const Target targets[] = {
+        {"bitcount", 0, "(a) sharp peak"},
+        {"bitcount", 3, "(b) several peaks"},
+        {"patricia", 1, "(c) poorly defined peaks"},
+    };
+    const std::size_t sizes[] = {2, 4, 6, 8};
+    const std::size_t grid[] = {8, 16, 24, 32, 48, 64};
+
+    for (const auto &t : targets) {
+        auto w = workloads::makeWorkload(t.workload, opt.scale);
+        core::Pipeline pipe(std::move(w), bench::simConfig(opt));
+        const auto model = pipe.trainModel();
+        if (!model.regions[t.loop_region].trained) {
+            std::printf("\n%s %s: region untrained, skipped\n",
+                        t.workload, t.flavor);
+            continue;
+        }
+        std::printf("\n%s L%zu %s\n", t.workload, t.loop_region,
+                    t.flavor);
+        std::printf("%8s %14s", "n", "latency(ms)");
+        for (std::size_t s : sizes)
+            std::printf("   TPR@%zuinstr", s);
+        std::printf("\n");
+
+        for (std::size_t n : grid) {
+            const auto m = core::withGroupSize(model, n);
+            std::printf("%8zu", n);
+            bool first = true;
+            for (std::size_t s : sizes) {
+                std::size_t injected = 0, tp = 0;
+                double latency_sum = 0.0;
+                std::size_t detected = 0;
+                const std::size_t runs = std::max<std::size_t>(
+                    opt.monitor_runs / 2, 2);
+                for (std::size_t i = 0; i < runs; ++i) {
+                    const auto ev = pipe.monitorRun(
+                        m, 23000 + i,
+                        inject::loopPayload(t.loop_region, s, 1.0,
+                                            23000 + i));
+                    injected += ev.metrics.injected_groups;
+                    tp += ev.metrics.true_positives;
+                    if (ev.metrics.detection_latency >= 0.0) {
+                        latency_sum += ev.metrics.detection_latency;
+                        ++detected;
+                    }
+                }
+                if (first) {
+                    const double ms = detected > 0 ?
+                        1000.0 * latency_sum / double(detected) :
+                        -1.0;
+                    std::printf(" %14s", bench::fmt(ms, 2).c_str());
+                    first = false;
+                }
+                const double tpr = injected > 0 ?
+                    100.0 * double(tp) / double(injected) : 0.0;
+                std::printf(" %11.1f%%", tpr);
+                std::fflush(stdout);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\nShape check vs paper Fig. 6: even 2-instruction "
+                "injections become detectable, but\nsmaller "
+                "injections need larger n (longer latency) to reach "
+                "high TPR; the diffuse\nloop is the hardest.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 7: detection latency vs contamination rate — low
+ * contamination is still detectable, it just needs a larger K-S
+ * group (longer latency) to keep accuracy (paper Sec. 5.4).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+namespace
+{
+
+/**
+ * Smallest group size n whose TPR reaches 85 %, reported as the
+ * measured detection latency at that n (negative when no n in the
+ * grid achieves it).
+ */
+double
+latencyForAccuracy(const core::Pipeline &pipe,
+                   const core::TrainedModel &model, std::size_t target,
+                   double rate, std::size_t runs)
+{
+    for (std::size_t n : {8, 16, 24, 32, 48, 64, 96}) {
+        const auto m = core::withGroupSize(model, n);
+        std::size_t injected = 0, tp = 0;
+        double latency_sum = 0.0;
+        std::size_t detected = 0;
+        for (std::size_t i = 0; i < runs; ++i) {
+            const auto ev = pipe.monitorRun(
+                m, 22000 + i,
+                inject::canonicalLoopInjection(target, rate,
+                                               22000 + i));
+            injected += ev.metrics.injected_groups;
+            tp += ev.metrics.true_positives;
+            if (ev.metrics.detection_latency >= 0.0) {
+                latency_sum += ev.metrics.detection_latency;
+                ++detected;
+            }
+        }
+        if (injected == 0 || detected == 0)
+            continue;
+        if (double(tp) / double(injected) >= 0.85)
+            return 1000.0 * latency_sum / double(detected);
+    }
+    return -1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Figure 7: detection latency needed vs contamination rate",
+        "latency of the smallest K-S group achieving TPR >= 85 %");
+
+    const char *names[] = {"basicmath", "bitcount", "gsm", "patricia",
+                           "susan"};
+    const double rates[] = {0.10, 0.25, 0.50, 0.75, 1.00};
+
+    std::printf("%-12s", "rate");
+    for (const char *n : names)
+        std::printf(" %12s", n);
+    std::printf("\n");
+    bench::printRule();
+
+    std::vector<core::Pipeline> pipes;
+    std::vector<core::TrainedModel> models;
+    std::vector<std::size_t> targets;
+    for (const char *n : names) {
+        auto w = workloads::makeWorkload(n, opt.scale);
+        targets.push_back(inject::defaultTargetLoop(w));
+        pipes.emplace_back(std::move(w), bench::simConfig(opt));
+        models.push_back(pipes.back().trainModel());
+    }
+
+    for (double rate : rates) {
+        std::printf("%-11.0f%%", rate * 100.0);
+        for (std::size_t k = 0; k < pipes.size(); ++k) {
+            const double ms = latencyForAccuracy(
+                pipes[k], models[k], targets[k], rate,
+                std::max<std::size_t>(opt.monitor_runs / 2, 2));
+            std::printf(" %10s ms", bench::fmt(ms, 1).c_str());
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    bench::printRule();
+    std::printf("Shape check vs paper Fig. 7: in the paper, lower "
+                "contamination needs longer\nlatency. With our "
+                "bin-quantized features the trend appears as a "
+                "step: detectable\nrates are caught almost "
+                "immediately, rates below a benchmark-dependent "
+                "knee stop\nbeing detectable at the swept group "
+                "sizes ('-').\n");
+    return 0;
+}

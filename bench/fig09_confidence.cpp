@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 9: false positive rate vs detection latency for different
+ * K-S confidence levels (99 %, 97 %, 95 %) — paper Sec. 5.6.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/model.h"
+#include "core/pipeline.h"
+
+using namespace eddie;
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Figure 9: false positives vs latency for K-S confidence "
+        "levels",
+        "clean monitoring of bitcount; group size n swept as the "
+        "latency axis");
+
+    auto w = workloads::makeWorkload("bitcount", opt.scale);
+    core::Pipeline pipe(std::move(w), bench::simConfig(opt));
+    const auto base = pipe.trainModel();
+
+    const double alphas[] = {0.01, 0.03, 0.05}; // 99 %, 97 %, 95 %
+    const std::size_t grid[] = {8, 16, 24, 32, 48, 64};
+
+    std::printf("%8s %14s %12s %12s %12s\n", "n", "latency(ms)",
+                "FP@99%", "FP@97%", "FP@95%");
+    bench::printRule();
+
+    const double hop_ms = 1000.0 * double(pipe.config().stft_hop) /
+        (pipe.config().core.clock_hz /
+         double(pipe.config().core.cycles_per_sample));
+
+    for (std::size_t n : grid) {
+        std::printf("%8zu %14.2f", n, double(n) * hop_ms);
+        for (double alpha : alphas) {
+            auto m = core::withAlpha(core::withGroupSize(base, n),
+                                     alpha);
+            std::size_t groups = 0, fp = 0;
+            for (std::size_t i = 0; i < opt.monitor_runs; ++i) {
+                const auto ev = pipe.monitorRun(m, 25000 + i);
+                groups += ev.metrics.groups;
+                fp += ev.metrics.false_positives;
+            }
+            const double fp_pct = groups > 0 ?
+                100.0 * double(fp) / double(groups) : 0.0;
+            std::printf(" %11.2f%%", fp_pct);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    bench::printRule();
+    std::printf("Shape check vs paper Fig. 9: the 99%% confidence "
+                "level gives the fewest false\npositives and "
+                "reaches ~zero at practical latencies; lower "
+                "confidence levels stay\nnoisy even at high "
+                "latency.\n");
+    return 0;
+}

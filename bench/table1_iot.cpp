@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Table 1: EDDIE accuracy when monitoring the (simulated) IoT device
+ * through the EM channel — detection latency, false positives,
+ * accuracy, and coverage for all 10 benchmarks.
+ *
+ * As in the paper, injections outside loops are an empty-shell burst
+ * (~476k instructions) and injections inside loops add 8 instructions
+ * (4 integer + 4 memory) per iteration.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Table 1: accuracy for EDDIE monitoring of the IoT device "
+        "(EM channel)",
+        "shell burst (476k instr) outside loops + 8-instr loop "
+        "injection; alpha = 0.01");
+
+    std::printf("%-14s %14s %16s %13s %13s\n", "Benchmark",
+                "Latency (ms)", "False pos (%)", "Accuracy (%)",
+                "Coverage (%)");
+    bench::printRule();
+
+    for (const auto &name : workloads::workloadNames()) {
+        auto w = workloads::makeWorkload(name, opt.scale);
+        const std::size_t target = inject::defaultTargetLoop(w);
+        core::Pipeline pipe(std::move(w), bench::iotConfig(opt));
+        const auto model = pipe.trainModel();
+
+        const auto agg = bench::evaluateWorkload(
+            pipe, model, opt.monitor_runs, opt.monitor_runs,
+            [&](std::size_t i) {
+                // Alternate between the two paper injection styles.
+                if (i % 2 == 0) {
+                    return inject::canonicalLoopInjection(
+                        target, 1.0, 600 + i);
+                }
+                return inject::shellBurst(pipe.workload(), target, 1,
+                                          600 + i);
+            });
+
+        std::printf("%-14s %14s %16s %13s %13s\n", name.c_str(),
+                    bench::fmt(agg.detection_latency_ms, 1).c_str(),
+                    bench::fmt(agg.false_positive_pct, 2).c_str(),
+                    bench::fmt(agg.accuracy_pct, 1).c_str(),
+                    bench::fmt(agg.coverage_pct, 1).c_str());
+        std::fflush(stdout);
+    }
+    bench::printRule();
+    std::printf("Shape check vs paper Table 1: FP ~1%% or below, "
+                "accuracy mostly >90%%, coverage high\nexcept for "
+                "gsm (its dominant quantization loop has no usable "
+                "peaks).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table 2: EDDIE's latency and accuracy when using the
+ * simulator-generated power signal directly (no EM channel, no
+ * noise) — the paper's SESC-based setup.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+int
+main()
+{
+    const auto opt = bench::benchOptions();
+    bench::printHeader(
+        "Table 2: EDDIE on the simulator-generated power signal",
+        "same injections as Table 1; no channel noise or "
+        "interference");
+
+    std::printf("%-14s %14s %18s %13s %13s\n", "Benchmark",
+                "Latency (ms)", "False rej (%)", "Accuracy (%)",
+                "Coverage (%)");
+    bench::printRule();
+
+    for (const auto &name : workloads::workloadNames()) {
+        auto w = workloads::makeWorkload(name, opt.scale);
+        const std::size_t target = inject::defaultTargetLoop(w);
+        core::Pipeline pipe(std::move(w), bench::simConfig(opt));
+        const auto model = pipe.trainModel();
+
+        const auto agg = bench::evaluateWorkload(
+            pipe, model, opt.monitor_runs, opt.monitor_runs,
+            [&](std::size_t i) {
+                if (i % 2 == 0) {
+                    return inject::canonicalLoopInjection(
+                        target, 1.0, 700 + i);
+                }
+                return inject::shellBurst(pipe.workload(), target, 1,
+                                          700 + i);
+            });
+
+        std::printf("%-14s %14s %18s %13s %13s\n", name.c_str(),
+                    bench::fmt(agg.detection_latency_ms, 1).c_str(),
+                    bench::fmt(agg.false_positive_pct, 2).c_str(),
+                    bench::fmt(agg.accuracy_pct, 1).c_str(),
+                    bench::fmt(agg.coverage_pct, 1).c_str());
+        std::fflush(stdout);
+    }
+    bench::printRule();
+    std::printf("Shape check vs paper Table 2: false rejections drop "
+                "relative to the EM setup (no\nnoise/interrupts), "
+                "accuracy and coverage stay high, gsm coverage stays "
+                "the outlier.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Architecture explorer: how does the monitored core's
+ * microarchitecture affect EDDIE? Runs the same workload + injection
+ * across in-order/out-of-order cores of varying width, depth, and
+ * ROB size, printing detection latency and accuracy per
+ * configuration (the paper's Sec. 5.3 study in miniature).
+ *
+ *   ./arch_explorer [workload] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+namespace
+{
+
+struct Row
+{
+    cpu::CoreConfig core;
+    const char *label;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "sha";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.8;
+
+    std::vector<Row> rows;
+    for (bool ooo : {false, true}) {
+        for (std::size_t width : {1u, 2u, 4u}) {
+            cpu::CoreConfig c;
+            c.out_of_order = ooo;
+            c.issue_width = width;
+            c.pipeline_depth = ooo ? 12 : 8;
+            c.rob_size = 96;
+            rows.push_back({c, ooo ? "ooo" : "inorder"});
+        }
+    }
+
+    std::printf("architecture sweep on '%s' (8-instr loop "
+                "injection)\n\n", name.c_str());
+    std::printf("%-8s %6s %6s %6s %12s %12s %8s\n", "core", "width",
+                "depth", "rob", "IPC", "latency(ms)", "TPR");
+
+    for (const auto &row : rows) {
+        core::PipelineConfig cfg;
+        cfg.train_runs = 6;
+        cfg.core = row.core;
+        auto w = workloads::makeWorkload(name, scale);
+        const std::size_t target = inject::defaultTargetLoop(w);
+        core::Pipeline pipe(std::move(w), cfg);
+
+        const auto probe = pipe.simulate(1);
+        const double ipc = double(probe.stats.instructions) /
+            double(probe.stats.cycles);
+
+        const auto model = pipe.trainModel();
+        double latency_sum = 0.0;
+        std::size_t detected = 0, injected = 0, tp = 0;
+        for (std::uint64_t seed = 0; seed < 4; ++seed) {
+            const auto ev = pipe.monitorRun(
+                model, 6000 + seed,
+                inject::canonicalLoopInjection(target, 1.0, seed));
+            injected += ev.metrics.injected_groups;
+            tp += ev.metrics.true_positives;
+            if (ev.metrics.detection_latency >= 0.0) {
+                latency_sum += ev.metrics.detection_latency;
+                ++detected;
+            }
+        }
+        std::printf("%-8s %6zu %6zu %6zu %12.2f %12s %7.1f%%\n",
+                    row.label, row.core.issue_width,
+                    row.core.pipeline_depth,
+                    row.core.out_of_order ? row.core.rob_size : 0,
+                    ipc,
+                    detected > 0 ?
+                        std::to_string(latency_sum / double(detected) *
+                                       1e3).substr(0, 5).c_str() : "-",
+                    100.0 * double(tp) /
+                        double(std::max<std::size_t>(injected, 1)));
+        std::fflush(stdout);
+    }
+    std::printf("\nExpected: out-of-order cores show equal accuracy "
+                "but longer latency (more schedule\nvariation needs "
+                "larger K-S groups), as in the paper's Fig. 4.\n");
+    return 0;
+}

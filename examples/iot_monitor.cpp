@@ -1,0 +1,88 @@
+/**
+ * @file
+ * IoT monitoring scenario: the paper's deployment story — a cheap
+ * receiver parked next to an embedded device that runs a fixed
+ * application forever. This example drives the full EM chain
+ * (emanation, channel noise, interferers, OS activity on the
+ * monitored device) and shows EDDIE flagging a firmware implant that
+ * activates only in a later run.
+ *
+ *   ./iot_monitor [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+using namespace eddie;
+
+int
+main(int argc, char **argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+    // The monitored device: an embedded board running a sensing
+    // application (we use rijndael, think "encrypt-and-forward"),
+    // with a Linux-style timer interrupt load.
+    core::PipelineConfig cfg;
+    cfg.train_runs = 8;
+    cfg.path = core::SignalPath::EmBaseband;
+    cfg.channel.snr_db = 30.0;
+    cfg.channel.interferers.push_back({3.7e6, 0.05}); // nearby radio
+    cfg.core.os_irq_rate_hz = 1000.0;
+
+    auto workload = workloads::makeWorkload("rijndael", scale);
+    const std::size_t target = inject::defaultTargetLoop(workload);
+    core::Pipeline pipe(std::move(workload), cfg);
+
+    std::printf("IoT monitor: device runs '%s'; receiver tuned to "
+                "the clock, SNR %.0f dB, 1 interferer\n\n",
+                pipe.workload().name.c_str(), cfg.channel.snr_db);
+
+    std::printf("[day 0] characterizing normal behaviour (%zu "
+                "training captures)...\n", cfg.train_runs);
+    const auto model = pipe.trainModel();
+
+    // Weeks of normal operation: every capture should stay quiet.
+    std::printf("[day 1..5] monitoring normal operation:\n");
+    std::size_t clean_reports = 0;
+    for (int day = 1; day <= 5; ++day) {
+        const auto ev = pipe.monitorRun(model, 5000 + day);
+        clean_reports += ev.reports.size();
+        std::printf("  day %d: %4zu windows, %zu alarms\n", day,
+                    ev.metrics.groups, ev.reports.size());
+    }
+
+    // The implant activates: it piggybacks 8 instructions on every
+    // encryption round (data exfiltration staging, say).
+    std::printf("\n[day 6] firmware implant activates inside the "
+                "cipher loop:\n");
+    const auto attack = pipe.monitorRun(
+        model, 5006, inject::canonicalLoopInjection(target, 1.0, 77));
+    std::printf("  %zu alarms", attack.reports.size());
+    if (!attack.reports.empty()) {
+        std::printf("; first alarm %.2f ms after the implant started "
+                    "executing", attack.metrics.detection_latency * 1e3);
+    }
+    std::printf("\n");
+
+    // A stealthier variant: only 25 % of iterations contaminated.
+    std::printf("\n[day 7] implant throttles itself to 25%% of "
+                "iterations:\n");
+    const auto stealth = pipe.monitorRun(
+        model, 5007,
+        inject::canonicalLoopInjection(target, 0.25, 78));
+    std::printf("  %zu alarms", stealth.reports.size());
+    if (!stealth.reports.empty() &&
+        stealth.metrics.detection_latency >= 0.0) {
+        std::printf(" (latency %.2f ms — stealth costs the attacker "
+                    "time, not safety)",
+                    stealth.metrics.detection_latency * 1e3);
+    }
+    std::printf("\n\nsummary: %zu false alarms across 5 clean days; "
+                "implant %s\n", clean_reports,
+                attack.reports.empty() ? "MISSED" : "caught");
+    return 0;
+}

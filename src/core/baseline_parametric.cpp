@@ -1,0 +1,42 @@
+#include "baseline_parametric.h"
+
+#include <algorithm>
+
+namespace eddie::core
+{
+
+ParametricRegion
+fitParametricRegion(const RegionModel &region, std::size_t components)
+{
+    ParametricRegion out;
+    out.group_n = region.group_n;
+    out.per_rank.reserve(region.ref.size());
+    for (const auto &ref : region.ref)
+        out.per_rank.push_back(
+            stats::GaussianMixture::fit(ref, components));
+    return out;
+}
+
+bool
+parametricGroupRejects(const ParametricRegion &model,
+                       const std::vector<std::vector<double>> &groups,
+                       double alpha)
+{
+    const std::size_t ranks = std::min(model.per_rank.size(),
+                                       groups.size());
+    if (ranks == 0)
+        return false;
+    const std::size_t threshold = std::max<std::size_t>(1, ranks / 2);
+    std::size_t rejecting = 0;
+    for (std::size_t p = 0; p < ranks; ++p) {
+        const auto res = stats::parametricTest(model.per_rank[p],
+                                               groups[p], alpha);
+        if (res.reject)
+            ++rejecting;
+        if (rejecting >= threshold)
+            return true;
+    }
+    return false;
+}
+
+} // namespace eddie::core

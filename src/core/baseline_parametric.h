@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parametric baseline detector (paper Sec. 4.2, Fig. 2): fit a
+ * normal / bi-normal mixture to each peak rank's reference
+ * distribution and test monitored groups against the fitted model.
+ * The paper rejects this approach because peak-frequency
+ * distributions are poor fits for parametric families.
+ */
+
+#ifndef EDDIE_CORE_BASELINE_PARAMETRIC_H
+#define EDDIE_CORE_BASELINE_PARAMETRIC_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model.h"
+#include "stats/gmm.h"
+
+namespace eddie::core
+{
+
+/** Parametric model of one region: one mixture per peak rank. */
+struct ParametricRegion
+{
+    std::vector<stats::GaussianMixture> per_rank;
+    std::size_t group_n = 8;
+};
+
+/**
+ * Fits @p components Gaussian components to every peak rank of a
+ * trained region model.
+ */
+ParametricRegion fitParametricRegion(const RegionModel &region,
+                                     std::size_t components);
+
+/**
+ * Group test: as the K-S group test, but each rank uses the
+ * one-sample parametric goodness-of-fit test; the group rejects when
+ * at least half the ranks reject.
+ *
+ * @param groups per-rank monitored values (groups[rank] has the n
+ *        most recent observations of that rank)
+ */
+bool parametricGroupRejects(const ParametricRegion &model,
+                            const std::vector<std::vector<double>> &groups,
+                            double alpha);
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_BASELINE_PARAMETRIC_H

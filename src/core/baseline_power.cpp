@@ -1,0 +1,60 @@
+#include "baseline_power.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace eddie::core
+{
+
+std::vector<double>
+windowMeans(const std::vector<double> &power, std::size_t window,
+            std::size_t hop)
+{
+    std::vector<double> means;
+    if (window == 0 || hop == 0 || power.size() < window)
+        return means;
+    // Sliding sum for O(1) per step.
+    double sum = 0.0;
+    for (std::size_t i = 0; i < window; ++i)
+        sum += power[i];
+    std::size_t start = 0;
+    while (start + window <= power.size()) {
+        means.push_back(sum / double(window));
+        if (start + window + hop > power.size())
+            break;
+        for (std::size_t i = 0; i < hop; ++i) {
+            sum -= power[start + i];
+            sum += power[start + window + i];
+        }
+        start += hop;
+    }
+    return means;
+}
+
+PowerDetectorModel
+trainPowerDetector(const std::vector<std::vector<double>> &training_means,
+                   double tail_pct)
+{
+    std::vector<double> all;
+    for (const auto &run : training_means)
+        all.insert(all.end(), run.begin(), run.end());
+    PowerDetectorModel m;
+    if (all.empty())
+        return m;
+    m.lo = stats::percentile(all, tail_pct);
+    m.hi = stats::percentile(all, 100.0 - tail_pct);
+    return m;
+}
+
+std::vector<bool>
+powerDetectorFlags(const PowerDetectorModel &model,
+                   const std::vector<double> &means)
+{
+    std::vector<bool> flags(means.size(), false);
+    for (std::size_t i = 0; i < means.size(); ++i)
+        flags[i] = means[i] < model.lo || means[i] > model.hi;
+    return flags;
+}
+
+} // namespace eddie::core

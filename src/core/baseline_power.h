@@ -1,0 +1,45 @@
+/**
+ * @file
+ * WattsUpDoc-style baseline: system-wide power monitoring without any
+ * region model (paper Sec. 6 compares EDDIE against such detectors).
+ * Training records the distribution of window-mean power; monitoring
+ * flags windows whose mean falls outside the trained percentile band.
+ */
+
+#ifndef EDDIE_CORE_BASELINE_POWER_H
+#define EDDIE_CORE_BASELINE_POWER_H
+
+#include <cstddef>
+#include <vector>
+
+namespace eddie::core
+{
+
+/** Window-mean power over sliding windows. */
+std::vector<double> windowMeans(const std::vector<double> &power,
+                                std::size_t window, std::size_t hop);
+
+/** Trained thresholds of the power baseline. */
+struct PowerDetectorModel
+{
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Trains the detector: thresholds at the given tail percentile of
+ * the pooled training window means.
+ *
+ * @param tail_pct e.g. 0.5 keeps the central 99 % band
+ */
+PowerDetectorModel trainPowerDetector(
+    const std::vector<std::vector<double>> &training_means,
+    double tail_pct = 0.5);
+
+/** Per-window anomaly flags for a monitored run. */
+std::vector<bool> powerDetectorFlags(const PowerDetectorModel &model,
+                                     const std::vector<double> &means);
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_BASELINE_POWER_H

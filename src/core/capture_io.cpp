@@ -1,0 +1,117 @@
+#include "capture_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace eddie::core
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'E', 'D', 'D', 'I', 'E', 'C', 'A', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writeRaw(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof value);
+}
+
+template <typename T>
+T
+readRaw(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof value);
+    if (!is)
+        throw std::runtime_error("capture: truncated input");
+    return value;
+}
+
+} // namespace
+
+void
+saveCapture(const cpu::RunResult &run, std::ostream &os)
+{
+    os.write(kMagic, sizeof kMagic);
+    writeRaw(os, kVersion);
+    writeRaw(os, run.sample_rate);
+    const std::uint64_t n = run.power.size();
+    writeRaw(os, n);
+    os.write(reinterpret_cast<const char *>(run.power.data()),
+             std::streamsize(n * sizeof(double)));
+
+    // Region ids (kNoRegion encodes as ~0).
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t r =
+            i < run.region.size() ? run.region[i] : ~std::uint64_t(0);
+        writeRaw(os, r);
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint8_t f =
+            i < run.injected.size() ? run.injected[i] : 0;
+        writeRaw(os, f);
+    }
+}
+
+cpu::RunResult
+loadCapture(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof magic);
+    if (!is || std::memcmp(magic, kMagic, sizeof magic) != 0)
+        throw std::runtime_error("capture: bad magic");
+    const auto version = readRaw<std::uint32_t>(is);
+    if (version != kVersion)
+        throw std::runtime_error("capture: unsupported version");
+
+    cpu::RunResult run;
+    run.sample_rate = readRaw<double>(is);
+    if (!(run.sample_rate > 0.0))
+        throw std::runtime_error("capture: bad sample rate");
+    const auto n = readRaw<std::uint64_t>(is);
+    // Sanity cap: a capture is bounded by hours of samples.
+    if (n > (std::uint64_t(1) << 34))
+        throw std::runtime_error("capture: implausible size");
+
+    run.power.resize(n);
+    is.read(reinterpret_cast<char *>(run.power.data()),
+            std::streamsize(n * sizeof(double)));
+    if (!is)
+        throw std::runtime_error("capture: truncated samples");
+
+    run.region.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        run.region[i] = readRaw<std::uint64_t>(is);
+    run.injected.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        run.injected[i] = readRaw<std::uint8_t>(is);
+    return run;
+}
+
+void
+saveCaptureFile(const cpu::RunResult &run, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("capture: cannot open " + path);
+    saveCapture(run, os);
+    if (!os)
+        throw std::runtime_error("capture: write failed: " + path);
+}
+
+cpu::RunResult
+loadCaptureFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("capture: cannot open " + path);
+    return loadCapture(is);
+}
+
+} // namespace eddie::core

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Capture files: persist a monitored run's sampled signal and
+ * annotations so captures can be analyzed offline, shared, and
+ * re-scored against different models — the workflow of a real
+ * SDR-based deployment (capture once, analyze many times).
+ */
+
+#ifndef EDDIE_CORE_CAPTURE_IO_H
+#define EDDIE_CORE_CAPTURE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "cpu/run_result.h"
+
+namespace eddie::core
+{
+
+/**
+ * Writes a run (power trace + ground-truth annotations) in the
+ * binary capture format.
+ *
+ * Layout: magic "EDDIECAP", u32 version, f64 sample rate, u64 sample
+ * count, then the power samples (f64), region ids (u64) and
+ * injection flags (u8).
+ */
+void saveCapture(const cpu::RunResult &run, std::ostream &os);
+
+/** Reads a capture written by saveCapture(). Throws on malformed
+ *  input. Only signal-related fields of RunResult are populated. */
+cpu::RunResult loadCapture(std::istream &is);
+
+/** Convenience file wrappers; throw std::runtime_error on I/O
+ *  failure. */
+void saveCaptureFile(const cpu::RunResult &run, const std::string &path);
+cpu::RunResult loadCaptureFile(const std::string &path);
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_CAPTURE_IO_H

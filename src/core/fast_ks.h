@@ -1,0 +1,34 @@
+/**
+ * @file
+ * K-S testing against a pre-sorted reference sample in
+ * O(n log n + n log m) for a monitored group of n values — the hot
+ * path of both training (group-size sweeps) and monitoring.
+ *
+ * Produces exactly the same statistic as stats::ksStatistic (verified
+ * by unit tests).
+ */
+
+#ifndef EDDIE_CORE_FAST_KS_H
+#define EDDIE_CORE_FAST_KS_H
+
+#include <span>
+#include <vector>
+
+namespace eddie::core
+{
+
+/** D statistic between a sorted reference and a small monitored
+ *  group. @p sorted_ref must be ascending. */
+double ksStatisticSortedRef(const std::vector<double> &sorted_ref,
+                            std::span<const double> monitored);
+
+/** Critical value c(alpha) * sqrt((m+n)/(m n)). */
+double ksCriticalValue(std::size_t m, std::size_t n, double alpha);
+
+/** Full test: reject when D exceeds the critical value. */
+bool ksRejectSortedRef(const std::vector<double> &sorted_ref,
+                       std::span<const double> monitored, double alpha);
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_FAST_KS_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Evaluation metrics matching the paper's definitions (Sec. 5.2):
+ * detection latency, false positives, accuracy, and coverage.
+ */
+
+#ifndef EDDIE_CORE_METRICS_H
+#define EDDIE_CORE_METRICS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "model.h"
+#include "monitor.h"
+#include "sts.h"
+
+namespace eddie::core
+{
+
+/** Metrics of one monitored run. */
+struct RunMetrics
+{
+    std::size_t groups = 0;
+    std::size_t injected_groups = 0;
+    std::size_t true_positives = 0;  ///< injected groups reported
+    std::size_t false_positives = 0; ///< clean groups reported
+    std::size_t false_negatives = 0; ///< injected groups not reported
+    /** First report at/after injection start minus injection start,
+     *  seconds; negative when nothing was detected. */
+    double detection_latency = -1.0;
+    /** Steps where the monitor's region matched ground truth. */
+    std::size_t covered_steps = 0;
+    std::size_t labeled_steps = 0;
+    /** Per-region (group count, correct count) for the paper's
+     *  per-region-averaged accuracy. */
+    std::vector<std::size_t> region_groups;
+    std::vector<std::size_t> region_correct;
+};
+
+/**
+ * Scores one monitored run.
+ *
+ * A "group" is the sliding K-S window ending at each step; a group
+ * is injected when any STS inside the window (n_c most recent) is
+ * injected.
+ *
+ * @param stream the monitored STS stream (with ground-truth labels)
+ * @param records the monitor's per-step records
+ * @param reports the monitor's anomaly reports
+ * @param model for per-region group sizes
+ */
+RunMetrics scoreRun(const std::vector<Sts> &stream,
+                    const std::vector<StepRecord> &records,
+                    const std::vector<AnomalyReport> &reports,
+                    const TrainedModel &model);
+
+/** Aggregate of many runs, in the units the paper reports. */
+struct AggregateMetrics
+{
+    double detection_latency_ms = -1.0;
+    double false_positive_pct = 0.0;
+    double accuracy_pct = 0.0;
+    double coverage_pct = 0.0;
+    double false_negative_pct = 0.0;
+    double true_positive_pct = 0.0;
+    std::size_t runs_detected = 0;
+    std::size_t runs_with_injection = 0;
+};
+
+/** Combines per-run metrics (paper-style averages). */
+AggregateMetrics aggregate(const std::vector<RunMetrics> &runs);
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_METRICS_H

@@ -1,0 +1,95 @@
+#include "model.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace eddie::core
+{
+
+TrainedModel
+withGroupSize(const TrainedModel &model, std::size_t n)
+{
+    TrainedModel out = model;
+    for (auto &r : out.regions)
+        if (r.trained)
+            r.group_n = n;
+    return out;
+}
+
+TrainedModel
+withAlpha(const TrainedModel &model, double alpha)
+{
+    TrainedModel out = model;
+    out.alpha = alpha;
+    return out;
+}
+
+void
+saveModel(const TrainedModel &model, std::ostream &os)
+{
+    os << std::setprecision(
+        std::numeric_limits<double>::max_digits10);
+    os << "eddie-model 1\n";
+    os << model.alpha << ' ' << model.sentinel << ' '
+       << model.entry_region << ' ' << model.num_loops << ' '
+       << model.regions.size() << '\n';
+    for (const auto &r : model.regions) {
+        os << r.name << ' ' << int(r.trained) << ' ' << r.num_peaks
+           << ' ' << r.group_n << ' ' << r.succs.size();
+        for (auto s : r.succs)
+            os << ' ' << s;
+        os << '\n';
+        os << r.ref.size() << '\n';
+        for (const auto &rank : r.ref) {
+            os << rank.size();
+            for (double v : rank)
+                os << ' ' << v;
+            os << '\n';
+        }
+    }
+}
+
+TrainedModel
+loadModel(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    is >> magic >> version;
+    if (magic != "eddie-model" || version != 1)
+        throw std::runtime_error("loadModel: bad header");
+
+    TrainedModel m;
+    std::size_t num_regions = 0;
+    is >> m.alpha >> m.sentinel >> m.entry_region >> m.num_loops >>
+        num_regions;
+    if (!is)
+        throw std::runtime_error("loadModel: bad model header line");
+    m.regions.resize(num_regions);
+    for (auto &r : m.regions) {
+        int trained = 0;
+        std::size_t num_succs = 0;
+        is >> r.name >> trained >> r.num_peaks >> r.group_n >> num_succs;
+        r.trained = trained != 0;
+        r.succs.resize(num_succs);
+        for (auto &s : r.succs)
+            is >> s;
+        std::size_t num_ranks = 0;
+        is >> num_ranks;
+        r.ref.resize(num_ranks);
+        for (auto &rank : r.ref) {
+            std::size_t k = 0;
+            is >> k;
+            rank.resize(k);
+            for (auto &v : rank)
+                is >> v;
+        }
+        if (!is)
+            throw std::runtime_error("loadModel: truncated region");
+    }
+    return m;
+}
+
+} // namespace eddie::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * EDDIE's trained model: per region, the reference peak-frequency
+ * distributions (one per peak rank) and the region-specific K-S group
+ * size n, plus the region state machine (paper Sec. 4.1).
+ */
+
+#ifndef EDDIE_CORE_MODEL_H
+#define EDDIE_CORE_MODEL_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eddie::core
+{
+
+/** Model of one region. */
+struct RegionModel
+{
+    /** Region name from the region graph (e.g. "L2"). */
+    std::string name;
+    /** False when the region never gathered enough training STSs. */
+    bool trained = false;
+    /** Number of peak ranks tested for this region. */
+    std::size_t num_peaks = 0;
+    /** K-S group size n selected for this region (paper Sec. 4.3). */
+    std::size_t group_n = 8;
+    /** Reference peak frequencies per rank, each ascending-sorted. */
+    std::vector<std::vector<double>> ref;
+    /** Successor region ids in the state machine. */
+    std::vector<std::size_t> succs;
+};
+
+/** The complete trained model. */
+struct TrainedModel
+{
+    std::vector<RegionModel> regions;
+    /** Significance level used in the K-S tests. */
+    double alpha = 0.01;
+    /** Sentinel used for missing peak ranks (see sts.h). */
+    double sentinel = 0.0;
+    /** Region the monitor assumes at start-up. */
+    std::size_t entry_region = 0;
+    /** Number of loop regions (ids [0, num_loops)). */
+    std::size_t num_loops = 0;
+
+    std::size_t numRegions() const { return regions.size(); }
+};
+
+/**
+ * Returns a copy of @p model with every trained region's group size
+ * forced to @p n — used by the latency/accuracy trade-off sweeps
+ * (paper Figures 6, 8, 9, 10, where the x axis is the detection
+ * latency implied by n).
+ */
+TrainedModel withGroupSize(const TrainedModel &model, std::size_t n);
+
+/** Returns a copy with the K-S significance level set to @p alpha
+ *  (confidence-level sweep of Fig. 9). */
+TrainedModel withAlpha(const TrainedModel &model, double alpha);
+
+/** Serializes the model in a plain text format. */
+void saveModel(const TrainedModel &model, std::ostream &os);
+
+/** Parses a model written by saveModel(). Throws on malformed
+ *  input. */
+TrainedModel loadModel(std::istream &is);
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_MODEL_H

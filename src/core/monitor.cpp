@@ -1,0 +1,241 @@
+#include "monitor.h"
+
+#include <algorithm>
+
+#include "fast_ks.h"
+#include "stats/mwu.h"
+
+namespace eddie::core
+{
+
+Monitor::Monitor(const TrainedModel &model, const MonitorConfig &cfg)
+    : model_(model), cfg_(cfg), current_(model.entry_region)
+{
+    max_history_ = 8;
+    for (const auto &r : model_.regions)
+        max_history_ = std::max(max_history_, r.group_n);
+    if (current_ >= model_.regions.size())
+        current_ = 0;
+
+    candidates_.resize(model_.regions.size());
+    for (std::size_t r = 0; r < model_.regions.size(); ++r) {
+        auto &cand = candidates_[r];
+        for (std::size_t s : model_.regions[r].succs) {
+            if (s != r &&
+                std::find(cand.begin(), cand.end(), s) == cand.end()) {
+                cand.push_back(s);
+            }
+            for (std::size_t s2 : model_.regions[s].succs) {
+                if (s2 != r && std::find(cand.begin(), cand.end(),
+                                         s2) == cand.end()) {
+                    cand.push_back(s2);
+                }
+            }
+        }
+    }
+}
+
+void
+Monitor::fillGroup(std::size_t region_n, std::size_t rank,
+                   std::vector<double> &out) const
+{
+    const std::size_t have = history_.size();
+    const std::size_t n = std::min(region_n, have);
+    out.clear();
+    out.reserve(n);
+    for (std::size_t k = have - n; k < have; ++k) {
+        const auto &freqs = history_[k];
+        out.push_back(rank < freqs.size() ? freqs[rank] :
+                      model_.sentinel);
+    }
+}
+
+Monitor::Fit
+Monitor::regionFit(std::size_t region, std::size_t window) const
+{
+    Fit fit;
+    const RegionModel &rm = model_.regions[region];
+    if (!rm.trained || rm.num_peaks == 0)
+        return fit; // unverifiable: neither rejects nor accepts
+    const std::size_t n =
+        window > 0 ? std::min(window, rm.group_n) : rm.group_n;
+    if (history_.size() < n)
+        return fit;
+    fit.testable = true;
+
+    double d_sum = 0.0;
+    std::vector<double> mon;
+    for (std::size_t p = 0; p < rm.num_peaks; ++p) {
+        fillGroup(n, p, mon);
+        bool rejected;
+        double d;
+        if (cfg_.test == TestKind::KolmogorovSmirnov) {
+            d = ksStatisticSortedRef(rm.ref[p], mon);
+            rejected = d > ksCriticalValue(rm.ref[p].size(),
+                                           mon.size(), model_.alpha);
+        } else {
+            const auto res = stats::mwuTest(rm.ref[p], mon,
+                                            model_.alpha);
+            rejected = res.reject;
+            d = 1.0 - res.p_value; // "distance" proxy for handoff
+        }
+        d_sum += d;
+        if (rejected)
+            ++fit.rejected_ranks;
+        else
+            ++fit.accepted_ranks;
+    }
+    fit.mean_d = d_sum / double(rm.num_peaks);
+    fit.rejects = fit.rejected_ranks >= std::max<std::size_t>(
+        1, rm.num_peaks / cfg_.reject_peak_divisor);
+    fit.accepts = fit.accepted_ranks >= std::max<std::size_t>(
+        1, rm.num_peaks / cfg_.change_peak_divisor);
+
+    // Guard ranks beyond num_peaks (where this region's training
+    // mostly saw no peak): a window carrying structure there does
+    // not belong to this region, however broad the tested ranks'
+    // distributions are. Prevents peak-poor regions from absorbing
+    // anomalous windows.
+    if (fit.accepts) {
+        for (std::size_t p = rm.num_peaks; p < rm.ref.size(); ++p) {
+            fillGroup(n, p, mon);
+            const bool rejected =
+                cfg_.test == TestKind::KolmogorovSmirnov ?
+                    ksRejectSortedRef(rm.ref[p], mon, model_.alpha) :
+                    stats::mwuTest(rm.ref[p], mon,
+                                   model_.alpha).reject;
+            if (rejected) {
+                fit.accepts = false;
+                break;
+            }
+        }
+    }
+    return fit;
+}
+
+StepRecord
+Monitor::step(const Sts &sts)
+{
+    StepRecord rec;
+    rec.region = current_;
+
+    history_.push_back(sts.peak_freqs);
+    if (history_.size() > max_history_)
+        history_.pop_front();
+    ++steps_since_change_;
+
+    const Fit cur = regionFit(current_);
+    rec.tested = cur.testable;
+    rec.rejected = cur.testable && cur.rejects;
+
+    if (!rec.rejected) {
+        anomaly_count_ = 0;
+        // Better-fit handoff (extension over Algorithm 1, see
+        // monitor.h): diffuse regions with broad reference
+        // distributions may keep "accepting" after execution has
+        // moved on — and untrained regions cannot reject at all.
+        // Hand off when a successor fits decisively better (or at
+        // all, when the current region is unverifiable).
+        // While a *trained* region's window is still warming up
+        // (history < n), withhold judgement; only hand off from
+        // regions that can never be tested (untrained) or that
+        // accepted outright.
+        const bool may_handoff = cur.testable ||
+            !model_.regions[current_].trained;
+        if (cfg_.enable_handoff && may_handoff &&
+            steps_since_change_ >= cfg_.transition_window) {
+            const double cur_d = cur.testable ? cur.mean_d : 1.0;
+            const std::size_t cur_peaks = cur.testable ?
+                model_.regions[current_].num_peaks : 0;
+            std::size_t best = model_.regions.size();
+            double best_d = cur_d;
+            for (std::size_t j : candidates_[current_]) {
+                // A peak-poor neighbor trivially achieves a small
+                // mean distance; only hand off to regions with
+                // comparable spectral richness. (The reject path
+                // below has no such restriction.)
+                if (model_.regions[j].num_peaks * 2 < cur_peaks)
+                    continue;
+                const Fit f = regionFit(j, cfg_.transition_window);
+                if (f.testable && f.accepts &&
+                    f.mean_d < cfg_.handoff_ratio * cur_d &&
+                    f.mean_d < best_d) {
+                    best = j;
+                    best_d = f.mean_d;
+                }
+            }
+            if (best < model_.regions.size()) {
+                current_ = best;
+                steps_since_change_ = 0;
+                rec.transitioned = true;
+            }
+        }
+    } else {
+        // Does a successor explain the window instead? (Not during
+        // the dwell right after a change — the window is still
+        // refilling and a chance acceptance would wedge the monitor
+        // in the wrong state.)
+        std::size_t best_region = model_.regions.size();
+        std::size_t best_accepted = 0;
+        double best_cand_d = 1.0;
+        if (steps_since_change_ >= cfg_.transition_window) {
+            for (std::size_t j : candidates_[current_]) {
+                const Fit f = regionFit(j, cfg_.transition_window);
+                if (f.testable && f.accepts &&
+                    f.accepted_ranks > best_accepted) {
+                    best_accepted = f.accepted_ranks;
+                    best_region = j;
+                    best_cand_d = f.mean_d;
+                }
+            }
+        }
+        // Fresh-window check of the current region: a full-window
+        // rejection whose newest STSs still fit is a border effect
+        // or slow drift, not an anomaly and not a region change.
+        // (Bin-quantized injected peaks fail even the fresh test.)
+        const Fit fresh = regionFit(current_, cfg_.transition_window);
+        const bool fresh_ok = fresh.testable && !fresh.rejects;
+        // A region change must be decisive: the candidate's fresh
+        // fit has to clearly beat the current region's, or a
+        // marginal spectral overlap between neighbors would cause
+        // spurious hops.
+        const bool decisive = !fresh.testable ||
+            best_cand_d < cfg_.handoff_ratio * std::max(fresh.mean_d,
+                                                        1e-9);
+        if (best_region < model_.regions.size() && decisive) {
+            if (fresh_ok) {
+                anomaly_count_ = 0; // stay: drift, not a change
+            } else {
+                current_ = best_region;
+                anomaly_count_ = 0;
+                steps_since_change_ = 0;
+                rec.transitioned = true;
+            }
+        } else if (fresh_ok) {
+            anomaly_count_ = 0; // border/drift tolerance
+        } else {
+            ++anomaly_count_;
+            if (anomaly_count_ > cfg_.report_threshold) {
+                AnomalyReport rep;
+                rep.step = step_index_;
+                rep.time = sts.t_end;
+                rep.region = current_;
+                reports_.push_back(rep);
+                // Mark the whole streak as reported.
+                rec.reported = true;
+                const std::size_t streak = anomaly_count_ - 1;
+                for (std::size_t k = 0;
+                     k < streak && k < records_.size(); ++k) {
+                    records_[records_.size() - 1 - k].reported = true;
+                }
+                anomaly_count_ = 0;
+            }
+        }
+    }
+
+    records_.push_back(rec);
+    ++step_index_;
+    return rec;
+}
+
+} // namespace eddie::core

@@ -1,0 +1,83 @@
+#include "pipeline.h"
+
+#include "sig/stft.h"
+
+namespace eddie::core
+{
+
+Pipeline::Pipeline(workloads::Workload workload, PipelineConfig config)
+    : workload_(std::move(workload)), config_(std::move(config))
+{
+}
+
+cpu::RunResult
+Pipeline::simulate(std::uint64_t seed, const cpu::InjectionPlan &plan) const
+{
+    cpu::Core core(config_.core, config_.energy);
+    return core.run(workload_.program, workload_.regions,
+                    workload_.make_input(seed), plan, seed);
+}
+
+std::vector<Sts>
+Pipeline::toSts(const cpu::RunResult &rr) const
+{
+    sig::StftConfig sc;
+    sc.window_size = config_.stft_window;
+    sc.hop = config_.stft_hop;
+    sc.window = config_.stft_window_fn;
+    sc.sample_rate = rr.sample_rate;
+    const sig::Stft stft(sc);
+
+    sig::Spectrogram sg;
+    if (config_.path == SignalPath::Power) {
+        sg = stft.analyze(rr.power);
+    } else {
+        // Seed the channel from the trace so repeated captures of
+        // the same run see different noise.
+        const auto iq = em::emanateBaseband(
+            rr.power, rr.sample_rate, config_.channel,
+            0x9e3779b97f4a7c15ULL ^ rr.stats.cycles);
+        sg = stft.analyze(iq);
+    }
+    return extractStsStream(sg, &rr, workload_.regions.regions.size(),
+                            config_.features);
+}
+
+std::vector<Sts>
+Pipeline::captureRun(std::uint64_t seed,
+                     const cpu::InjectionPlan &plan) const
+{
+    return toSts(simulate(seed, plan));
+}
+
+TrainedModel
+Pipeline::trainModel(TrainingDiagnostics *diag) const
+{
+    std::vector<std::vector<Sts>> runs;
+    runs.reserve(config_.train_runs);
+    for (std::size_t i = 0; i < config_.train_runs; ++i)
+        runs.push_back(captureRun(config_.train_seed_base + i));
+    const double sentinel =
+        missingPeakSentinel(config_.core.clock_hz /
+                            double(config_.core.cycles_per_sample));
+    return train(runs, workload_.regions, sentinel, config_.trainer,
+                 diag);
+}
+
+RunEvaluation
+Pipeline::monitorRun(const TrainedModel &model, std::uint64_t seed,
+                     const cpu::InjectionPlan &plan) const
+{
+    const auto stream = captureRun(seed, plan);
+    Monitor monitor(model, config_.monitor);
+    for (const auto &sts : stream)
+        monitor.step(sts);
+
+    RunEvaluation ev;
+    ev.reports = monitor.reports();
+    ev.records = monitor.records();
+    ev.metrics = scoreRun(stream, ev.records, ev.reports, model);
+    return ev;
+}
+
+} // namespace eddie::core

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * End-to-end experiment pipeline: simulate a workload run, turn the
+ * power trace into a captured signal (direct power, as in the paper's
+ * Table 2 setup, or through the EM channel, as in Table 1), extract
+ * the STS stream, and train/monitor on it.
+ */
+
+#ifndef EDDIE_CORE_PIPELINE_H
+#define EDDIE_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/core.h"
+#include "em/emanation.h"
+#include "metrics.h"
+#include "model.h"
+#include "monitor.h"
+#include "sts.h"
+#include "trainer.h"
+#include "workloads/workload.h"
+
+namespace eddie::core
+{
+
+/** Which signal the STSs are computed on. */
+enum class SignalPath
+{
+    /** Simulator power trace directly (paper Sec. 5.3, Table 2). */
+    Power,
+    /** Complex-baseband EM capture with channel noise (paper
+     *  Sec. 5.2, Table 1). */
+    EmBaseband,
+};
+
+/** Everything that parameterizes an experiment. */
+struct PipelineConfig
+{
+    cpu::CoreConfig core;
+    power::EnergyParams energy;
+
+    /** STFT window (0.1 ms at the default 20 MS/s power sampling,
+     *  matching the paper's window length) and 50 % overlap. */
+    std::size_t stft_window = 2048;
+    std::size_t stft_hop = 1024;
+    sig::WindowType stft_window_fn = sig::WindowType::Hann;
+
+    FeatureConfig features;
+    TrainerConfig trainer;
+    MonitorConfig monitor;
+
+    SignalPath path = SignalPath::Power;
+    em::ChannelConfig channel;
+
+    /** Training runs (paper: 25 on hardware, 10 in simulation). */
+    std::size_t train_runs = 10;
+    std::uint64_t train_seed_base = 1000;
+    std::uint64_t monitor_seed_base = 9000;
+};
+
+/** Outcome of monitoring one run. */
+struct RunEvaluation
+{
+    RunMetrics metrics;
+    std::vector<AnomalyReport> reports;
+    std::vector<StepRecord> records;
+};
+
+/** Binds a workload to a configuration and runs the experiment
+ *  stages. */
+class Pipeline
+{
+  public:
+    Pipeline(workloads::Workload workload, PipelineConfig config);
+
+    /** Simulates one run and returns the raw result. */
+    cpu::RunResult simulate(std::uint64_t seed,
+                            const cpu::InjectionPlan &plan =
+                                cpu::InjectionPlan()) const;
+
+    /** Simulates one run and extracts its labeled STS stream. */
+    std::vector<Sts> captureRun(std::uint64_t seed,
+                                const cpu::InjectionPlan &plan =
+                                    cpu::InjectionPlan()) const;
+
+    /** STS stream from an already-simulated run. */
+    std::vector<Sts> toSts(const cpu::RunResult &rr) const;
+
+    /** Runs train_runs training captures and trains the model. */
+    TrainedModel trainModel(TrainingDiagnostics *diag = nullptr) const;
+
+    /** Monitors one (clean or injected) run against a model. */
+    RunEvaluation monitorRun(const TrainedModel &model,
+                             std::uint64_t seed,
+                             const cpu::InjectionPlan &plan =
+                                 cpu::InjectionPlan()) const;
+
+    const workloads::Workload &workload() const { return workload_; }
+    const PipelineConfig &config() const { return config_; }
+
+  private:
+    workloads::Workload workload_;
+    PipelineConfig config_;
+};
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_PIPELINE_H

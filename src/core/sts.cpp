@@ -1,0 +1,74 @@
+#include "sts.h"
+
+#include <algorithm>
+
+#include "prog/regions.h"
+
+namespace eddie::core
+{
+
+double
+missingPeakSentinel(double sample_rate)
+{
+    return sample_rate; // beyond any representable frequency
+}
+
+std::vector<Sts>
+extractStsStream(const sig::Spectrogram &sg, const cpu::RunResult *annot,
+                 std::size_t num_regions, const FeatureConfig &cfg)
+{
+    std::vector<Sts> out;
+    out.reserve(sg.numFrames());
+    const double sentinel = missingPeakSentinel(sg.sample_rate);
+
+    // Majority vote scratch: region id -> count. Region ids are dense
+    // (< num_regions); kNoRegion votes land in the extra slot.
+    std::vector<std::size_t> votes(num_regions + 1, 0);
+
+    for (std::size_t f = 0; f < sg.numFrames(); ++f) {
+        Sts sts;
+        sts.t_start = sg.frame_time[f];
+        sts.t_end = sts.t_start + sg.window_seconds;
+
+        auto peaks = sig::findPeaks(sg.power[f], sg.sample_rate,
+                                    cfg.peaks);
+        if (cfg.positive_only) {
+            std::erase_if(peaks, [](const sig::Peak &p) {
+                return p.freq < 0.0;
+            });
+        }
+        if (cfg.max_peaks > 0 && peaks.size() > cfg.max_peaks)
+            peaks.resize(cfg.max_peaks);
+        sts.peak_freqs.reserve(cfg.max_peaks);
+        for (const auto &p : peaks)
+            sts.peak_freqs.push_back(p.freq);
+        while (sts.peak_freqs.size() < cfg.max_peaks)
+            sts.peak_freqs.push_back(sentinel);
+
+        if (annot != nullptr && !annot->region.empty()) {
+            const auto lo = std::size_t(sts.t_start * annot->sample_rate);
+            auto hi = std::size_t(sts.t_end * annot->sample_rate);
+            hi = std::min(hi, annot->region.size());
+            std::fill(votes.begin(), votes.end(), 0);
+            bool injected = false;
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::size_t r = annot->region[i];
+                if (r < num_regions)
+                    ++votes[r];
+                else
+                    ++votes[num_regions];
+                if (i < annot->injected.size() && annot->injected[i])
+                    injected = true;
+            }
+            const auto best = std::max_element(votes.begin(), votes.end());
+            const auto idx = std::size_t(best - votes.begin());
+            sts.true_region = (idx == num_regions || *best == 0) ?
+                prog::kNoRegion : idx;
+            sts.injected = injected;
+        }
+        out.push_back(std::move(sts));
+    }
+    return out;
+}
+
+} // namespace eddie::core

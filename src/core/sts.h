@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Short-Term Spectra (STSs): the feature representation EDDIE trains
+ * and monitors on (paper Sec. 3). Each STS is the ranked list of peak
+ * frequencies of one STFT frame, optionally annotated with the
+ * ground-truth region and injection flags of the window it covers.
+ */
+
+#ifndef EDDIE_CORE_STS_H
+#define EDDIE_CORE_STS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "cpu/run_result.h"
+#include "sig/peaks.h"
+#include "sig/stft.h"
+
+namespace eddie::core
+{
+
+/** One Short-Term Spectrum reduced to its peak features. */
+struct Sts
+{
+    /** Start/end time of the analysis window, seconds. */
+    double t_start = 0.0;
+    double t_end = 0.0;
+    /** Peak frequencies ordered by descending peak power. */
+    std::vector<double> peak_freqs;
+    /** Ground-truth region id (prog::kNoRegion when unknown). */
+    std::size_t true_region = std::size_t(-1);
+    /** True when the window contains injected execution. */
+    bool injected = false;
+};
+
+/** Feature-extraction options. */
+struct FeatureConfig
+{
+    /** Peak rule options; the paper's threshold is 1 % of window
+     *  energy. */
+    sig::PeakOptions peaks{};
+    /** Cap on ranked peaks kept per STS (paper observes up to ~15). */
+    std::size_t max_peaks = 15;
+    /** Only consider non-negative frequencies; our captured spectra
+     *  are symmetric, so mirrored peaks carry no extra information. */
+    bool positive_only = true;
+};
+
+/**
+ * Value used for missing peak ranks so that "has no k-th peak" is
+ * itself a comparable feature (it sits far above any real frequency).
+ */
+double missingPeakSentinel(double sample_rate);
+
+/**
+ * Converts a spectrogram into the STS stream.
+ *
+ * @param sg spectrogram of the captured signal
+ * @param annot per-sample ground-truth annotations aligned in time
+ *        with the signal (nullptr when unavailable, e.g. passband
+ *        demos); each STS takes the majority region over its window
+ * @param num_regions number of regions in the region graph (for
+ *        majority counting)
+ */
+std::vector<Sts> extractStsStream(const sig::Spectrogram &sg,
+                                  const cpu::RunResult *annot,
+                                  std::size_t num_regions,
+                                  const FeatureConfig &cfg);
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_STS_H

@@ -1,0 +1,233 @@
+#include "trainer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fast_ks.h"
+
+namespace eddie::core
+{
+
+namespace
+{
+
+/** Consecutive same-region segments of a run's STS stream. */
+struct Segment
+{
+    std::size_t region;
+    std::size_t begin; // index into the run's STS vector
+    std::size_t end;
+};
+
+std::vector<Segment>
+segmentRun(const std::vector<Sts> &run)
+{
+    std::vector<Segment> segs;
+    std::size_t i = 0;
+    while (i < run.size()) {
+        std::size_t j = i;
+        while (j < run.size() &&
+               run[j].true_region == run[i].true_region) {
+            ++j;
+        }
+        segs.push_back({run[i].true_region, i, j});
+        i = j;
+    }
+    return segs;
+}
+
+} // namespace
+
+double
+falseRejectionRate(const RegionModel &region,
+                   const std::vector<std::vector<Sts>> &runs,
+                   std::size_t region_id, std::size_t n, double alpha,
+                   std::size_t reject_peak_divisor)
+{
+    if (region.num_peaks == 0 || n == 0)
+        return 0.0;
+    const std::size_t reject_threshold = std::max<std::size_t>(
+        1, region.num_peaks / reject_peak_divisor);
+
+    std::size_t groups = 0;
+    std::size_t rejected = 0;
+    std::vector<double> mon(n);
+    for (const auto &run : runs) {
+        for (const auto &seg : segmentRun(run)) {
+            if (seg.region != region_id || seg.end - seg.begin < n)
+                continue;
+            for (std::size_t start = seg.begin; start + n <= seg.end;
+                 ++start) {
+                std::size_t rejecting = 0;
+                for (std::size_t p = 0; p < region.num_peaks; ++p) {
+                    for (std::size_t k = 0; k < n; ++k)
+                        mon[k] = run[start + k].peak_freqs[p];
+                    if (ksRejectSortedRef(region.ref[p], mon, alpha))
+                        ++rejecting;
+                }
+                ++groups;
+                if (rejecting >= reject_threshold)
+                    ++rejected;
+            }
+        }
+    }
+    if (groups == 0)
+        return 0.0;
+    return double(rejected) / double(groups);
+}
+
+TrainedModel
+train(const std::vector<std::vector<Sts>> &runs,
+      const prog::RegionGraph &regions, double sentinel,
+      const TrainerConfig &cfg, TrainingDiagnostics *diag)
+{
+    TrainedModel model;
+    model.alpha = cfg.alpha;
+    model.sentinel = sentinel;
+    model.num_loops = regions.num_loops;
+    model.regions.resize(regions.regions.size());
+
+    // Gather per-region STSs.
+    std::vector<std::vector<const Sts *>> by_region(
+        regions.regions.size());
+    for (const auto &run : runs) {
+        for (const auto &sts : run) {
+            if (sts.true_region < by_region.size())
+                by_region[sts.true_region].push_back(&sts);
+        }
+    }
+
+    // Entry region: most common region of the first STS across runs.
+    {
+        std::map<std::size_t, std::size_t> firsts;
+        for (const auto &run : runs)
+            if (!run.empty() &&
+                run.front().true_region < model.regions.size()) {
+                ++firsts[run.front().true_region];
+            }
+        std::size_t best = 0, best_count = 0;
+        for (const auto &[r, c] : firsts) {
+            if (c > best_count) {
+                best = r;
+                best_count = c;
+            }
+        }
+        model.entry_region = best;
+    }
+
+    if (diag != nullptr) {
+        diag->sweeps.assign(model.regions.size(), {});
+        diag->sts_count.assign(model.regions.size(), 0);
+    }
+
+    // Maximum consecutive run length per region bounds usable n.
+    std::vector<std::size_t> max_run(model.regions.size(), 0);
+    for (const auto &run : runs) {
+        for (const auto &seg : segmentRun(run)) {
+            if (seg.region < max_run.size()) {
+                max_run[seg.region] = std::max(max_run[seg.region],
+                                               seg.end - seg.begin);
+            }
+        }
+    }
+
+    for (std::size_t r = 0; r < model.regions.size(); ++r) {
+        RegionModel &rm = model.regions[r];
+        rm.name = regions.regions[r].name;
+        rm.succs = regions.regions[r].succs;
+        const auto &samples = by_region[r];
+        if (diag != nullptr)
+            diag->sts_count[r] = samples.size();
+        if (samples.size() < cfg.min_sts_per_region)
+            continue; // stays untrained
+
+        // Number of peak ranks: count ranks where a real (non-
+        // sentinel) peak usually exists; mostly-missing ranks would
+        // dilute the majority vote (the paper observes per-region
+        // peak counts like 15 vs 7). Keep at least one rank so that
+        // peak-less regions remain representable.
+        const std::size_t stored = samples.front()->peak_freqs.size();
+        rm.num_peaks = 0;
+        for (std::size_t p = 0; p < stored; ++p) {
+            std::size_t missing = 0;
+            for (const Sts *s : samples)
+                if (s->peak_freqs[p] >= sentinel)
+                    ++missing;
+            const double frac = double(missing) /
+                double(samples.size());
+            if (frac < cfg.max_missing_frac)
+                rm.num_peaks = p + 1;
+        }
+        rm.num_peaks = std::max<std::size_t>(rm.num_peaks, 1);
+
+        // Store a few ranks beyond num_peaks: their (mostly
+        // "missing peak") distributions let the monitor refuse to
+        // accept windows that carry structure where this region has
+        // none — see Monitor::regionFit.
+        const std::size_t stored_ranks =
+            std::min(std::max<std::size_t>(rm.num_peaks, 4), stored);
+
+        rm.ref.assign(stored_ranks, {});
+        for (std::size_t p = 0; p < stored_ranks; ++p) {
+            auto &ref = rm.ref[p];
+            ref.reserve(samples.size());
+            for (const Sts *s : samples)
+                ref.push_back(s->peak_freqs[p]);
+            // Cap the reference set deterministically.
+            if (ref.size() > cfg.max_ref) {
+                std::vector<double> capped;
+                capped.reserve(cfg.max_ref);
+                const double step = double(ref.size()) /
+                    double(cfg.max_ref);
+                for (std::size_t k = 0; k < cfg.max_ref; ++k)
+                    capped.push_back(ref[std::size_t(double(k) * step)]);
+                ref = std::move(capped);
+            }
+            std::sort(ref.begin(), ref.end());
+        }
+        rm.trained = true;
+
+        // n selection (paper Sec. 4.3): smallest n whose false
+        // rejection rate is within tolerance of the sweep minimum.
+        std::vector<GroupSizeSweepPoint> sweep;
+        double best_frr = 1.0;
+        for (std::size_t n : cfg.n_grid) {
+            if (n > max_run[r])
+                break;
+            const double frr = falseRejectionRate(
+                rm, runs, r, n, cfg.alpha, cfg.reject_peak_divisor);
+            sweep.push_back({n, frr});
+            best_frr = std::min(best_frr, frr);
+        }
+        if (sweep.empty()) {
+            rm.group_n = std::max<std::size_t>(
+                2, std::min<std::size_t>(max_run[r],
+                                         cfg.n_grid.front()));
+        } else if (best_frr > cfg.max_usable_frr) {
+            // No group size makes this region's windows consistent
+            // with its own training data: unverifiable (see
+            // TrainerConfig::max_usable_frr).
+            rm.trained = false;
+        } else {
+            // Settling point: the smallest n from which the false
+            // rejection rate *stays* near the sweep minimum. A tiny
+            // n can show FRR = 0 purely because the K-S test has no
+            // power there (its critical value is unreachable), with
+            // a hump at intermediate n — picking before the hump
+            // would be a trap.
+            rm.group_n = sweep.back().n;
+            for (std::size_t i = sweep.size(); i-- > 0;) {
+                if (sweep[i].false_rejection_rate >
+                    best_frr + cfg.settle_tolerance) {
+                    break;
+                }
+                rm.group_n = sweep[i].n;
+            }
+        }
+        if (diag != nullptr)
+            diag->sweeps[r] = std::move(sweep);
+    }
+    return model;
+}
+
+} // namespace eddie::core

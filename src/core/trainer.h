@@ -1,0 +1,113 @@
+/**
+ * @file
+ * EDDIE training (paper Sec. 4.1 and 4.3): builds per-region
+ * reference peak distributions from labeled STS streams and selects
+ * the per-region K-S group size n that minimizes the false-rejection
+ * rate at the smallest latency.
+ */
+
+#ifndef EDDIE_CORE_TRAINER_H
+#define EDDIE_CORE_TRAINER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "model.h"
+#include "prog/regions.h"
+#include "sts.h"
+
+namespace eddie::core
+{
+
+/** Training options. */
+struct TrainerConfig
+{
+    /** K-S significance (paper default: 99 % confidence). */
+    double alpha = 0.01;
+    /** Candidate group sizes for the n-selection sweep (Fig. 3).
+     *  The floor of 8 keeps the K-S critical value below the
+     *  separation of concentrated peak distributions, so diffuse
+     *  regions still reject clearly-different windows. */
+    std::vector<std::size_t> n_grid = {8, 12, 16, 24, 32, 48, 64};
+    /** Regions with fewer training STSs than this are marked
+     *  untrained. Untrained regions are blind spots (the paper's
+     *  coverage losses), so the floor sits just above the smallest
+     *  usable K-S group. */
+    std::size_t min_sts_per_region = 16;
+    /** A larger n is only accepted when it improves the false
+     *  rejection rate by more than this. */
+    double frr_tolerance = 0.002;
+    /**
+     * When scanning for the settling point of the FRR-vs-n curve,
+     * points this close to the minimum still count as settled; the
+     * non-monotone humps this guards against are tens of percent,
+     * while sampling noise on a "zero" estimate is well below this.
+     */
+    double settle_tolerance = 0.02;
+    /** Cap on reference-set size per peak rank. */
+    std::size_t max_ref = 4000;
+    /**
+     * A peak rank is only tested when fewer than this fraction of
+     * the region's training STSs lack that peak; ranks that are
+     * mostly "missing" would otherwise dilute the majority vote.
+     * One rank is always kept so that peak-less regions (the paper's
+     * GSM case) remain representable.
+     */
+    double max_missing_frac = 0.5;
+    /** A group rejects when at least num_peaks / this ranks reject
+     *  (majority by default). */
+    std::size_t reject_peak_divisor = 3;
+    /**
+     * The paper observes that "for most regions the false rejection
+     * does reach zero at some value of n". A region whose best
+     * achievable false-rejection rate stays above this threshold is
+     * not monitorable as trained (e.g. an unbounded timing drift);
+     * it is marked untrained — a coverage loss — instead of being
+     * allowed to alarm constantly.
+     */
+    double max_usable_frr = 0.25;
+};
+
+/** Per-region outcome of the n-selection sweep (for Fig. 3). */
+struct GroupSizeSweepPoint
+{
+    std::size_t n = 0;
+    double false_rejection_rate = 0.0;
+};
+
+/** Diagnostics captured while training. */
+struct TrainingDiagnostics
+{
+    /** Per region: the sweep of false rejection rate vs n. */
+    std::vector<std::vector<GroupSizeSweepPoint>> sweeps;
+    /** Per region: number of training STSs observed. */
+    std::vector<std::size_t> sts_count;
+};
+
+/**
+ * Trains a model from labeled STS streams (one per training run).
+ *
+ * @param runs STS streams with ground-truth region labels
+ * @param regions the program's region state machine
+ * @param sentinel missing-peak sentinel used when extracting STSs
+ * @param cfg trainer options
+ * @param diag optional diagnostics sink
+ */
+TrainedModel train(const std::vector<std::vector<Sts>> &runs,
+                   const prog::RegionGraph &regions, double sentinel,
+                   const TrainerConfig &cfg = TrainerConfig(),
+                   TrainingDiagnostics *diag = nullptr);
+
+/**
+ * False-rejection rate of the K-S group test for one region at group
+ * size @p n, evaluated over the training streams themselves (all
+ * training runs are injection-free). Exposed for the Fig. 3 bench.
+ */
+double falseRejectionRate(const RegionModel &region,
+                          const std::vector<std::vector<Sts>> &runs,
+                          std::size_t region_id, std::size_t n,
+                          double alpha, std::size_t reject_peak_divisor);
+
+} // namespace eddie::core
+
+#endif // EDDIE_CORE_TRAINER_H

@@ -1,0 +1,56 @@
+#include "branch_pred.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace eddie::cpu
+{
+
+BranchPredictor::BranchPredictor(std::size_t history_bits)
+{
+    if (history_bits == 0 || history_bits > 24)
+        throw std::invalid_argument("BranchPredictor: bad history bits");
+    const std::size_t entries = std::size_t(1) << history_bits;
+    mask_ = entries - 1;
+    table_.assign(entries, 1); // weakly not-taken
+}
+
+std::size_t
+BranchPredictor::index(std::uint64_t pc) const
+{
+    return std::size_t(pc ^ history_) & mask_;
+}
+
+bool
+BranchPredictor::predict(std::uint64_t pc) const
+{
+    return table_[index(pc)] >= 2;
+}
+
+bool
+BranchPredictor::update(std::uint64_t pc, bool taken)
+{
+    const std::size_t i = index(pc);
+    const bool predicted = table_[i] >= 2;
+    if (taken && table_[i] < 3)
+        ++table_[i];
+    else if (!taken && table_[i] > 0)
+        --table_[i];
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+    ++lookups_;
+    const bool correct = predicted == taken;
+    if (!correct)
+        ++mispredicts_;
+    return correct;
+}
+
+void
+BranchPredictor::reset()
+{
+    std::fill(table_.begin(), table_.end(), 1);
+    history_ = 0;
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace eddie::cpu

@@ -1,0 +1,21 @@
+#include "config.h"
+
+#include <sstream>
+
+namespace eddie::cpu
+{
+
+std::string
+CoreConfig::describe() const
+{
+    std::ostringstream os;
+    os << (out_of_order ? "ooo" : "inorder") << " w" << issue_width
+       << " d" << pipeline_depth;
+    if (out_of_order)
+        os << " rob" << rob_size;
+    os << " L1:" << l1.size_bytes / 1024 << "K L2:"
+       << l2.size_bytes / 1024 << "K @" << clock_hz / 1e6 << "MHz";
+    return os.str();
+}
+
+} // namespace eddie::cpu

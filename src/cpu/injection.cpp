@@ -1,0 +1,38 @@
+#include "injection.h"
+
+namespace eddie::cpu
+{
+
+std::vector<InjectedOp>
+canonicalLoopPayload()
+{
+    return {InjectedOp::Add,      InjectedOp::Load, InjectedOp::Add,
+            InjectedOp::StoreHit, InjectedOp::Add,  InjectedOp::Load,
+            InjectedOp::Add,      InjectedOp::StoreHit};
+}
+
+std::vector<InjectedOp>
+storeAddPayload(std::size_t n)
+{
+    std::vector<InjectedOp> ops;
+    ops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ops.push_back(i % 2 == 0 ? InjectedOp::StoreHit : InjectedOp::Add);
+    return ops;
+}
+
+std::vector<InjectedOp>
+onChipPayload()
+{
+    return std::vector<InjectedOp>(8, InjectedOp::Add);
+}
+
+std::vector<InjectedOp>
+offChipPayload()
+{
+    return {InjectedOp::Add,       InjectedOp::StoreMiss, InjectedOp::Add,
+            InjectedOp::StoreMiss, InjectedOp::Add,       InjectedOp::StoreMiss,
+            InjectedOp::Add,       InjectedOp::StoreMiss};
+}
+
+} // namespace eddie::cpu

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Code-injection specifications applied at the dynamic-instruction
+ * level, mirroring the paper's simulator experiments: "directly
+ * injecting dynamic instructions into the simulated instruction
+ * stream without changing the application's code or using any
+ * architectural registers" (Sec. 5.3).
+ */
+
+#ifndef EDDIE_CPU_INJECTION_H
+#define EDDIE_CPU_INJECTION_H
+
+#include <cstdint>
+#include <vector>
+
+namespace eddie::cpu
+{
+
+/** Kind of one injected micro-operation. */
+enum class InjectedOp
+{
+    Add,       ///< on-chip integer op
+    Mul,       ///< on-chip multiply
+    StoreHit,  ///< store into a small (cache-resident) region
+    StoreMiss, ///< store that strides a large array (off-chip traffic)
+    Load,      ///< load from the large array
+};
+
+/**
+ * Injection of a few instructions into each iteration of a loop
+ * (paper Sections 5.4, 5.5, 5.7). The injection triggers every time
+ * control returns to the loop header.
+ */
+struct LoopInjection
+{
+    /** Loop region id (RegionGraph loop region) to contaminate. */
+    std::size_t loop_region = 0;
+    /** Micro-ops injected per contaminated iteration. */
+    std::vector<InjectedOp> ops;
+    /** Fraction of iterations that receive the injection (paper's
+     *  contamination rate, Sec. 5.4). */
+    double contamination = 1.0;
+};
+
+/**
+ * A one-shot burst of injected execution outside loops (shellcode
+ * stand-in; paper Sections 5.2, 5.5). The burst triggers the
+ * @p occurrence-th time execution enters @p trigger_region and runs
+ * @p total_ops micro-ops shaped like a small loop body.
+ */
+struct BurstInjection
+{
+    /** Region id whose entry triggers the burst. */
+    std::size_t trigger_region = 0;
+    /** 1-based occurrence of the region entry that triggers. */
+    std::size_t occurrence = 1;
+    /** Total injected micro-ops (paper's empty shell: ~476k). */
+    std::uint64_t total_ops = 476'000;
+    /** Repeating body pattern of the burst. */
+    std::vector<InjectedOp> body{InjectedOp::Add, InjectedOp::Add,
+                                 InjectedOp::Load, InjectedOp::Add,
+                                 InjectedOp::StoreHit, InjectedOp::Add,
+                                 InjectedOp::Add, InjectedOp::Add};
+};
+
+/** Complete injection plan for one run. */
+struct InjectionPlan
+{
+    std::vector<LoopInjection> loops;
+    std::vector<BurstInjection> bursts;
+    /** RNG seed for contamination sampling and address generation. */
+    std::uint64_t seed = 1;
+
+    bool empty() const { return loops.empty() && bursts.empty(); }
+};
+
+/** Builds the paper's canonical 8-instruction loop payload:
+ *  4 integer ops + 4 memory accesses. */
+std::vector<InjectedOp> canonicalLoopPayload();
+
+/** Builds a payload of @p n ops alternating store/add, as in the
+ *  injection-size sweep (Sec. 5.5: 2, 4, 6, 8 instructions). */
+std::vector<InjectedOp> storeAddPayload(std::size_t n);
+
+/** All-on-chip payload (8 adds; Sec. 5.7). */
+std::vector<InjectedOp> onChipPayload();
+
+/** On-chip + off-chip payload (4 adds + 4 missing stores; Sec 5.7). */
+std::vector<InjectedOp> offChipPayload();
+
+} // namespace eddie::cpu
+
+#endif // EDDIE_CPU_INJECTION_H

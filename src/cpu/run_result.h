@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Output of one simulated run: the sampled power trace plus aligned
+ * ground-truth region and injection annotations.
+ */
+
+#ifndef EDDIE_CPU_RUN_RESULT_H
+#define EDDIE_CPU_RUN_RESULT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace eddie::cpu
+{
+
+/** Aggregate counters of one run. */
+struct CoreStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t injected_ops = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_hits = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+};
+
+/** One simulated run. */
+struct RunResult
+{
+    /** Power samples, one per cycles_per_sample cycles. */
+    std::vector<double> power;
+    /**
+     * Ground-truth region id per sample (loop regions and resolved
+     * transition regions; prog::kNoRegion where unresolvable).
+     */
+    std::vector<std::size_t> region;
+    /** 1 where the sample contains injected activity. */
+    std::vector<std::uint8_t> injected;
+    /** Sample rate of `power`, Hz. */
+    double sample_rate = 0.0;
+    /** Final architectural register values (for tests/debugging). */
+    std::vector<std::int64_t> final_regs;
+    /** Copy of the first CoreConfig::snapshot_words memory words. */
+    std::vector<std::int64_t> memory;
+    CoreStats stats;
+};
+
+} // namespace eddie::cpu
+
+#endif // EDDIE_CPU_RUN_RESULT_H

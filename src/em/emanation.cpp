@@ -1,0 +1,56 @@
+#include "emanation.h"
+
+#include "sig/noise.h"
+
+namespace eddie::em
+{
+
+std::vector<sig::Complex>
+emanateBaseband(const std::vector<double> &power, double sample_rate,
+                const ChannelConfig &cfg, std::uint64_t seed)
+{
+    const auto env = sig::normalizeEnvelope(power);
+    std::vector<sig::Complex> iq(env.size());
+    for (std::size_t i = 0; i < env.size(); ++i)
+        iq[i] = sig::Complex(1.0 + cfg.depth * env[i], 0.0);
+
+    sig::NoiseSource noise(seed);
+    for (const auto &tone : cfg.interferers)
+        noise.addTone(iq, tone.offset_hz, sample_rate, tone.amplitude);
+    if (cfg.snr_db < 200.0)
+        noise.addAwgn(iq, cfg.snr_db);
+    return iq;
+}
+
+std::vector<sig::Complex>
+passbandCapture(const std::vector<double> &power, double power_rate,
+                const PassbandConfig &cfg, std::uint64_t seed)
+{
+    auto rf = sig::amModulate(power, power_rate, cfg.am);
+
+    sig::NoiseSource noise(seed);
+    for (const auto &tone : cfg.channel.interferers) {
+        noise.addTone(rf, cfg.am.carrier_hz + tone.offset_hz,
+                      cfg.am.sample_rate, tone.amplitude);
+    }
+    if (cfg.channel.snr_db < 200.0)
+        noise.addAwgn(rf, cfg.channel.snr_db);
+
+    return sig::iqDownconvert(rf, cfg.rx);
+}
+
+PassbandConfig
+defaultPassbandConfig()
+{
+    PassbandConfig cfg;
+    cfg.am.carrier_hz = 10e6;
+    cfg.am.sample_rate = 40e6;
+    cfg.am.depth = 0.5;
+    cfg.rx.center_hz = cfg.am.carrier_hz;
+    cfg.rx.sample_rate = cfg.am.sample_rate;
+    cfg.rx.bandwidth_hz = 4e6;
+    cfg.rx.decimation = 4;
+    return cfg;
+}
+
+} // namespace eddie::em

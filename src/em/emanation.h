@@ -1,0 +1,92 @@
+/**
+ * @file
+ * EM emanation synthesis and reception.
+ *
+ * Models the physical side channel (paper Sec. 2): the per-cycle
+ * power envelope amplitude-modulates the processor clock; an antenna
+ * plus receiver recovers the spectrum around the clock, where loop
+ * activity appears as sidebands at +-1/T.
+ *
+ * Two paths are provided:
+ *  - emanateBaseband(): the mathematically equivalent complex-baseband
+ *    form (1 + depth * env(t)) plus channel noise/interference. This
+ *    is what the Table-1-style experiments use — it exercises the same
+ *    spectral mechanism without synthesizing GHz-rate RF.
+ *  - passbandCapture(): a true passband simulation at a (scaled)
+ *    carrier through the AM modulator and IQ receiver; used by the
+ *    Fig. 1 bench to demonstrate the full chain.
+ */
+
+#ifndef EDDIE_EM_EMANATION_H
+#define EDDIE_EM_EMANATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sig/fft.h"
+#include "sig/modulation.h"
+
+namespace eddie::em
+{
+
+/** One narrowband interferer (e.g. a nearby radio carrier). */
+struct Interferer
+{
+    /** Offset from the tuned center, Hz. */
+    double offset_hz = 0.0;
+    /** Amplitude relative to the unit carrier. */
+    double amplitude = 0.0;
+};
+
+/** EM channel parameters. */
+struct ChannelConfig
+{
+    /** AM modulation depth of the activity envelope. */
+    double depth = 0.5;
+    /** Signal-to-noise ratio after the probe, dB. Large values
+     *  (>= 200) disable noise entirely. */
+    double snr_db = 30.0;
+    /** Narrowband interferers folded into the captured band. */
+    std::vector<Interferer> interferers;
+};
+
+/**
+ * Converts a power trace into the complex-baseband signal an IQ
+ * receiver tuned to the clock carrier would deliver.
+ *
+ * @param power power samples from the simulator
+ * @param sample_rate rate of @p power (becomes the IQ rate)
+ * @param cfg channel parameters
+ * @param seed noise seed
+ */
+std::vector<sig::Complex> emanateBaseband(const std::vector<double> &power,
+                                          double sample_rate,
+                                          const ChannelConfig &cfg,
+                                          std::uint64_t seed = 0x5eed);
+
+/** Parameters for the full passband demonstration. */
+struct PassbandConfig
+{
+    sig::AmConfig am;
+    sig::ReceiverConfig rx;
+    ChannelConfig channel;
+};
+
+/**
+ * Full physical chain: AM-modulate the envelope onto a carrier, add
+ * channel noise, then downconvert with the IQ receiver.
+ *
+ * @return IQ samples at am.sample_rate / rx.decimation.
+ */
+std::vector<sig::Complex> passbandCapture(const std::vector<double> &power,
+                                          double power_rate,
+                                          const PassbandConfig &cfg,
+                                          std::uint64_t seed = 0x5eed);
+
+/** A PassbandConfig with consistent defaults: a 10 MHz carrier at
+ *  40 MS/s, receiver tuned to the carrier, 4 MHz bandwidth. */
+PassbandConfig defaultPassbandConfig();
+
+} // namespace eddie::em
+
+#endif // EDDIE_EM_EMANATION_H

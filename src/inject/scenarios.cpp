@@ -1,0 +1,128 @@
+#include "scenarios.h"
+
+#include <stdexcept>
+
+#include "prog/regions.h"
+
+namespace eddie::inject
+{
+
+namespace
+{
+
+/** Transition region that fires when @p after_loop exits; falls back
+ *  to the loop region itself when no transition exists. */
+std::size_t
+exitTrigger(const workloads::Workload &w, std::size_t after_loop)
+{
+    const auto &rg = w.regions;
+    for (std::size_t i = rg.num_loops; i < rg.regions.size(); ++i)
+        if (rg.regions[i].from_loop == after_loop)
+            return i;
+    return after_loop;
+}
+
+} // namespace
+
+cpu::InjectionPlan
+shellBurst(const workloads::Workload &w, std::size_t after_loop,
+           std::size_t occurrence, std::uint64_t seed)
+{
+    cpu::InjectionPlan plan;
+    plan.seed = seed;
+    cpu::BurstInjection burst;
+    burst.trigger_region = exitTrigger(w, after_loop);
+    burst.occurrence = occurrence;
+    burst.total_ops = 476'000;
+    plan.bursts.push_back(burst);
+    return plan;
+}
+
+cpu::InjectionPlan
+loopPayload(std::size_t loop_region, std::size_t num_instrs,
+            double contamination, std::uint64_t seed)
+{
+    cpu::InjectionPlan plan;
+    plan.seed = seed;
+    cpu::LoopInjection li;
+    li.loop_region = loop_region;
+    li.ops = cpu::storeAddPayload(num_instrs);
+    li.contamination = contamination;
+    plan.loops.push_back(std::move(li));
+    return plan;
+}
+
+cpu::InjectionPlan
+canonicalLoopInjection(std::size_t loop_region, double contamination,
+                       std::uint64_t seed)
+{
+    cpu::InjectionPlan plan;
+    plan.seed = seed;
+    cpu::LoopInjection li;
+    li.loop_region = loop_region;
+    li.ops = cpu::canonicalLoopPayload();
+    li.contamination = contamination;
+    plan.loops.push_back(std::move(li));
+    return plan;
+}
+
+cpu::InjectionPlan
+onChipLoopInjection(std::size_t loop_region, std::uint64_t seed)
+{
+    cpu::InjectionPlan plan;
+    plan.seed = seed;
+    cpu::LoopInjection li;
+    li.loop_region = loop_region;
+    li.ops = cpu::onChipPayload();
+    plan.loops.push_back(std::move(li));
+    return plan;
+}
+
+cpu::InjectionPlan
+offChipLoopInjection(std::size_t loop_region, std::uint64_t seed)
+{
+    cpu::InjectionPlan plan;
+    plan.seed = seed;
+    cpu::LoopInjection li;
+    li.loop_region = loop_region;
+    li.ops = cpu::offChipPayload();
+    plan.loops.push_back(std::move(li));
+    return plan;
+}
+
+cpu::InjectionPlan
+burstOfSize(const workloads::Workload &w, std::size_t after_loop,
+            std::uint64_t ops, std::size_t occurrence, std::uint64_t seed)
+{
+    cpu::InjectionPlan plan;
+    plan.seed = seed;
+    cpu::BurstInjection burst;
+    burst.trigger_region = exitTrigger(w, after_loop);
+    burst.occurrence = occurrence;
+    burst.total_ops = ops;
+    // An "empty loop": add + compare-like adds, no memory traffic.
+    burst.body.assign(8, cpu::InjectedOp::Add);
+    plan.bursts.push_back(burst);
+    return plan;
+}
+
+std::size_t
+defaultTargetLoop(const workloads::Workload &w)
+{
+    const auto &rg = w.regions;
+    if (rg.num_loops == 0)
+        throw std::invalid_argument("workload has no loop regions");
+    std::vector<std::size_t> instr_count(rg.num_loops, 0);
+    for (std::size_t i = 0; i < rg.loop_region_of_instr.size(); ++i) {
+        const std::size_t r = rg.loop_region_of_instr[i];
+        if (r < rg.num_loops)
+            ++instr_count[r];
+    }
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < rg.num_loops; ++r)
+        if (instr_count[r] > instr_count[best])
+            best = r;
+    return best;
+}
+
+} // namespace eddie::inject

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Canonical injection scenarios from the paper's evaluation:
+ * shell-invocation bursts outside loops (Sec. 5.2), small loop-body
+ * payloads with contamination rates (Sections 5.4-5.5), burst size
+ * sweeps (Fig. 8), and instruction-mix variants (Sec. 5.7).
+ */
+
+#ifndef EDDIE_INJECT_SCENARIOS_H
+#define EDDIE_INJECT_SCENARIOS_H
+
+#include <cstdint>
+
+#include "cpu/injection.h"
+#include "workloads/workload.h"
+
+namespace eddie::inject
+{
+
+/**
+ * The paper's empty-shell injection: ~476k dynamic instructions
+ * executed in a burst when execution leaves @p after_loop (i.e.,
+ * inside the following inter-loop region), adding ~3 ms at the
+ * paper's clock. Triggered at the @p occurrence-th exit.
+ */
+cpu::InjectionPlan shellBurst(const workloads::Workload &w,
+                              std::size_t after_loop,
+                              std::size_t occurrence = 1,
+                              std::uint64_t seed = 1);
+
+/**
+ * Loop-body injection: @p num_instrs per contaminated iteration of
+ * @p loop_region, alternating stores and adds as in the paper's size
+ * sweep (Sec. 5.5). @p contamination is the fraction of iterations
+ * injected (Sec. 5.4).
+ */
+cpu::InjectionPlan loopPayload(std::size_t loop_region,
+                               std::size_t num_instrs,
+                               double contamination = 1.0,
+                               std::uint64_t seed = 1);
+
+/** The canonical 8-instruction payload: 4 integer ops + 4 memory
+ *  accesses (paper Sec. 5.2/5.4). */
+cpu::InjectionPlan canonicalLoopInjection(std::size_t loop_region,
+                                          double contamination = 1.0,
+                                          std::uint64_t seed = 1);
+
+/** Instruction-mix variants of Sec. 5.7. */
+cpu::InjectionPlan onChipLoopInjection(std::size_t loop_region,
+                                       std::uint64_t seed = 1);
+cpu::InjectionPlan offChipLoopInjection(std::size_t loop_region,
+                                        std::uint64_t seed = 1);
+
+/**
+ * Empty-loop burst of @p ops dynamic instructions between loop
+ * regions (Fig. 8's 100k-500k sweep), triggered when execution
+ * leaves @p after_loop.
+ */
+cpu::InjectionPlan burstOfSize(const workloads::Workload &w,
+                               std::size_t after_loop, std::uint64_t ops,
+                               std::size_t occurrence = 1,
+                               std::uint64_t seed = 1);
+
+/**
+ * A sensible default loop region to contaminate: the loop region
+ * whose nest contains the most static instructions (a stand-in for
+ * "the hot loop").
+ */
+std::size_t defaultTargetLoop(const workloads::Workload &w);
+
+} // namespace eddie::inject
+
+#endif // EDDIE_INJECT_SCENARIOS_H

@@ -1,0 +1,37 @@
+#include "energy_model.h"
+
+#include <cmath>
+
+namespace eddie::power
+{
+
+EnergyModel::EnergyModel(const EnergyParams &params, std::size_t l1_bytes,
+                         std::size_t l2_bytes, std::size_t pipeline_depth)
+    : params_(params)
+{
+    // First-order CACTI behaviour: access energy ~ sqrt(capacity).
+    l1_energy_ = params.l1_ref *
+        std::sqrt(double(l1_bytes) / double(32 * 1024));
+    l2_energy_ = params.l2_ref *
+        std::sqrt(double(l2_bytes) / double(256 * 1024));
+    flush_energy_ = params.flush_per_stage * double(pipeline_depth);
+}
+
+double
+EnergyModel::eventEnergy(Event e) const
+{
+    switch (e) {
+      case Event::IssueBase: return params_.issue_base;
+      case Event::AluOp: return params_.alu;
+      case Event::MulOp: return params_.mul;
+      case Event::DivOp: return params_.div;
+      case Event::BranchOp: return params_.branch;
+      case Event::L1Access: return l1_energy_;
+      case Event::L2Access: return l2_energy_;
+      case Event::DramAccess: return params_.dram;
+      case Event::PipelineFlush: return flush_energy_;
+    }
+    return 0.0;
+}
+
+} // namespace eddie::power

@@ -1,0 +1,47 @@
+#include "power_trace.h"
+
+#include <stdexcept>
+
+namespace eddie::power
+{
+
+PowerTrace::PowerTrace(std::uint64_t cycles_per_sample, double clock_hz)
+    : cycles_per_sample_(cycles_per_sample), clock_hz_(clock_hz)
+{
+    if (cycles_per_sample_ == 0)
+        throw std::invalid_argument("PowerTrace: zero bucket width");
+    if (clock_hz_ <= 0.0)
+        throw std::invalid_argument("PowerTrace: bad clock");
+}
+
+void
+PowerTrace::ensure(std::uint64_t bucket)
+{
+    if (bucket >= samples_.size())
+        samples_.resize(bucket + 1, 0.0);
+}
+
+void
+PowerTrace::deposit(std::uint64_t cycle, double energy)
+{
+    const std::uint64_t b = sampleOf(cycle);
+    ensure(b);
+    samples_[b] += energy;
+}
+
+void
+PowerTrace::finalize(std::uint64_t end_cycle, double baseline_per_cycle)
+{
+    const std::uint64_t last = sampleOf(end_cycle);
+    ensure(last);
+    for (auto &s : samples_)
+        s += baseline_per_cycle * double(cycles_per_sample_);
+}
+
+double
+PowerTrace::sampleRate() const
+{
+    return clock_hz_ / double(cycles_per_sample_);
+}
+
+} // namespace eddie::power

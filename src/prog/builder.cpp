@@ -1,0 +1,157 @@
+#include "builder.h"
+
+#include <stdexcept>
+
+namespace eddie::prog
+{
+
+ProgramBuilder::ProgramBuilder(std::string name) : name_(std::move(name))
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    label_pos_.push_back(npos);
+    return Label{label_pos_.size() - 1};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    if (label.id >= label_pos_.size())
+        throw std::out_of_range("ProgramBuilder::bind: unknown label");
+    if (label_pos_[label.id] != npos)
+        throw std::logic_error("ProgramBuilder::bind: label bound twice");
+    label_pos_[label.id] = code_.size();
+}
+
+void
+ProgramBuilder::emit3(Opcode op, int rd, int rs1, int rs2)
+{
+    Instr i;
+    i.op = op;
+    i.rd = std::uint8_t(rd);
+    i.rs1 = std::uint8_t(rs1);
+    i.rs2 = std::uint8_t(rs2);
+    code_.push_back(i);
+}
+
+void
+ProgramBuilder::addi(int rd, int rs1, std::int64_t imm)
+{
+    Instr i;
+    i.op = Opcode::Addi;
+    i.rd = std::uint8_t(rd);
+    i.rs1 = std::uint8_t(rs1);
+    i.imm = imm;
+    code_.push_back(i);
+}
+
+void
+ProgramBuilder::li(int rd, std::int64_t imm)
+{
+    Instr i;
+    i.op = Opcode::Li;
+    i.rd = std::uint8_t(rd);
+    i.imm = imm;
+    code_.push_back(i);
+}
+
+void
+ProgramBuilder::ld(int rd, int rs1, std::int64_t offset)
+{
+    Instr i;
+    i.op = Opcode::Ld;
+    i.rd = std::uint8_t(rd);
+    i.rs1 = std::uint8_t(rs1);
+    i.imm = offset;
+    code_.push_back(i);
+}
+
+void
+ProgramBuilder::st(int rs1_addr, int rs2_value, std::int64_t offset)
+{
+    Instr i;
+    i.op = Opcode::St;
+    i.rs1 = std::uint8_t(rs1_addr);
+    i.rs2 = std::uint8_t(rs2_value);
+    i.imm = offset;
+    code_.push_back(i);
+}
+
+void
+ProgramBuilder::nop()
+{
+    code_.push_back(Instr{});
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, int rs1, int rs2, Label target)
+{
+    if (target.id >= label_pos_.size())
+        throw std::out_of_range("ProgramBuilder: unknown branch label");
+    Instr i;
+    i.op = op;
+    i.rs1 = std::uint8_t(rs1);
+    i.rs2 = std::uint8_t(rs2);
+    fixups_.emplace_back(code_.size(), target.id);
+    code_.push_back(i);
+}
+
+void
+ProgramBuilder::beq(int rs1, int rs2, Label target)
+{
+    emitBranch(Opcode::Beq, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bne(int rs1, int rs2, Label target)
+{
+    emitBranch(Opcode::Bne, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::blt(int rs1, int rs2, Label target)
+{
+    emitBranch(Opcode::Blt, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::bge(int rs1, int rs2, Label target)
+{
+    emitBranch(Opcode::Bge, rs1, rs2, target);
+}
+
+void
+ProgramBuilder::jmp(Label target)
+{
+    emitBranch(Opcode::Jmp, 0, 0, target);
+}
+
+void
+ProgramBuilder::halt()
+{
+    Instr i;
+    i.op = Opcode::Halt;
+    code_.push_back(i);
+}
+
+Program
+ProgramBuilder::take()
+{
+    for (const auto &[pos, label] : fixups_) {
+        if (label_pos_[label] == npos)
+            throw std::logic_error("ProgramBuilder::take: unbound label");
+        code_[pos].imm = std::int64_t(label_pos_[label]);
+    }
+    Program p;
+    p.name = std::move(name_);
+    p.code = std::move(code_);
+    code_.clear();
+    label_pos_.clear();
+    fixups_.clear();
+    return p;
+}
+
+} // namespace eddie::prog

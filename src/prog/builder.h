@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A small assembler-style DSL for constructing Programs with labels
+ * and forward references. All workloads are written against this.
+ */
+
+#ifndef EDDIE_PROG_BUILDER_H
+#define EDDIE_PROG_BUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program.h"
+
+namespace eddie::prog
+{
+
+/** Opaque label handle returned by ProgramBuilder::newLabel(). */
+struct Label
+{
+    std::size_t id = 0;
+};
+
+/**
+ * Builds a Program instruction by instruction.
+ *
+ * Labels may be referenced before being bound; take() patches all
+ * forward references and verifies that every referenced label was
+ * bound.
+ */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name = "");
+
+    /** Creates a fresh unbound label. */
+    Label newLabel();
+    /** Binds @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    // Register-register ALU.
+    void add(int rd, int rs1, int rs2) { emit3(Opcode::Add, rd, rs1, rs2); }
+    void sub(int rd, int rs1, int rs2) { emit3(Opcode::Sub, rd, rs1, rs2); }
+    void mul(int rd, int rs1, int rs2) { emit3(Opcode::Mul, rd, rs1, rs2); }
+    void div(int rd, int rs1, int rs2) { emit3(Opcode::Div, rd, rs1, rs2); }
+    void and_(int rd, int rs1, int rs2) { emit3(Opcode::And, rd, rs1, rs2); }
+    void or_(int rd, int rs1, int rs2) { emit3(Opcode::Or, rd, rs1, rs2); }
+    void xor_(int rd, int rs1, int rs2) { emit3(Opcode::Xor, rd, rs1, rs2); }
+    void shl(int rd, int rs1, int rs2) { emit3(Opcode::Shl, rd, rs1, rs2); }
+    void shr(int rd, int rs1, int rs2) { emit3(Opcode::Shr, rd, rs1, rs2); }
+
+    // Immediates and memory.
+    void addi(int rd, int rs1, std::int64_t imm);
+    void li(int rd, std::int64_t imm);
+    void ld(int rd, int rs1, std::int64_t offset = 0);
+    void st(int rs1_addr, int rs2_value, std::int64_t offset = 0);
+    void nop();
+
+    // Control flow.
+    void beq(int rs1, int rs2, Label target);
+    void bne(int rs1, int rs2, Label target);
+    void blt(int rs1, int rs2, Label target);
+    void bge(int rs1, int rs2, Label target);
+    void jmp(Label target);
+    void halt();
+
+    /** Index the next instruction will occupy. */
+    std::size_t here() const { return code_.size(); }
+
+    /** Finalizes and returns the program; the builder is left empty. */
+    Program take();
+
+  private:
+    void emit3(Opcode op, int rd, int rs1, int rs2);
+    void emitBranch(Opcode op, int rs1, int rs2, Label target);
+
+    std::string name_;
+    std::vector<Instr> code_;
+    /** label id -> bound instruction index (or npos). */
+    std::vector<std::size_t> label_pos_;
+    /** (instruction index, label id) pairs awaiting patching. */
+    std::vector<std::pair<std::size_t, std::size_t>> fixups_;
+
+    static constexpr std::size_t npos = std::size_t(-1);
+};
+
+} // namespace eddie::prog
+
+#endif // EDDIE_PROG_BUILDER_H

@@ -1,0 +1,72 @@
+#include "cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace eddie::prog
+{
+
+Cfg
+buildCfg(const Program &program)
+{
+    Cfg cfg;
+    const auto &code = program.code;
+    if (code.empty())
+        return cfg;
+
+    // Leaders: entry, branch targets, and fall-throughs after control
+    // transfers (and after Halt).
+    std::set<std::size_t> leaders;
+    leaders.insert(0);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Instr &in = code[i];
+        if (isControl(in.op)) {
+            const auto target = std::size_t(in.imm);
+            if (target >= code.size())
+                throw std::out_of_range("buildCfg: branch target OOB");
+            leaders.insert(target);
+            if (i + 1 < code.size())
+                leaders.insert(i + 1);
+        } else if (in.op == Opcode::Halt && i + 1 < code.size()) {
+            leaders.insert(i + 1);
+        }
+    }
+
+    // Carve blocks between consecutive leaders.
+    std::vector<std::size_t> starts(leaders.begin(), leaders.end());
+    cfg.block_of_instr.assign(code.size(), 0);
+    for (std::size_t b = 0; b < starts.size(); ++b) {
+        BasicBlock blk;
+        blk.first = starts[b];
+        blk.last = (b + 1 < starts.size()) ? starts[b + 1] : code.size();
+        for (std::size_t i = blk.first; i < blk.last; ++i)
+            cfg.block_of_instr[i] = b;
+        cfg.blocks.push_back(blk);
+    }
+
+    // Edges.
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        BasicBlock &blk = cfg.blocks[b];
+        const Instr &term = code[blk.last - 1];
+        auto link = [&](std::size_t to) {
+            auto &s = cfg.blocks[b].succs;
+            if (std::find(s.begin(), s.end(), to) == s.end()) {
+                s.push_back(to);
+                cfg.blocks[to].preds.push_back(b);
+            }
+        };
+        if (term.op == Opcode::Halt)
+            continue;
+        if (isControl(term.op)) {
+            link(cfg.block_of_instr[std::size_t(term.imm)]);
+            if (isConditionalBranch(term.op) && blk.last < code.size())
+                link(cfg.block_of_instr[blk.last]);
+        } else if (blk.last < code.size()) {
+            link(cfg.block_of_instr[blk.last]);
+        }
+    }
+    return cfg;
+}
+
+} // namespace eddie::prog

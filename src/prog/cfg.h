@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Control-flow graph construction over a Program.
+ *
+ * The CFG is the input to the loop analysis that builds EDDIE's
+ * region-level state machine (paper Sec. 4.1).
+ */
+
+#ifndef EDDIE_PROG_CFG_H
+#define EDDIE_PROG_CFG_H
+
+#include <cstddef>
+#include <vector>
+
+#include "program.h"
+
+namespace eddie::prog
+{
+
+/** A maximal straight-line sequence of instructions. */
+struct BasicBlock
+{
+    /** Index of the first instruction. */
+    std::size_t first = 0;
+    /** Index one past the last instruction. */
+    std::size_t last = 0;
+    /** Successor block ids. */
+    std::vector<std::size_t> succs;
+    /** Predecessor block ids. */
+    std::vector<std::size_t> preds;
+
+    std::size_t size() const { return last - first; }
+};
+
+/** Control-flow graph: blocks in program order, block 0 is entry. */
+struct Cfg
+{
+    std::vector<BasicBlock> blocks;
+    /** Maps each instruction index to its block id. */
+    std::vector<std::size_t> block_of_instr;
+
+    std::size_t numBlocks() const { return blocks.size(); }
+};
+
+/** Builds the CFG of @p program. */
+Cfg buildCfg(const Program &program);
+
+} // namespace eddie::prog
+
+#endif // EDDIE_PROG_CFG_H

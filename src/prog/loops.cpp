@@ -1,0 +1,195 @@
+#include "loops.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace eddie::prog
+{
+
+namespace
+{
+
+constexpr std::size_t npos = std::size_t(-1);
+
+/** Reverse postorder over the CFG from the entry block. */
+std::vector<std::size_t>
+reversePostorder(const Cfg &cfg)
+{
+    std::vector<std::size_t> order;
+    std::vector<int> state(cfg.numBlocks(), 0); // 0 new, 1 open, 2 done
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        if (next < cfg.blocks[b].succs.size()) {
+            const std::size_t s = cfg.blocks[b].succs[next++];
+            if (state[s] == 0) {
+                state[s] = 1;
+                stack.emplace_back(s, 0);
+            }
+        } else {
+            state[b] = 2;
+            order.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return order;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+immediateDominators(const Cfg &cfg)
+{
+    const std::size_t n = cfg.numBlocks();
+    std::vector<std::size_t> idom(n, npos);
+    if (n == 0)
+        return idom;
+
+    const auto rpo = reversePostorder(cfg);
+    std::vector<std::size_t> rpo_index(n, npos);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+        rpo_index[rpo[i]] = i;
+
+    auto intersect = [&](std::size_t a, std::size_t b) {
+        while (a != b) {
+            while (rpo_index[a] > rpo_index[b])
+                a = idom[a];
+            while (rpo_index[b] > rpo_index[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    idom[0] = 0;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < rpo.size(); ++i) {
+            const std::size_t b = rpo[i];
+            std::size_t new_idom = npos;
+            for (std::size_t p : cfg.blocks[b].preds) {
+                if (rpo_index[p] == npos || idom[p] == npos)
+                    continue; // unreachable or unprocessed
+                new_idom = (new_idom == npos) ? p : intersect(p, new_idom);
+            }
+            if (new_idom != npos && idom[b] != new_idom) {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+dominates(const std::vector<std::size_t> &idom, std::size_t a, std::size_t b)
+{
+    if (b >= idom.size() || idom[b] == npos)
+        return false;
+    std::size_t cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        if (cur == idom[cur])
+            return false; // reached entry
+        cur = idom[cur];
+    }
+}
+
+std::vector<Loop>
+findLoops(const Cfg &cfg)
+{
+    std::vector<Loop> loops;
+    if (cfg.numBlocks() == 0)
+        return loops;
+    const auto idom = immediateDominators(cfg);
+
+    // Natural loop per back edge; merge loops sharing a header.
+    std::map<std::size_t, std::set<std::size_t>> body_of_header;
+    for (std::size_t b = 0; b < cfg.numBlocks(); ++b) {
+        for (std::size_t s : cfg.blocks[b].succs) {
+            if (!dominates(idom, s, b))
+                continue; // not a back edge
+            auto &body = body_of_header[s];
+            body.insert(s);
+            // Reverse flood fill from the latch, stopping at header.
+            std::vector<std::size_t> work{b};
+            while (!work.empty()) {
+                const std::size_t cur = work.back();
+                work.pop_back();
+                if (!body.insert(cur).second)
+                    continue;
+                for (std::size_t p : cfg.blocks[cur].preds)
+                    if (!body.count(p))
+                        work.push_back(p);
+            }
+        }
+    }
+
+    for (const auto &[header, body] : body_of_header) {
+        Loop l;
+        l.header = header;
+        l.blocks.assign(body.begin(), body.end());
+        loops.push_back(std::move(l));
+    }
+
+    // Nesting: loop A is the parent of B when A != B, A contains B's
+    // header, and A is the smallest such loop.
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        std::size_t best = Loop::npos;
+        std::size_t best_size = npos;
+        for (std::size_t j = 0; j < loops.size(); ++j) {
+            if (i == j)
+                continue;
+            const auto &cand = loops[j].blocks;
+            if (!std::binary_search(cand.begin(), cand.end(),
+                                    loops[i].header)) {
+                continue;
+            }
+            if (loops[j].header == loops[i].header)
+                continue; // merged headers cannot happen here
+            if (cand.size() < best_size) {
+                best = j;
+                best_size = cand.size();
+            }
+        }
+        loops[i].parent = best;
+    }
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        std::size_t d = 0;
+        std::size_t p = loops[i].parent;
+        while (p != Loop::npos) {
+            ++d;
+            p = loops[p].parent;
+        }
+        loops[i].depth = d;
+    }
+
+    // Parents before children.
+    std::vector<std::size_t> order(loops.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return loops[a].depth < loops[b].depth;
+                     });
+    std::vector<std::size_t> new_index(loops.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        new_index[order[i]] = i;
+    std::vector<Loop> sorted;
+    sorted.reserve(loops.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        Loop l = std::move(loops[order[i]]);
+        if (l.parent != Loop::npos)
+            l.parent = new_index[l.parent];
+        sorted.push_back(std::move(l));
+    }
+    return sorted;
+}
+
+} // namespace eddie::prog

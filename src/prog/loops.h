@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Dominator analysis and natural-loop detection.
+ */
+
+#ifndef EDDIE_PROG_LOOPS_H
+#define EDDIE_PROG_LOOPS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "cfg.h"
+
+namespace eddie::prog
+{
+
+/**
+ * Immediate dominators of every reachable block (Cooper-Harvey-
+ * Kennedy iterative algorithm). idom[entry] == entry; unreachable
+ * blocks get npos.
+ */
+std::vector<std::size_t> immediateDominators(const Cfg &cfg);
+
+/** True when @p a dominates @p b under the given idom tree. */
+bool dominates(const std::vector<std::size_t> &idom, std::size_t a,
+               std::size_t b);
+
+/** One natural loop. */
+struct Loop
+{
+    /** Header block id. */
+    std::size_t header = 0;
+    /** All block ids in the loop body (header included). */
+    std::vector<std::size_t> blocks;
+    /** Index of the enclosing loop in the forest, or npos. */
+    std::size_t parent = std::size_t(-1);
+    /** Nesting depth; 0 for outermost loops. */
+    std::size_t depth = 0;
+
+    static constexpr std::size_t npos = std::size_t(-1);
+};
+
+/**
+ * All natural loops of the CFG. Loops sharing a header are merged
+ * (standard practice). Result is sorted so that parents precede
+ * children; parent/depth fields describe the nesting forest.
+ */
+std::vector<Loop> findLoops(const Cfg &cfg);
+
+} // namespace eddie::prog
+
+#endif // EDDIE_PROG_LOOPS_H

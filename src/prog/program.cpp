@@ -1,0 +1,105 @@
+#include "program.h"
+
+#include <sstream>
+
+namespace eddie::prog
+{
+
+bool
+isControl(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Jmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    return isControl(op) && op != Opcode::Jmp;
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::Ld || op == Opcode::St;
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Addi: return "addi";
+      case Opcode::Li: return "li";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Halt: return "halt";
+    }
+    return "???";
+}
+
+std::string
+disassemble(const Instr &instr)
+{
+    std::ostringstream os;
+    os << opcodeName(instr.op);
+    switch (instr.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      case Opcode::Li:
+        os << " r" << int(instr.rd) << ", " << instr.imm;
+        break;
+      case Opcode::Addi:
+        os << " r" << int(instr.rd) << ", r" << int(instr.rs1) << ", "
+           << instr.imm;
+        break;
+      case Opcode::Ld:
+        os << " r" << int(instr.rd) << ", [r" << int(instr.rs1) << "+"
+           << instr.imm << "]";
+        break;
+      case Opcode::St:
+        os << " [r" << int(instr.rs1) << "+" << instr.imm << "], r"
+           << int(instr.rs2);
+        break;
+      case Opcode::Jmp:
+        os << " " << instr.imm;
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        os << " r" << int(instr.rs1) << ", r" << int(instr.rs2) << ", "
+           << instr.imm;
+        break;
+      default:
+        os << " r" << int(instr.rd) << ", r" << int(instr.rs1) << ", r"
+           << int(instr.rs2);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace eddie::prog

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The small RISC ISA executed by the simulated cores, and the program
+ * container.
+ *
+ * The ISA is deliberately minimal: 32 64-bit integer registers,
+ * word-addressed memory, register-register ALU operations, loads and
+ * stores with immediate offsets, and direct conditional branches. It
+ * is rich enough to express the MiBench-like workloads' loop nests
+ * while keeping CFG analysis and timing simulation simple.
+ */
+
+#ifndef EDDIE_PROG_PROGRAM_H
+#define EDDIE_PROG_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eddie::prog
+{
+
+/** Number of architectural integer registers. */
+constexpr std::size_t kNumRegs = 32;
+
+/** Operation codes of the simulated ISA. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Add,  ///< rd = rs1 + rs2
+    Sub,  ///< rd = rs1 - rs2
+    Mul,  ///< rd = rs1 * rs2
+    Div,  ///< rd = rs1 / rs2 (0 when rs2 == 0)
+    And,  ///< rd = rs1 & rs2
+    Or,   ///< rd = rs1 | rs2
+    Xor,  ///< rd = rs1 ^ rs2
+    Shl,  ///< rd = rs1 << (rs2 & 63)
+    Shr,  ///< rd = uint64(rs1) >> (rs2 & 63)
+    Addi, ///< rd = rs1 + imm
+    Li,   ///< rd = imm
+    Ld,   ///< rd = mem[rs1 + imm]
+    St,   ///< mem[rs1 + imm] = rs2
+    Beq,  ///< if (rs1 == rs2) pc = imm
+    Bne,  ///< if (rs1 != rs2) pc = imm
+    Blt,  ///< if (rs1 <  rs2) pc = imm
+    Bge,  ///< if (rs1 >= rs2) pc = imm
+    Jmp,  ///< pc = imm
+    Halt, ///< stop execution
+};
+
+/** One instruction. Branch/jump targets are absolute indices in imm. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::int64_t imm = 0;
+};
+
+/** True for Beq/Bne/Blt/Bge/Jmp. */
+bool isControl(Opcode op);
+
+/** True for conditional branches (not Jmp). */
+bool isConditionalBranch(Opcode op);
+
+/** True for Ld/St. */
+bool isMemory(Opcode op);
+
+/** Mnemonic for disassembly and error messages. */
+std::string opcodeName(Opcode op);
+
+/** A complete program: straight code array, entry at index 0. */
+struct Program
+{
+    std::vector<Instr> code;
+    /** Optional human-readable name. */
+    std::string name;
+
+    std::size_t size() const { return code.size(); }
+};
+
+/** One-line disassembly of an instruction. */
+std::string disassemble(const Instr &instr);
+
+} // namespace eddie::prog
+
+#endif // EDDIE_PROG_PROGRAM_H

@@ -1,0 +1,195 @@
+#include "regions.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace eddie::prog
+{
+
+std::size_t
+RegionGraph::transitionId(std::size_t from_loop, std::size_t to_loop) const
+{
+    for (std::size_t i = num_loops; i < regions.size(); ++i) {
+        if (regions[i].from_loop == from_loop &&
+            regions[i].to_loop == to_loop) {
+            return i;
+        }
+    }
+    return kNoRegion;
+}
+
+RegionGraph
+buildRegionGraph(const Program &program, const Cfg &cfg,
+                 const std::vector<Loop> &loops)
+{
+    RegionGraph rg;
+
+    // Outermost loop nests become loop regions.
+    std::vector<std::size_t> outer; // indices into `loops`
+    for (std::size_t i = 0; i < loops.size(); ++i)
+        if (loops[i].parent == Loop::npos)
+            outer.push_back(i);
+    rg.num_loops = outer.size();
+
+    // Map each block to its outer loop nest (or kNoRegion). Inner
+    // loops map to the enclosing outermost nest.
+    std::vector<std::size_t> nest_of_block(cfg.numBlocks(), kNoRegion);
+    for (std::size_t oi = 0; oi < outer.size(); ++oi)
+        for (std::size_t b : loops[outer[oi]].blocks)
+            nest_of_block[b] = oi;
+
+    rg.loop_region_of_instr.assign(program.code.size(), kNoRegion);
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+        const std::size_t b = cfg.block_of_instr[i];
+        rg.loop_region_of_instr[i] = nest_of_block[b];
+    }
+
+    for (std::size_t oi = 0; oi < outer.size(); ++oi) {
+        Region r;
+        r.kind = Region::Kind::Loop;
+        r.loop = oi;
+        std::ostringstream name;
+        name << "L" << oi;
+        r.name = name.str();
+        r.header_instr = cfg.blocks[loops[outer[oi]].header].first;
+        // "Hot" loop of the nest: the deepest loop with a
+        // substantial body. Tiny innermost loops (a handful of
+        // instructions, e.g. an early-exit compare) often execute
+        // rarely, so an iteration-triggered injection there would
+        // be a no-op; require a minimum body size before preferring
+        // depth.
+        constexpr std::size_t min_body_instrs = 12;
+        std::size_t best_depth = 0;
+        bool best_substantial = false;
+        r.hot_header_instr = r.header_instr;
+        for (const auto &l : loops) {
+            const std::size_t hb = l.header;
+            if (nest_of_block[hb] != oi)
+                continue;
+            std::size_t body = 0;
+            for (std::size_t blk : l.blocks)
+                body += cfg.blocks[blk].size();
+            const bool substantial = body >= min_body_instrs;
+            const bool better =
+                (substantial && !best_substantial) ||
+                (substantial == best_substantial &&
+                 l.depth >= best_depth);
+            if (better) {
+                best_depth = l.depth;
+                best_substantial = substantial;
+                r.hot_header_instr = cfg.blocks[hb].first;
+            }
+        }
+        rg.regions.push_back(std::move(r));
+    }
+
+    // Discover transitions by walking non-loop blocks from each loop
+    // exit (and from the program entry) until the next loop nest.
+    std::set<std::pair<std::size_t, std::size_t>> transitions;
+
+    auto walk = [&](std::size_t from_nest,
+                    const std::vector<std::size_t> &starts) {
+        std::set<std::size_t> seen;
+        std::vector<std::size_t> work(starts);
+        bool reaches_exit = false;
+        std::set<std::size_t> reached;
+        while (!work.empty()) {
+            const std::size_t b = work.back();
+            work.pop_back();
+            if (!seen.insert(b).second)
+                continue;
+            if (nest_of_block[b] != kNoRegion) {
+                reached.insert(nest_of_block[b]);
+                continue; // stop at a loop region
+            }
+            if (cfg.blocks[b].succs.empty())
+                reaches_exit = true;
+            for (std::size_t s : cfg.blocks[b].succs)
+                work.push_back(s);
+        }
+        for (std::size_t to : reached)
+            transitions.emplace(from_nest, to);
+        if (reaches_exit)
+            transitions.emplace(from_nest, kBoundary);
+    };
+
+    // From program entry.
+    if (!cfg.blocks.empty()) {
+        if (nest_of_block[0] != kNoRegion)
+            transitions.emplace(kBoundary, nest_of_block[0]);
+        else
+            walk(kBoundary, {0});
+    }
+
+    // From each loop nest's exit edges.
+    for (std::size_t oi = 0; oi < outer.size(); ++oi) {
+        std::vector<std::size_t> starts;
+        bool direct_exit = false;
+        std::set<std::size_t> direct_loops;
+        for (std::size_t b : loops[outer[oi]].blocks) {
+            for (std::size_t s : cfg.blocks[b].succs) {
+                if (nest_of_block[s] == oi)
+                    continue; // stays inside the nest
+                if (nest_of_block[s] != kNoRegion) {
+                    direct_loops.insert(nest_of_block[s]);
+                } else {
+                    starts.push_back(s);
+                }
+            }
+            // A Halt inside the loop body exits the program.
+            const auto &blk = cfg.blocks[b];
+            if (program.code[blk.last - 1].op == Opcode::Halt)
+                direct_exit = true;
+        }
+        for (std::size_t to : direct_loops)
+            transitions.emplace(oi, to);
+        if (direct_exit)
+            transitions.emplace(oi, kBoundary);
+        if (!starts.empty())
+            walk(oi, starts);
+    }
+
+    for (const auto &[from, to] : transitions) {
+        Region r;
+        r.kind = Region::Kind::Transition;
+        r.from_loop = from;
+        r.to_loop = to;
+        std::ostringstream name;
+        name << "T(";
+        if (from == kBoundary)
+            name << "entry";
+        else
+            name << "L" << from;
+        name << "->";
+        if (to == kBoundary)
+            name << "exit";
+        else
+            name << "L" << to;
+        name << ")";
+        r.name = name.str();
+        rg.regions.push_back(std::move(r));
+    }
+
+    // Successor edges: loop region -> its outgoing transitions;
+    // transition -> its target loop region.
+    for (std::size_t i = rg.num_loops; i < rg.regions.size(); ++i) {
+        const Region &t = rg.regions[i];
+        if (t.from_loop != kBoundary)
+            rg.regions[t.from_loop].succs.push_back(i);
+        if (t.to_loop != kBoundary)
+            rg.regions[i].succs.push_back(t.to_loop);
+    }
+    return rg;
+}
+
+RegionGraph
+analyzeProgram(const Program &program)
+{
+    const Cfg cfg = buildCfg(program);
+    const auto loops = findLoops(cfg);
+    return buildRegionGraph(program, cfg, loops);
+}
+
+} // namespace eddie::prog

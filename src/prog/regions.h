@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The region-level state machine of EDDIE (paper Sec. 4.1).
+ *
+ * Each node of the CFG that belongs to an outermost loop nest is
+ * merged into a single *loop region*; the remaining basic blocks are
+ * contracted away, leaving edges between loop regions. Each such edge
+ * is an *inter-loop (transition) region*. The result constrains which
+ * region sequences a valid execution may produce, and is what the
+ * monitor walks at run time.
+ */
+
+#ifndef EDDIE_PROG_REGIONS_H
+#define EDDIE_PROG_REGIONS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cfg.h"
+#include "loops.h"
+#include "program.h"
+
+namespace eddie::prog
+{
+
+/** Sentinel loop index meaning "program entry/exit boundary". */
+constexpr std::size_t kBoundary = std::size_t(-2);
+/** Sentinel for "no region". */
+constexpr std::size_t kNoRegion = std::size_t(-1);
+
+/** One region of the state machine. */
+struct Region
+{
+    enum class Kind
+    {
+        Loop,       ///< an outermost loop nest
+        Transition, ///< inter-loop code between two loop nests
+    };
+
+    Kind kind = Kind::Loop;
+    /** For Loop regions: dense index of the outer loop nest. */
+    std::size_t loop = kNoRegion;
+    /** For Transition regions: source loop nest (kBoundary = entry). */
+    std::size_t from_loop = kNoRegion;
+    /** For Transition regions: target loop nest (kBoundary = exit). */
+    std::size_t to_loop = kNoRegion;
+    /** Human-readable name, e.g. "L2" or "T(L0->L1)". */
+    std::string name;
+    /** Region ids reachable next in a valid execution. */
+    std::vector<std::size_t> succs;
+    /** For Loop regions: first instruction of the outermost header. */
+    std::size_t header_instr = kNoRegion;
+    /** For Loop regions: first instruction of the deepest (hottest)
+     *  loop header in the nest — the iteration boundary used by the
+     *  loop-body injector. */
+    std::size_t hot_header_instr = kNoRegion;
+};
+
+/** The complete region-level state machine. */
+struct RegionGraph
+{
+    std::vector<Region> regions;
+    /** Number of loop regions (they occupy ids [0, numLoops)). */
+    std::size_t num_loops = 0;
+    /** instr index -> loop region id, or kNoRegion for non-loop code. */
+    std::vector<std::size_t> loop_region_of_instr;
+
+    /**
+     * Region id of the transition from @p from_loop to @p to_loop
+     * (use kBoundary for program entry/exit), or kNoRegion.
+     */
+    std::size_t transitionId(std::size_t from_loop,
+                             std::size_t to_loop) const;
+
+    /** Loop region id of an instruction (kNoRegion when not in a
+     *  loop). */
+    std::size_t loopRegionOf(std::size_t instr) const
+    {
+        return instr < loop_region_of_instr.size() ?
+            loop_region_of_instr[instr] : kNoRegion;
+    }
+};
+
+/**
+ * Builds the state machine: merge outermost loop nests, contract
+ * non-loop blocks, merge parallel edges.
+ */
+RegionGraph buildRegionGraph(const Program &program, const Cfg &cfg,
+                             const std::vector<Loop> &loops);
+
+/** Convenience: CFG + loops + regions in one call. */
+RegionGraph analyzeProgram(const Program &program);
+
+} // namespace eddie::prog
+
+#endif // EDDIE_PROG_REGIONS_H

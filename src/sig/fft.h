@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fast Fourier Transform for arbitrary sizes.
+ *
+ * Power-of-two sizes use an iterative radix-2 Cooley-Tukey transform;
+ * all other sizes fall back to Bluestein's chirp-z algorithm, so any
+ * length is supported in O(n log n).
+ */
+
+#ifndef EDDIE_SIG_FFT_H
+#define EDDIE_SIG_FFT_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace eddie::sig
+{
+
+using Complex = std::complex<double>;
+
+/** Returns true when @p n is a (nonzero) power of two. */
+bool isPowerOfTwo(std::size_t n);
+
+/** Smallest power of two that is >= @p n. */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * In-place forward FFT of @p data.
+ *
+ * Any size is accepted (Bluestein is used for non-powers-of-two).
+ * The transform is unnormalized: X[k] = sum_j x[j] e^{-2 pi i jk/n}.
+ */
+void fft(std::vector<Complex> &data);
+
+/**
+ * In-place inverse FFT of @p data, normalized by 1/n so that
+ * ifft(fft(x)) == x.
+ */
+void ifft(std::vector<Complex> &data);
+
+/**
+ * Forward FFT of a real signal.
+ *
+ * @return The full n-point complex spectrum (not just n/2+1 bins);
+ *         callers that only need the one-sided spectrum can slice it.
+ */
+std::vector<Complex> fftReal(const std::vector<double> &data);
+
+/**
+ * Maps an FFT bin index to its frequency in Hz.
+ *
+ * Bins in the upper half of the spectrum map to negative frequencies,
+ * matching the usual DFT layout for complex (IQ) input.
+ *
+ * @param bin bin index in [0, n)
+ * @param n transform size
+ * @param sample_rate sample rate in Hz
+ */
+double binToFrequency(std::size_t bin, std::size_t n, double sample_rate);
+
+/** Inverse of binToFrequency: nearest bin for a frequency in Hz. */
+std::size_t frequencyToBin(double freq, std::size_t n, double sample_rate);
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_FFT_H

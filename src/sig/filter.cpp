@@ -1,0 +1,114 @@
+#include "filter.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "window.h"
+
+namespace eddie::sig
+{
+
+std::vector<double>
+designLowPass(double cutoff_hz, double sample_rate, std::size_t taps)
+{
+    if (sample_rate <= 0.0)
+        throw std::invalid_argument("designLowPass: bad sample rate");
+    if (cutoff_hz <= 0.0 || cutoff_hz >= sample_rate / 2.0)
+        throw std::invalid_argument("designLowPass: bad cutoff");
+    if (taps % 2 == 0)
+        ++taps;
+    if (taps < 3)
+        taps = 3;
+
+    const double fc = cutoff_hz / sample_rate; // normalized (cycles/sample)
+    const std::ptrdiff_t mid = std::ptrdiff_t(taps / 2);
+    std::vector<double> h(taps);
+    const auto win = makeWindow(WindowType::Hamming, taps);
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < taps; ++i) {
+        const double m = double(std::ptrdiff_t(i) - mid);
+        double v;
+        if (m == 0.0) {
+            v = 2.0 * fc;
+        } else {
+            const double x = 2.0 * std::numbers::pi * fc * m;
+            v = std::sin(x) / (std::numbers::pi * m);
+        }
+        h[i] = v * win[i];
+        sum += h[i];
+    }
+    // Normalize to unity DC gain.
+    for (auto &v : h)
+        v /= sum;
+    return h;
+}
+
+namespace
+{
+
+template <typename T>
+std::vector<T>
+firFilterImpl(const std::vector<T> &x, const std::vector<double> &h)
+{
+    const std::size_t n = x.size();
+    const std::size_t m = h.size();
+    std::vector<T> y(n, T{});
+    if (n == 0 || m == 0)
+        return y;
+    const std::ptrdiff_t delay = std::ptrdiff_t(m / 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        T acc{};
+        // y[i] = sum_k h[k] * x[i + delay - k]
+        for (std::size_t k = 0; k < m; ++k) {
+            const std::ptrdiff_t j =
+                std::ptrdiff_t(i) + delay - std::ptrdiff_t(k);
+            if (j >= 0 && j < std::ptrdiff_t(n))
+                acc += x[std::size_t(j)] * h[k];
+        }
+        y[i] = acc;
+    }
+    return y;
+}
+
+template <typename T>
+std::vector<T>
+decimateImpl(const std::vector<T> &x, std::size_t factor)
+{
+    if (factor == 0)
+        throw std::invalid_argument("decimate: factor must be > 0");
+    std::vector<T> y;
+    y.reserve(x.size() / factor + 1);
+    for (std::size_t i = 0; i < x.size(); i += factor)
+        y.push_back(x[i]);
+    return y;
+}
+
+} // namespace
+
+std::vector<double>
+firFilter(const std::vector<double> &x, const std::vector<double> &h)
+{
+    return firFilterImpl(x, h);
+}
+
+std::vector<Complex>
+firFilter(const std::vector<Complex> &x, const std::vector<double> &h)
+{
+    return firFilterImpl(x, h);
+}
+
+std::vector<double>
+decimate(const std::vector<double> &x, std::size_t factor)
+{
+    return decimateImpl(x, factor);
+}
+
+std::vector<Complex>
+decimate(const std::vector<Complex> &x, std::size_t factor)
+{
+    return decimateImpl(x, factor);
+}
+
+} // namespace eddie::sig

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FIR filter design (windowed sinc) and filtering/decimation.
+ *
+ * Used by the software receiver to low-pass the mixed-down IQ signal
+ * before decimating it to the analysis bandwidth.
+ */
+
+#ifndef EDDIE_SIG_FILTER_H
+#define EDDIE_SIG_FILTER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "fft.h"
+
+namespace eddie::sig
+{
+
+/**
+ * Designs a linear-phase low-pass FIR via the windowed-sinc method.
+ *
+ * @param cutoff_hz  -6 dB cutoff frequency
+ * @param sample_rate input sample rate in Hz
+ * @param taps       number of coefficients (odd values give a
+ *                   symmetric type-I filter; even values are rounded
+ *                   up)
+ */
+std::vector<double> designLowPass(double cutoff_hz, double sample_rate,
+                                  std::size_t taps);
+
+/** Convolves @p x with @p h; output has the same length as @p x
+ *  (group delay compensated, edges zero-padded). */
+std::vector<double> firFilter(const std::vector<double> &x,
+                              const std::vector<double> &h);
+
+/** Complex-input variant of firFilter(). */
+std::vector<Complex> firFilter(const std::vector<Complex> &x,
+                               const std::vector<double> &h);
+
+/** Keeps every @p factor-th sample. */
+std::vector<double> decimate(const std::vector<double> &x,
+                             std::size_t factor);
+
+/** Complex-input variant of decimate(). */
+std::vector<Complex> decimate(const std::vector<Complex> &x,
+                              std::size_t factor);
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_FILTER_H

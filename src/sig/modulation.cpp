@@ -1,0 +1,101 @@
+#include "modulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "filter.h"
+
+namespace eddie::sig
+{
+
+std::vector<double>
+normalizeEnvelope(const std::vector<double> &x)
+{
+    if (x.empty())
+        return x;
+    double mean = 0.0;
+    for (double v : x)
+        mean += v;
+    mean /= double(x.size());
+
+    // Scale by a high percentile of the deviation, not the absolute
+    // peak: rare events (DRAM bursts) would otherwise crush the
+    // periodic ripple that carries the loop information. Deviations
+    // beyond the headroom are soft-clamped, like a real front-end
+    // amplifier.
+    std::vector<double> dev(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        dev[i] = std::abs(x[i] - mean);
+    std::vector<double> sorted(dev);
+    const std::size_t idx =
+        std::min(sorted.size() - 1,
+                 std::size_t(double(sorted.size()) * 0.995));
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + std::ptrdiff_t(idx),
+                     sorted.end());
+    const double scale = sorted[idx];
+
+    std::vector<double> y(x.size());
+    if (scale <= 0.0) {
+        for (auto &v : y)
+            v = 0.0;
+        return y;
+    }
+    constexpr double headroom = 1.5;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = std::clamp((x[i] - mean) / scale, -headroom,
+                          headroom);
+    }
+    return y;
+}
+
+std::vector<double>
+amModulate(const std::vector<double> &envelope, double envelope_rate,
+           const AmConfig &cfg)
+{
+    if (envelope_rate <= 0.0)
+        throw std::invalid_argument("amModulate: bad envelope rate");
+    if (cfg.sample_rate <= 2.0 * cfg.carrier_hz)
+        throw std::invalid_argument("amModulate: carrier above Nyquist");
+
+    const auto env = normalizeEnvelope(envelope);
+    const double duration = double(env.size()) / envelope_rate;
+    const std::size_t n = std::size_t(duration * cfg.sample_rate);
+    const double w = 2.0 * std::numbers::pi * cfg.carrier_hz;
+
+    std::vector<double> rf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = double(i) / cfg.sample_rate;
+        // Zero-order hold resampling of the envelope.
+        std::size_t j = std::size_t(t * envelope_rate);
+        if (j >= env.size())
+            j = env.size() - 1;
+        rf[i] = cfg.amplitude * (1.0 + cfg.depth * env[j]) * std::cos(w * t);
+    }
+    return rf;
+}
+
+std::vector<Complex>
+iqDownconvert(const std::vector<double> &rf, const ReceiverConfig &cfg)
+{
+    if (cfg.sample_rate <= 0.0)
+        throw std::invalid_argument("iqDownconvert: bad sample rate");
+
+    const double w = 2.0 * std::numbers::pi * cfg.center_hz;
+    std::vector<Complex> iq(rf.size());
+    for (std::size_t i = 0; i < rf.size(); ++i) {
+        const double t = double(i) / cfg.sample_rate;
+        // Multiply by e^{-j w t}; factor 2 recovers unit sideband gain.
+        iq[i] = 2.0 * rf[i] *
+            Complex(std::cos(w * t), -std::sin(w * t));
+    }
+
+    const auto h = designLowPass(cfg.bandwidth_hz, cfg.sample_rate,
+                                 cfg.fir_taps);
+    auto filtered = firFilter(iq, h);
+    return decimate(filtered, cfg.decimation);
+}
+
+} // namespace eddie::sig

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Amplitude modulation and IQ downconversion.
+ *
+ * Models the physical mechanism EDDIE exploits (paper Sec. 2): program
+ * activity amplitude-modulates the processor clock, producing sidebands
+ * at Fclock +- 1/T for loop period T. The modulator turns a baseband
+ * activity envelope into a passband signal; the receiver mixes it back
+ * to complex baseband the way an SDR front end would.
+ */
+
+#ifndef EDDIE_SIG_MODULATION_H
+#define EDDIE_SIG_MODULATION_H
+
+#include <cstddef>
+#include <vector>
+
+#include "fft.h"
+
+namespace eddie::sig
+{
+
+/** Parameters of the AM modulator. */
+struct AmConfig
+{
+    /** Carrier ("processor clock") frequency, Hz. */
+    double carrier_hz = 10e6;
+    /** Output (RF) sample rate, Hz; must be > 2 * carrier_hz. */
+    double sample_rate = 40e6;
+    /** Modulation depth applied to the normalized envelope. */
+    double depth = 0.5;
+    /** Carrier amplitude. */
+    double amplitude = 1.0;
+};
+
+/**
+ * Amplitude-modulates a baseband envelope onto a carrier.
+ *
+ * The envelope is resampled (zero-order hold) from its own rate to the
+ * RF rate, normalized to zero mean / unit peak, then
+ * s(t) = A * (1 + depth * env(t)) * cos(2 pi fc t).
+ *
+ * @param envelope      baseband activity signal
+ * @param envelope_rate sample rate of @p envelope, Hz
+ */
+std::vector<double> amModulate(const std::vector<double> &envelope,
+                               double envelope_rate, const AmConfig &cfg);
+
+/** Parameters of the IQ receiver. */
+struct ReceiverConfig
+{
+    /** Tuned center frequency, Hz (normally the clock carrier). */
+    double center_hz = 10e6;
+    /** Input (RF) sample rate, Hz. */
+    double sample_rate = 40e6;
+    /** One-sided analysis bandwidth after downconversion, Hz. */
+    double bandwidth_hz = 4e6;
+    /** Low-pass filter length. */
+    std::size_t fir_taps = 127;
+    /** Decimation factor applied after filtering. */
+    std::size_t decimation = 4;
+};
+
+/**
+ * Mixes a real passband signal to complex baseband, low-passes and
+ * decimates it.
+ *
+ * @return IQ samples at sample_rate / decimation.
+ */
+std::vector<Complex> iqDownconvert(const std::vector<double> &rf,
+                                   const ReceiverConfig &cfg);
+
+/**
+ * Normalizes a signal to zero mean and unit peak magnitude; returns
+ * the input unchanged when it is constant.
+ */
+std::vector<double> normalizeEnvelope(const std::vector<double> &x);
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_MODULATION_H

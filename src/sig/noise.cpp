@@ -1,0 +1,88 @@
+#include "noise.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace eddie::sig
+{
+
+NoiseSource::NoiseSource(std::uint64_t seed) : rng_(seed)
+{
+}
+
+double
+NoiseSource::signalPower(const std::vector<double> &x) const
+{
+    if (x.empty())
+        return 0.0;
+    double p = 0.0;
+    for (double v : x)
+        p += v * v;
+    return p / double(x.size());
+}
+
+double
+NoiseSource::signalPower(const std::vector<Complex> &x) const
+{
+    if (x.empty())
+        return 0.0;
+    double p = 0.0;
+    for (const auto &v : x)
+        p += std::norm(v);
+    return p / double(x.size());
+}
+
+void
+NoiseSource::addAwgn(std::vector<double> &signal, double snr_db)
+{
+    const double ps = signalPower(signal);
+    if (ps <= 0.0)
+        return;
+    const double pn = ps / std::pow(10.0, snr_db / 10.0);
+    const double sigma = std::sqrt(pn);
+    for (auto &v : signal)
+        v += sigma * gauss_(rng_);
+}
+
+void
+NoiseSource::addAwgn(std::vector<Complex> &signal, double snr_db)
+{
+    const double ps = signalPower(signal);
+    if (ps <= 0.0)
+        return;
+    const double pn = ps / std::pow(10.0, snr_db / 10.0);
+    const double sigma = std::sqrt(pn / 2.0); // split across I and Q
+    for (auto &v : signal)
+        v += Complex(sigma * gauss_(rng_), sigma * gauss_(rng_));
+}
+
+void
+NoiseSource::addTone(std::vector<double> &signal, double freq_hz,
+                     double sample_rate, double amplitude)
+{
+    const double w = 2.0 * std::numbers::pi * freq_hz;
+    std::uniform_real_distribution<double> phase(0.0,
+                                                 2.0 * std::numbers::pi);
+    const double p0 = phase(rng_);
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        const double t = double(i) / sample_rate;
+        signal[i] += amplitude * std::cos(w * t + p0);
+    }
+}
+
+void
+NoiseSource::addTone(std::vector<Complex> &signal, double freq_hz,
+                     double sample_rate, double amplitude)
+{
+    const double w = 2.0 * std::numbers::pi * freq_hz;
+    std::uniform_real_distribution<double> phase(0.0,
+                                                 2.0 * std::numbers::pi);
+    const double p0 = phase(rng_);
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        const double t = double(i) / sample_rate;
+        signal[i] += amplitude *
+            Complex(std::cos(w * t + p0), std::sin(w * t + p0));
+    }
+}
+
+} // namespace eddie::sig

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Noise and interference sources for the EM channel model.
+ */
+
+#ifndef EDDIE_SIG_NOISE_H
+#define EDDIE_SIG_NOISE_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "fft.h"
+
+namespace eddie::sig
+{
+
+/**
+ * Additive white Gaussian noise generator plus narrowband (radio)
+ * interference tones, as seen by a near-field probe.
+ */
+class NoiseSource
+{
+  public:
+    explicit NoiseSource(std::uint64_t seed = 0x5eed);
+
+    /** Adds AWGN so the result has the given SNR relative to the
+     *  current signal power. No-op on empty or all-zero input. */
+    void addAwgn(std::vector<double> &signal, double snr_db);
+
+    /** Complex-signal variant of addAwgn(). */
+    void addAwgn(std::vector<Complex> &signal, double snr_db);
+
+    /**
+     * Adds a constant-amplitude interference tone (e.g. a nearby
+     * radio carrier) at @p freq_hz.
+     *
+     * @param amplitude absolute tone amplitude
+     */
+    void addTone(std::vector<double> &signal, double freq_hz,
+                 double sample_rate, double amplitude);
+
+    /** Complex-signal variant of addTone(); adds e^{j 2 pi f t}. */
+    void addTone(std::vector<Complex> &signal, double freq_hz,
+                 double sample_rate, double amplitude);
+
+  private:
+    double signalPower(const std::vector<double> &x) const;
+    double signalPower(const std::vector<Complex> &x) const;
+
+    std::mt19937_64 rng_;
+    std::normal_distribution<double> gauss_{0.0, 1.0};
+};
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_NOISE_H

@@ -1,0 +1,70 @@
+#include "peaks.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fft.h"
+
+namespace eddie::sig
+{
+
+std::vector<Peak>
+findPeaks(const std::vector<double> &power, double sample_rate,
+          const PeakOptions &opt)
+{
+    std::vector<Peak> peaks;
+    const std::size_t n = power.size();
+    if (n == 0)
+        return peaks;
+
+    // Bins within the DC guard (circularly, covering negative
+    // frequencies too) are invisible to an AC-coupled probe:
+    // bin i is guarded when min(i, n - i) < guard.
+    const std::size_t guard = opt.skip_dc ?
+        std::max<std::size_t>(opt.dc_guard_bins, 1) : 0;
+    auto is_guarded = [&](std::size_t i) {
+        return guard > 0 && std::min(i, n - i) < guard;
+    };
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        if (!is_guarded(i))
+            total += power[i];
+    if (total <= 0.0)
+        return peaks;
+
+    const std::size_t hw = std::max<std::size_t>(opt.neighborhood, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (is_guarded(i))
+            continue;
+        const double frac = power[i] / total;
+        if (frac < opt.min_energy_frac)
+            continue;
+
+        // Local maximum within +-hw bins (circular for IQ spectra).
+        bool is_max = true;
+        for (std::size_t d = 1; d <= hw && is_max; ++d) {
+            const std::size_t lo = (i + n - d) % n;
+            const std::size_t hi = (i + d) % n;
+            if (power[lo] > power[i] || power[hi] > power[i])
+                is_max = false;
+        }
+        if (!is_max)
+            continue;
+
+        Peak p;
+        p.bin = i;
+        p.freq = binToFrequency(i, n, sample_rate);
+        p.power = power[i];
+        p.energy_frac = frac;
+        peaks.push_back(p);
+    }
+
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak &a, const Peak &b) { return a.power > b.power; });
+    if (opt.max_peaks > 0 && peaks.size() > opt.max_peaks)
+        peaks.resize(opt.max_peaks);
+    return peaks;
+}
+
+} // namespace eddie::sig

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Spectral peak extraction.
+ *
+ * EDDIE defines a peak as a frequency at which at least a fixed
+ * fraction (1 % in the paper) of the window's total signal energy is
+ * concentrated (paper Sec. 4.1). We additionally require the bin to be
+ * a local maximum so that a single wide lobe does not register as many
+ * adjacent peaks.
+ */
+
+#ifndef EDDIE_SIG_PEAKS_H
+#define EDDIE_SIG_PEAKS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace eddie::sig
+{
+
+/** One spectral peak. */
+struct Peak
+{
+    /** FFT bin index. */
+    std::size_t bin = 0;
+    /** Frequency in Hz (may be negative for IQ spectra). */
+    double freq = 0.0;
+    /** Power at the bin. */
+    double power = 0.0;
+    /** Fraction of the window's total energy at this bin, in [0,1]. */
+    double energy_frac = 0.0;
+};
+
+/** Options for peak extraction. */
+struct PeakOptions
+{
+    /** Minimum fraction of total window energy (paper: 1 %). */
+    double min_energy_frac = 0.01;
+    /** Maximum number of peaks returned (strongest first). 0 = all. */
+    std::size_t max_peaks = 0;
+    /** Ignore the DC bin (and, for real signals, the Nyquist bin);
+     *  the mean power level carries no periodicity information. */
+    bool skip_dc = true;
+    /**
+     * Bins around DC excluded from both the peak search and the
+     * total-energy denominator. A physical EM probe is AC-coupled,
+     * so the (huge) mean power level never reaches it; without this
+     * guard the DC leakage of the analysis window would swamp the
+     * 1 %-of-energy rule.
+     */
+    std::size_t dc_guard_bins = 3;
+    /** Neighborhood half-width for the local-maximum requirement. */
+    std::size_t neighborhood = 1;
+};
+
+/**
+ * Extracts peaks from a power spectrum.
+ *
+ * @param power     per-bin power values
+ * @param sample_rate sample rate in Hz (for Peak::freq)
+ * @param opt       extraction options
+ * @return peaks sorted by descending power
+ */
+std::vector<Peak> findPeaks(const std::vector<double> &power,
+                            double sample_rate,
+                            const PeakOptions &opt = PeakOptions());
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_PEAKS_H

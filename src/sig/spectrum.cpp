@@ -1,0 +1,48 @@
+#include "spectrum.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace eddie::sig
+{
+
+double
+powerToDb(double power, double floor_db)
+{
+    if (power <= 0.0)
+        return floor_db;
+    return std::max(10.0 * std::log10(power), floor_db);
+}
+
+std::vector<double>
+spectrumToDb(const std::vector<double> &power, double floor_db)
+{
+    std::vector<double> db(power.size());
+    for (std::size_t i = 0; i < power.size(); ++i)
+        db[i] = powerToDb(power[i], floor_db);
+    return db;
+}
+
+std::vector<double>
+averageSpectrum(const Spectrogram &sg)
+{
+    std::vector<double> avg;
+    if (sg.power.empty())
+        return avg;
+    avg.assign(sg.fftSize(), 0.0);
+    for (const auto &frame : sg.power)
+        for (std::size_t i = 0; i < frame.size(); ++i)
+            avg[i] += frame[i];
+    const double scale = 1.0 / double(sg.numFrames());
+    for (auto &v : avg)
+        v *= scale;
+    return avg;
+}
+
+double
+totalPower(const std::vector<double> &power)
+{
+    return std::accumulate(power.begin(), power.end(), 0.0);
+}
+
+} // namespace eddie::sig

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Spectrum utilities: dB conversion and Welch-style averaging.
+ */
+
+#ifndef EDDIE_SIG_SPECTRUM_H
+#define EDDIE_SIG_SPECTRUM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "stft.h"
+
+namespace eddie::sig
+{
+
+/** Converts a power value to dB, clamped at a floor for zero power. */
+double powerToDb(double power, double floor_db = -200.0);
+
+/** Converts a power spectrum to dB in place. */
+std::vector<double> spectrumToDb(const std::vector<double> &power,
+                                 double floor_db = -200.0);
+
+/**
+ * Averages the power spectra of all frames of a spectrogram
+ * (Welch periodogram with the spectrogram's window and overlap).
+ */
+std::vector<double> averageSpectrum(const Spectrogram &sg);
+
+/** Total power across all bins of a spectrum. */
+double totalPower(const std::vector<double> &power);
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_SPECTRUM_H

@@ -1,0 +1,67 @@
+#include "stft.h"
+
+#include <stdexcept>
+
+namespace eddie::sig
+{
+
+Stft::Stft(const StftConfig &config)
+    : config_(config),
+      window_(makeWindow(config.window, config.window_size))
+{
+    if (config_.window_size == 0)
+        throw std::invalid_argument("Stft: window_size must be > 0");
+    if (config_.hop == 0)
+        throw std::invalid_argument("Stft: hop must be > 0");
+    if (config_.sample_rate <= 0.0)
+        throw std::invalid_argument("Stft: sample_rate must be > 0");
+}
+
+Spectrogram
+Stft::analyze(const std::vector<double> &signal) const
+{
+    std::vector<Complex> c(signal.size());
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        c[i] = Complex(signal[i], 0.0);
+    return analyzeFrames(c);
+}
+
+Spectrogram
+Stft::analyze(const std::vector<Complex> &signal) const
+{
+    return analyzeFrames(signal);
+}
+
+Spectrogram
+Stft::analyzeFrames(const std::vector<Complex> &signal) const
+{
+    Spectrogram out;
+    out.sample_rate = config_.sample_rate;
+    out.window_seconds = double(config_.window_size) / config_.sample_rate;
+    out.hop_seconds = double(config_.hop) / config_.sample_rate;
+
+    const std::size_t n = config_.window_size;
+    if (signal.size() < n)
+        return out;
+
+    const std::size_t frames = 1 + (signal.size() - n) / config_.hop;
+    out.power.reserve(frames);
+    out.frame_time.reserve(frames);
+
+    std::vector<Complex> buf(n);
+    for (std::size_t f = 0; f < frames; ++f) {
+        const std::size_t start = f * config_.hop;
+        for (std::size_t i = 0; i < n; ++i)
+            buf[i] = signal[start + i] * window_[i];
+        fft(buf);
+
+        std::vector<double> pw(n);
+        for (std::size_t i = 0; i < n; ++i)
+            pw[i] = std::norm(buf[i]);
+        out.power.push_back(std::move(pw));
+        out.frame_time.push_back(double(start) / config_.sample_rate);
+    }
+    return out;
+}
+
+} // namespace eddie::sig

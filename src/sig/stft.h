@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Short-Term Fourier Transform producing a sequence of power spectra.
+ *
+ * EDDIE's training and monitoring both operate on the sequence of
+ * Short-Term Spectra (STSs) produced here (paper Sec. 3).
+ */
+
+#ifndef EDDIE_SIG_STFT_H
+#define EDDIE_SIG_STFT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "fft.h"
+#include "window.h"
+
+namespace eddie::sig
+{
+
+/** STFT configuration. */
+struct StftConfig
+{
+    /** Samples per analysis window. */
+    std::size_t window_size = 1024;
+    /** Hop between consecutive windows, in samples (50 % overlap when
+     *  hop == window_size / 2, as in the paper's setup). */
+    std::size_t hop = 512;
+    /** Analysis window shape. */
+    WindowType window = WindowType::Hann;
+    /** Input sample rate in Hz; propagated to the spectrogram. */
+    double sample_rate = 1.0;
+};
+
+/**
+ * A time-frequency power map: one power spectrum per analysis frame.
+ *
+ * For complex (IQ) input the bin layout follows the DFT convention
+ * (bins above n/2 are negative frequencies); use binFrequency() to
+ * translate.
+ */
+struct Spectrogram
+{
+    /** Power per (frame, bin); power[f].size() == fftSize(). */
+    std::vector<std::vector<double>> power;
+    /** Start time of each frame, in seconds. */
+    std::vector<double> frame_time;
+    /** Sample rate of the analyzed signal, Hz. */
+    double sample_rate = 1.0;
+    /** Duration of each analysis window, seconds. */
+    double window_seconds = 0.0;
+    /** Hop between frames, seconds. */
+    double hop_seconds = 0.0;
+
+    std::size_t numFrames() const { return power.size(); }
+    std::size_t fftSize() const
+    {
+        return power.empty() ? 0 : power.front().size();
+    }
+    /** Frequency of a bin in Hz (negative for upper-half bins). */
+    double binFrequency(std::size_t bin) const
+    {
+        return binToFrequency(bin, fftSize(), sample_rate);
+    }
+};
+
+/**
+ * Computes STFTs over real or complex signals.
+ *
+ * Stateless apart from the cached window coefficients; safe to reuse
+ * across signals.
+ */
+class Stft
+{
+  public:
+    explicit Stft(const StftConfig &config);
+
+    /** STFT of a real signal. */
+    Spectrogram analyze(const std::vector<double> &signal) const;
+
+    /** STFT of a complex (IQ) signal. */
+    Spectrogram analyze(const std::vector<Complex> &signal) const;
+
+    const StftConfig &config() const { return config_; }
+
+  private:
+    Spectrogram analyzeFrames(const std::vector<Complex> &signal) const;
+
+    StftConfig config_;
+    std::vector<double> window_;
+};
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_STFT_H

@@ -1,0 +1,58 @@
+#include "window.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace eddie::sig
+{
+
+std::vector<double>
+makeWindow(WindowType type, std::size_t n)
+{
+    std::vector<double> w(n, 1.0);
+    if (n == 0)
+        return w;
+    const double tau = 2.0 * std::numbers::pi / double(n);
+    switch (type) {
+      case WindowType::Rectangular:
+        break;
+      case WindowType::Hann:
+        for (std::size_t i = 0; i < n; ++i)
+            w[i] = 0.5 - 0.5 * std::cos(tau * double(i));
+        break;
+      case WindowType::Hamming:
+        for (std::size_t i = 0; i < n; ++i)
+            w[i] = 0.54 - 0.46 * std::cos(tau * double(i));
+        break;
+      case WindowType::Blackman:
+        for (std::size_t i = 0; i < n; ++i) {
+            w[i] = 0.42 - 0.5 * std::cos(tau * double(i)) +
+                0.08 * std::cos(2.0 * tau * double(i));
+        }
+        break;
+    }
+    return w;
+}
+
+double
+windowEnergy(const std::vector<double> &w)
+{
+    double e = 0.0;
+    for (double v : w)
+        e += v * v;
+    return e;
+}
+
+std::string
+windowName(WindowType type)
+{
+    switch (type) {
+      case WindowType::Rectangular: return "rectangular";
+      case WindowType::Hann: return "hann";
+      case WindowType::Hamming: return "hamming";
+      case WindowType::Blackman: return "blackman";
+    }
+    return "unknown";
+}
+
+} // namespace eddie::sig

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Analysis window functions for the STFT.
+ */
+
+#ifndef EDDIE_SIG_WINDOW_H
+#define EDDIE_SIG_WINDOW_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eddie::sig
+{
+
+/** Supported analysis window shapes. */
+enum class WindowType
+{
+    Rectangular,
+    Hann,
+    Hamming,
+    Blackman,
+};
+
+/** Generates @p n window coefficients of the given shape (periodic). */
+std::vector<double> makeWindow(WindowType type, std::size_t n);
+
+/**
+ * Sum of squared window coefficients; used to normalize window energy
+ * so that spectra computed with different windows are comparable.
+ */
+double windowEnergy(const std::vector<double> &w);
+
+/** Human-readable name for logging and error messages. */
+std::string windowName(WindowType type);
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_WINDOW_H

@@ -1,0 +1,91 @@
+#include "anova.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "special.h"
+
+namespace eddie::stats
+{
+
+AnovaResult
+anova(const std::vector<std::string> &factor_names,
+      const std::vector<AnovaObservation> &data, double alpha)
+{
+    AnovaResult res;
+    const std::size_t nf = factor_names.size();
+    if (data.empty())
+        throw std::invalid_argument("anova: no observations");
+    for (const auto &obs : data) {
+        if (obs.levels.size() != nf)
+            throw std::invalid_argument("anova: level count mismatch");
+    }
+
+    const double n = double(data.size());
+    double grand = 0.0;
+    for (const auto &obs : data)
+        grand += obs.response;
+    grand /= n;
+
+    for (const auto &obs : data) {
+        const double d = obs.response - grand;
+        res.total_sum_squares += d * d;
+    }
+
+    double model_ss = 0.0;
+    double model_dof = 0.0;
+    for (std::size_t f = 0; f < nf; ++f) {
+        // Count levels and per-level sums.
+        std::size_t num_levels = 0;
+        for (const auto &obs : data)
+            num_levels = std::max(num_levels, obs.levels[f] + 1);
+        std::vector<double> sum(num_levels, 0.0);
+        std::vector<double> cnt(num_levels, 0.0);
+        for (const auto &obs : data) {
+            sum[obs.levels[f]] += obs.response;
+            cnt[obs.levels[f]] += 1.0;
+        }
+
+        AnovaEffect eff;
+        eff.name = factor_names[f];
+        std::size_t used_levels = 0;
+        for (std::size_t l = 0; l < num_levels; ++l) {
+            if (cnt[l] == 0.0)
+                continue;
+            ++used_levels;
+            const double mean = sum[l] / cnt[l];
+            eff.sum_squares += cnt[l] * (mean - grand) * (mean - grand);
+        }
+        eff.dof = double(used_levels > 0 ? used_levels - 1 : 0);
+        res.effects.push_back(eff);
+        model_ss += eff.sum_squares;
+        model_dof += eff.dof;
+    }
+
+    res.error_sum_squares =
+        std::max(res.total_sum_squares - model_ss, 0.0);
+    res.error_dof = std::max(n - 1.0 - model_dof, 1.0);
+    const double mse = res.error_sum_squares / res.error_dof;
+
+    for (auto &eff : res.effects) {
+        if (eff.dof <= 0.0) {
+            eff.p_value = 1.0;
+            continue;
+        }
+        eff.mean_square = eff.sum_squares / eff.dof;
+        if (mse <= 0.0) {
+            // Zero residual variance: any nonzero effect is exact.
+            eff.f = eff.sum_squares > 0.0 ?
+                std::numeric_limits<double>::infinity() : 0.0;
+            eff.p_value = eff.sum_squares > 0.0 ? 0.0 : 1.0;
+        } else {
+            eff.f = eff.mean_square / mse;
+            eff.p_value = 1.0 - fCdf(eff.f, eff.dof, res.error_dof);
+        }
+        eff.significant = eff.p_value < alpha;
+    }
+    return res;
+}
+
+} // namespace eddie::stats

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * N-way analysis of variance (main effects).
+ *
+ * The paper uses N-way ANOVA to decide which architectural parameters
+ * (issue width, pipeline depth, ROB size) have a statistically
+ * significant impact on EDDIE's detection results (Sec. 5.3).
+ */
+
+#ifndef EDDIE_STATS_ANOVA_H
+#define EDDIE_STATS_ANOVA_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eddie::stats
+{
+
+/** Per-factor result of an N-way main-effects ANOVA. */
+struct AnovaEffect
+{
+    std::string name;
+    double sum_squares = 0.0;
+    double dof = 0.0;
+    double mean_square = 0.0;
+    double f = 0.0;
+    double p_value = 1.0;
+    /** True when p < alpha. */
+    bool significant = false;
+};
+
+/** Full ANOVA table. */
+struct AnovaResult
+{
+    std::vector<AnovaEffect> effects;
+    double error_sum_squares = 0.0;
+    double error_dof = 0.0;
+    double total_sum_squares = 0.0;
+};
+
+/**
+ * One observation: a response value plus the level index of each
+ * factor (levels are dense 0-based indices per factor).
+ */
+struct AnovaObservation
+{
+    std::vector<std::size_t> levels;
+    double response = 0.0;
+};
+
+/**
+ * N-way main-effects ANOVA on a (preferably balanced) design.
+ *
+ * @param factor_names one name per factor; every observation must
+ *        carry the same number of levels
+ * @param data observations
+ * @param alpha significance level for the per-factor decision
+ */
+AnovaResult anova(const std::vector<std::string> &factor_names,
+                  const std::vector<AnovaObservation> &data,
+                  double alpha = 0.05);
+
+} // namespace eddie::stats
+
+#endif // EDDIE_STATS_ANOVA_H

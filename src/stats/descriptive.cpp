@@ -1,0 +1,62 @@
+#include "descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace eddie::stats
+{
+
+double
+mean(std::span<const double> x)
+{
+    if (x.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : x)
+        s += v;
+    return s / double(x.size());
+}
+
+double
+variance(std::span<const double> x)
+{
+    if (x.size() < 2)
+        return 0.0;
+    const double m = mean(x);
+    double s = 0.0;
+    for (double v : x)
+        s += (v - m) * (v - m);
+    return s / double(x.size() - 1);
+}
+
+double
+stddev(std::span<const double> x)
+{
+    return std::sqrt(variance(x));
+}
+
+double
+median(std::span<const double> x)
+{
+    return percentile(x, 50.0);
+}
+
+double
+percentile(std::span<const double> x, double p)
+{
+    if (x.empty())
+        return 0.0;
+    std::vector<double> s(x.begin(), x.end());
+    std::sort(s.begin(), s.end());
+    if (s.size() == 1)
+        return s.front();
+    const double pos = std::clamp(p, 0.0, 100.0) / 100.0 *
+        double(s.size() - 1);
+    const std::size_t lo = std::size_t(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - double(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+} // namespace eddie::stats

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Descriptive statistics helpers used across the code base.
+ */
+
+#ifndef EDDIE_STATS_DESCRIPTIVE_H
+#define EDDIE_STATS_DESCRIPTIVE_H
+
+#include <span>
+
+namespace eddie::stats
+{
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(std::span<const double> x);
+
+/** Unbiased sample variance; 0 for samples of size < 2. */
+double variance(std::span<const double> x);
+
+/** Sample standard deviation. */
+double stddev(std::span<const double> x);
+
+/** Median (average of middle two for even sizes). */
+double median(std::span<const double> x);
+
+/**
+ * Linear-interpolated percentile.
+ * @param p percentile in [0, 100]
+ */
+double percentile(std::span<const double> x, double p);
+
+} // namespace eddie::stats
+
+#endif // EDDIE_STATS_DESCRIPTIVE_H

@@ -1,0 +1,23 @@
+#include "edf.h"
+
+#include <algorithm>
+
+namespace eddie::stats
+{
+
+Edf::Edf(std::span<const double> data)
+    : sorted_(data.begin(), data.end())
+{
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+Edf::operator()(double x) const
+{
+    if (sorted_.empty())
+        return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return double(it - sorted_.begin()) / double(sorted_.size());
+}
+
+} // namespace eddie::stats

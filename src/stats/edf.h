@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Empirical distribution function.
+ */
+
+#ifndef EDDIE_STATS_EDF_H
+#define EDDIE_STATS_EDF_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eddie::stats
+{
+
+/**
+ * The empirical CDF of a sample: F(x) = (#elements <= x) / n.
+ *
+ * Construction sorts a copy of the data; evaluation is O(log n).
+ */
+class Edf
+{
+  public:
+    explicit Edf(std::span<const double> data);
+
+    /** F(x); 0 for x below the sample, 1 above it. */
+    double operator()(double x) const;
+
+    std::size_t size() const { return sorted_.size(); }
+    const std::vector<double> &sorted() const { return sorted_; }
+
+  private:
+    std::vector<double> sorted_;
+};
+
+} // namespace eddie::stats
+
+#endif // EDDIE_STATS_EDF_H

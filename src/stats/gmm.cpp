@@ -1,0 +1,161 @@
+#include "gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "ks.h"
+#include "special.h"
+
+namespace eddie::stats
+{
+
+namespace
+{
+
+double
+gaussPdf(double x, double mean, double sd)
+{
+    const double z = (x - mean) / sd;
+    return std::exp(-0.5 * z * z) /
+        (sd * std::sqrt(2.0 * std::numbers::pi));
+}
+
+constexpr double kMinSd = 1e-9;
+
+} // namespace
+
+GaussianMixture::GaussianMixture(std::vector<GaussianComponent> comps)
+    : comps_(std::move(comps))
+{
+}
+
+GaussianMixture
+GaussianMixture::fit(std::span<const double> data, std::size_t k,
+                     std::size_t max_iter)
+{
+    if (data.empty() || k == 0)
+        throw std::invalid_argument("GaussianMixture::fit: empty input");
+
+    std::vector<double> x(data.begin(), data.end());
+    std::sort(x.begin(), x.end());
+    const std::size_t n = x.size();
+    k = std::min(k, n);
+
+    // Deterministic init: chunk the sorted sample.
+    std::vector<GaussianComponent> comps(k);
+    for (std::size_t c = 0; c < k; ++c) {
+        const std::size_t lo = c * n / k;
+        const std::size_t hi = std::max(lo + 1, (c + 1) * n / k);
+        double mean = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            mean += x[i];
+        mean /= double(hi - lo);
+        double var = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            var += (x[i] - mean) * (x[i] - mean);
+        var /= double(hi - lo);
+        comps[c].weight = double(hi - lo) / double(n);
+        comps[c].mean = mean;
+        comps[c].stddev = std::max(std::sqrt(var), kMinSd);
+    }
+    if (k == 1) {
+        return GaussianMixture(std::move(comps));
+    }
+
+    std::vector<std::vector<double>> resp(k, std::vector<double>(n));
+    double prev_ll = -std::numeric_limits<double>::infinity();
+    for (std::size_t iter = 0; iter < max_iter; ++iter) {
+        // E step.
+        double ll = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double total = 0.0;
+            for (std::size_t c = 0; c < k; ++c) {
+                resp[c][i] = comps[c].weight *
+                    gaussPdf(x[i], comps[c].mean, comps[c].stddev);
+                total += resp[c][i];
+            }
+            if (total <= 0.0)
+                total = 1e-300;
+            for (std::size_t c = 0; c < k; ++c)
+                resp[c][i] /= total;
+            ll += std::log(total);
+        }
+        // M step.
+        for (std::size_t c = 0; c < k; ++c) {
+            double w = 0.0, mean = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                w += resp[c][i];
+                mean += resp[c][i] * x[i];
+            }
+            if (w <= 0.0) {
+                comps[c].weight = 0.0;
+                continue;
+            }
+            mean /= w;
+            double var = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                var += resp[c][i] * (x[i] - mean) * (x[i] - mean);
+            var /= w;
+            comps[c].weight = w / double(n);
+            comps[c].mean = mean;
+            comps[c].stddev = std::max(std::sqrt(var), kMinSd);
+        }
+        if (std::abs(ll - prev_ll) < 1e-10 * std::abs(ll))
+            break;
+        prev_ll = ll;
+    }
+    return GaussianMixture(std::move(comps));
+}
+
+double
+GaussianMixture::pdf(double x) const
+{
+    double p = 0.0;
+    for (const auto &c : comps_)
+        p += c.weight * gaussPdf(x, c.mean, c.stddev);
+    return p;
+}
+
+double
+GaussianMixture::cdf(double x) const
+{
+    double p = 0.0;
+    for (const auto &c : comps_)
+        p += c.weight * normalCdf((x - c.mean) / c.stddev);
+    return p;
+}
+
+double
+GaussianMixture::logLikelihood(std::span<const double> data) const
+{
+    if (data.empty())
+        return 0.0;
+    double ll = 0.0;
+    for (double v : data)
+        ll += std::log(std::max(pdf(v), 1e-300));
+    return ll / double(data.size());
+}
+
+ParametricResult
+parametricTest(const GaussianMixture &model,
+               std::span<const double> monitored, double alpha)
+{
+    ParametricResult res;
+    if (monitored.empty())
+        return res;
+    res.statistic = ksStatisticOneSample(
+        monitored,
+        [](double x, const void *ctx) {
+            return static_cast<const GaussianMixture *>(ctx)->cdf(x);
+        },
+        &model);
+    const double n = double(monitored.size());
+    res.critical = kolmogorovCritical(alpha) / std::sqrt(n);
+    res.reject = res.statistic > res.critical;
+    return res;
+}
+
+} // namespace eddie::stats

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * One-dimensional Gaussian mixture model fit via expectation
+ * maximization.
+ *
+ * Backs the *parametric* baseline test of the paper (Fig. 2): fit a
+ * normal or bi-normal distribution to the training data and flag
+ * monitored samples that do not fit it. EDDIE itself rejects this
+ * approach in favor of the nonparametric K-S test.
+ */
+
+#ifndef EDDIE_STATS_GMM_H
+#define EDDIE_STATS_GMM_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace eddie::stats
+{
+
+/** One mixture component. */
+struct GaussianComponent
+{
+    double weight = 1.0;
+    double mean = 0.0;
+    double stddev = 1.0;
+};
+
+/** A fitted 1-D Gaussian mixture. */
+class GaussianMixture
+{
+  public:
+    GaussianMixture() = default;
+    explicit GaussianMixture(std::vector<GaussianComponent> comps);
+
+    /**
+     * Fits @p k components to @p data with EM.
+     *
+     * Components are initialized by splitting the sorted sample into
+     * k equal chunks, which is deterministic and adequate for the
+     * well-separated modes seen in peak-frequency distributions.
+     *
+     * @param max_iter EM iteration cap
+     */
+    static GaussianMixture fit(std::span<const double> data, std::size_t k,
+                               std::size_t max_iter = 200);
+
+    double pdf(double x) const;
+    double cdf(double x) const;
+
+    /** Average per-sample log likelihood of @p data. */
+    double logLikelihood(std::span<const double> data) const;
+
+    const std::vector<GaussianComponent> &components() const
+    {
+        return comps_;
+    }
+
+  private:
+    std::vector<GaussianComponent> comps_;
+};
+
+/** Result of the parametric goodness-of-fit test. */
+struct ParametricResult
+{
+    /** One-sample K-S distance between sample EDF and model CDF. */
+    double statistic = 0.0;
+    /** Critical value at alpha for the sample size. */
+    double critical = 0.0;
+    bool reject = false;
+};
+
+/**
+ * Parametric baseline: does @p monitored fit the mixture fitted to
+ * the training data? Uses the one-sample K-S distance against the
+ * model CDF with the asymptotic critical value.
+ */
+ParametricResult parametricTest(const GaussianMixture &model,
+                                std::span<const double> monitored,
+                                double alpha = 0.01);
+
+} // namespace eddie::stats
+
+#endif // EDDIE_STATS_GMM_H

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Two-sample Kolmogorov-Smirnov test — the core statistical decision
+ * procedure of EDDIE (paper Sec. 4.2).
+ *
+ * D_{m,n} = max_x | R(x) - M(x) | over the two empirical CDFs; the
+ * null hypothesis (both samples drawn from the same population) is
+ * rejected at significance alpha when
+ * D_{m,n} > c(alpha) * sqrt((m+n)/(m n)).
+ */
+
+#ifndef EDDIE_STATS_KS_H
+#define EDDIE_STATS_KS_H
+
+#include <span>
+
+namespace eddie::stats
+{
+
+/** Result of a two-sample K-S test. */
+struct KsResult
+{
+    /** The D statistic: max |R(x) - M(x)|. */
+    double statistic = 0.0;
+    /** Critical value c(alpha) * sqrt((m+n)/(m n)). */
+    double critical = 0.0;
+    /** Asymptotic p-value. */
+    double p_value = 1.0;
+    /** True when the null hypothesis is rejected at alpha. */
+    bool reject = false;
+};
+
+/**
+ * Two-sample K-S test.
+ *
+ * @param reference training-time sample (m elements)
+ * @param monitored monitoring-time sample (n elements)
+ * @param alpha significance level (paper default 0.01, i.e. 99 %
+ *              confidence)
+ */
+KsResult ksTest(std::span<const double> reference,
+                std::span<const double> monitored, double alpha = 0.01);
+
+/** Just the D statistic, without the decision machinery. */
+double ksStatistic(std::span<const double> reference,
+                   std::span<const double> monitored);
+
+/**
+ * One-sample K-S distance between a sample's EDF and a model CDF
+ * evaluated through @p cdf. Used by the parametric baseline.
+ */
+double ksStatisticOneSample(std::span<const double> sample,
+                            double (*cdf)(double, const void *),
+                            const void *ctx);
+
+} // namespace eddie::stats
+
+#endif // EDDIE_STATS_KS_H

@@ -1,0 +1,80 @@
+#include "mwu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "special.h"
+
+namespace eddie::stats
+{
+
+MwuResult
+mwuTest(std::span<const double> a, std::span<const double> b, double alpha)
+{
+    MwuResult res;
+    const std::size_t na = a.size();
+    const std::size_t nb = b.size();
+    if (na == 0 || nb == 0)
+        return res;
+
+    struct Tagged
+    {
+        double value;
+        bool from_a;
+    };
+    std::vector<Tagged> all;
+    all.reserve(na + nb);
+    for (double v : a)
+        all.push_back({v, true});
+    for (double v : b)
+        all.push_back({v, false});
+    std::sort(all.begin(), all.end(),
+              [](const Tagged &x, const Tagged &y) {
+                  return x.value < y.value;
+              });
+
+    // Midranks with tie groups; accumulate tie correction term.
+    const std::size_t n = all.size();
+    double rank_sum_a = 0.0;
+    double tie_term = 0.0;
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && all[j + 1].value == all[i].value)
+            ++j;
+        const double rank = 0.5 * (double(i + 1) + double(j + 1));
+        const double t = double(j - i + 1);
+        if (t > 1.0)
+            tie_term += t * t * t - t;
+        for (std::size_t k = i; k <= j; ++k) {
+            if (all[k].from_a)
+                rank_sum_a += rank;
+        }
+        i = j + 1;
+    }
+
+    const double m = double(na), nn = double(nb), big_n = double(n);
+    res.u = rank_sum_a - m * (m + 1.0) / 2.0;
+
+    const double mu = m * nn / 2.0;
+    const double var = m * nn / 12.0 *
+        (big_n + 1.0 - tie_term / (big_n * (big_n - 1.0)));
+    if (var <= 0.0) {
+        // All values tied: no evidence against H0.
+        res.z = 0.0;
+        res.p_value = 1.0;
+        res.reject = false;
+        return res;
+    }
+    // Continuity correction.
+    const double diff = res.u - mu;
+    const double cc = diff > 0.0 ? -0.5 : (diff < 0.0 ? 0.5 : 0.0);
+    res.z = (diff + cc) / std::sqrt(var);
+    res.p_value = 2.0 * (1.0 - normalCdf(std::abs(res.z)));
+    res.p_value = std::clamp(res.p_value, 0.0, 1.0);
+    res.reject = res.p_value < alpha;
+    return res;
+}
+
+} // namespace eddie::stats

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wilcoxon-Mann-Whitney U test.
+ *
+ * The paper evaluated both the U-test and the K-S test and chose the
+ * K-S test (Sec. 4.2); we keep the U-test as the comparison baseline.
+ */
+
+#ifndef EDDIE_STATS_MWU_H
+#define EDDIE_STATS_MWU_H
+
+#include <span>
+
+namespace eddie::stats
+{
+
+/** Result of a two-sample Mann-Whitney U test. */
+struct MwuResult
+{
+    /** The U statistic of the first sample. */
+    double u = 0.0;
+    /** Standardized z score (tie-corrected normal approximation). */
+    double z = 0.0;
+    /** Two-sided p-value. */
+    double p_value = 1.0;
+    /** True when the null hypothesis is rejected at alpha. */
+    bool reject = false;
+};
+
+/**
+ * Two-sided Mann-Whitney U test with tie correction (normal
+ * approximation; adequate for the sample sizes EDDIE uses).
+ */
+MwuResult mwuTest(std::span<const double> a, std::span<const double> b,
+                  double alpha = 0.01);
+
+} // namespace eddie::stats
+
+#endif // EDDIE_STATS_MWU_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Basicmath workload: three loop nests echoing MiBench basicmath's
+ * phases — integer cube roots (fixed Newton iterations, divide-heavy),
+ * integer square roots (fully unrolled branch-free bit method), and
+ * angle conversion (multiply/divide per element).
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kData = 4096;
+constexpr std::int64_t kOut = 1 << 17;
+
+} // namespace
+
+Workload
+makeBasicmath(double scale)
+{
+    const std::size_t n = scaled(14000, scale);
+
+    prog::ProgramBuilder b("basicmath");
+    const int rI = 1, rN = 2, rB = 3, rA = 4, rV = 5, rX = 6, rT = 7,
+              rU = 8, rOut = 9, rThree = 10, rTwo = 11, rOne = 12,
+              rRes = 13, rBit = 14, rSh = 15, rC = 16;
+
+    b.li(rZ, 0);
+    b.li(rB, kData);
+    b.li(rOut, kOut);
+    b.li(rN, std::int64_t(n));
+    b.li(rThree, 3);
+    b.li(rTwo, 2);
+    b.li(rOne, 1);
+
+    // ---- L0: cube root by 6 Newton steps: x = (2x + v/x^2) / 3 ----
+    b.li(rI, 0);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.add(rA, rB, rI);
+    b.ld(rV, rA);
+    b.li(rX, 64); // initial guess
+    for (int k = 0; k < 6; ++k) {
+        b.mul(rT, rX, rX);
+        b.div(rT, rV, rT);
+        b.mul(rU, rX, rTwo);
+        b.add(rT, rT, rU);
+        b.div(rX, rT, rThree);
+        b.or_(rX, rX, rOne); // keep the guess nonzero
+    }
+    b.add(rA, rOut, rI);
+    b.st(rA, rX);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l0);
+
+    // ---- L1: integer sqrt, 16 unrolled branch-free bit steps ----
+    b.li(rI, 0);
+    b.li(rSh, 1);
+    b.li(rC, 63);
+    auto l1 = b.newLabel();
+    b.bind(l1);
+    b.add(rA, rB, rI);
+    b.ld(rV, rA);
+    b.li(rRes, 0);
+    b.li(rBit, std::int64_t(1) << 30);
+    for (int k = 0; k < 16; ++k) {
+        // mask = all-ones when v >= res + bit, else 0.
+        b.add(rT, rRes, rBit);
+        b.sub(rU, rV, rT);
+        b.shr(rX, rU, rC);   // sign bit: 1 when v < t
+        b.addi(rX, rX, -1);  // 0xffff... when v >= t, else 0
+        // v -= (res + bit) & mask
+        b.and_(rU, rT, rX);
+        b.sub(rV, rV, rU);
+        // res = (res >> 1) + (bit & mask)
+        b.shr(rRes, rRes, rSh);
+        b.and_(rT, rBit, rX);
+        b.add(rRes, rRes, rT);
+        // bit >>= 2
+        b.shr(rBit, rBit, rTwo);
+    }
+    b.add(rA, rOut, rI);
+    b.st(rA, rRes);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l1);
+
+    // ---- L2: angle conversion: out = v * 31416 / 1800000 ----
+    b.li(rI, 0);
+    b.li(rT, 31416);
+    b.li(rU, 1800000);
+    auto l2 = b.newLabel();
+    b.bind(l2);
+    b.add(rA, rB, rI);
+    b.ld(rV, rA);
+    b.mul(rX, rV, rT);
+    b.div(rX, rX, rU);
+    b.add(rC, rX, rV);
+    b.xor_(rC, rC, rT);
+    b.or_(rC, rC, rOne);
+    b.add(rA, rOut, rI);
+    b.st(rA, rX);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l2);
+
+    b.halt();
+
+    Workload w;
+    w.name = "basicmath";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    w.make_input = [n](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        img.emplace_back(kData,
+                         rng.array(n, 1, (std::int64_t(1) << 31) - 1));
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

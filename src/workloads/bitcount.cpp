@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Bitcount workload: five sequential loop nests, each counting bits
+ * of the same input array with a different method, mirroring
+ * MiBench's bitcnts driver. The nests have deliberately different
+ * spectra: bit-serial (sharp), Kernighan (data-dependent, diffuse),
+ * nibble table (sharp, memory-bound), byte table, and SWAR.
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kNibTable = 1024;
+constexpr std::int64_t kByteTable = 2048;
+constexpr std::int64_t kData = 4096;
+
+} // namespace
+
+Workload
+makeBitcount(double scale)
+{
+    const std::size_t n = scaled(24000, scale);
+
+    prog::ProgramBuilder b("bitcount");
+    const int rI = 1, rN = 2, rB = 3, rA = 4, rV = 5, rAcc = 6, rT = 7,
+              rU = 8, rTot = 9, rOne = 10, rSh = 11;
+    const int rM1 = 12, rM2 = 13, rM4 = 14, rMul = 15, rC24 = 16,
+              rTwo = 17, rFour = 18, rMask = 19;
+
+    b.li(rZ, 0);
+    b.li(rTot, 0);
+    b.li(rB, kData);
+    b.li(rN, std::int64_t(n));
+    b.li(rOne, 1);
+
+    // ---- L0: bit-serial counting, 32 unrolled shift/mask steps ----
+    b.li(rI, 0);
+    b.li(rSh, 1);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.add(rA, rB, rI);
+    b.ld(rV, rA);
+    b.li(rAcc, 0);
+    for (int k = 0; k < 32; ++k) {
+        b.and_(rT, rV, rOne);
+        b.add(rAcc, rAcc, rT);
+        b.shr(rV, rV, rSh);
+    }
+    b.add(rTot, rTot, rAcc);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l0);
+
+    // ---- L1: Kernighan's method (data-dependent inner loop) ----
+    b.li(rI, 0);
+    auto l1 = b.newLabel();
+    b.bind(l1);
+    b.add(rA, rB, rI);
+    b.ld(rV, rA);
+    b.li(rAcc, 0);
+    auto l1i = b.newLabel();
+    auto l1d = b.newLabel();
+    b.bind(l1i);
+    b.beq(rV, rZ, l1d);
+    b.addi(rT, rV, -1);
+    b.and_(rV, rV, rT);
+    b.addi(rAcc, rAcc, 1);
+    b.xor_(rU, rAcc, rV);
+    b.jmp(l1i);
+    b.bind(l1d);
+    b.add(rTot, rTot, rAcc);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l1);
+
+    // ---- L2: nibble-table lookups (8 per word) ----
+    b.li(rI, 0);
+    b.li(rSh, 4);
+    b.li(rMask, 15);
+    auto l2 = b.newLabel();
+    b.bind(l2);
+    b.add(rA, rB, rI);
+    b.ld(rV, rA);
+    b.li(rAcc, 0);
+    for (int k = 0; k < 8; ++k) {
+        b.and_(rU, rV, rMask);
+        b.ld(rU, rU, kNibTable);
+        b.add(rAcc, rAcc, rU);
+        b.shr(rV, rV, rSh);
+    }
+    b.add(rTot, rTot, rAcc);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l2);
+
+    // ---- L3: byte-table lookups (4 per word) plus mixing pad ----
+    b.li(rI, 0);
+    b.li(rSh, 8);
+    b.li(rMask, 255);
+    auto l3 = b.newLabel();
+    b.bind(l3);
+    b.add(rA, rB, rI);
+    b.ld(rV, rA);
+    b.li(rAcc, 0);
+    for (int k = 0; k < 4; ++k) {
+        b.and_(rU, rV, rMask);
+        b.ld(rU, rU, kByteTable);
+        b.add(rAcc, rAcc, rU);
+        b.shr(rV, rV, rSh);
+    }
+    b.xor_(rU, rAcc, rV);
+    b.or_(rU, rU, rMask);
+    b.add(rU, rU, rAcc);
+    b.xor_(rU, rU, rV);
+    b.add(rTot, rTot, rAcc);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l3);
+
+    // ---- L4: SWAR popcount ----
+    b.li(rI, 0);
+    b.li(rM1, 0x55555555LL);
+    b.li(rM2, 0x33333333LL);
+    b.li(rM4, 0x0f0f0f0fLL);
+    b.li(rMul, 0x01010101LL);
+    b.li(rC24, 24);
+    b.li(rTwo, 2);
+    b.li(rFour, 4);
+    b.li(rMask, 0xffffffffLL);
+    auto l4 = b.newLabel();
+    b.bind(l4);
+    b.add(rA, rB, rI);
+    b.ld(rV, rA);
+    b.shr(rT, rV, rOne);
+    b.and_(rT, rT, rM1);
+    b.sub(rV, rV, rT);
+    b.and_(rT, rV, rM2);
+    b.shr(rU, rV, rTwo);
+    b.and_(rU, rU, rM2);
+    b.add(rV, rT, rU);
+    b.shr(rT, rV, rFour);
+    b.add(rV, rV, rT);
+    b.and_(rV, rV, rM4);
+    b.mul(rV, rV, rMul);
+    b.and_(rV, rV, rMask);
+    b.shr(rV, rV, rC24);
+    b.xor_(rT, rV, rTot);
+    b.or_(rT, rT, rOne);
+    b.add(rU, rT, rV);
+    b.xor_(rU, rU, rT);
+    b.add(rTot, rTot, rV);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l4);
+
+    b.halt();
+
+    Workload w;
+    w.name = "bitcount";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    w.make_input = [n](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        std::vector<std::int64_t> nib(16), byt(256);
+        for (int i = 0; i < 16; ++i)
+            nib[i] = __builtin_popcount(unsigned(i));
+        for (int i = 0; i < 256; ++i)
+            byt[i] = __builtin_popcount(unsigned(i));
+        img.emplace_back(kNibTable, std::move(nib));
+        img.emplace_back(kByteTable, std::move(byt));
+        img.emplace_back(kData,
+                         rng.array(n, 0, (std::int64_t(1) << 32) - 1));
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Dijkstra workload: repeated single-source shortest-path passes over
+ * a dense random adjacency matrix, as in MiBench dijkstra (which runs
+ * one pass per input pair over a 100x100 matrix). Two nests: the
+ * pass loop (init + min-scan + relax inner loops — a multi-peak
+ * spectrum whose phases repeat every pass, keeping window statistics
+ * stationary) and a checksum loop.
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kAdj = 1 << 17; // V*V words
+constexpr std::int64_t kDist = 8192;
+constexpr std::int64_t kVis = 16384;
+constexpr std::int64_t kInf = 1 << 30;
+constexpr std::int64_t kV = 144;
+
+} // namespace
+
+Workload
+makeDijkstra(double scale)
+{
+    const auto passes = std::int64_t(scaled(6, scale, 1));
+    const std::int64_t checksum_reps = 96;
+
+    prog::ProgramBuilder b("dijkstra");
+    const int rV = 1, rJ = 3, rA = 4, rT = 5, rU = 6, rBest = 7,
+              rBestI = 8, rD = 9, rVv = 10, rWt = 11, rCand = 12,
+              rRow = 13, rAdj = 14, rDist = 15, rVis = 16, rInf = 17,
+              rOne = 18, rIt = 19, rRep = 20, rSum = 21, rMask = 22,
+              rA2 = 23, rPass = 24, rNP = 25, rSrc = 26;
+
+    b.li(rZ, 0);
+    b.li(rV, kV);
+    b.li(rAdj, kAdj);
+    b.li(rDist, kDist);
+    b.li(rVis, kVis);
+    b.li(rInf, kInf);
+    b.li(rOne, 1);
+    b.li(rMask, 15);
+    b.li(rNP, passes);
+
+    // ---- L0: weight preprocessing (clamp to 4 bits) ----
+    b.li(rJ, 0);
+    b.mul(rT, rV, rV);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.add(rA, rAdj, rJ);
+    b.ld(rWt, rA);
+    b.and_(rWt, rWt, rMask);
+    b.st(rA, rWt);
+    b.xor_(rU, rWt, rJ);
+    b.or_(rU, rU, rOne);
+    b.addi(rJ, rJ, 1);
+    b.blt(rJ, rT, l0);
+
+    // ---- L1: repeated SSSP passes (init + scan + relax phases) ----
+    b.li(rPass, 0);
+    auto l1pass = b.newLabel();
+    b.bind(l1pass);
+    // Re-initialize dist/vis, with a per-pass source node.
+    b.li(rJ, 0);
+    auto l1init = b.newLabel();
+    b.bind(l1init);
+    b.add(rA, rDist, rJ);
+    b.st(rA, rInf);
+    b.add(rA, rVis, rJ);
+    b.st(rA, rZ);
+    b.xor_(rU, rJ, rPass);
+    b.addi(rJ, rJ, 1);
+    b.blt(rJ, rV, l1init);
+    // src = pass % V; dist[src] = 0.
+    b.div(rT, rPass, rV);
+    b.mul(rT, rT, rV);
+    b.sub(rSrc, rPass, rT);
+    b.add(rA, rDist, rSrc);
+    b.st(rA, rZ);
+    // V iterations of min-scan + relax.
+    b.li(rIt, 0);
+    auto l1iter = b.newLabel();
+    b.bind(l1iter);
+    b.li(rJ, 0);
+    b.li(rBest, kInf + kInf);
+    b.li(rBestI, 0);
+    auto l1scan = b.newLabel();
+    auto l1noupd = b.newLabel();
+    b.bind(l1scan);
+    b.add(rA, rDist, rJ);
+    b.ld(rD, rA);
+    b.add(rA, rVis, rJ);
+    b.ld(rVv, rA);
+    b.mul(rT, rVv, rInf);
+    b.add(rD, rD, rT); // push visited nodes above any real distance
+    b.bge(rD, rBest, l1noupd);
+    b.add(rBest, rD, rZ);
+    b.add(rBestI, rJ, rZ);
+    b.bind(l1noupd);
+    b.addi(rJ, rJ, 1);
+    b.blt(rJ, rV, l1scan);
+    // Mark visited.
+    b.add(rA, rVis, rBestI);
+    b.st(rA, rOne);
+    // Relax every neighbor of bestI.
+    b.mul(rRow, rBestI, rV);
+    b.li(rJ, 0);
+    auto l1relax = b.newLabel();
+    auto l1skip = b.newLabel();
+    b.bind(l1relax);
+    b.add(rA, rAdj, rRow);
+    b.add(rA, rA, rJ);
+    b.ld(rWt, rA);
+    b.beq(rWt, rZ, l1skip); // no edge
+    b.add(rCand, rBest, rWt);
+    b.add(rA2, rDist, rJ);
+    b.ld(rD, rA2);
+    b.bge(rCand, rD, l1skip);
+    b.st(rA2, rCand);
+    b.bind(l1skip);
+    b.addi(rJ, rJ, 1);
+    b.blt(rJ, rV, l1relax);
+    b.addi(rIt, rIt, 1);
+    b.blt(rIt, rV, l1iter);
+    b.addi(rPass, rPass, 1);
+    b.blt(rPass, rNP, l1pass);
+
+    // ---- L2: checksum passes over the distance array ----
+    b.li(rRep, 0);
+    b.li(rSum, 0);
+    b.li(rT, checksum_reps);
+    auto l2rep = b.newLabel();
+    b.bind(l2rep);
+    b.li(rJ, 0);
+    auto l2 = b.newLabel();
+    b.bind(l2);
+    b.add(rA, rDist, rJ);
+    b.ld(rD, rA);
+    b.add(rSum, rSum, rD);
+    b.xor_(rU, rSum, rD);
+    b.or_(rU, rU, rOne);
+    b.add(rU, rU, rSum);
+    b.addi(rJ, rJ, 1);
+    b.blt(rJ, rV, l2);
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rT, l2rep);
+
+    b.halt();
+
+    Workload w;
+    w.name = "dijkstra";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    w.make_input = [](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        // ~35 % of edges absent (weight 0 after masking).
+        auto adj = rng.array(std::size_t(kV * kV), 0, 24);
+        for (auto &x : adj)
+            if (x > 15)
+                x = 0;
+        img.emplace_back(kAdj, std::move(adj));
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

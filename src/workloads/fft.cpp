@@ -1,0 +1,155 @@
+/**
+ * @file
+ * FFT workload: repeated fixed-point butterfly sweeps over a 1K
+ * complex array with table twiddles, matching MiBench fft's loop and
+ * memory structure (stage loop over strided butterflies). Several
+ * related peaks plus harmonics, like a real transform kernel.
+ */
+
+#include "workload.h"
+
+#include <cmath>
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kM = 1024; // transform size
+constexpr std::int64_t kLogM = 10;
+constexpr std::int64_t kRe = 8192;
+constexpr std::int64_t kIm = 16384;
+constexpr std::int64_t kTwCos = 24576; // kM/2 entries
+constexpr std::int64_t kTwSin = 28672;
+
+} // namespace
+
+Workload
+makeFft(double scale)
+{
+    const auto reps = std::int64_t(scaled(20, scale, 1)) / 5 + 1;
+    const auto mag_passes = std::int64_t(scaled(24, scale, 2));
+
+    prog::ProgramBuilder c("fft");
+    const int qRep = 1, qR = 2, qS = 3, qHalf = 4, qI = 5, qJ = 6,
+              qAr = 7, qAi = 8, qBr = 9, qBi = 10, qWr = 11, qWi = 12,
+              qTr = 13, qTi = 14, qA = 15, qA2 = 16, qT = 17, qMask = 18,
+              qTStep = 19, qTIdx = 20, qTMask = 21, qSh = 22, qM = 23,
+              qHalfM = 24, qLogM = 25, qSum = 26, qU = 27;
+
+    c.li(rZ, 0);
+    c.li(qR, reps);
+    c.li(qMask, kM - 1);
+    c.li(qSh, 10); // fixed-point scale shift
+    c.li(qM, kM);
+    c.li(qHalfM, kM / 2);
+    c.li(qTMask, kM / 2 - 1);
+    c.li(qLogM, kLogM);
+
+    // ---- L0: rep/stage/butterfly sweeps ----
+    c.li(qRep, 0);
+    auto m0rep = c.newLabel();
+    c.bind(m0rep);
+    c.li(qS, 0);
+    auto m0stage = c.newLabel();
+    c.bind(m0stage);
+    c.li(qHalf, 1);
+    c.shl(qHalf, qHalf, qS);   // half = 1 << s
+    c.shr(qTStep, qHalfM, qS); // twiddle stride = (M/2) >> s
+    c.li(qI, 0);
+    auto m0i = c.newLabel();
+    c.bind(m0i);
+    c.add(qJ, qI, qHalf);
+    c.and_(qJ, qJ, qMask);
+    // Load a = x[i], b = x[j].
+    c.add(qA, qI, rZ);
+    c.ld(qAr, qA, kRe);
+    c.ld(qAi, qA, kIm);
+    c.add(qA2, qJ, rZ);
+    c.ld(qBr, qA2, kRe);
+    c.ld(qBi, qA2, kIm);
+    // Twiddle factor.
+    c.mul(qTIdx, qI, qTStep);
+    c.and_(qTIdx, qTIdx, qTMask);
+    c.ld(qWr, qTIdx, kTwCos);
+    c.ld(qWi, qTIdx, kTwSin);
+    // t = b * w (fixed point).
+    c.mul(qTr, qBr, qWr);
+    c.mul(qT, qBi, qWi);
+    c.sub(qTr, qTr, qT);
+    c.shr(qTr, qTr, qSh);
+    c.mul(qTi, qBr, qWi);
+    c.mul(qT, qBi, qWr);
+    c.add(qTi, qTi, qT);
+    c.shr(qTi, qTi, qSh);
+    // x[i] = a + t; x[j] = a - t.
+    c.add(qT, qAr, qTr);
+    c.st(qA, qT, kRe);
+    c.add(qT, qAi, qTi);
+    c.st(qA, qT, kIm);
+    c.sub(qT, qAr, qTr);
+    c.st(qA2, qT, kRe);
+    c.sub(qT, qAi, qTi);
+    c.st(qA2, qT, kIm);
+    c.addi(qI, qI, 1);
+    c.blt(qI, qM, m0i);
+    c.addi(qS, qS, 1);
+    c.blt(qS, qLogM, m0stage);
+    c.addi(qRep, qRep, 1);
+    c.blt(qRep, qR, m0rep);
+
+    // ---- L1: magnitude accumulation passes ----
+    c.li(qRep, 0);
+    c.li(qT, mag_passes);
+    c.li(qSum, 0);
+    auto m1rep = c.newLabel();
+    c.bind(m1rep);
+    c.li(qI, 0);
+    auto m1 = c.newLabel();
+    c.bind(m1);
+    c.add(qA, qI, rZ);
+    c.ld(qAr, qA, kRe);
+    c.ld(qAi, qA, kIm);
+    c.mul(qBr, qAr, qAr);
+    c.mul(qBi, qAi, qAi);
+    c.add(qBr, qBr, qBi);
+    c.shr(qBr, qBr, qSh);
+    c.add(qSum, qSum, qBr);
+    c.xor_(qU, qSum, qI);
+    c.addi(qI, qI, 1);
+    c.blt(qI, qM, m1);
+    c.addi(qRep, qRep, 1);
+    c.blt(qRep, qT, m1rep);
+
+    c.halt();
+
+    Workload w;
+    w.name = "fft";
+    w.program = c.take();
+    w.regions = prog::analyzeProgram(w.program);
+    w.make_input = [](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        img.emplace_back(kRe, rng.array(std::size_t(kM), -2048, 2047));
+        img.emplace_back(kIm, rng.array(std::size_t(kM), -2048, 2047));
+        // Integer twiddles: cosine/sine scaled by 1024.
+        std::vector<std::int64_t> tw_cos(std::size_t(kM / 2));
+        std::vector<std::int64_t> tw_sin(std::size_t(kM / 2));
+        for (std::size_t k = 0; k < tw_cos.size(); ++k) {
+            const double ang = 2.0 * 3.14159265358979 * double(k) /
+                double(kM);
+            tw_cos[k] = std::int64_t(1024.0 * std::cos(ang));
+            tw_sin[k] = std::int64_t(1024.0 * std::sin(ang));
+        }
+        img.emplace_back(kTwCos, std::move(tw_cos));
+        img.emplace_back(kTwSin, std::move(tw_sin));
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * GSM workload: LPC-style autocorrelation (regular, strong peaks)
+ * followed by a quantization phase whose per-sample work is heavily
+ * data-dependent — that nest produces no usable spectral peaks and
+ * accounts for a large share of the runtime, reproducing the paper's
+ * observation that GSM's coverage is poor (~57 %) because one
+ * peak-less loop dominates ~40 % of execution time.
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kSamples = 1 << 15;
+constexpr std::int64_t kAcf = 4096;
+constexpr std::int64_t kOut = 1 << 17;
+constexpr std::int64_t kLags = 9;
+
+} // namespace
+
+Workload
+makeGsm(double scale)
+{
+    const auto n = std::int64_t(scaled(10000, scale));
+
+    prog::ProgramBuilder b("gsm");
+    const int rI = 1, rN = 2, rK = 3, rA = 4, rS1 = 5, rS2 = 6, rAcc = 7,
+              rT = 8, rU = 9, rSampB = 10, rAcfB = 11, rOutB = 12,
+              rLagN = 13, rW = 14, rCnt = 15, rMask = 16, rOne = 17,
+              rSh = 18, rEnd = 19, rA2 = 20;
+
+    b.li(rZ, 0);
+    b.li(rSampB, kSamples);
+    b.li(rAcfB, kAcf);
+    b.li(rOutB, kOut);
+    b.li(rN, n);
+    b.li(rLagN, kLags);
+    b.li(rOne, 1);
+    b.li(rSh, 1);
+
+    // ---- L0: autocorrelation, lags 0..8, inner unrolled x4 ----
+    b.li(rK, 0);
+    auto l0lag = b.newLabel();
+    b.bind(l0lag);
+    b.li(rAcc, 0);
+    b.add(rI, rK, rZ); // i = k
+    b.sub(rEnd, rN, rZ);
+    b.addi(rEnd, rEnd, -4);
+    auto l0i = b.newLabel();
+    b.bind(l0i);
+    b.add(rA, rSampB, rI);
+    b.sub(rA2, rA, rK);
+    for (int u = 0; u < 4; ++u) {
+        b.ld(rS1, rA, u);
+        b.ld(rS2, rA2, u);
+        b.mul(rT, rS1, rS2);
+        b.add(rAcc, rAcc, rT);
+    }
+    b.addi(rI, rI, 4);
+    b.blt(rI, rEnd, l0i);
+    b.add(rA, rAcfB, rK);
+    b.st(rA, rAcc);
+    b.addi(rK, rK, 1);
+    b.blt(rK, rLagN, l0lag);
+
+    // ---- L1: quantization with data-dependent iteration counts ----
+    // Per sample, a short loop runs (sample & 127) times: the period
+    // is essentially random, so this nest has no spectral peaks.
+    b.li(rI, 0);
+    b.li(rMask, 127);
+    auto l1 = b.newLabel();
+    b.bind(l1);
+    b.add(rA, rSampB, rI);
+    b.ld(rW, rA);
+    b.and_(rCnt, rW, rMask);
+    b.li(rT, 0);
+    auto l1inner = b.newLabel();
+    auto l1done = b.newLabel();
+    b.bind(l1inner);
+    b.bge(rT, rCnt, l1done);
+    b.add(rU, rU, rW);
+    b.xor_(rU, rU, rT);
+    b.addi(rT, rT, 1);
+    b.jmp(l1inner);
+    b.bind(l1done);
+    b.add(rA2, rOutB, rI);
+    b.st(rA2, rU);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l1);
+
+    // ---- L2: decode pass with fixed per-sample work ----
+    b.li(rI, 0);
+    auto l2 = b.newLabel();
+    b.bind(l2);
+    b.add(rA, rOutB, rI);
+    b.ld(rW, rA);
+    b.mul(rT, rW, rOne);
+    b.shr(rT, rT, rSh);
+    b.add(rU, rT, rW);
+    b.xor_(rU, rU, rI);
+    b.or_(rU, rU, rOne);
+    b.add(rU, rU, rT);
+    b.xor_(rU, rU, rW);
+    b.st(rA, rU);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l2);
+
+    b.halt();
+
+    Workload w;
+    w.name = "gsm";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    const std::size_t nn = std::size_t(n);
+    w.make_input = [nn](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        img.emplace_back(kSamples, rng.array(nn, 0, 4095));
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

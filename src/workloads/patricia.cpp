@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Patricia workload: insertions and lookups in an array-backed binary
+ * trie, echoing MiBench patricia's pointer-chasing behaviour. Walk
+ * depths are data-dependent, so both nests show spread spectral
+ * peaks — the paper reports reduced accuracy for this benchmark.
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kKeys = 8192;
+constexpr std::int64_t kNodes = 1 << 17; // 2 words per node
+constexpr std::int64_t kMaxDepth = 20;
+
+} // namespace
+
+Workload
+makePatricia(double scale)
+{
+    const auto n = std::int64_t(scaled(16000, scale));
+    const std::int64_t search_passes = 3;
+
+    prog::ProgramBuilder b("patricia");
+    const int rI = 1, rN = 2, rKey = 3, rNode = 4, rDepth = 5, rBit = 6,
+              rA = 7, rChild = 8, rFree = 9, rKeysB = 10, rNodesB = 11,
+              rOne = 12, rTwo = 13, rMaxD = 14, rT = 15, rU = 16,
+              rSum = 17, rPass = 18, rPN = 19, rGen = 20, rGN = 21,
+              rGEnd = 22, rClr = 23;
+
+    // Keys per trie generation: each generation builds a fresh trie,
+    // so walk depths cycle shallow->deep every generation and the
+    // region's window statistics stay stationary (MiBench patricia
+    // similarly processes bounded batches).
+    const std::int64_t keys_per_gen = 2048;
+    const std::int64_t generations =
+        (n + keys_per_gen - 1) / keys_per_gen;
+
+    b.li(rZ, 0);
+    b.li(rKeysB, kKeys);
+    b.li(rNodesB, kNodes);
+    b.li(rN, n);
+    b.li(rOne, 1);
+    b.li(rTwo, 2);
+    b.li(rMaxD, kMaxDepth);
+
+    // ---- L0: build one trie per generation ----
+    b.li(rGen, 0);
+    b.li(rGN, generations);
+    auto l0gen = b.newLabel();
+    b.bind(l0gen);
+    // Clear the node area used by one generation and reset the
+    // allocator (node 0 is the root).
+    b.li(rClr, 0);
+    b.li(rT, 2 * (keys_per_gen + 2));
+    auto l0clr = b.newLabel();
+    b.bind(l0clr);
+    b.add(rA, rNodesB, rClr);
+    b.st(rA, rZ);
+    b.addi(rClr, rClr, 1);
+    b.blt(rClr, rT, l0clr);
+    b.li(rFree, 1);
+    // Insert this generation's keys.
+    b.mul(rI, rGen, rTwo);
+    b.li(rT, keys_per_gen / 2);
+    b.mul(rI, rI, rT); // i = gen * keys_per_gen
+    b.add(rGEnd, rI, rZ);
+    b.li(rT, keys_per_gen);
+    b.add(rGEnd, rGEnd, rT);
+    // Clamp to n.
+    auto no_clamp = b.newLabel();
+    b.blt(rGEnd, rN, no_clamp);
+    b.add(rGEnd, rN, rZ);
+    b.bind(no_clamp);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.add(rA, rKeysB, rI);
+    b.ld(rKey, rA);
+    b.li(rNode, 0);
+    b.li(rDepth, 0);
+    auto walk = b.newLabel();
+    auto alloc = b.newLabel();
+    auto done = b.newLabel();
+    b.bind(walk);
+    b.bge(rDepth, rMaxD, done);
+    b.shr(rBit, rKey, rDepth);
+    b.and_(rBit, rBit, rOne);
+    b.mul(rA, rNode, rTwo);
+    b.add(rA, rA, rBit);
+    b.add(rA, rA, rNodesB);
+    b.ld(rChild, rA);
+    b.beq(rChild, rZ, alloc);
+    b.add(rNode, rChild, rZ);
+    b.addi(rDepth, rDepth, 1);
+    b.jmp(walk);
+    b.bind(alloc);
+    b.st(rA, rFree);
+    b.add(rNode, rFree, rZ);
+    b.addi(rFree, rFree, 1);
+    b.bind(done);
+    // Insertion bookkeeping (node payload hash + stats), as a real
+    // trie insert performs: multiply-heavy fixed work that separates
+    // the insert loop's period and harmonic content from the
+    // read-only lookup loop below.
+    b.mul(rT, rKey, rTwo);
+    b.xor_(rT, rT, rNode);
+    b.mul(rT, rT, rKey);
+    b.shr(rU, rT, rOne);
+    b.mul(rU, rU, rTwo);
+    b.add(rT, rT, rU);
+    b.mul(rT, rT, rTwo);
+    b.add(rA, rKeysB, rI);
+    b.st(rA, rT, 1 << 15);
+    b.mul(rU, rT, rKey);
+    b.xor_(rU, rU, rFree);
+    b.mul(rU, rU, rTwo);
+    b.or_(rU, rU, rOne);
+    b.add(rU, rU, rT);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rGEnd, l0);
+    b.addi(rGen, rGen, 1);
+    b.blt(rGen, rGN, l0gen);
+
+    // ---- L1: repeated lookups accumulating walk depth ----
+    b.li(rPass, 0);
+    b.li(rPN, search_passes);
+    b.li(rSum, 0);
+    auto l1pass = b.newLabel();
+    b.bind(l1pass);
+    b.li(rI, 0);
+    auto l1 = b.newLabel();
+    b.bind(l1);
+    b.add(rA, rKeysB, rI);
+    b.ld(rKey, rA);
+    b.xor_(rKey, rKey, rPass); // vary queries per pass
+    b.li(rNode, 0);
+    b.li(rDepth, 0);
+    auto swalk = b.newLabel();
+    auto sdone = b.newLabel();
+    b.bind(swalk);
+    b.bge(rDepth, rMaxD, sdone);
+    b.shr(rBit, rKey, rDepth);
+    b.and_(rBit, rBit, rOne);
+    b.mul(rA, rNode, rTwo);
+    b.add(rA, rA, rBit);
+    b.add(rA, rA, rNodesB);
+    b.ld(rChild, rA);
+    b.beq(rChild, rZ, sdone);
+    b.add(rNode, rChild, rZ);
+    b.addi(rDepth, rDepth, 1);
+    b.jmp(swalk);
+    b.bind(sdone);
+    // PATRICIA lookup ends with a full key comparison at the leaf:
+    // a second data-dependent phase that also distinguishes the
+    // lookup loop's spectrum from the insert loop's.
+    {
+        b.li(rT, 0);
+        auto cmp = b.newLabel();
+        auto cmp_done = b.newLabel();
+        b.bind(cmp);
+        b.bge(rT, rDepth, cmp_done);
+        b.shr(rU, rKey, rT);
+        b.and_(rU, rU, rOne);
+        b.add(rSum, rSum, rU);
+        b.xor_(rU, rU, rT);
+        b.addi(rT, rT, 1);
+        b.jmp(cmp);
+        b.bind(cmp_done);
+    }
+    b.add(rSum, rSum, rDepth);
+    b.mul(rT, rSum, rTwo);
+    b.xor_(rT, rT, rNode);
+    b.shr(rU, rT, rOne);
+    b.add(rT, rT, rU);
+    b.or_(rU, rT, rOne);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l1);
+    b.addi(rPass, rPass, 1);
+    b.blt(rPass, rPN, l1pass);
+
+    b.halt();
+
+    Workload w;
+    w.name = "patricia";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    const std::size_t nn = std::size_t(n);
+    w.make_input = [nn](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        img.emplace_back(kKeys,
+                         rng.array(nn, 0, (std::int64_t(1) << 20) - 1));
+        // Trie node area starts zeroed (memory is zero-initialized).
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Rijndael workload: AES-shaped encryption — input whitening, a block
+ * loop of 10 table-lookup rounds over four 32-bit columns (constant
+ * per-round work: sharp peaks at the round and block frequencies),
+ * and a ciphertext checksum pass.
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kData = 1 << 15;
+constexpr std::int64_t kT0 = 2048;
+constexpr std::int64_t kT1 = 2048 + 256;
+constexpr std::int64_t kT2 = 2048 + 512;
+constexpr std::int64_t kT3 = 2048 + 768;
+constexpr std::int64_t kRk = 4096; // 44 round-key words
+constexpr std::int64_t kOut = 1 << 17;
+constexpr std::int64_t kRounds = 10;
+
+} // namespace
+
+Workload
+makeRijndael(double scale)
+{
+    // Multiple of 4 words (one block = 4 columns).
+    const auto n = std::int64_t(scaled(2000, scale, 4)) * 4;
+
+    prog::ProgramBuilder b("rijndael");
+    const int rBlk = 1, rNb = 2, rBase = 3, rR = 4, rS0 = 5, rS1 = 6,
+              rS2 = 7, rS3 = 8, rN0 = 9, rN1 = 10, rN2 = 11, rN3 = 12,
+              rT = 13, rU = 14, rAd = 15, rM8 = 16, rC24 = 17, rC16 = 18,
+              rC8 = 19, rRkI = 20, rI = 21, rN = 22, rFour = 23,
+              rTen = 24, rSum = 25, rOne = 26;
+
+    b.li(rZ, 0);
+    b.li(rN, n);
+    b.li(rM8, 255);
+    b.li(rC24, 24);
+    b.li(rC16, 16);
+    b.li(rC8, 8);
+    b.li(rFour, 4);
+    b.li(rTen, kRounds);
+    b.li(rOne, 1);
+
+    // ---- L0: input whitening with the first round key ----
+    b.li(rI, 0);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.and_(rT, rI, rM8);
+    b.and_(rT, rT, rFour); // crude i%4-ish selector (0 or 4)
+    b.ld(rU, rT, kRk);
+    b.add(rAd, rI, rZ);
+    b.ld(rT, rAd, kData);
+    b.xor_(rT, rT, rU);
+    b.st(rAd, rT, kData);
+    b.xor_(rU, rT, rI);
+    b.or_(rU, rU, rOne);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l0);
+
+    // ---- L1: block loop, 10 rounds of 4 table-lookup columns ----
+    b.li(rBlk, 0);
+    b.li(rNb, n / 4);
+    auto l1blk = b.newLabel();
+    b.bind(l1blk);
+    b.mul(rBase, rBlk, rFour);
+    b.add(rAd, rBase, rZ);
+    b.ld(rS0, rAd, kData + 0);
+    b.ld(rS1, rAd, kData + 1);
+    b.ld(rS2, rAd, kData + 2);
+    b.ld(rS3, rAd, kData + 3);
+    b.li(rR, 0);
+    auto l1rnd = b.newLabel();
+    b.bind(l1rnd);
+    b.mul(rRkI, rR, rFour);
+    // One column: n = T0[(a>>24)&255]^T1[(b>>16)&255]^
+    //                 T2[(c>>8)&255]^T3[d&255]^rk
+    auto column = [&](int dst, int a, int c2, int c3, int c4, int rk_off) {
+        b.shr(rT, a, rC24);
+        b.and_(rT, rT, rM8);
+        b.ld(dst, rT, kT0);
+        b.shr(rT, c2, rC16);
+        b.and_(rT, rT, rM8);
+        b.ld(rU, rT, kT1);
+        b.xor_(dst, dst, rU);
+        b.shr(rT, c3, rC8);
+        b.and_(rT, rT, rM8);
+        b.ld(rU, rT, kT2);
+        b.xor_(dst, dst, rU);
+        b.and_(rT, c4, rM8);
+        b.ld(rU, rT, kT3);
+        b.xor_(dst, dst, rU);
+        b.ld(rU, rRkI, kRk + rk_off);
+        b.xor_(dst, dst, rU);
+    };
+    column(rN0, rS0, rS1, rS2, rS3, 0);
+    column(rN1, rS1, rS2, rS3, rS0, 1);
+    column(rN2, rS2, rS3, rS0, rS1, 2);
+    column(rN3, rS3, rS0, rS1, rS2, 3);
+    b.add(rS0, rN0, rZ);
+    b.add(rS1, rN1, rZ);
+    b.add(rS2, rN2, rZ);
+    b.add(rS3, rN3, rZ);
+    b.addi(rR, rR, 1);
+    b.blt(rR, rTen, l1rnd);
+    b.add(rAd, rBase, rZ);
+    b.st(rAd, rS0, kOut + 0);
+    b.st(rAd, rS1, kOut + 1);
+    b.st(rAd, rS2, kOut + 2);
+    b.st(rAd, rS3, kOut + 3);
+    b.addi(rBlk, rBlk, 1);
+    b.blt(rBlk, rNb, l1blk);
+
+    // ---- L2: ciphertext checksum ----
+    b.li(rI, 0);
+    b.li(rSum, 0);
+    auto l2 = b.newLabel();
+    b.bind(l2);
+    b.add(rAd, rI, rZ);
+    b.ld(rT, rAd, kOut);
+    b.add(rSum, rSum, rT);
+    b.xor_(rU, rSum, rI);
+    b.or_(rU, rU, rOne);
+    b.add(rU, rU, rT);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l2);
+
+    b.halt();
+
+    Workload w;
+    w.name = "rijndael";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    const std::size_t nn = std::size_t(n);
+    w.make_input = [nn](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        const std::int64_t max32 = (std::int64_t(1) << 32) - 1;
+        img.emplace_back(kData, rng.array(nn, 0, max32));
+        img.emplace_back(kT0, rng.array(256, 0, max32));
+        img.emplace_back(kT1, rng.array(256, 0, max32));
+        img.emplace_back(kT2, rng.array(256, 0, max32));
+        img.emplace_back(kT3, rng.array(256, 0, max32));
+        img.emplace_back(kRk, rng.array(44, 0, max32));
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * SHA workload: SHA-1-shaped block processing — message prep, a block
+ * loop containing schedule expansion and the 80-round compression
+ * loop (very regular per-round work: a strong, sharp spectral peak,
+ * matching the paper's short detection latency for Sha), and an
+ * output mixing pass.
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kMsg = 1 << 15;
+constexpr std::int64_t kSched = 4096;  // 80 words
+constexpr std::int64_t kHash = 5120;   // 5 words
+constexpr std::int64_t kOut = 1 << 17;
+
+} // namespace
+
+Workload
+makeSha(double scale)
+{
+    // Multiple of 16 words (one block = 16 words).
+    const auto n = std::int64_t(scaled(600, scale, 4)) * 16;
+
+    prog::ProgramBuilder b("sha");
+    const int rBlk = 1, rNb = 2, rBase = 3, rT4 = 4, rA = 5, rB = 6,
+              rC = 7, rD = 8, rE = 9, rF = 10, rT2 = 11, rT3 = 12,
+              rWt = 13, rK = 14, rM32 = 15, rC5 = 16, rC27 = 17,
+              rC30 = 18, rC2 = 19, rC16 = 20, rC80 = 21, rAd = 22,
+              rTmp = 23, rI = 24, rN = 25, rOne = 26, rU = 27;
+
+    b.li(rZ, 0);
+    b.li(rN, n);
+    b.li(rM32, 0xffffffffLL);
+    b.li(rC5, 5);
+    b.li(rC27, 27);
+    b.li(rC30, 30);
+    b.li(rC2, 2);
+    b.li(rC16, 16);
+    b.li(rC80, 80);
+    b.li(rK, 0x5a827999LL);
+    b.li(rOne, 1);
+
+    // ---- L0: message prep, 4 words per iteration ----
+    b.li(rI, 0);
+    b.li(rTmp, 0x36363636LL);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    for (int u = 0; u < 4; ++u) {
+        b.add(rAd, rI, rZ);
+        b.ld(rWt, rAd, kMsg + u);
+        b.xor_(rWt, rWt, rTmp);
+        b.and_(rWt, rWt, rM32);
+        b.st(rAd, rWt, kMsg + u);
+    }
+    b.addi(rI, rI, 4);
+    b.blt(rI, rN, l0);
+
+    // ---- L1: block loop (copy + expand + 80 rounds) ----
+    b.li(rBlk, 0);
+    b.li(rNb, n / 16);
+    auto l1blk = b.newLabel();
+    b.bind(l1blk);
+    b.li(rT4, 16);
+    b.mul(rBase, rBlk, rT4);
+    // Copy 16 message words into the schedule.
+    b.li(rT4, 0);
+    b.li(rT2, 16);
+    auto l1copy = b.newLabel();
+    b.bind(l1copy);
+    b.add(rAd, rBase, rT4);
+    b.ld(rWt, rAd, kMsg);
+    b.st(rT4, rWt, kSched);
+    b.addi(rT4, rT4, 1);
+    b.blt(rT4, rT2, l1copy);
+    // Expand W[16..79], two steps per iteration.
+    b.li(rT4, 16);
+    auto l1exp = b.newLabel();
+    b.bind(l1exp);
+    for (int u = 0; u < 2; ++u) {
+        b.ld(rWt, rT4, kSched - 3 + u);
+        b.ld(rT2, rT4, kSched - 8 + u);
+        b.xor_(rWt, rWt, rT2);
+        b.ld(rT2, rT4, kSched - 14 + u);
+        b.xor_(rWt, rWt, rT2);
+        b.ld(rT2, rT4, kSched - 16 + u);
+        b.xor_(rWt, rWt, rT2);
+        // rol1 within 32 bits.
+        b.shl(rT2, rWt, rOne);
+        b.shr(rT3, rWt, rC30);
+        b.shr(rT3, rT3, rOne); // >> 31
+        b.or_(rWt, rT2, rT3);
+        b.and_(rWt, rWt, rM32);
+        b.st(rT4, rWt, kSched + u);
+    }
+    b.addi(rT4, rT4, 2);
+    b.blt(rT4, rC80, l1exp);
+    // Load the running hash.
+    b.ld(rA, rZ, kHash + 0);
+    b.ld(rB, rZ, kHash + 1);
+    b.ld(rC, rZ, kHash + 2);
+    b.ld(rD, rZ, kHash + 3);
+    b.ld(rE, rZ, kHash + 4);
+    // 80 rounds.
+    b.li(rT4, 0);
+    auto l1rnd = b.newLabel();
+    b.bind(l1rnd);
+    // f = (b & c) | (~b & d)
+    b.and_(rF, rB, rC);
+    b.xor_(rT2, rB, rM32);
+    b.and_(rT2, rT2, rD);
+    b.or_(rF, rF, rT2);
+    // tmp = rol5(a) + f + e + W[t] + K
+    b.shl(rT2, rA, rC5);
+    b.shr(rT3, rA, rC27);
+    b.or_(rT2, rT2, rT3);
+    b.and_(rT2, rT2, rM32);
+    b.add(rTmp, rT2, rF);
+    b.add(rTmp, rTmp, rE);
+    b.ld(rWt, rT4, kSched);
+    b.add(rTmp, rTmp, rWt);
+    b.add(rTmp, rTmp, rK);
+    b.and_(rTmp, rTmp, rM32);
+    // Rotate the working registers.
+    b.add(rE, rD, rZ);
+    b.add(rD, rC, rZ);
+    b.shl(rT2, rB, rC30);
+    b.shr(rT3, rB, rC2);
+    b.or_(rT2, rT2, rT3);
+    b.and_(rC, rT2, rM32);
+    b.add(rB, rA, rZ);
+    b.add(rA, rTmp, rZ);
+    b.addi(rT4, rT4, 1);
+    b.blt(rT4, rC80, l1rnd);
+    // Fold back into the hash.
+    b.ld(rT2, rZ, kHash + 0);
+    b.add(rT2, rT2, rA);
+    b.and_(rT2, rT2, rM32);
+    b.st(rZ, rT2, kHash + 0);
+    b.ld(rT2, rZ, kHash + 1);
+    b.add(rT2, rT2, rB);
+    b.and_(rT2, rT2, rM32);
+    b.st(rZ, rT2, kHash + 1);
+    b.ld(rT2, rZ, kHash + 2);
+    b.add(rT2, rT2, rC);
+    b.and_(rT2, rT2, rM32);
+    b.st(rZ, rT2, kHash + 2);
+    b.ld(rT2, rZ, kHash + 3);
+    b.add(rT2, rT2, rD);
+    b.and_(rT2, rT2, rM32);
+    b.st(rZ, rT2, kHash + 3);
+    b.ld(rT2, rZ, kHash + 4);
+    b.add(rT2, rT2, rE);
+    b.and_(rT2, rT2, rM32);
+    b.st(rZ, rT2, kHash + 4);
+    b.addi(rBlk, rBlk, 1);
+    b.blt(rBlk, rNb, l1blk);
+
+    // ---- L2: output mixing pass ----
+    b.li(rI, 0);
+    b.ld(rTmp, rZ, kHash);
+    auto l2 = b.newLabel();
+    b.bind(l2);
+    b.add(rAd, rI, rZ);
+    b.ld(rWt, rAd, kMsg);
+    b.xor_(rWt, rWt, rTmp);
+    b.add(rU, rWt, rI);
+    b.and_(rU, rU, rM32);
+    b.or_(rU, rU, rOne);
+    b.st(rAd, rU, kOut);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rN, l2);
+
+    b.halt();
+
+    Workload w;
+    w.name = "sha";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    const std::size_t nn = std::size_t(n);
+    w.make_input = [nn](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        img.emplace_back(kMsg,
+                         rng.array(nn, 0, (std::int64_t(1) << 32) - 1));
+        img.emplace_back(kHash,
+                         std::vector<std::int64_t>{0x67452301LL,
+                                                   0xefcdab89LL,
+                                                   0x98badcfeLL,
+                                                   0x10325476LL,
+                                                   0xc3d2e1f0LL});
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Stringsearch workload: Boyer-Moore-Horspool scans of many patterns
+ * over a shared text, as in MiBench stringsearch. The scan loop's
+ * advance is data-dependent (the skip table), producing a moderately
+ * spread spectral peak.
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kText = 1 << 15;
+constexpr std::int64_t kPats = 4096;  // P patterns x 8 chars
+constexpr std::int64_t kSkip = 2048;  // 64-entry skip table
+constexpr std::int64_t kHist = 2112;  // 64-entry histogram
+constexpr std::int64_t kM = 8;        // pattern length
+constexpr std::int64_t kAlpha = 64;   // alphabet size
+
+} // namespace
+
+Workload
+makeStringsearch(double scale)
+{
+    const auto text_len = std::int64_t(scaled(24000, scale));
+    const auto num_pats = std::int64_t(scaled(56, scale, 4));
+
+    prog::ProgramBuilder b("stringsearch");
+    const int rI = 1, rT = 2, rC = 3, rAd = 4, rU = 5, rPat = 6,
+              rNp = 7, rPBase = 8, rJ = 9, rPos = 10, rLast = 11,
+              rSk = 12, rCnt = 13, rTl = 14, rMask = 15, rEight = 16,
+              rOne = 17, rK = 18, rV = 19, rA2 = 20;
+
+    b.li(rZ, 0);
+    b.li(rTl, text_len);
+    b.li(rNp, num_pats);
+    b.li(rMask, kAlpha - 1);
+    b.li(rEight, kM);
+    b.li(rOne, 1);
+    b.li(rCnt, 0);
+
+    // ---- L0: text normalization + histogram ----
+    b.li(rI, 0);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.add(rAd, rI, rZ);
+    b.ld(rC, rAd, kText);
+    b.and_(rC, rC, rMask);
+    b.st(rAd, rC, kText);
+    b.ld(rU, rC, kHist);
+    b.addi(rU, rU, 1);
+    b.st(rC, rU, kHist);
+    b.xor_(rV, rU, rI);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rTl, l0);
+
+    // ---- L1: per-pattern skip-table build + BMH scan ----
+    b.li(rPat, 0);
+    auto l1pat = b.newLabel();
+    b.bind(l1pat);
+    b.mul(rPBase, rPat, rEight);
+    // skip[c] = 8 for all c.
+    b.li(rJ, 0);
+    b.li(rT, kAlpha);
+    auto l1fill = b.newLabel();
+    b.bind(l1fill);
+    b.st(rJ, rEight, kSkip);
+    b.addi(rJ, rJ, 1);
+    b.blt(rJ, rT, l1fill);
+    // skip[pat[j]] = 7 - j for j in 0..6.
+    b.li(rJ, 0);
+    b.li(rT, kM - 1);
+    auto l1pre = b.newLabel();
+    b.bind(l1pre);
+    b.add(rAd, rPBase, rJ);
+    b.ld(rC, rAd, kPats);
+    b.and_(rC, rC, rMask);
+    b.sub(rU, rT, rJ);
+    b.st(rC, rU, kSkip);
+    b.addi(rJ, rJ, 1);
+    b.blt(rJ, rT, l1pre);
+    // Last pattern char.
+    b.add(rAd, rPBase, rT);
+    b.ld(rLast, rAd, kPats);
+    b.and_(rLast, rLast, rMask);
+    // Scan.
+    b.li(rPos, kM - 1);
+    auto l1scan = b.newLabel();
+    auto l1nocmp = b.newLabel();
+    auto l1done = b.newLabel();
+    b.bind(l1scan);
+    b.bge(rPos, rTl, l1done);
+    b.add(rAd, rPos, rZ);
+    b.ld(rC, rAd, kText);
+    b.bne(rC, rLast, l1nocmp);
+    // Candidate: compare pat[0..6] against text[pos-7 .. pos-1].
+    {
+        b.li(rJ, 0);
+        b.li(rK, kM - 1);
+        auto cmp = b.newLabel();
+        auto mismatch = b.newLabel();
+        auto matched = b.newLabel();
+        b.bind(cmp);
+        b.bge(rJ, rK, matched);
+        b.add(rAd, rPBase, rJ);
+        b.ld(rU, rAd, kPats);
+        b.and_(rU, rU, rMask);
+        b.sub(rA2, rPos, rK);
+        b.add(rA2, rA2, rJ);
+        b.ld(rV, rA2, kText);
+        b.bne(rU, rV, mismatch);
+        b.addi(rJ, rJ, 1);
+        b.jmp(cmp);
+        b.bind(matched);
+        b.addi(rCnt, rCnt, 1);
+        b.bind(mismatch);
+    }
+    b.bind(l1nocmp);
+    b.ld(rSk, rC, kSkip);
+    b.add(rPos, rPos, rSk);
+    b.jmp(l1scan);
+    b.bind(l1done);
+    b.addi(rPat, rPat, 1);
+    b.blt(rPat, rNp, l1pat);
+
+    // ---- L2: histogram mixing pass ----
+    b.li(rI, 0);
+    b.li(rT, kAlpha);
+    b.li(rJ, 48); // passes
+    b.li(rK, 0);
+    auto l2rep = b.newLabel();
+    b.bind(l2rep);
+    b.li(rI, 0);
+    auto l2 = b.newLabel();
+    b.bind(l2);
+    b.ld(rU, rI, kHist);
+    b.add(rCnt, rCnt, rU);
+    b.xor_(rV, rCnt, rI);
+    b.or_(rV, rV, rOne);
+    b.add(rV, rV, rU);
+    b.addi(rI, rI, 1);
+    b.blt(rI, rT, l2);
+    b.addi(rK, rK, 1);
+    b.blt(rK, rJ, l2rep);
+
+    b.halt();
+
+    Workload w;
+    w.name = "stringsearch";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    const std::size_t tl = std::size_t(text_len);
+    const std::size_t np = std::size_t(num_pats);
+    w.make_input = [tl, np](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        img.emplace_back(kText, rng.array(tl, 0, kAlpha - 1));
+        img.emplace_back(kPats, rng.array(np * kM, 0, kAlpha - 1));
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

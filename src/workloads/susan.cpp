@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Susan workload: image smoothing, edge detection, and corner
+ * detection nests over a random image, mirroring MiBench susan.
+ * Smoothing has constant per-pixel work (sharp spectral peak); edge
+ * and corner detection take data-dependent paths (peak spreading),
+ * matching the accuracy profile the paper reports for Susan.
+ */
+
+#include "workload.h"
+
+#include "prog/builder.h"
+#include "workload_util.h"
+
+namespace eddie::workloads
+{
+
+namespace
+{
+
+constexpr std::int64_t kImg = 8192;
+constexpr std::int64_t kOut = 1 << 17;
+constexpr std::int64_t kW = 128;
+
+} // namespace
+
+Workload
+makeSusan(double scale)
+{
+    // Scaling stretches the image height so any scale changes the
+    // amount of work; pass counts stay fixed.
+    const auto kH = std::int64_t(scaled(64, scale, 12));
+    const std::int64_t reps0 = 3;
+    const std::int64_t reps1 = 4;
+    const std::int64_t reps2 = 4;
+
+    prog::ProgramBuilder b("susan");
+    const int rP = 1, rEnd = 2, rImg = 3, rA = 4, rS = 5, rT = 6, rU = 7,
+              rOut = 8, rRep = 9, rR = 10, rC57 = 11, rC9 = 12, rCnt = 13,
+              rG = 14, rDx = 15, rDy = 16, rTh = 17, rM = 18, rOne = 19,
+              rC63 = 20;
+
+    b.li(rZ, 0);
+    b.li(rImg, kImg);
+    b.li(rOut, kOut);
+    b.li(rC57, 57);
+    b.li(rC9, 9);
+    b.li(rOne, 1);
+    b.li(rC63, 63);
+    b.li(rCnt, 0);
+
+    // Branch-free |a-b| into rT; clobbers rU, rM.
+    auto emitAbsDiff = [&](int ra, int rb) {
+        b.sub(rT, ra, rb);
+        b.shr(rU, rT, rC63);
+        b.sub(rM, rZ, rU);  // mask = 0 or -1
+        b.xor_(rT, rT, rM);
+        b.sub(rT, rT, rM);
+    };
+
+    // ---- L0: 3x3 box smoothing, constant per-pixel work ----
+    b.li(rRep, 0);
+    b.li(rR, reps0);
+    auto l0rep = b.newLabel();
+    b.bind(l0rep);
+    b.li(rP, kW + 1);
+    b.li(rEnd, kW * (kH - 1) - 1);
+    auto l0px = b.newLabel();
+    b.bind(l0px);
+    b.add(rA, rImg, rP);
+    b.ld(rS, rA, -kW - 1);
+    b.ld(rT, rA, -kW);
+    b.add(rS, rS, rT);
+    b.ld(rT, rA, -kW + 1);
+    b.add(rS, rS, rT);
+    b.ld(rT, rA, -1);
+    b.add(rS, rS, rT);
+    b.ld(rT, rA, 0);
+    b.add(rS, rS, rT);
+    b.ld(rT, rA, 1);
+    b.add(rS, rS, rT);
+    b.ld(rT, rA, kW - 1);
+    b.add(rS, rS, rT);
+    b.ld(rT, rA, kW);
+    b.add(rS, rS, rT);
+    b.ld(rT, rA, kW + 1);
+    b.add(rS, rS, rT);
+    b.mul(rS, rS, rC57);
+    b.shr(rS, rS, rC9); // sum * 57 >> 9 ~ sum / 9
+    b.add(rA, rOut, rP);
+    b.st(rA, rS);
+    b.addi(rP, rP, 1);
+    b.blt(rP, rEnd, l0px);
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rR, l0rep);
+
+    // ---- L1: edge detection with a data-dependent heavy path ----
+    b.li(rRep, 0);
+    b.li(rR, reps1);
+    b.li(rTh, 96);
+    auto l1rep = b.newLabel();
+    b.bind(l1rep);
+    b.li(rP, kW + 1);
+    b.li(rEnd, kW * (kH - 1) - 1);
+    auto l1px = b.newLabel();
+    auto l1skip = b.newLabel();
+    b.bind(l1px);
+    b.add(rA, rImg, rP);
+    b.ld(rDx, rA, 1);
+    b.ld(rG, rA, -1);
+    emitAbsDiff(rDx, rG);
+    b.add(rDx, rT, rZ);
+    b.ld(rDy, rA, kW);
+    b.ld(rG, rA, -kW);
+    emitAbsDiff(rDy, rG);
+    b.add(rDy, rT, rZ);
+    b.add(rG, rDx, rDy);
+    b.blt(rG, rTh, l1skip);
+    // Heavy path: record the edge and mix the counter.
+    b.add(rA, rOut, rP);
+    b.st(rA, rG);
+    b.addi(rCnt, rCnt, 1);
+    b.xor_(rU, rCnt, rG);
+    b.or_(rU, rU, rOne);
+    b.add(rU, rU, rG);
+    b.xor_(rU, rU, rCnt);
+    b.bind(l1skip);
+    b.addi(rP, rP, 1);
+    b.blt(rP, rEnd, l1px);
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rR, l1rep);
+
+    // ---- L2: corner detection, rare heavy path ----
+    b.li(rRep, 0);
+    b.li(rR, reps2);
+    b.li(rTh, 180);
+    auto l2rep = b.newLabel();
+    b.bind(l2rep);
+    b.li(rP, kW + 1);
+    b.li(rEnd, kW * (kH - 1) - 1);
+    auto l2px = b.newLabel();
+    auto l2skip = b.newLabel();
+    b.bind(l2px);
+    b.add(rA, rImg, rP);
+    b.ld(rDx, rA, kW + 1);
+    b.ld(rG, rA, -kW - 1);
+    emitAbsDiff(rDx, rG);
+    b.add(rDx, rT, rZ);
+    b.ld(rDy, rA, kW - 1);
+    b.ld(rG, rA, -kW + 1);
+    emitAbsDiff(rDy, rG);
+    b.add(rG, rDx, rT);
+    b.blt(rG, rTh, l2skip);
+    // Rare heavy path: centroid-style mixing.
+    b.mul(rU, rG, rC57);
+    b.shr(rU, rU, rC9);
+    b.add(rA, rOut, rP);
+    b.st(rA, rU);
+    b.addi(rCnt, rCnt, 1);
+    b.xor_(rU, rU, rCnt);
+    b.add(rU, rU, rG);
+    b.or_(rU, rU, rOne);
+    b.xor_(rU, rU, rG);
+    b.add(rU, rU, rCnt);
+    b.bind(l2skip);
+    // Corner detection samples every other pixel (coarser grid), so
+    // its per-iteration period differs clearly from edge detection.
+    b.addi(rP, rP, 2);
+    b.blt(rP, rEnd, l2px);
+    b.addi(rRep, rRep, 1);
+    b.blt(rRep, rR, l2rep);
+
+    b.halt();
+
+    Workload w;
+    w.name = "susan";
+    w.program = b.take();
+    w.regions = prog::analyzeProgram(w.program);
+    w.make_input = [kH](std::uint64_t seed) {
+        InputRng rng(seed);
+        cpu::MemoryImage img;
+        img.emplace_back(kImg, rng.array(std::size_t(kW * kH), 0, 255));
+        return img;
+    };
+    return w;
+}
+
+} // namespace eddie::workloads

@@ -1,0 +1,44 @@
+#include "workload.h"
+
+#include <stdexcept>
+
+namespace eddie::workloads
+{
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bitcount", "basicmath", "susan",    "dijkstra",     "patricia",
+        "gsm",      "fft",       "sha",      "rijndael",     "stringsearch",
+    };
+    return names;
+}
+
+Workload
+makeWorkload(std::string_view name, double scale)
+{
+    if (name == "bitcount")
+        return makeBitcount(scale);
+    if (name == "basicmath")
+        return makeBasicmath(scale);
+    if (name == "susan")
+        return makeSusan(scale);
+    if (name == "dijkstra")
+        return makeDijkstra(scale);
+    if (name == "patricia")
+        return makePatricia(scale);
+    if (name == "gsm")
+        return makeGsm(scale);
+    if (name == "fft")
+        return makeFft(scale);
+    if (name == "sha")
+        return makeSha(scale);
+    if (name == "rijndael")
+        return makeRijndael(scale);
+    if (name == "stringsearch")
+        return makeStringsearch(scale);
+    throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+} // namespace eddie::workloads

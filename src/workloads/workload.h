@@ -1,0 +1,66 @@
+/**
+ * @file
+ * MiBench-like workload programs for the simulated core.
+ *
+ * EDDIE never inspects program semantics — only loop periodicity and
+ * region topology — so each workload reproduces the loop-nest
+ * structure, per-iteration work, and control-flow variation of its
+ * MiBench namesake (see DESIGN.md). Input generators give run-to-run
+ * variation, as the paper's multiple training inputs do.
+ */
+
+#ifndef EDDIE_WORKLOADS_WORKLOAD_H
+#define EDDIE_WORKLOADS_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cpu/core.h"
+#include "prog/program.h"
+#include "prog/regions.h"
+
+namespace eddie::workloads
+{
+
+/** A ready-to-run workload. */
+struct Workload
+{
+    std::string name;
+    prog::Program program;
+    /** Region-level state machine of `program`. */
+    prog::RegionGraph regions;
+    /** Builds the initial memory image for a run; different seeds
+     *  model the paper's "different inputs" across runs. */
+    std::function<cpu::MemoryImage(std::uint64_t seed)> make_input;
+};
+
+/** Names of all available workloads (the paper's 10 benchmarks). */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Builds a workload by name.
+ *
+ * @param scale multiplies data sizes / iteration counts (1.0 gives
+ *        runs of roughly 20-60 simulated milliseconds)
+ * @throws std::invalid_argument for unknown names
+ */
+Workload makeWorkload(std::string_view name, double scale = 1.0);
+
+// Individual builders (used by tests; makeWorkload dispatches here).
+Workload makeBitcount(double scale = 1.0);
+Workload makeBasicmath(double scale = 1.0);
+Workload makeSusan(double scale = 1.0);
+Workload makeDijkstra(double scale = 1.0);
+Workload makePatricia(double scale = 1.0);
+Workload makeGsm(double scale = 1.0);
+Workload makeFft(double scale = 1.0);
+Workload makeSha(double scale = 1.0);
+Workload makeRijndael(double scale = 1.0);
+Workload makeStringsearch(double scale = 1.0);
+
+} // namespace eddie::workloads
+
+#endif // EDDIE_WORKLOADS_WORKLOAD_H

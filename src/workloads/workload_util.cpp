@@ -1,0 +1,16 @@
+#include "workload_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eddie::workloads
+{
+
+std::size_t
+scaled(std::size_t base, double scale, std::size_t min_value)
+{
+    const double v = double(base) * scale;
+    return std::max<std::size_t>(min_value, std::size_t(std::llround(v)));
+}
+
+} // namespace eddie::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for workload construction: register conventions and
+ * seeded input generation.
+ *
+ * Register conventions used by all workloads:
+ *  - r0 is initialized to 0 at program start and never written again.
+ *  - r1..r29 are workload scratch registers.
+ */
+
+#ifndef EDDIE_WORKLOADS_WORKLOAD_UTIL_H
+#define EDDIE_WORKLOADS_WORKLOAD_UTIL_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "cpu/core.h"
+
+namespace eddie::workloads
+{
+
+/** The always-zero register (by convention; see file comment). */
+constexpr int rZ = 0;
+
+/** Seeded uniform integer generator for input images. */
+class InputRng
+{
+  public:
+    explicit InputRng(std::uint64_t seed) : gen_(seed) {}
+
+    /** Uniform integer in [lo, hi]. */
+    std::int64_t
+    uniform(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> d(lo, hi);
+        return d(gen_);
+    }
+
+    /** @p n uniform integers in [lo, hi]. */
+    std::vector<std::int64_t>
+    array(std::size_t n, std::int64_t lo, std::int64_t hi)
+    {
+        std::vector<std::int64_t> v(n);
+        for (auto &x : v)
+            x = uniform(lo, hi);
+        return v;
+    }
+
+    std::mt19937_64 &raw() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+/** Applies @p scale to a base count with a floor of @p min_value. */
+std::size_t scaled(std::size_t base, double scale,
+                   std::size_t min_value = 16);
+
+} // namespace eddie::workloads
+
+#endif // EDDIE_WORKLOADS_WORKLOAD_UTIL_H

@@ -1,0 +1,115 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_parametric.h"
+#include "core/baseline_power.h"
+
+namespace
+{
+
+using namespace eddie::core;
+
+TEST(BaselinePowerTest, WindowMeansSliding)
+{
+    std::vector<double> power{1, 1, 1, 5, 5, 5, 9, 9, 9};
+    const auto means = windowMeans(power, 3, 3);
+    ASSERT_EQ(means.size(), 3u);
+    EXPECT_DOUBLE_EQ(means[0], 1.0);
+    EXPECT_DOUBLE_EQ(means[1], 5.0);
+    EXPECT_DOUBLE_EQ(means[2], 9.0);
+}
+
+TEST(BaselinePowerTest, ShortInputYieldsNothing)
+{
+    std::vector<double> power{1, 2};
+    EXPECT_TRUE(windowMeans(power, 10, 5).empty());
+    EXPECT_TRUE(windowMeans(power, 0, 5).empty());
+}
+
+TEST(BaselinePowerTest, DetectorFlagsOutliers)
+{
+    std::mt19937_64 rng(1);
+    std::normal_distribution<double> d(10.0, 0.5);
+    std::vector<std::vector<double>> training(5);
+    for (auto &run : training) {
+        run.resize(500);
+        for (auto &v : run)
+            v = d(rng);
+    }
+    const auto model = trainPowerDetector(training, 0.5);
+    EXPECT_LT(model.lo, 10.0);
+    EXPECT_GT(model.hi, 10.0);
+
+    std::vector<double> monitored(100);
+    for (auto &v : monitored)
+        v = d(rng);
+    monitored[50] = 20.0; // gross power anomaly
+    const auto flags = powerDetectorFlags(model, monitored);
+    EXPECT_TRUE(flags[50]);
+    std::size_t false_flags = 0;
+    for (std::size_t i = 0; i < flags.size(); ++i)
+        if (flags[i] && i != 50)
+            ++false_flags;
+    EXPECT_LE(false_flags, 5u);
+}
+
+TEST(BaselinePowerTest, MissesPowerNeutralChange)
+{
+    // The key weakness the paper exploits: a change that keeps mean
+    // power identical is invisible to a power-sum detector.
+    std::mt19937_64 rng(2);
+    std::normal_distribution<double> d(10.0, 0.5);
+    std::vector<std::vector<double>> training(5);
+    for (auto &run : training) {
+        run.resize(500);
+        for (auto &v : run)
+            v = d(rng);
+    }
+    const auto model = trainPowerDetector(training, 0.5);
+    // "Injected" run with the same power distribution but different
+    // periodicity (invisible to window means).
+    std::vector<double> monitored(200);
+    for (auto &v : monitored)
+        v = d(rng);
+    const auto flags = powerDetectorFlags(model, monitored);
+    std::size_t flagged = 0;
+    for (bool f : flags)
+        if (f)
+            ++flagged;
+    EXPECT_LE(flagged, 6u); // ~1 % band
+}
+
+TEST(BaselineParametricTest, FitsAndTests)
+{
+    std::mt19937_64 rng(3);
+    std::normal_distribution<double> mode1(1e6, 1e4);
+    std::normal_distribution<double> mode2(2e6, 1e4);
+    std::bernoulli_distribution pick(0.5);
+
+    RegionModel rm;
+    rm.trained = true;
+    rm.num_peaks = 1;
+    rm.group_n = 16;
+    rm.ref.resize(1);
+    for (int i = 0; i < 2000; ++i)
+        rm.ref[0].push_back(pick(rng) ? mode1(rng) : mode2(rng));
+    std::sort(rm.ref[0].begin(), rm.ref[0].end());
+
+    const auto pr = fitParametricRegion(rm, 2);
+    ASSERT_EQ(pr.per_rank.size(), 1u);
+
+    // A group matching the training distribution passes.
+    std::vector<std::vector<double>> good(1);
+    for (int i = 0; i < 32; ++i)
+        good[0].push_back(pick(rng) ? mode1(rng) : mode2(rng));
+    EXPECT_FALSE(parametricGroupRejects(pr, good, 0.01));
+
+    // A shifted group is rejected.
+    std::vector<std::vector<double>> bad(1);
+    for (int i = 0; i < 32; ++i)
+        bad[0].push_back(mode2(rng) + 5e5);
+    EXPECT_TRUE(parametricGroupRejects(pr, bad, 0.01));
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/capture_io.h"
+#include "core/pipeline.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie;
+using core::loadCapture;
+using core::saveCapture;
+
+cpu::RunResult
+sampleRun()
+{
+    cpu::RunResult rr;
+    rr.sample_rate = 2e7;
+    rr.power = {1.0, 2.5, 3.25, 0.125};
+    rr.region = {0, 0, prog::kNoRegion, 2};
+    rr.injected = {0, 1, 1, 0};
+    return rr;
+}
+
+TEST(CaptureIoTest, RoundTripPreservesEverything)
+{
+    const auto rr = sampleRun();
+    std::stringstream ss;
+    saveCapture(rr, ss);
+    const auto loaded = loadCapture(ss);
+    EXPECT_DOUBLE_EQ(loaded.sample_rate, rr.sample_rate);
+    EXPECT_EQ(loaded.power, rr.power);
+    EXPECT_EQ(loaded.region, rr.region);
+    EXPECT_EQ(loaded.injected, rr.injected);
+}
+
+TEST(CaptureIoTest, RejectsGarbage)
+{
+    std::stringstream ss("definitely not a capture file");
+    EXPECT_THROW(loadCapture(ss), std::runtime_error);
+}
+
+TEST(CaptureIoTest, RejectsTruncation)
+{
+    std::stringstream ss;
+    saveCapture(sampleRun(), ss);
+    const auto full = ss.str();
+    for (std::size_t cut : {std::size_t(4), full.size() / 2,
+                            full.size() - 3}) {
+        std::stringstream truncated(full.substr(0, cut));
+        EXPECT_THROW(loadCapture(truncated), std::runtime_error)
+            << "cut at " << cut;
+    }
+}
+
+TEST(CaptureIoTest, EmptyCapture)
+{
+    cpu::RunResult rr;
+    rr.sample_rate = 1e6;
+    std::stringstream ss;
+    saveCapture(rr, ss);
+    const auto loaded = loadCapture(ss);
+    EXPECT_TRUE(loaded.power.empty());
+}
+
+TEST(CaptureIoTest, CapturedRunAnalyzesLikeLiveRun)
+{
+    // Simulate -> save -> load -> extract STSs: identical to the
+    // live path.
+    core::PipelineConfig cfg;
+    cfg.train_runs = 2;
+    core::Pipeline pipe(workloads::makeWorkload("bitcount", 0.1),
+                        cfg);
+    const auto live = pipe.simulate(5);
+    std::stringstream ss;
+    saveCapture(live, ss);
+    const auto replay = loadCapture(ss);
+
+    const auto live_sts = pipe.toSts(live);
+    const auto replay_sts = pipe.toSts(replay);
+    ASSERT_EQ(live_sts.size(), replay_sts.size());
+    for (std::size_t i = 0; i < live_sts.size(); ++i) {
+        EXPECT_EQ(live_sts[i].peak_freqs, replay_sts[i].peak_freqs);
+        EXPECT_EQ(live_sts[i].true_region, replay_sts[i].true_region);
+        EXPECT_EQ(live_sts[i].injected, replay_sts[i].injected);
+    }
+}
+
+} // namespace

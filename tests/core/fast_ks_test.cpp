@@ -1,0 +1,95 @@
+#include <cmath>
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/fast_ks.h"
+#include "stats/ks.h"
+
+namespace
+{
+
+using eddie::core::ksStatisticSortedRef;
+
+TEST(FastKsTest, MatchesReferenceImplementationRandom)
+{
+    std::mt19937_64 rng(1);
+    std::uniform_real_distribution<double> d(0.0, 10.0);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::uniform_int_distribution<std::size_t> msize(1, 200);
+        std::uniform_int_distribution<std::size_t> nsize(1, 40);
+        std::vector<double> ref(msize(rng));
+        std::vector<double> mon(nsize(rng));
+        for (auto &v : ref)
+            v = d(rng);
+        for (auto &v : mon)
+            v = d(rng);
+        std::sort(ref.begin(), ref.end());
+        const double fast = ksStatisticSortedRef(ref, mon);
+        const double slow = eddie::stats::ksStatistic(ref, mon);
+        EXPECT_NEAR(fast, slow, 1e-12) << "trial " << trial;
+    }
+}
+
+TEST(FastKsTest, MatchesReferenceWithHeavyTies)
+{
+    std::mt19937_64 rng(2);
+    std::uniform_int_distribution<int> d(0, 4); // few distinct values
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<double> ref(50);
+        std::vector<double> mon(12);
+        for (auto &v : ref)
+            v = double(d(rng));
+        for (auto &v : mon)
+            v = double(d(rng));
+        std::sort(ref.begin(), ref.end());
+        const double fast = ksStatisticSortedRef(ref, mon);
+        const double slow = eddie::stats::ksStatistic(ref, mon);
+        EXPECT_NEAR(fast, slow, 1e-12) << "trial " << trial;
+    }
+}
+
+TEST(FastKsTest, AllIdenticalValues)
+{
+    std::vector<double> ref(100, 5.0);
+    std::vector<double> mon(8, 5.0);
+    EXPECT_DOUBLE_EQ(ksStatisticSortedRef(ref, mon), 0.0);
+}
+
+TEST(FastKsTest, DisjointSupportsGiveOne)
+{
+    std::vector<double> ref{1.0, 2.0, 3.0};
+    std::vector<double> mon{10.0, 11.0};
+    EXPECT_DOUBLE_EQ(ksStatisticSortedRef(ref, mon), 1.0);
+}
+
+TEST(FastKsTest, CriticalValueMatchesFormula)
+{
+    const double c = eddie::core::ksCriticalValue(100, 25, 0.05);
+    EXPECT_NEAR(c, 1.3581 * std::sqrt(125.0 / 2500.0), 2e-3);
+}
+
+TEST(FastKsTest, RejectConsistentWithStatsTest)
+{
+    std::mt19937_64 rng(3);
+    std::normal_distribution<double> a(0.0, 1.0), b(0.8, 1.0);
+    std::vector<double> ref(300), mon(30);
+    for (auto &v : ref)
+        v = a(rng);
+    for (auto &v : mon)
+        v = b(rng);
+    std::sort(ref.begin(), ref.end());
+    const bool fast = eddie::core::ksRejectSortedRef(ref, mon, 0.01);
+    const auto slow = eddie::stats::ksTest(ref, mon, 0.01);
+    EXPECT_EQ(fast, slow.reject);
+}
+
+TEST(FastKsTest, EmptyInputsNeverReject)
+{
+    std::vector<double> ref{1.0};
+    EXPECT_FALSE(eddie::core::ksRejectSortedRef(ref, {}, 0.01));
+    EXPECT_FALSE(eddie::core::ksRejectSortedRef({}, ref, 0.01));
+}
+
+} // namespace

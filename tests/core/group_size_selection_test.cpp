@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The group-size selector must find the settling point of the
+ * FRR-vs-n curve (paper Sec. 4.3 / Fig. 3), not fall into the
+ * low-power trap at tiny n where the K-S test cannot reject anything.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "prog/builder.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie;
+using namespace eddie::core;
+
+constexpr double kSentinel = 2e7;
+
+prog::RegionGraph
+oneLoopGraph()
+{
+    prog::ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 8);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l0);
+    b.halt();
+    static prog::Program p = b.take();
+    return prog::analyzeProgram(p);
+}
+
+/**
+ * A phase-alternating region: the strongest peak flips between two
+ * well-separated frequencies every @p phase_len STSs (like susan's
+ * smoothing passes). Windows shorter than a phase are concentrated
+ * in one mode and reject the mixed reference; windows spanning both
+ * phases match it.
+ */
+std::vector<Sts>
+phasedRun(std::mt19937_64 &rng, int phase_len)
+{
+    std::normal_distribution<double> jitter(0.0, 2000.0);
+    std::vector<Sts> run;
+    double t = 0.0;
+    for (int i = 0; i < 256; ++i, t += 5e-5) {
+        const bool hi = (i / phase_len) % 2 == 1;
+        Sts sts;
+        sts.t_start = t;
+        sts.t_end = t + 1e-4;
+        sts.peak_freqs = {(hi ? 6e6 : 2e6) + jitter(rng)};
+        while (sts.peak_freqs.size() < 4)
+            sts.peak_freqs.push_back(kSentinel);
+        sts.true_region = 0;
+        run.push_back(sts);
+    }
+    return run;
+}
+
+TEST(GroupSizeSelectionTest, PhasedRegionGetsPhaseSpanningGroup)
+{
+    std::mt19937_64 rng(1);
+    std::vector<std::vector<Sts>> runs;
+    for (int r = 0; r < 6; ++r)
+        runs.push_back(phasedRun(rng, 16));
+
+    TrainingDiagnostics diag;
+    const auto model = train(runs, oneLoopGraph(), kSentinel,
+                             TrainerConfig(), &diag);
+    ASSERT_TRUE(model.regions[0].trained);
+
+    // The FRR sweep must show the hump: elevated at phase-scale n,
+    // settled at large n.
+    double hump = 0.0, tail = 1.0;
+    for (const auto &pt : diag.sweeps[0]) {
+        if (pt.n >= 8 && pt.n <= 16)
+            hump = std::max(hump, pt.false_rejection_rate);
+        if (pt.n == diag.sweeps[0].back().n)
+            tail = pt.false_rejection_rate;
+    }
+    EXPECT_GT(hump, 0.2);
+    EXPECT_LT(tail, 0.05);
+
+    // And the selector must land past the hump (a window spanning
+    // both phases) — never inside it.
+    EXPECT_GE(model.regions[0].group_n, 24u);
+}
+
+TEST(GroupSizeSelectionTest, StableRegionKeepsSmallGroup)
+{
+    std::mt19937_64 rng(2);
+    std::normal_distribution<double> jitter(0.0, 2000.0);
+    std::vector<std::vector<Sts>> runs(6);
+    for (auto &run : runs) {
+        double t = 0.0;
+        for (int i = 0; i < 256; ++i, t += 5e-5) {
+            Sts sts;
+            sts.t_start = t;
+            sts.t_end = t + 1e-4;
+            sts.peak_freqs = {3e6 + jitter(rng), kSentinel, kSentinel,
+                              kSentinel};
+            sts.true_region = 0;
+            run.push_back(sts);
+        }
+    }
+    const auto model = train(runs, oneLoopGraph(), kSentinel);
+    ASSERT_TRUE(model.regions[0].trained);
+    // A stationary region must keep the smallest grid n (lowest
+    // latency).
+    EXPECT_EQ(model.regions[0].group_n, TrainerConfig().n_grid.front());
+}
+
+} // namespace

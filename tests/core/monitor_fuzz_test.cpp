@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fuzz-style robustness tests: the monitor must survive arbitrary
+ * STS streams (garbage frequencies, empty peak vectors, NaN-free
+ * extremes, region-free labels) without crashing, and its state must
+ * stay bounded.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "core/trainer.h"
+#include "prog/builder.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie;
+using namespace eddie::core;
+
+constexpr double kSentinel = 2e7;
+
+TrainedModel
+smallModel()
+{
+    prog::ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 8);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l0);
+    b.halt();
+    static prog::Program p = b.take();
+    const auto rg = prog::analyzeProgram(p);
+
+    std::mt19937_64 rng(1);
+    std::normal_distribution<double> jitter(1e6, 5e3);
+    std::vector<std::vector<Sts>> runs(4);
+    for (auto &run : runs) {
+        double t = 0.0;
+        for (int i = 0; i < 120; ++i, t += 5e-5) {
+            Sts sts;
+            sts.t_start = t;
+            sts.t_end = t + 1e-4;
+            sts.peak_freqs = {jitter(rng), 2.0 * jitter(rng),
+                              kSentinel, kSentinel};
+            sts.true_region = 0;
+            run.push_back(sts);
+        }
+    }
+    return train(runs, rg, kSentinel);
+}
+
+class MonitorFuzzTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MonitorFuzzTest, SurvivesArbitraryStreams)
+{
+    const auto model = smallModel();
+    Monitor mon(model, MonitorConfig());
+
+    std::mt19937_64 rng(std::uint64_t(GetParam()) * 77);
+    std::uniform_int_distribution<int> len(0, 9);
+    std::uniform_real_distribution<double> freq(-1e9, 1e9);
+    std::uniform_int_distribution<int> kind(0, 3);
+
+    double t = 0.0;
+    for (int i = 0; i < 500; ++i, t += 5e-5) {
+        Sts sts;
+        sts.t_start = t;
+        sts.t_end = t + 1e-4;
+        switch (kind(rng)) {
+          case 0: // plausible
+            sts.peak_freqs = {1e6, 2e6, kSentinel};
+            break;
+          case 1: // empty
+            break;
+          case 2: // random garbage, variable length
+            for (int k = 0, n = len(rng); k < n; ++k)
+                sts.peak_freqs.push_back(freq(rng));
+            break;
+          case 3: // extremes
+            sts.peak_freqs = {0.0, -0.0, 1e300, -1e300, kSentinel};
+            break;
+        }
+        sts.true_region = std::size_t(-1);
+        const auto rec = mon.step(sts);
+        EXPECT_LT(rec.region, model.regions.size());
+    }
+    EXPECT_EQ(mon.records().size(), 500u);
+    // Reports are bounded by the streak rule: at most one per
+    // (reportThreshold + 1) steps.
+    EXPECT_LE(mon.reports().size(), 500u / 4 + 1);
+}
+
+TEST_P(MonitorFuzzTest, DeterministicForIdenticalStreams)
+{
+    const auto model = smallModel();
+    std::mt19937_64 rng{std::uint64_t(GetParam())};
+    std::uniform_real_distribution<double> freq(1e5, 1e7);
+
+    std::vector<Sts> stream;
+    double t = 0.0;
+    for (int i = 0; i < 200; ++i, t += 5e-5) {
+        Sts sts;
+        sts.t_start = t;
+        sts.t_end = t + 1e-4;
+        sts.peak_freqs = {freq(rng), freq(rng), kSentinel};
+        stream.push_back(sts);
+    }
+
+    Monitor a(model, MonitorConfig());
+    Monitor b(model, MonitorConfig());
+    for (const auto &sts : stream) {
+        a.step(sts);
+        b.step(sts);
+    }
+    EXPECT_EQ(a.reports().size(), b.reports().size());
+    ASSERT_EQ(a.records().size(), b.records().size());
+    for (std::size_t i = 0; i < a.records().size(); ++i) {
+        EXPECT_EQ(a.records()[i].region, b.records()[i].region);
+        EXPECT_EQ(a.records()[i].reported, b.records()[i].reported);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorFuzzTest,
+                         ::testing::Range(1, 9));
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests of the Pipeline facade: determinism, signal-path behaviour,
+ * and the workload spectral characters the experiment design relies
+ * on.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace
+{
+
+using namespace eddie;
+using core::Pipeline;
+using core::PipelineConfig;
+
+TEST(PipelineTest, SimulationIsDeterministicPerSeed)
+{
+    PipelineConfig cfg;
+    Pipeline pipe(workloads::makeWorkload("sha", 0.15), cfg);
+    const auto a = pipe.simulate(9);
+    const auto b = pipe.simulate(9);
+    EXPECT_EQ(a.power, b.power);
+    EXPECT_EQ(a.region, b.region);
+    const auto c = pipe.simulate(10);
+    EXPECT_NE(a.power, c.power); // different input and timing
+}
+
+TEST(PipelineTest, StsStreamCarriesLabels)
+{
+    PipelineConfig cfg;
+    Pipeline pipe(workloads::makeWorkload("bitcount", 0.15), cfg);
+    const auto stream = pipe.captureRun(3);
+    ASSERT_GT(stream.size(), 20u);
+    // Every loop region appears in the labels.
+    std::vector<bool> seen(pipe.workload().regions.num_loops, false);
+    for (const auto &sts : stream)
+        if (sts.true_region < seen.size())
+            seen[sts.true_region] = true;
+    for (std::size_t l = 0; l < seen.size(); ++l)
+        EXPECT_TRUE(seen[l]) << "loop region " << l;
+    // No STS claims injection on a clean run.
+    for (const auto &sts : stream)
+        EXPECT_FALSE(sts.injected);
+}
+
+TEST(PipelineTest, EmPathDiffersFromPowerPath)
+{
+    auto power_cfg = PipelineConfig();
+    auto em_cfg = PipelineConfig();
+    em_cfg.path = core::SignalPath::EmBaseband;
+    em_cfg.channel.snr_db = 15.0;
+    Pipeline power_pipe(workloads::makeWorkload("sha", 0.15),
+                        power_cfg);
+    Pipeline em_pipe(workloads::makeWorkload("sha", 0.15), em_cfg);
+
+    const auto rr = power_pipe.simulate(5);
+    const auto clean = power_pipe.toSts(rr);
+    const auto noisy = em_pipe.toSts(rr);
+    ASSERT_EQ(clean.size(), noisy.size());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < clean.size(); ++i)
+        any_diff |= clean[i].peak_freqs != noisy[i].peak_freqs;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(PipelineTest, GsmQuantizationLoopIsPeakless)
+{
+    // The experiment design depends on gsm L1 having (almost) no
+    // usable peaks — the paper's poor-coverage case.
+    PipelineConfig cfg;
+    Pipeline pipe(workloads::makeWorkload("gsm", 0.3), cfg);
+    const auto stream = pipe.captureRun(4);
+    const double sentinel = core::missingPeakSentinel(
+        cfg.core.clock_hz / double(cfg.core.cycles_per_sample));
+    std::size_t l1 = 0, l1_missing = 0;
+    for (const auto &sts : stream) {
+        if (sts.true_region != 1)
+            continue;
+        ++l1;
+        l1_missing += sts.peak_freqs[0] >= sentinel;
+    }
+    ASSERT_GT(l1, 10u);
+    EXPECT_GT(double(l1_missing) / double(l1), 0.8);
+}
+
+TEST(PipelineTest, ShaRoundLoopHasStablePeak)
+{
+    // And sha's 80-round loop must have a sharp, stable strongest
+    // peak — the paper's shortest-latency case.
+    PipelineConfig cfg;
+    Pipeline pipe(workloads::makeWorkload("sha", 0.3), cfg);
+    const auto stream = pipe.captureRun(4);
+    std::vector<double> l1_rank0;
+    const double sentinel = core::missingPeakSentinel(
+        cfg.core.clock_hz / double(cfg.core.cycles_per_sample));
+    for (const auto &sts : stream)
+        if (sts.true_region == 1 && sts.peak_freqs[0] < sentinel)
+            l1_rank0.push_back(sts.peak_freqs[0]);
+    ASSERT_GT(l1_rank0.size(), 20u);
+    // The strongest peak is present in almost every frame and
+    // concentrates tightly (it wanders a few bins with the modeled
+    // timing drift, but its relative spread stays small).
+    double mean = 0.0;
+    for (double f : l1_rank0)
+        mean += f;
+    mean /= double(l1_rank0.size());
+    double var = 0.0;
+    for (double f : l1_rank0)
+        var += (f - mean) * (f - mean);
+    var /= double(l1_rank0.size());
+    EXPECT_LT(std::sqrt(var) / mean, 0.02);
+}
+
+TEST(PipelineTest, TrainedModelIsDeterministic)
+{
+    PipelineConfig cfg;
+    cfg.train_runs = 3;
+    Pipeline pipe(workloads::makeWorkload("bitcount", 0.15), cfg);
+    const auto a = pipe.trainModel();
+    const auto b = pipe.trainModel();
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (std::size_t r = 0; r < a.regions.size(); ++r) {
+        EXPECT_EQ(a.regions[r].trained, b.regions[r].trained);
+        EXPECT_EQ(a.regions[r].group_n, b.regions[r].group_n);
+        EXPECT_EQ(a.regions[r].ref, b.regions[r].ref);
+    }
+}
+
+} // namespace

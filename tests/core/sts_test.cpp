@@ -1,0 +1,114 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/sts.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie;
+using core::extractStsStream;
+using core::FeatureConfig;
+
+sig::Spectrogram
+makeSpectrogram(std::size_t frames, double tone_freq, double fs)
+{
+    sig::StftConfig cfg;
+    cfg.window_size = 512;
+    cfg.hop = 256;
+    cfg.sample_rate = fs;
+    sig::Stft stft(cfg);
+    const std::size_t n = cfg.window_size + cfg.hop * frames;
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = std::sin(2.0 * std::numbers::pi * tone_freq *
+                        double(i) / fs);
+    }
+    return stft.analyze(x);
+}
+
+TEST(StsTest, ExtractsTonePeak)
+{
+    const double fs = 10000.0;
+    const double f0 = fs * 50.0 / 512.0; // exact bin
+    const auto sg = makeSpectrogram(10, f0, fs);
+    const auto stream = extractStsStream(sg, nullptr, 0,
+                                         FeatureConfig());
+    ASSERT_GT(stream.size(), 0u);
+    for (const auto &sts : stream) {
+        ASSERT_FALSE(sts.peak_freqs.empty());
+        EXPECT_NEAR(sts.peak_freqs[0], f0, fs / 512.0);
+    }
+}
+
+TEST(StsTest, PadsMissingPeaksWithSentinel)
+{
+    const double fs = 10000.0;
+    const auto sg = makeSpectrogram(5, fs * 50.0 / 512.0, fs);
+    FeatureConfig cfg;
+    cfg.max_peaks = 10;
+    const auto stream = extractStsStream(sg, nullptr, 0, cfg);
+    const double sentinel = core::missingPeakSentinel(fs);
+    for (const auto &sts : stream) {
+        EXPECT_EQ(sts.peak_freqs.size(), 10u);
+        // A pure tone has few real peaks; the tail is sentinel.
+        EXPECT_EQ(sts.peak_freqs.back(), sentinel);
+    }
+}
+
+TEST(StsTest, PositiveOnlyFiltersMirrorPeaks)
+{
+    const double fs = 10000.0;
+    const auto sg = makeSpectrogram(5, fs * 50.0 / 512.0, fs);
+    FeatureConfig cfg;
+    cfg.positive_only = true;
+    const auto stream = extractStsStream(sg, nullptr, 0, cfg);
+    const double sentinel = core::missingPeakSentinel(fs);
+    for (const auto &sts : stream)
+        for (double f : sts.peak_freqs)
+            EXPECT_TRUE(f >= 0.0 || f == sentinel);
+}
+
+TEST(StsTest, GroundTruthLabelsMajorityVote)
+{
+    const double fs = 10000.0;
+    const auto sg = makeSpectrogram(10, 1000.0, fs);
+
+    cpu::RunResult annot;
+    annot.sample_rate = fs;
+    const std::size_t total = 512 + 256 * 10;
+    annot.region.assign(total, 0);
+    // Second half of the run belongs to region 1.
+    for (std::size_t i = total / 2; i < total; ++i)
+        annot.region[i] = 1;
+    annot.injected.assign(total, 0);
+    annot.injected[total - 300] = 1;
+
+    const auto stream = extractStsStream(sg, &annot, 2,
+                                         FeatureConfig());
+    ASSERT_GT(stream.size(), 4u);
+    EXPECT_EQ(stream.front().true_region, 0u);
+    EXPECT_EQ(stream.back().true_region, 1u);
+    // Injection flag lands on the frames covering that sample.
+    bool any_injected = false;
+    for (const auto &sts : stream)
+        any_injected = any_injected || sts.injected;
+    EXPECT_TRUE(any_injected);
+    EXPECT_FALSE(stream.front().injected);
+}
+
+TEST(StsTest, FrameTimesMonotone)
+{
+    const auto sg = makeSpectrogram(8, 1000.0, 10000.0);
+    const auto stream = extractStsStream(sg, nullptr, 0,
+                                         FeatureConfig());
+    for (std::size_t i = 1; i < stream.size(); ++i) {
+        EXPECT_GT(stream[i].t_start, stream[i - 1].t_start);
+        EXPECT_GT(stream[i].t_end, stream[i].t_start);
+    }
+}
+
+} // namespace

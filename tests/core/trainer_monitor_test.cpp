@@ -1,0 +1,293 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/monitor.h"
+#include "core/trainer.h"
+#include "prog/builder.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie;
+using namespace eddie::core;
+
+constexpr double kSentinel = 2e7;
+
+/** A two-loop region graph (L0 -> T -> L1) built from a real
+ *  program so ids and successors are consistent. */
+prog::RegionGraph
+twoLoopGraph()
+{
+    prog::ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 8);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l0);
+    b.nop();
+    b.li(1, 0);
+    auto l1 = b.newLabel();
+    b.bind(l1);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l1);
+    b.halt();
+    static prog::Program p = b.take();
+    return prog::analyzeProgram(p);
+}
+
+/** Synthetic STS with two peaks near the given bases. */
+Sts
+makeSts(double base1, double base2, std::mt19937_64 &rng,
+        double t, std::size_t region)
+{
+    std::normal_distribution<double> jitter(0.0, 2000.0);
+    Sts sts;
+    sts.t_start = t;
+    sts.t_end = t + 1e-4;
+    sts.peak_freqs = {base1 + jitter(rng), base2 + jitter(rng)};
+    while (sts.peak_freqs.size() < 6)
+        sts.peak_freqs.push_back(kSentinel);
+    sts.true_region = region;
+    return sts;
+}
+
+/** A run: 80 STSs of L0 then 80 of L1. */
+std::vector<Sts>
+makeRun(std::mt19937_64 &rng, double l0_f1 = 1e6, double l0_f2 = 2e6,
+        double l1_f1 = 3e6, double l1_f2 = 4.5e6)
+{
+    std::vector<Sts> run;
+    double t = 0.0;
+    for (int i = 0; i < 80; ++i, t += 5e-5)
+        run.push_back(makeSts(l0_f1, l0_f2, rng, t, 0));
+    for (int i = 0; i < 80; ++i, t += 5e-5)
+        run.push_back(makeSts(l1_f1, l1_f2, rng, t, 1));
+    return run;
+}
+
+TrainedModel
+trainTwoLoopModel(std::mt19937_64 &rng)
+{
+    std::vector<std::vector<Sts>> runs;
+    for (int r = 0; r < 6; ++r)
+        runs.push_back(makeRun(rng));
+    return train(runs, twoLoopGraph(), kSentinel);
+}
+
+TEST(TrainerTest, TrainsBothLoopRegions)
+{
+    std::mt19937_64 rng(1);
+    const auto model = trainTwoLoopModel(rng);
+    ASSERT_GE(model.regions.size(), 2u);
+    EXPECT_TRUE(model.regions[0].trained);
+    EXPECT_TRUE(model.regions[1].trained);
+    EXPECT_EQ(model.regions[0].num_peaks, 2u);
+    EXPECT_EQ(model.entry_region, 0u);
+    // Reference sets are sorted.
+    for (const auto &rank : model.regions[0].ref)
+        EXPECT_TRUE(std::is_sorted(rank.begin(), rank.end()));
+}
+
+TEST(TrainerTest, GroupSizeWithinGrid)
+{
+    std::mt19937_64 rng(2);
+    TrainerConfig cfg;
+    const auto model = trainTwoLoopModel(rng);
+    for (std::size_t r = 0; r < 2; ++r) {
+        const auto n = model.regions[r].group_n;
+        EXPECT_GE(n, cfg.n_grid.front());
+        EXPECT_LE(n, cfg.n_grid.back());
+    }
+}
+
+TEST(TrainerTest, FalseRejectionRateLowOnTrainingData)
+{
+    std::mt19937_64 rng(3);
+    std::vector<std::vector<Sts>> runs;
+    for (int r = 0; r < 6; ++r)
+        runs.push_back(makeRun(rng));
+    const auto model = train(runs, twoLoopGraph(), kSentinel);
+    const double frr = falseRejectionRate(model.regions[0], runs, 0,
+                                          model.regions[0].group_n,
+                                          0.01, 2);
+    EXPECT_LT(frr, 0.05);
+}
+
+TEST(TrainerTest, UntrainedWhenTooFewSamples)
+{
+    std::mt19937_64 rng(4);
+    std::vector<std::vector<Sts>> runs{makeRun(rng)};
+    TrainerConfig cfg;
+    cfg.min_sts_per_region = 1000;
+    const auto model = train(runs, twoLoopGraph(), kSentinel, cfg);
+    EXPECT_FALSE(model.regions[0].trained);
+}
+
+TEST(TrainerTest, DiagnosticsPopulated)
+{
+    std::mt19937_64 rng(5);
+    std::vector<std::vector<Sts>> runs;
+    for (int r = 0; r < 6; ++r)
+        runs.push_back(makeRun(rng));
+    TrainingDiagnostics diag;
+    const auto model = train(runs, twoLoopGraph(), kSentinel,
+                             TrainerConfig(), &diag);
+    ASSERT_EQ(diag.sts_count.size(), model.regions.size());
+    EXPECT_EQ(diag.sts_count[0], 480u);
+    EXPECT_FALSE(diag.sweeps[0].empty());
+}
+
+TEST(MonitorTest, TracksCleanExecution)
+{
+    std::mt19937_64 rng(6);
+    const auto model = trainTwoLoopModel(rng);
+    Monitor mon(model, MonitorConfig());
+    const auto run = makeRun(rng);
+    for (const auto &sts : run)
+        mon.step(sts);
+    EXPECT_TRUE(mon.reports().empty());
+    // Tracking should end in region 1.
+    EXPECT_EQ(mon.currentRegion(), 1u);
+    // Coverage well above chance.
+    const auto metrics = scoreRun(run, mon.records(), mon.reports(),
+                                  model);
+    EXPECT_GT(double(metrics.covered_steps) /
+                  double(metrics.labeled_steps),
+              0.7);
+}
+
+TEST(MonitorTest, ReportsInjectedPeaks)
+{
+    std::mt19937_64 rng(7);
+    const auto model = trainTwoLoopModel(rng);
+    Monitor mon(model, MonitorConfig());
+    // L0 as trained, but after 40 STSs the peaks shift (injection).
+    std::vector<Sts> run;
+    double t = 0.0;
+    for (int i = 0; i < 40; ++i, t += 5e-5)
+        run.push_back(makeSts(1e6, 2e6, rng, t, 0));
+    for (int i = 0; i < 60; ++i, t += 5e-5) {
+        auto sts = makeSts(1.35e6, 2.6e6, rng, t, 0);
+        sts.injected = true;
+        run.push_back(sts);
+    }
+    for (const auto &sts : run)
+        mon.step(sts);
+    ASSERT_FALSE(mon.reports().empty());
+    // First report happens after the injection starts.
+    EXPECT_GT(mon.reports().front().time, 40 * 5e-5);
+}
+
+TEST(MonitorTest, NoHandoffVariantStillDetects)
+{
+    std::mt19937_64 rng(8);
+    const auto model = trainTwoLoopModel(rng);
+    MonitorConfig cfg;
+    cfg.enable_handoff = false; // literal Algorithm 1
+    Monitor mon(model, cfg);
+    std::vector<Sts> run;
+    double t = 0.0;
+    for (int i = 0; i < 40; ++i, t += 5e-5)
+        run.push_back(makeSts(1e6, 2e6, rng, t, 0));
+    for (int i = 0; i < 60; ++i, t += 5e-5) {
+        auto sts = makeSts(5.5e6, 6.5e6, rng, t, 0);
+        sts.injected = true;
+        run.push_back(sts);
+    }
+    for (const auto &sts : run)
+        mon.step(sts);
+    EXPECT_FALSE(mon.reports().empty());
+}
+
+TEST(MonitorTest, ReportThresholdSuppressesShortStreaks)
+{
+    std::mt19937_64 rng(9);
+    const auto model = trainTwoLoopModel(rng);
+    MonitorConfig strict;
+    strict.report_threshold = 100; // never report
+    Monitor mon(model, strict);
+    std::vector<Sts> run;
+    double t = 0.0;
+    for (int i = 0; i < 40; ++i, t += 5e-5)
+        run.push_back(makeSts(1e6, 2e6, rng, t, 0));
+    for (int i = 0; i < 50; ++i, t += 5e-5)
+        run.push_back(makeSts(5.5e6, 6.5e6, rng, t, 0));
+    for (const auto &sts : run)
+        mon.step(sts);
+    EXPECT_TRUE(mon.reports().empty());
+}
+
+TEST(MetricsTest, ScoreRunCountsOutcomes)
+{
+    TrainedModel model;
+    RegionModel rm;
+    rm.trained = true;
+    rm.num_peaks = 1;
+    rm.group_n = 2;
+    rm.ref = {{1.0}};
+    model.regions = {rm};
+    model.num_loops = 1;
+
+    std::vector<Sts> stream(6);
+    std::vector<StepRecord> records(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+        stream[i].t_start = double(i);
+        stream[i].t_end = double(i) + 0.5;
+        stream[i].true_region = 0;
+        records[i].region = 0;
+        records[i].tested = true; // past warmup
+    }
+    stream[4].injected = true;
+    records[4].reported = true; // true positive
+    records[1].reported = true; // false positive
+
+    std::vector<AnomalyReport> reports;
+    AnomalyReport rep;
+    rep.step = 4;
+    rep.time = stream[4].t_end;
+    reports.push_back(rep);
+
+    const auto m = scoreRun(stream, records, reports, model);
+    EXPECT_EQ(m.groups, 6u);
+    // A group is charged to its newest STS: only step 4 is injected.
+    EXPECT_EQ(m.injected_groups, 1u);
+    EXPECT_EQ(m.true_positives, 1u);
+    EXPECT_EQ(m.false_negatives, 0u);
+    EXPECT_EQ(m.false_positives, 1u);
+    EXPECT_NEAR(m.detection_latency, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, AggregateComputesPaperUnits)
+{
+    RunMetrics a;
+    a.groups = 100;
+    a.injected_groups = 10;
+    a.true_positives = 8;
+    a.false_negatives = 2;
+    a.false_positives = 1;
+    a.detection_latency = 0.005;
+    a.region_groups = {50, 50};
+    a.region_correct = {50, 40};
+
+    // Coverage comes from clean runs only.
+    RunMetrics clean;
+    clean.groups = 0;
+    clean.covered_steps = 90;
+    clean.labeled_steps = 100;
+
+    const auto agg = aggregate({a, clean});
+    EXPECT_NEAR(agg.false_positive_pct, 1.0, 1e-9);
+    EXPECT_NEAR(agg.false_negative_pct, 20.0, 1e-9);
+    EXPECT_NEAR(agg.true_positive_pct, 80.0, 1e-9);
+    EXPECT_NEAR(agg.detection_latency_ms, 5.0, 1e-9);
+    EXPECT_NEAR(agg.coverage_pct, 90.0, 1e-9);
+    EXPECT_NEAR(agg.accuracy_pct, 90.0, 1e-9); // mean(100%, 80%)
+    EXPECT_EQ(agg.runs_with_injection, 1u);
+    EXPECT_EQ(agg.runs_detected, 1u);
+}
+
+} // namespace

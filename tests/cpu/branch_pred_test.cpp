@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "cpu/branch_pred.h"
+
+namespace
+{
+
+using eddie::cpu::BranchPredictor;
+
+TEST(BranchPredTest, LearnsAlwaysTaken)
+{
+    BranchPredictor bp(10);
+    // Warm up: the global history register must saturate (10 bits)
+    // before the gshare index becomes stable.
+    for (int i = 0; i < 20; ++i)
+        bp.update(100, true);
+    int correct = 0;
+    for (int i = 0; i < 100; ++i)
+        if (bp.update(100, true))
+            ++correct;
+    EXPECT_EQ(correct, 100);
+}
+
+TEST(BranchPredTest, LearnsLoopPattern)
+{
+    BranchPredictor bp(12);
+    // A loop branch taken 15x then not-taken once, repeating. After
+    // warmup, gshare should get most of these right.
+    std::uint64_t mispredicts = 0;
+    const std::uint64_t before = bp.mispredicts();
+    for (int rep = 0; rep < 100; ++rep) {
+        for (int i = 0; i < 15; ++i)
+            bp.update(200, true);
+        bp.update(200, false);
+    }
+    mispredicts = bp.mispredicts() - before;
+    // 1600 branches; allow generous warmup/aliasing error.
+    EXPECT_LT(mispredicts, 300u);
+}
+
+TEST(BranchPredTest, ResetClearsState)
+{
+    BranchPredictor bp(8);
+    for (int i = 0; i < 10; ++i)
+        bp.update(5, true);
+    bp.reset();
+    EXPECT_EQ(bp.lookups(), 0u);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+    // Counters back to weakly-not-taken.
+    EXPECT_FALSE(bp.predict(5));
+}
+
+TEST(BranchPredTest, CountsLookups)
+{
+    BranchPredictor bp(8);
+    for (int i = 0; i < 7; ++i)
+        bp.update(i, i % 2 == 0);
+    EXPECT_EQ(bp.lookups(), 7u);
+}
+
+TEST(BranchPredTest, BadConfigThrows)
+{
+    EXPECT_THROW(BranchPredictor(0), std::invalid_argument);
+    EXPECT_THROW(BranchPredictor(30), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "cpu/cache.h"
+
+namespace
+{
+
+using namespace eddie::cpu;
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    Cache c(CacheConfig{1024, 2, 64});
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(63)); // same line
+    EXPECT_FALSE(c.access(64)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(CacheTest, LruEviction)
+{
+    // 2-way, 64B lines, 8 sets (1KB): lines mapping to set 0 are
+    // addresses k * 512.
+    Cache c(CacheConfig{1024, 2, 64});
+    EXPECT_FALSE(c.access(0 * 512));
+    EXPECT_FALSE(c.access(1 * 512));
+    EXPECT_TRUE(c.access(0 * 512)); // touch line 0: line 1 is LRU
+    EXPECT_FALSE(c.access(2 * 512)); // evicts line 1
+    EXPECT_TRUE(c.access(0 * 512));
+    EXPECT_FALSE(c.access(1 * 512)); // line 1 was evicted
+}
+
+TEST(CacheTest, CapacityWorkingSetFits)
+{
+    Cache c(CacheConfig{32 * 1024, 4, 64});
+    // Touch 32 KB worth of lines twice; second pass all hits.
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 64)
+        c.access(a);
+    const auto misses_first = c.misses();
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 64)
+        EXPECT_TRUE(c.access(a));
+    EXPECT_EQ(c.misses(), misses_first);
+}
+
+TEST(CacheTest, FlushDropsContents)
+{
+    Cache c(CacheConfig{1024, 2, 64});
+    c.access(0);
+    c.flush();
+    EXPECT_FALSE(c.access(0));
+}
+
+TEST(CacheTest, BadGeometryThrows)
+{
+    EXPECT_THROW(Cache(CacheConfig{1000, 3, 64}),
+                 std::invalid_argument);
+    EXPECT_THROW(Cache(CacheConfig{1024, 2, 60}),
+                 std::invalid_argument);
+    EXPECT_THROW(Cache(CacheConfig{1024, 0, 64}),
+                 std::invalid_argument);
+}
+
+TEST(CacheHierarchyTest, LevelsFillInOrder)
+{
+    CacheHierarchy h(CacheConfig{1024, 2, 64},
+                     CacheConfig{4096, 4, 64});
+    EXPECT_EQ(h.access(0), MemLevel::Dram); // cold
+    EXPECT_EQ(h.access(0), MemLevel::L1);
+    // Evict from L1 by touching 17 lines in the same L1 set but
+    // keep them resident in the larger L2.
+    for (int i = 1; i <= 4; ++i)
+        h.access(std::uint64_t(i) * 512);
+    // Address 0 may be gone from L1 but should hit L2.
+    const MemLevel lvl = h.access(0);
+    EXPECT_TRUE(lvl == MemLevel::L1 || lvl == MemLevel::L2);
+    EXPECT_NE(lvl, MemLevel::Dram);
+}
+
+} // namespace

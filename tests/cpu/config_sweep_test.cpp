@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property tests across core configurations: the *functional* result
+ * of a program must not depend on the timing model, and injections
+ * must never alter architectural state (the paper's injections use
+ * only dead registers).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "prog/builder.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie::cpu;
+using eddie::prog::ProgramBuilder;
+
+/** A small but branchy/memory-heavy checksum program. */
+eddie::prog::Program
+checksumProgram()
+{
+    ProgramBuilder b;
+    b.li(0, 0);
+    b.li(1, 0);      // i
+    b.li(2, 4000);   // n
+    b.li(3, 64);     // base
+    b.li(4, 0);      // checksum
+    b.li(5, 1);
+    auto loop = b.newLabel();
+    auto skip = b.newLabel();
+    b.bind(loop);
+    b.add(6, 3, 1);
+    b.ld(7, 6);           // v = mem[base + i]
+    b.mul(7, 7, 5);
+    b.addi(7, 7, 13);
+    b.and_(8, 7, 5);
+    b.beq(8, 0, skip);    // data-dependent branch
+    b.xor_(4, 4, 7);
+    b.bind(skip);
+    b.add(4, 4, 7);
+    b.st(6, 4);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.take();
+}
+
+struct SweepParam
+{
+    bool ooo;
+    std::size_t width;
+    std::size_t depth;
+    std::size_t rob;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    std::ostringstream os;
+    os << (info.param.ooo ? "ooo" : "inorder") << "_w"
+       << info.param.width << "_d" << info.param.depth << "_rob"
+       << info.param.rob;
+    return os.str();
+}
+
+class ConfigSweepTest : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    CoreConfig
+    config() const
+    {
+        CoreConfig c;
+        c.out_of_order = GetParam().ooo;
+        c.issue_width = GetParam().width;
+        c.pipeline_depth = GetParam().depth;
+        c.rob_size = GetParam().rob;
+        c.snapshot_words = 0;
+        return c;
+    }
+};
+
+TEST_P(ConfigSweepTest, FunctionalResultIndependentOfTiming)
+{
+    const auto p = checksumProgram();
+    const auto regions = eddie::prog::analyzeProgram(p);
+    MemoryImage img;
+    std::vector<std::int64_t> data(4000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = std::int64_t(i * 2654435761u % 997);
+    img.emplace_back(64, data);
+
+    // Reference: simple in-order machine.
+    CoreConfig ref_cfg;
+    ref_cfg.issue_width = 1;
+    ref_cfg.schedule_jitter = 0.0;
+    Core ref_core(ref_cfg);
+    const auto ref = ref_core.run(p, regions, img);
+
+    Core core(config());
+    const auto rr = core.run(p, regions, img, {}, 99);
+    EXPECT_EQ(rr.final_regs, ref.final_regs);
+    EXPECT_EQ(rr.stats.instructions, ref.stats.instructions);
+}
+
+TEST_P(ConfigSweepTest, InjectionNeverAltersArchitecturalState)
+{
+    const auto p = checksumProgram();
+    const auto regions = eddie::prog::analyzeProgram(p);
+    MemoryImage img;
+    img.emplace_back(64, std::vector<std::int64_t>(4000, 7));
+
+    Core core(config());
+    const auto clean = core.run(p, regions, img, {}, 5);
+
+    InjectionPlan plan;
+    plan.loops.push_back({0, canonicalLoopPayload(), 1.0});
+    BurstInjection burst;
+    burst.trigger_region = 0;
+    burst.total_ops = 20000;
+    plan.bursts.push_back(burst);
+    const auto injected = core.run(p, regions, img, plan, 5);
+
+    EXPECT_EQ(injected.final_regs, clean.final_regs);
+    EXPECT_EQ(injected.stats.instructions, clean.stats.instructions);
+    EXPECT_GT(injected.stats.injected_ops, 0u);
+}
+
+TEST_P(ConfigSweepTest, PowerTraceCoversWholeRun)
+{
+    const auto p = checksumProgram();
+    const auto regions = eddie::prog::analyzeProgram(p);
+    Core core(config());
+    const auto rr = core.run(p, regions, {});
+    ASSERT_FALSE(rr.power.empty());
+    // Samples * cycles/sample must cover the cycle count.
+    const auto cfg = config();
+    EXPECT_GE(rr.power.size() * cfg.cycles_per_sample +
+                  cfg.cycles_per_sample,
+              rr.stats.cycles);
+    EXPECT_EQ(rr.power.size(), rr.region.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, ConfigSweepTest,
+    ::testing::Values(SweepParam{false, 1, 4, 32},
+                      SweepParam{false, 2, 8, 32},
+                      SweepParam{false, 4, 12, 32},
+                      SweepParam{true, 1, 8, 32},
+                      SweepParam{true, 2, 8, 64},
+                      SweepParam{true, 4, 12, 128},
+                      SweepParam{true, 4, 20, 192}),
+    paramName);
+
+} // namespace

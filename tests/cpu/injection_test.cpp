@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "prog/builder.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie::cpu;
+using eddie::prog::ProgramBuilder;
+
+/** Two sequential loops with inter-loop code between them. */
+eddie::prog::Program
+twoLoops(std::int64_t iters)
+{
+    ProgramBuilder b;
+    b.li(0, 0);
+    b.li(1, 0);
+    b.li(2, iters);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.addi(3, 3, 1);
+    b.xor_(4, 3, 1);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l0);
+    b.nop();
+    b.nop();
+    b.li(1, 0);
+    auto l1 = b.newLabel();
+    b.bind(l1);
+    b.addi(5, 5, 1);
+    b.xor_(6, 5, 1);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l1);
+    b.halt();
+    return b.take();
+}
+
+CoreConfig
+cfg()
+{
+    CoreConfig c;
+    c.schedule_jitter = 0.0;
+    return c;
+}
+
+TEST(InjectionTest, LoopInjectionAddsWork)
+{
+    const auto p = twoLoops(20000);
+    const auto regions = eddie::prog::analyzeProgram(p);
+
+    Core core(cfg());
+    const auto clean = core.run(p, regions, {});
+
+    InjectionPlan plan;
+    LoopInjection li;
+    li.loop_region = 0;
+    li.ops = canonicalLoopPayload();
+    li.contamination = 1.0;
+    plan.loops.push_back(li);
+    const auto injected = core.run(p, regions, {}, plan);
+
+    EXPECT_EQ(injected.stats.instructions, clean.stats.instructions);
+    EXPECT_NEAR(double(injected.stats.injected_ops), 8.0 * 20000.0,
+                16.0);
+    EXPECT_GT(injected.stats.cycles, clean.stats.cycles);
+}
+
+TEST(InjectionTest, ContaminationRateScalesInjectedOps)
+{
+    const auto p = twoLoops(20000);
+    const auto regions = eddie::prog::analyzeProgram(p);
+    Core core(cfg());
+
+    InjectionPlan plan;
+    LoopInjection li;
+    li.loop_region = 0;
+    li.ops = canonicalLoopPayload();
+    li.contamination = 0.25;
+    plan.loops.push_back(li);
+    const auto rr = core.run(p, regions, {}, plan, 7);
+    const double expected = 8.0 * 20000.0 * 0.25;
+    EXPECT_NEAR(double(rr.stats.injected_ops), expected,
+                expected * 0.15);
+}
+
+TEST(InjectionTest, InjectedSamplesFlagged)
+{
+    const auto p = twoLoops(20000);
+    const auto regions = eddie::prog::analyzeProgram(p);
+    Core core(cfg());
+
+    InjectionPlan plan;
+    LoopInjection li;
+    li.loop_region = 1; // only the second loop
+    li.ops = canonicalLoopPayload();
+    plan.loops.push_back(li);
+    const auto rr = core.run(p, regions, {}, plan);
+
+    // Injected flags must appear only while region 1 executes.
+    bool any = false;
+    for (std::size_t i = 0; i < rr.injected.size(); ++i) {
+        if (rr.injected[i]) {
+            any = true;
+            EXPECT_EQ(rr.region[i], 1u) << "sample " << i;
+        }
+    }
+    EXPECT_TRUE(any);
+}
+
+TEST(InjectionTest, BurstFiresOnceAtRegionExit)
+{
+    const auto p = twoLoops(20000);
+    const auto regions = eddie::prog::analyzeProgram(p);
+    Core core(cfg());
+
+    InjectionPlan plan;
+    BurstInjection burst;
+    burst.trigger_region = regions.transitionId(0, 1);
+    burst.total_ops = 50000;
+    plan.bursts.push_back(burst);
+    const auto rr = core.run(p, regions, {}, plan);
+    EXPECT_EQ(rr.stats.injected_ops, 50000u);
+
+    // The burst samples form one contiguous blob after loop 0.
+    std::size_t first = rr.injected.size(), last = 0;
+    for (std::size_t i = 0; i < rr.injected.size(); ++i) {
+        if (rr.injected[i]) {
+            first = std::min(first, i);
+            last = i;
+        }
+    }
+    ASSERT_LT(first, rr.injected.size());
+    // Near-contiguity: cache-missing burst ops stall the in-order
+    // pipe, so marks can be up to a miss-latency apart, but the
+    // burst must form one dense blob (no large gaps).
+    std::size_t prev = first;
+    for (std::size_t i = first + 1; i <= last; ++i) {
+        if (rr.injected[i]) {
+            EXPECT_LE(i - prev, 16u) << "gap at " << i;
+            prev = i;
+        }
+    }
+    // The blob is reasonably dense overall.
+    std::size_t count = 0;
+    for (std::size_t i = first; i <= last; ++i)
+        count += rr.injected[i];
+    EXPECT_GT(double(count) / double(last - first + 1), 0.3);
+}
+
+TEST(InjectionTest, OffChipPayloadSlowerThanOnChip)
+{
+    const auto p = twoLoops(20000);
+    const auto regions = eddie::prog::analyzeProgram(p);
+    Core core(cfg());
+
+    InjectionPlan on;
+    on.loops.push_back({0, onChipPayload(), 1.0});
+    InjectionPlan off;
+    off.loops.push_back({0, offChipPayload(), 1.0});
+    const auto rr_on = core.run(p, regions, {}, on);
+    const auto rr_off = core.run(p, regions, {}, off);
+    EXPECT_GT(rr_off.stats.cycles, rr_on.stats.cycles);
+    EXPECT_GT(rr_off.stats.l1_misses, rr_on.stats.l1_misses);
+}
+
+TEST(InjectionTest, PayloadFactories)
+{
+    EXPECT_EQ(canonicalLoopPayload().size(), 8u);
+    EXPECT_EQ(storeAddPayload(6).size(), 6u);
+    EXPECT_EQ(onChipPayload().size(), 8u);
+    for (auto op : onChipPayload())
+        EXPECT_EQ(op, InjectedOp::Add);
+    std::size_t misses = 0;
+    for (auto op : offChipPayload())
+        if (op == InjectedOp::StoreMiss)
+            ++misses;
+    EXPECT_EQ(misses, 4u);
+}
+
+TEST(InjectionTest, BadLoopRegionThrows)
+{
+    const auto p = twoLoops(100);
+    const auto regions = eddie::prog::analyzeProgram(p);
+    Core core(cfg());
+    InjectionPlan plan;
+    plan.loops.push_back({99, onChipPayload(), 1.0});
+    EXPECT_THROW(core.run(p, regions, {}, plan), std::out_of_range);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "em/emanation.h"
+#include "sig/fft.h"
+#include "sig/stft.h"
+
+namespace
+{
+
+using namespace eddie::em;
+using eddie::sig::Complex;
+
+std::vector<double>
+periodicEnvelope(std::size_t n, double freq, double fs)
+{
+    std::vector<double> env(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        env[i] = 5.0 +
+            std::sin(2.0 * std::numbers::pi * freq * double(i) / fs);
+    }
+    return env;
+}
+
+TEST(EmanationTest, BasebandPreservesLoopFrequency)
+{
+    const double fs = 1e6;
+    const double f_loop = 50e3;
+    const auto env = periodicEnvelope(32768, f_loop, fs);
+
+    ChannelConfig cfg;
+    cfg.snr_db = 300.0; // noiseless
+    const auto iq = emanateBaseband(env, fs, cfg);
+    ASSERT_EQ(iq.size(), env.size());
+
+    std::vector<Complex> chunk(iq.begin(), iq.begin() + 16384);
+    eddie::sig::fft(chunk);
+    const auto bin = eddie::sig::frequencyToBin(f_loop, chunk.size(), fs);
+    const auto far = eddie::sig::frequencyToBin(200e3, chunk.size(), fs);
+    EXPECT_GT(std::norm(chunk[bin]), 1000.0 * std::norm(chunk[far]));
+}
+
+TEST(EmanationTest, NoiseLowersButKeepsPeak)
+{
+    const double fs = 1e6;
+    const double f_loop = 50e3;
+    const auto env = periodicEnvelope(32768, f_loop, fs);
+
+    ChannelConfig cfg;
+    cfg.snr_db = 10.0;
+    const auto iq = emanateBaseband(env, fs, cfg, 99);
+
+    std::vector<Complex> chunk(iq.begin(), iq.begin() + 16384);
+    eddie::sig::fft(chunk);
+    const auto bin = eddie::sig::frequencyToBin(f_loop, chunk.size(), fs);
+    double floor = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 100; i < 8000; ++i) {
+        if (i + 16 > bin && i < bin + 16)
+            continue;
+        floor += std::norm(chunk[i]);
+        ++count;
+    }
+    floor /= double(count);
+    EXPECT_GT(std::norm(chunk[bin]), 20.0 * floor);
+}
+
+TEST(EmanationTest, InterfererAppearsAtOffset)
+{
+    const double fs = 1e6;
+    const auto env = periodicEnvelope(32768, 50e3, fs);
+
+    ChannelConfig cfg;
+    cfg.snr_db = 300.0;
+    cfg.interferers.push_back({120e3, 0.8});
+    const auto iq = emanateBaseband(env, fs, cfg, 5);
+
+    std::vector<Complex> chunk(iq.begin(), iq.begin() + 16384);
+    eddie::sig::fft(chunk);
+    const auto bin = eddie::sig::frequencyToBin(120e3, chunk.size(), fs);
+    const auto far = eddie::sig::frequencyToBin(200e3, chunk.size(), fs);
+    EXPECT_GT(std::norm(chunk[bin]), 1000.0 * std::norm(chunk[far]));
+}
+
+TEST(EmanationTest, PassbandChainShowsSidebands)
+{
+    // Full physical chain at a scaled carrier (the Fig. 1 demo).
+    auto cfg = defaultPassbandConfig();
+    cfg.channel.snr_db = 40.0;
+
+    const double env_rate = 10e6;
+    const double f_loop = 500e3;
+    std::vector<double> env(std::size_t(env_rate * 0.004));
+    for (std::size_t i = 0; i < env.size(); ++i) {
+        env[i] = 3.0 + std::sin(2.0 * std::numbers::pi * f_loop *
+                                double(i) / env_rate);
+    }
+    const auto iq = passbandCapture(env, env_rate, cfg, 3);
+    ASSERT_GT(iq.size(), 8192u);
+
+    std::vector<Complex> chunk(iq.begin() + 512, iq.begin() + 512 + 8192);
+    eddie::sig::fft(chunk);
+    const double fs_iq = cfg.am.sample_rate / double(cfg.rx.decimation);
+    const auto up = eddie::sig::frequencyToBin(f_loop, chunk.size(),
+                                               fs_iq);
+    const auto dn = eddie::sig::frequencyToBin(-f_loop, chunk.size(),
+                                               fs_iq);
+    const auto far = eddie::sig::frequencyToBin(1.7e6, chunk.size(),
+                                                fs_iq);
+    EXPECT_GT(std::norm(chunk[up]), 30.0 * std::norm(chunk[far]));
+    EXPECT_GT(std::norm(chunk[dn]), 30.0 * std::norm(chunk[far]));
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "inject/scenarios.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace eddie;
+
+class ScenariosTest : public ::testing::Test
+{
+  protected:
+    workloads::Workload w = workloads::makeWorkload("bitcount", 0.1);
+};
+
+TEST_F(ScenariosTest, DefaultTargetIsValidLoopRegion)
+{
+    const auto target = inject::defaultTargetLoop(w);
+    EXPECT_LT(target, w.regions.num_loops);
+}
+
+TEST_F(ScenariosTest, ShellBurstTriggersOnExitTransition)
+{
+    const auto plan = inject::shellBurst(w, 0, 1, 42);
+    ASSERT_EQ(plan.bursts.size(), 1u);
+    EXPECT_EQ(plan.bursts[0].total_ops, 476'000u);
+    const auto &trigger = w.regions.regions[plan.bursts[0].trigger_region];
+    EXPECT_EQ(trigger.kind, prog::Region::Kind::Transition);
+    EXPECT_EQ(trigger.from_loop, 0u);
+}
+
+TEST_F(ScenariosTest, LoopPayloadSizesAndContamination)
+{
+    const auto plan = inject::loopPayload(1, 6, 0.3, 7);
+    ASSERT_EQ(plan.loops.size(), 1u);
+    EXPECT_EQ(plan.loops[0].loop_region, 1u);
+    EXPECT_EQ(plan.loops[0].ops.size(), 6u);
+    EXPECT_DOUBLE_EQ(plan.loops[0].contamination, 0.3);
+    EXPECT_EQ(plan.seed, 7u);
+}
+
+TEST_F(ScenariosTest, CanonicalInjectionIsHalfIntHalfMemory)
+{
+    const auto plan = inject::canonicalLoopInjection(0);
+    ASSERT_EQ(plan.loops.size(), 1u);
+    const auto &ops = plan.loops[0].ops;
+    ASSERT_EQ(ops.size(), 8u);
+    std::size_t memory = 0;
+    for (auto op : ops) {
+        if (op == cpu::InjectedOp::Load ||
+            op == cpu::InjectedOp::StoreHit ||
+            op == cpu::InjectedOp::StoreMiss) {
+            ++memory;
+        }
+    }
+    EXPECT_EQ(memory, 4u);
+}
+
+TEST_F(ScenariosTest, MixVariantsDiffer)
+{
+    const auto on = inject::onChipLoopInjection(0);
+    const auto off = inject::offChipLoopInjection(0);
+    for (auto op : on.loops[0].ops)
+        EXPECT_EQ(op, cpu::InjectedOp::Add);
+    std::size_t misses = 0;
+    for (auto op : off.loops[0].ops)
+        misses += op == cpu::InjectedOp::StoreMiss;
+    EXPECT_EQ(misses, 4u);
+}
+
+TEST_F(ScenariosTest, BurstOfSizeUsesOnChipBody)
+{
+    const auto plan = inject::burstOfSize(w, 1, 250'000, 2, 9);
+    ASSERT_EQ(plan.bursts.size(), 1u);
+    EXPECT_EQ(plan.bursts[0].total_ops, 250'000u);
+    EXPECT_EQ(plan.bursts[0].occurrence, 2u);
+    for (auto op : plan.bursts[0].body)
+        EXPECT_EQ(op, cpu::InjectedOp::Add);
+}
+
+TEST_F(ScenariosTest, PlansExecuteOnEveryWorkload)
+{
+    // Every workload accepts its default-target plans end to end.
+    for (const auto &name : workloads::workloadNames()) {
+        auto wl = workloads::makeWorkload(name, 0.08);
+        const auto target = inject::defaultTargetLoop(wl);
+        cpu::CoreConfig cfg;
+        cfg.max_instructions = 40'000'000;
+        cpu::Core core(cfg);
+        const auto rr = core.run(
+            wl.program, wl.regions, wl.make_input(1),
+            inject::canonicalLoopInjection(target, 0.5, 3), 3);
+        EXPECT_GT(rr.stats.injected_ops, 0u) << name;
+    }
+}
+
+} // namespace

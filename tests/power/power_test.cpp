@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "power/energy_model.h"
+#include "power/power_trace.h"
+
+namespace
+{
+
+using namespace eddie::power;
+
+TEST(EnergyModelTest, CacheEnergyScalesWithSize)
+{
+    EnergyParams params;
+    EnergyModel small(params, 16 * 1024, 128 * 1024, 8);
+    EnergyModel large(params, 64 * 1024, 512 * 1024, 8);
+    EXPECT_LT(small.eventEnergy(Event::L1Access),
+              large.eventEnergy(Event::L1Access));
+    EXPECT_LT(small.eventEnergy(Event::L2Access),
+              large.eventEnergy(Event::L2Access));
+    // Reference sizes reproduce the reference energies.
+    EnergyModel ref(params, 32 * 1024, 256 * 1024, 8);
+    EXPECT_NEAR(ref.eventEnergy(Event::L1Access), params.l1_ref, 1e-12);
+}
+
+TEST(EnergyModelTest, FlushScalesWithDepth)
+{
+    EnergyParams params;
+    EnergyModel shallow(params, 32 * 1024, 256 * 1024, 4);
+    EnergyModel deep(params, 32 * 1024, 256 * 1024, 16);
+    EXPECT_NEAR(deep.eventEnergy(Event::PipelineFlush),
+                4.0 * shallow.eventEnergy(Event::PipelineFlush), 1e-12);
+}
+
+TEST(EnergyModelTest, EventOrdering)
+{
+    EnergyParams params;
+    EnergyModel m(params, 32 * 1024, 256 * 1024, 8);
+    EXPECT_LT(m.eventEnergy(Event::AluOp), m.eventEnergy(Event::MulOp));
+    EXPECT_LT(m.eventEnergy(Event::MulOp), m.eventEnergy(Event::DivOp));
+    EXPECT_LT(m.eventEnergy(Event::L1Access),
+              m.eventEnergy(Event::L2Access));
+    EXPECT_LT(m.eventEnergy(Event::L2Access),
+              m.eventEnergy(Event::DramAccess));
+}
+
+TEST(PowerTraceTest, DepositsIntoBuckets)
+{
+    PowerTrace t(10, 1000.0);
+    t.deposit(5, 1.0);
+    t.deposit(9, 2.0);
+    t.deposit(10, 4.0);
+    t.finalize(25, 0.0);
+    ASSERT_EQ(t.samples().size(), 3u);
+    EXPECT_DOUBLE_EQ(t.samples()[0], 3.0);
+    EXPECT_DOUBLE_EQ(t.samples()[1], 4.0);
+    EXPECT_DOUBLE_EQ(t.samples()[2], 0.0);
+}
+
+TEST(PowerTraceTest, BaselineAddedUniformly)
+{
+    PowerTrace t(20, 1000.0);
+    t.deposit(0, 1.0);
+    t.finalize(100, 0.5);
+    for (double s : t.samples())
+        EXPECT_GE(s, 0.5 * 20.0);
+    EXPECT_DOUBLE_EQ(t.samples()[0], 1.0 + 10.0);
+}
+
+TEST(PowerTraceTest, SampleRate)
+{
+    PowerTrace t(20, 200e6);
+    EXPECT_DOUBLE_EQ(t.sampleRate(), 10e6);
+    EXPECT_EQ(t.sampleOf(19), 0u);
+    EXPECT_EQ(t.sampleOf(20), 1u);
+}
+
+TEST(PowerTraceTest, BadArgsThrow)
+{
+    EXPECT_THROW(PowerTrace(0, 100.0), std::invalid_argument);
+    EXPECT_THROW(PowerTrace(10, 0.0), std::invalid_argument);
+}
+
+} // namespace

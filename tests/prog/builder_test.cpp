@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "prog/builder.h"
+
+namespace
+{
+
+using namespace eddie::prog;
+
+TEST(BuilderTest, EmitsInstructions)
+{
+    ProgramBuilder b("t");
+    b.li(1, 42);
+    b.add(2, 1, 1);
+    b.halt();
+    const auto p = b.take();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.code[0].op, Opcode::Li);
+    EXPECT_EQ(p.code[0].imm, 42);
+    EXPECT_EQ(p.code[1].op, Opcode::Add);
+    EXPECT_EQ(p.code[2].op, Opcode::Halt);
+    EXPECT_EQ(p.name, "t");
+}
+
+TEST(BuilderTest, BackwardBranchTarget)
+{
+    ProgramBuilder b;
+    b.li(1, 0);
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.addi(1, 1, 1);
+    b.li(2, 10);
+    b.blt(1, 2, loop);
+    b.halt();
+    const auto p = b.take();
+    EXPECT_EQ(p.code[3].op, Opcode::Blt);
+    EXPECT_EQ(p.code[3].imm, 1); // the bound position
+}
+
+TEST(BuilderTest, ForwardBranchPatched)
+{
+    ProgramBuilder b;
+    auto skip = b.newLabel();
+    b.jmp(skip);
+    b.nop();
+    b.nop();
+    b.bind(skip);
+    b.halt();
+    const auto p = b.take();
+    EXPECT_EQ(p.code[0].imm, 3);
+}
+
+TEST(BuilderTest, UnboundLabelThrows)
+{
+    ProgramBuilder b;
+    auto l = b.newLabel();
+    b.jmp(l);
+    EXPECT_THROW(b.take(), std::logic_error);
+}
+
+TEST(BuilderTest, DoubleBindThrows)
+{
+    ProgramBuilder b;
+    auto l = b.newLabel();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), std::logic_error);
+}
+
+TEST(BuilderTest, HereTracksPosition)
+{
+    ProgramBuilder b;
+    EXPECT_EQ(b.here(), 0u);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(b.here(), 2u);
+}
+
+TEST(ProgramTest, DisassembleRoundTripNames)
+{
+    Instr i;
+    i.op = Opcode::Ld;
+    i.rd = 3;
+    i.rs1 = 4;
+    i.imm = 16;
+    EXPECT_EQ(disassemble(i), "ld r3, [r4+16]");
+    i.op = Opcode::Beq;
+    i.rs1 = 1;
+    i.rs2 = 2;
+    i.imm = 7;
+    EXPECT_EQ(disassemble(i), "beq r1, r2, 7");
+}
+
+TEST(ProgramTest, OpcodeClassification)
+{
+    EXPECT_TRUE(isControl(Opcode::Jmp));
+    EXPECT_TRUE(isControl(Opcode::Blt));
+    EXPECT_FALSE(isControl(Opcode::Add));
+    EXPECT_TRUE(isConditionalBranch(Opcode::Beq));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jmp));
+    EXPECT_TRUE(isMemory(Opcode::Ld));
+    EXPECT_TRUE(isMemory(Opcode::St));
+    EXPECT_FALSE(isMemory(Opcode::Mul));
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "prog/builder.h"
+#include "prog/cfg.h"
+
+namespace
+{
+
+using namespace eddie::prog;
+
+Program
+simpleLoop()
+{
+    // li; loop: addi; blt -> loop; halt
+    ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 10);
+    auto loop = b.newLabel();
+    b.bind(loop);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, loop);
+    b.halt();
+    return b.take();
+}
+
+TEST(CfgTest, SimpleLoopBlocks)
+{
+    const auto p = simpleLoop();
+    const auto cfg = buildCfg(p);
+    // Blocks: [li,li], [addi,blt], [halt].
+    ASSERT_EQ(cfg.numBlocks(), 3u);
+    EXPECT_EQ(cfg.blocks[0].first, 0u);
+    EXPECT_EQ(cfg.blocks[0].last, 2u);
+    EXPECT_EQ(cfg.blocks[1].first, 2u);
+    EXPECT_EQ(cfg.blocks[1].last, 4u);
+    EXPECT_EQ(cfg.blocks[2].first, 4u);
+
+    // Edges: 0->1, 1->1 (back edge), 1->2.
+    EXPECT_EQ(cfg.blocks[0].succs, std::vector<std::size_t>{1});
+    ASSERT_EQ(cfg.blocks[1].succs.size(), 2u);
+    EXPECT_TRUE(cfg.blocks[2].succs.empty()); // halt
+}
+
+TEST(CfgTest, BlockOfInstrMapping)
+{
+    const auto p = simpleLoop();
+    const auto cfg = buildCfg(p);
+    EXPECT_EQ(cfg.block_of_instr[0], 0u);
+    EXPECT_EQ(cfg.block_of_instr[2], 1u);
+    EXPECT_EQ(cfg.block_of_instr[4], 2u);
+}
+
+TEST(CfgTest, DiamondControlFlow)
+{
+    ProgramBuilder b;
+    auto els = b.newLabel();
+    auto join = b.newLabel();
+    b.beq(1, 2, els); // block 0
+    b.nop();          // block 1 (then)
+    b.jmp(join);
+    b.bind(els);
+    b.nop(); // block 2 (else)
+    b.bind(join);
+    b.halt(); // block 3
+    const auto p = b.take();
+    const auto cfg = buildCfg(p);
+    ASSERT_EQ(cfg.numBlocks(), 4u);
+    // Entry branches to blocks 1 and 2; both reach 3.
+    EXPECT_EQ(cfg.blocks[0].succs.size(), 2u);
+    EXPECT_EQ(cfg.blocks[3].preds.size(), 2u);
+}
+
+TEST(CfgTest, BranchTargetOutOfRangeThrows)
+{
+    Program p;
+    Instr i;
+    i.op = Opcode::Jmp;
+    i.imm = 100;
+    p.code.push_back(i);
+    EXPECT_THROW(buildCfg(p), std::out_of_range);
+}
+
+TEST(CfgTest, EmptyProgram)
+{
+    Program p;
+    const auto cfg = buildCfg(p);
+    EXPECT_EQ(cfg.numBlocks(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "prog/builder.h"
+#include "prog/cfg.h"
+#include "prog/loops.h"
+
+namespace
+{
+
+using namespace eddie::prog;
+
+Program
+nestedLoops()
+{
+    // for i { for j { body } }  then halt
+    ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 4);
+    auto outer = b.newLabel();
+    b.bind(outer);
+    b.li(3, 0);
+    auto inner = b.newLabel();
+    b.bind(inner);
+    b.addi(3, 3, 1);
+    b.blt(3, 2, inner);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, outer);
+    b.halt();
+    return b.take();
+}
+
+Program
+sequentialLoops()
+{
+    ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 4);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l0);
+    b.li(1, 0);
+    auto l1 = b.newLabel();
+    b.bind(l1);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l1);
+    b.halt();
+    return b.take();
+}
+
+TEST(LoopsTest, DominatorsOfStraightLine)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.halt();
+    const auto cfg = buildCfg(b.take());
+    const auto idom = immediateDominators(cfg);
+    EXPECT_EQ(idom[0], 0u);
+    EXPECT_TRUE(dominates(idom, 0, 0));
+}
+
+TEST(LoopsTest, NestedLoopsDetected)
+{
+    const auto p = nestedLoops();
+    const auto cfg = buildCfg(p);
+    const auto loops = findLoops(cfg);
+    ASSERT_EQ(loops.size(), 2u);
+    // Parents precede children; outer first.
+    EXPECT_EQ(loops[0].parent, Loop::npos);
+    EXPECT_EQ(loops[0].depth, 0u);
+    EXPECT_EQ(loops[1].parent, 0u);
+    EXPECT_EQ(loops[1].depth, 1u);
+    // The inner loop's blocks are a subset of the outer's.
+    for (std::size_t blk : loops[1].blocks) {
+        EXPECT_TRUE(std::binary_search(loops[0].blocks.begin(),
+                                       loops[0].blocks.end(), blk));
+    }
+}
+
+TEST(LoopsTest, SequentialLoopsAreSiblings)
+{
+    const auto cfg = buildCfg(sequentialLoops());
+    const auto loops = findLoops(cfg);
+    ASSERT_EQ(loops.size(), 2u);
+    EXPECT_EQ(loops[0].parent, Loop::npos);
+    EXPECT_EQ(loops[1].parent, Loop::npos);
+}
+
+TEST(LoopsTest, NoLoopsInAcyclicProgram)
+{
+    ProgramBuilder b;
+    auto skip = b.newLabel();
+    b.beq(1, 2, skip);
+    b.nop();
+    b.bind(skip);
+    b.halt();
+    const auto cfg = buildCfg(b.take());
+    EXPECT_TRUE(findLoops(cfg).empty());
+}
+
+TEST(LoopsTest, DominatorsInLoop)
+{
+    const auto cfg = buildCfg(nestedLoops());
+    const auto idom = immediateDominators(cfg);
+    // Entry dominates everything reachable.
+    for (std::size_t b = 0; b < cfg.numBlocks(); ++b)
+        EXPECT_TRUE(dominates(idom, 0, b)) << "block " << b;
+}
+
+} // namespace

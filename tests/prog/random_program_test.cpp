@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Property tests of the program analyses over randomly generated
+ * structured programs: CFG partition invariants, dominator sanity,
+ * loop-forest containment, and region state-machine consistency.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "prog/builder.h"
+#include "prog/cfg.h"
+#include "prog/loops.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie::prog;
+
+/**
+ * Generates a random structured program: a sequence of loop nests
+ * (depth 1-3) with optional if/else diamonds in the bodies.
+ */
+Program
+randomProgram(std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> nests(1, 5);
+    std::uniform_int_distribution<int> depth_d(1, 3);
+    std::uniform_int_distribution<int> body_d(1, 6);
+    std::bernoulli_distribution diamond(0.4);
+
+    ProgramBuilder b;
+    b.li(0, 0);
+    const int num_nests = nests(rng);
+    for (int nest = 0; nest < num_nests; ++nest) {
+        const int depth = depth_d(rng);
+        std::vector<Label> headers;
+        std::vector<int> counters;
+        for (int d = 0; d < depth; ++d) {
+            const int reg = 1 + d;
+            b.li(reg, 0);
+            auto head = b.newLabel();
+            b.bind(head);
+            headers.push_back(head);
+            counters.push_back(reg);
+        }
+        // Innermost body.
+        for (int i = 0, n = body_d(rng); i < n; ++i)
+            b.addi(10, 10, 1);
+        if (diamond(rng)) {
+            auto els = b.newLabel();
+            auto join = b.newLabel();
+            b.beq(10, 0, els);
+            b.addi(11, 11, 1);
+            b.jmp(join);
+            b.bind(els);
+            b.addi(12, 12, 1);
+            b.bind(join);
+        }
+        // Close the loops, innermost first.
+        b.li(20, 3);
+        for (int d = depth - 1; d >= 0; --d) {
+            b.addi(counters[d], counters[d], 1);
+            b.blt(counters[d], 20, headers[d]);
+        }
+        // Some inter-nest code.
+        b.addi(13, 13, 1);
+    }
+    b.halt();
+    return b.take();
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomProgramTest, CfgPartitionsInstructions)
+{
+    const auto p = randomProgram(std::uint64_t(GetParam()));
+    const auto cfg = buildCfg(p);
+    ASSERT_EQ(cfg.block_of_instr.size(), p.size());
+    // Every instruction belongs to exactly the block covering it.
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        const auto b = cfg.block_of_instr[i];
+        ASSERT_LT(b, cfg.numBlocks());
+        EXPECT_GE(i, cfg.blocks[b].first);
+        EXPECT_LT(i, cfg.blocks[b].last);
+    }
+    // Blocks tile the program without gaps.
+    std::size_t pos = 0;
+    for (const auto &blk : cfg.blocks) {
+        EXPECT_EQ(blk.first, pos);
+        pos = blk.last;
+    }
+    EXPECT_EQ(pos, p.size());
+}
+
+TEST_P(RandomProgramTest, EdgesAreSymmetric)
+{
+    const auto cfg = buildCfg(randomProgram(std::uint64_t(GetParam())));
+    for (std::size_t b = 0; b < cfg.numBlocks(); ++b) {
+        for (std::size_t s : cfg.blocks[b].succs) {
+            const auto &preds = cfg.blocks[s].preds;
+            EXPECT_NE(std::find(preds.begin(), preds.end(), b),
+                      preds.end())
+                << "edge " << b << "->" << s << " missing back link";
+        }
+    }
+}
+
+TEST_P(RandomProgramTest, EntryDominatesReachableBlocks)
+{
+    const auto cfg = buildCfg(randomProgram(std::uint64_t(GetParam())));
+    const auto idom = immediateDominators(cfg);
+    for (std::size_t b = 0; b < cfg.numBlocks(); ++b) {
+        if (idom[b] == std::size_t(-1))
+            continue; // unreachable
+        EXPECT_TRUE(dominates(idom, 0, b));
+    }
+}
+
+TEST_P(RandomProgramTest, LoopForestContainment)
+{
+    const auto cfg = buildCfg(randomProgram(std::uint64_t(GetParam())));
+    const auto loops = findLoops(cfg);
+    for (const auto &l : loops) {
+        // Header inside its own loop.
+        EXPECT_TRUE(std::binary_search(l.blocks.begin(),
+                                       l.blocks.end(), l.header));
+        // Child blocks are a subset of the parent's.
+        if (l.parent != Loop::npos) {
+            const auto &pb = loops[l.parent].blocks;
+            for (std::size_t blk : l.blocks) {
+                EXPECT_TRUE(std::binary_search(pb.begin(), pb.end(),
+                                               blk));
+            }
+            EXPECT_EQ(l.depth, loops[l.parent].depth + 1);
+        } else {
+            EXPECT_EQ(l.depth, 0u);
+        }
+    }
+}
+
+TEST_P(RandomProgramTest, RegionMachineConsistent)
+{
+    const auto p = randomProgram(std::uint64_t(GetParam()));
+    const auto rg = analyzeProgram(p);
+    // Loop regions precede transitions; successors well-formed.
+    for (std::size_t r = 0; r < rg.regions.size(); ++r) {
+        const auto &region = rg.regions[r];
+        if (r < rg.num_loops) {
+            EXPECT_EQ(region.kind, Region::Kind::Loop);
+            EXPECT_LT(region.header_instr, p.size());
+            EXPECT_LT(region.hot_header_instr, p.size());
+            // Loop successors are transitions out of this loop.
+            for (std::size_t s : region.succs) {
+                EXPECT_GE(s, rg.num_loops);
+                EXPECT_EQ(rg.regions[s].from_loop, r);
+            }
+        } else {
+            EXPECT_EQ(region.kind, Region::Kind::Transition);
+            for (std::size_t s : region.succs) {
+                EXPECT_LT(s, rg.num_loops);
+                EXPECT_EQ(region.to_loop, s);
+            }
+        }
+    }
+    // Every instruction's loop region is a valid loop id or none.
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        const auto r = rg.loopRegionOf(i);
+        EXPECT_TRUE(r == kNoRegion || r < rg.num_loops);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range(1, 21));
+
+} // namespace

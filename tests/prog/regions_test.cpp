@@ -1,0 +1,108 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "prog/builder.h"
+#include "prog/regions.h"
+
+namespace
+{
+
+using namespace eddie::prog;
+
+Program
+twoLoopProgram()
+{
+    ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 8);
+    auto l0 = b.newLabel();
+    b.bind(l0);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l0);
+    b.nop(); // inter-loop code
+    b.nop();
+    b.li(1, 0);
+    auto l1 = b.newLabel();
+    b.bind(l1);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, l1);
+    b.halt();
+    return b.take();
+}
+
+TEST(RegionsTest, TwoLoopStateMachine)
+{
+    const auto p = twoLoopProgram();
+    const auto rg = analyzeProgram(p);
+    EXPECT_EQ(rg.num_loops, 2u);
+    // Transitions: entry->L0, L0->L1, L1->exit.
+    EXPECT_NE(rg.transitionId(kBoundary, 0), kNoRegion);
+    EXPECT_NE(rg.transitionId(0, 1), kNoRegion);
+    EXPECT_NE(rg.transitionId(1, kBoundary), kNoRegion);
+    EXPECT_EQ(rg.transitionId(1, 0), kNoRegion);
+
+    // Loop successors point at transitions, transitions at loops.
+    const auto t01 = rg.transitionId(0, 1);
+    const auto &l0 = rg.regions[0];
+    EXPECT_NE(std::find(l0.succs.begin(), l0.succs.end(), t01),
+              l0.succs.end());
+    const auto &t = rg.regions[t01];
+    ASSERT_EQ(t.succs.size(), 1u);
+    EXPECT_EQ(t.succs[0], 1u);
+}
+
+TEST(RegionsTest, InstructionMapping)
+{
+    const auto p = twoLoopProgram();
+    const auto rg = analyzeProgram(p);
+    // Instructions 2,3 form loop 0's body; 4,5 are inter-loop nops.
+    EXPECT_EQ(rg.loopRegionOf(2), 0u);
+    EXPECT_EQ(rg.loopRegionOf(3), 0u);
+    EXPECT_EQ(rg.loopRegionOf(4), kNoRegion);
+    EXPECT_EQ(rg.loopRegionOf(5), kNoRegion);
+    EXPECT_EQ(rg.loopRegionOf(7), 1u);
+    // Out-of-range queries are safe.
+    EXPECT_EQ(rg.loopRegionOf(9999), kNoRegion);
+}
+
+TEST(RegionsTest, HeaderInstructions)
+{
+    const auto p = twoLoopProgram();
+    const auto rg = analyzeProgram(p);
+    EXPECT_EQ(rg.regions[0].header_instr, 2u);
+    EXPECT_EQ(rg.regions[0].hot_header_instr, 2u);
+    EXPECT_EQ(rg.regions[1].header_instr, 7u);
+}
+
+TEST(RegionsTest, NestedLoopsMergeIntoOneRegion)
+{
+    ProgramBuilder b;
+    b.li(1, 0);
+    b.li(2, 4);
+    auto outer = b.newLabel();
+    b.bind(outer);
+    b.li(3, 0);
+    auto inner = b.newLabel();
+    b.bind(inner);
+    b.addi(3, 3, 1);
+    b.blt(3, 2, inner);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, outer);
+    b.halt();
+    const auto rg = analyzeProgram(b.take());
+    EXPECT_EQ(rg.num_loops, 1u);
+    // Hot header is the inner loop's header.
+    EXPECT_EQ(rg.regions[0].header_instr, 2u);
+    EXPECT_EQ(rg.regions[0].hot_header_instr, 3u);
+}
+
+TEST(RegionsTest, LoopNamesAreStable)
+{
+    const auto rg = analyzeProgram(twoLoopProgram());
+    EXPECT_EQ(rg.regions[0].name, "L0");
+    EXPECT_EQ(rg.regions[1].name, "L1");
+    const auto t = rg.transitionId(0, 1);
+    EXPECT_EQ(rg.regions[t].name, "T(L0->L1)");
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sig/fft.h"
+
+namespace
+{
+
+using eddie::sig::Complex;
+
+std::vector<Complex>
+randomSignal(std::size_t n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    std::vector<Complex> x(n);
+    for (auto &v : x)
+        v = Complex(d(rng), d(rng));
+    return x;
+}
+
+/** O(n^2) reference DFT. */
+std::vector<Complex>
+naiveDft(const std::vector<Complex> &x)
+{
+    const std::size_t n = x.size();
+    std::vector<Complex> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex acc(0.0, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = -2.0 * std::numbers::pi *
+                double(j * k % n) / double(n);
+            acc += x[j] * Complex(std::cos(ang), std::sin(ang));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+TEST(FftTest, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(eddie::sig::isPowerOfTwo(1));
+    EXPECT_TRUE(eddie::sig::isPowerOfTwo(1024));
+    EXPECT_FALSE(eddie::sig::isPowerOfTwo(0));
+    EXPECT_FALSE(eddie::sig::isPowerOfTwo(1000));
+    EXPECT_EQ(eddie::sig::nextPowerOfTwo(1000), 1024u);
+    EXPECT_EQ(eddie::sig::nextPowerOfTwo(1024), 1024u);
+    EXPECT_EQ(eddie::sig::nextPowerOfTwo(1), 1u);
+}
+
+TEST(FftTest, MatchesNaiveDftPowerOfTwo)
+{
+    auto x = randomSignal(64, 1);
+    auto ref = naiveDft(x);
+    eddie::sig::fft(x);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(std::abs(x[i] - ref[i]), 0.0, 1e-9) << "bin " << i;
+}
+
+TEST(FftTest, MatchesNaiveDftNonPowerOfTwo)
+{
+    for (std::size_t n : {3u, 5u, 12u, 100u, 257u}) {
+        auto x = randomSignal(n, n);
+        auto ref = naiveDft(x);
+        eddie::sig::fft(x);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(std::abs(x[i] - ref[i]), 0.0, 1e-8)
+                << "n=" << n << " bin " << i;
+        }
+    }
+}
+
+TEST(FftTest, InverseRoundTrip)
+{
+    for (std::size_t n : {8u, 100u, 1024u}) {
+        auto x = randomSignal(n, 7 * n);
+        auto orig = x;
+        eddie::sig::fft(x);
+        eddie::sig::ifft(x);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-9);
+    }
+}
+
+TEST(FftTest, ParsevalEnergyConservation)
+{
+    auto x = randomSignal(256, 42);
+    double time_energy = 0.0;
+    for (const auto &v : x)
+        time_energy += std::norm(v);
+    eddie::sig::fft(x);
+    double freq_energy = 0.0;
+    for (const auto &v : x)
+        freq_energy += std::norm(v);
+    EXPECT_NEAR(freq_energy / double(x.size()), time_energy, 1e-6);
+}
+
+TEST(FftTest, SineLandsInExpectedBin)
+{
+    const std::size_t n = 1024;
+    const double fs = 1000.0;
+    const double f0 = fs * 100.0 / double(n); // exactly bin 100
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = std::sin(2.0 * std::numbers::pi * f0 * double(i) / fs);
+    }
+    auto spec = eddie::sig::fftReal(x);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i <= n / 2; ++i)
+        if (std::abs(spec[i]) > std::abs(spec[best]))
+            best = i;
+    EXPECT_EQ(best, 100u);
+}
+
+TEST(FftTest, BinFrequencyMapping)
+{
+    EXPECT_DOUBLE_EQ(eddie::sig::binToFrequency(0, 1024, 1000.0), 0.0);
+    EXPECT_NEAR(eddie::sig::binToFrequency(100, 1024, 1000.0),
+                97.65625, 1e-9);
+    // Upper half maps to negative frequencies.
+    EXPECT_LT(eddie::sig::binToFrequency(1000, 1024, 1000.0), 0.0);
+    // Round trip.
+    for (std::size_t bin : {1u, 100u, 512u, 1000u}) {
+        const double f = eddie::sig::binToFrequency(bin, 1024, 48000.0);
+        EXPECT_EQ(eddie::sig::frequencyToBin(f, 1024, 48000.0), bin);
+    }
+}
+
+TEST(FftTest, EmptyAndSingleElement)
+{
+    std::vector<Complex> empty;
+    eddie::sig::fft(empty); // must not crash
+    std::vector<Complex> one{Complex(3.0, -1.0)};
+    eddie::sig::fft(one);
+    EXPECT_NEAR(std::abs(one[0] - Complex(3.0, -1.0)), 0.0, 1e-12);
+}
+
+} // namespace

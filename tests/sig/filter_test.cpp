@@ -1,0 +1,103 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "sig/fft.h"
+#include "sig/filter.h"
+
+namespace
+{
+
+using eddie::sig::Complex;
+
+std::vector<double>
+tone(std::size_t n, double freq, double fs)
+{
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = std::cos(2.0 * std::numbers::pi * freq * double(i) / fs);
+    return x;
+}
+
+double
+rms(const std::vector<double> &x, std::size_t skip)
+{
+    double e = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = skip; i + skip < x.size(); ++i) {
+        e += x[i] * x[i];
+        ++count;
+    }
+    return count > 0 ? std::sqrt(e / double(count)) : 0.0;
+}
+
+TEST(FilterTest, LowPassUnityDcGain)
+{
+    const auto h = eddie::sig::designLowPass(100.0, 1000.0, 63);
+    double sum = 0.0;
+    for (double v : h)
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FilterTest, PassbandToneSurvivesStopbandToneDies)
+{
+    const double fs = 10000.0;
+    const auto h = eddie::sig::designLowPass(1000.0, fs, 101);
+
+    auto pass = eddie::sig::firFilter(tone(4096, 300.0, fs), h);
+    auto stop = eddie::sig::firFilter(tone(4096, 4000.0, fs), h);
+
+    EXPECT_GT(rms(pass, 128), 0.6);  // ~0.707 expected
+    EXPECT_LT(rms(stop, 128), 0.02); // heavily attenuated
+}
+
+TEST(FilterTest, DecimateKeepsEveryKth)
+{
+    std::vector<double> x{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    const auto y = eddie::sig::decimate(x, 3);
+    ASSERT_EQ(y.size(), 4u);
+    EXPECT_DOUBLE_EQ(y[0], 0.0);
+    EXPECT_DOUBLE_EQ(y[1], 3.0);
+    EXPECT_DOUBLE_EQ(y[2], 6.0);
+    EXPECT_DOUBLE_EQ(y[3], 9.0);
+}
+
+TEST(FilterTest, DecimateComplex)
+{
+    std::vector<Complex> x(9);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = Complex(double(i), 0.0);
+    const auto y = eddie::sig::decimate(x, 4);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_DOUBLE_EQ(y[2].real(), 8.0);
+}
+
+TEST(FilterTest, BadArgumentsThrow)
+{
+    EXPECT_THROW(eddie::sig::designLowPass(0.0, 1000.0, 31),
+                 std::invalid_argument);
+    EXPECT_THROW(eddie::sig::designLowPass(600.0, 1000.0, 31),
+                 std::invalid_argument);
+    EXPECT_THROW(eddie::sig::designLowPass(100.0, -5.0, 31),
+                 std::invalid_argument);
+    std::vector<double> x{1, 2, 3};
+    EXPECT_THROW(eddie::sig::decimate(x, 0), std::invalid_argument);
+}
+
+TEST(FilterTest, GroupDelayCompensated)
+{
+    // An impulse through the filter should peak at its own position.
+    const auto h = eddie::sig::designLowPass(1000.0, 10000.0, 63);
+    std::vector<double> x(256, 0.0);
+    x[100] = 1.0;
+    const auto y = eddie::sig::firFilter(x, h);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < y.size(); ++i)
+        if (std::abs(y[i]) > std::abs(y[best]))
+            best = i;
+    EXPECT_EQ(best, 100u);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "sig/fft.h"
+#include "sig/modulation.h"
+#include "sig/peaks.h"
+#include "sig/stft.h"
+
+namespace
+{
+
+using eddie::sig::AmConfig;
+using eddie::sig::Complex;
+using eddie::sig::ReceiverConfig;
+
+TEST(ModulationTest, NormalizeEnvelope)
+{
+    std::vector<double> x{1.0, 3.0, 5.0};
+    const auto y = eddie::sig::normalizeEnvelope(x);
+    EXPECT_NEAR(y[0], -1.0, 1e-12);
+    EXPECT_NEAR(y[1], 0.0, 1e-12);
+    EXPECT_NEAR(y[2], 1.0, 1e-12);
+
+    std::vector<double> flat(8, 2.5);
+    for (double v : eddie::sig::normalizeEnvelope(flat))
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ModulationTest, CarrierAndSidebandsPresent)
+{
+    // The Fig. 1 mechanism: a periodic envelope AM-modulated onto a
+    // carrier produces spectral lines at fc and fc +- f_loop.
+    AmConfig am;
+    am.carrier_hz = 1e6;
+    am.sample_rate = 8e6;
+    am.depth = 0.8;
+
+    const double env_rate = 1e6;
+    const double f_loop = 50e3;
+    std::vector<double> env(std::size_t(env_rate * 0.01)); // 10 ms
+    for (std::size_t i = 0; i < env.size(); ++i) {
+        env[i] = std::sin(2.0 * std::numbers::pi * f_loop *
+                          double(i) / env_rate);
+    }
+    const auto rf = eddie::sig::amModulate(env, env_rate, am);
+
+    // Spectrum of the first 65536 samples.
+    std::vector<double> chunk(rf.begin(), rf.begin() + 65536);
+    auto spec = eddie::sig::fftReal(chunk);
+    auto bin = [&](double f) {
+        return eddie::sig::frequencyToBin(f, chunk.size(),
+                                          am.sample_rate);
+    };
+    const double carrier = std::abs(spec[bin(1e6)]);
+    const double upper = std::abs(spec[bin(1e6 + f_loop)]);
+    const double lower = std::abs(spec[bin(1e6 - f_loop)]);
+    const double noise_floor = std::abs(spec[bin(2.5e6)]) + 1e-9;
+
+    EXPECT_GT(carrier, 100.0 * noise_floor);
+    EXPECT_GT(upper, 10.0 * noise_floor);
+    EXPECT_GT(lower, 10.0 * noise_floor);
+    // Sidebands are depth/2 of the carrier.
+    EXPECT_NEAR(upper / carrier, am.depth / 2.0, 0.1);
+}
+
+TEST(ModulationTest, DownconversionRecoversBasebandTone)
+{
+    AmConfig am;
+    am.carrier_hz = 1e6;
+    am.sample_rate = 8e6;
+    am.depth = 0.8;
+    const double env_rate = 1e6;
+    const double f_loop = 50e3;
+    std::vector<double> env(std::size_t(env_rate * 0.02));
+    for (std::size_t i = 0; i < env.size(); ++i) {
+        env[i] = std::sin(2.0 * std::numbers::pi * f_loop *
+                          double(i) / env_rate);
+    }
+    const auto rf = eddie::sig::amModulate(env, env_rate, am);
+
+    ReceiverConfig rx;
+    rx.center_hz = am.carrier_hz;
+    rx.sample_rate = am.sample_rate;
+    rx.bandwidth_hz = 400e3;
+    rx.decimation = 8;
+    const auto iq = eddie::sig::iqDownconvert(rf, rx);
+    ASSERT_GT(iq.size(), 4096u);
+
+    // The recovered baseband should show the +-f_loop pair.
+    std::vector<Complex> chunk(iq.begin() + 1024,
+                               iq.begin() + 1024 + 4096);
+    eddie::sig::fft(chunk);
+    std::vector<double> power(chunk.size());
+    for (std::size_t i = 0; i < chunk.size(); ++i)
+        power[i] = std::norm(chunk[i]);
+    const double fs_iq = am.sample_rate / double(rx.decimation);
+    const auto up = eddie::sig::frequencyToBin(f_loop, chunk.size(),
+                                               fs_iq);
+    const auto down = eddie::sig::frequencyToBin(-f_loop, chunk.size(),
+                                                 fs_iq);
+    double others = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 10; i < chunk.size() - 10; ++i) {
+        if (i + 3 > up && i < up + 3)
+            continue;
+        if (i + 3 > down && i < down + 3)
+            continue;
+        others += power[i];
+        ++count;
+    }
+    const double avg_other = others / double(count);
+    EXPECT_GT(power[up], 100.0 * avg_other);
+    EXPECT_GT(power[down], 100.0 * avg_other);
+}
+
+TEST(ModulationTest, CarrierAboveNyquistThrows)
+{
+    AmConfig am;
+    am.carrier_hz = 5e6;
+    am.sample_rate = 8e6;
+    std::vector<double> env(128, 0.0);
+    EXPECT_THROW(eddie::sig::amModulate(env, 1e6, am),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "sig/noise.h"
+
+namespace
+{
+
+using eddie::sig::Complex;
+using eddie::sig::NoiseSource;
+
+double
+power(const std::vector<double> &x)
+{
+    double p = 0.0;
+    for (double v : x)
+        p += v * v;
+    return p / double(x.size());
+}
+
+TEST(NoiseTest, AwgnHitsRequestedSnr)
+{
+    std::vector<double> signal(100000);
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        signal[i] = std::sin(0.01 * double(i));
+    const double ps = power(signal);
+
+    auto noisy = signal;
+    NoiseSource noise(7);
+    noise.addAwgn(noisy, 10.0); // 10 dB SNR
+    std::vector<double> delta(signal.size());
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        delta[i] = noisy[i] - signal[i];
+    const double pn = power(delta);
+    EXPECT_NEAR(10.0 * std::log10(ps / pn), 10.0, 0.3);
+}
+
+TEST(NoiseTest, AwgnComplexSplitsAcrossIq)
+{
+    std::vector<Complex> signal(100000, Complex(1.0, 0.0));
+    NoiseSource noise(9);
+    auto noisy = signal;
+    noise.addAwgn(noisy, 20.0);
+    double pn = 0.0;
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        pn += std::norm(noisy[i] - signal[i]);
+    pn /= double(signal.size());
+    EXPECT_NEAR(10.0 * std::log10(1.0 / pn), 20.0, 0.3);
+}
+
+TEST(NoiseTest, AwgnOnSilenceIsNoOp)
+{
+    std::vector<double> zeros(256, 0.0);
+    NoiseSource noise(11);
+    noise.addAwgn(zeros, 10.0);
+    for (double v : zeros)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(NoiseTest, ToneHasRequestedAmplitude)
+{
+    std::vector<double> x(4096, 0.0);
+    NoiseSource noise(13);
+    noise.addTone(x, 100.0, 1000.0, 0.5);
+    // RMS of a 0.5-amplitude tone is 0.5/sqrt(2).
+    EXPECT_NEAR(std::sqrt(power(x)), 0.5 / std::sqrt(2.0), 0.02);
+}
+
+TEST(NoiseTest, Deterministic)
+{
+    std::vector<double> a(64, 1.0), b(64, 1.0);
+    NoiseSource na(42), nb(42);
+    na.addAwgn(a, 10.0);
+    nb.addAwgn(b, 10.0);
+    EXPECT_EQ(a, b);
+}
+
+} // namespace

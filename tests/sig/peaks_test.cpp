@@ -1,0 +1,97 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "sig/fft.h"
+#include "sig/peaks.h"
+
+namespace
+{
+
+using eddie::sig::findPeaks;
+using eddie::sig::PeakOptions;
+
+TEST(PeaksTest, FindsSingleDominantPeak)
+{
+    std::vector<double> power(256, 0.01);
+    power[40] = 100.0;
+    const auto peaks = findPeaks(power, 1000.0, PeakOptions());
+    ASSERT_GE(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].bin, 40u);
+    EXPECT_NEAR(peaks[0].freq, 1000.0 * 40 / 256, 1e-9);
+    EXPECT_GT(peaks[0].energy_frac, 0.9);
+}
+
+TEST(PeaksTest, SortsByDescendingPower)
+{
+    std::vector<double> power(256, 0.001);
+    power[40] = 50.0;
+    power[80] = 100.0;
+    power[120] = 25.0;
+    const auto peaks = findPeaks(power, 1000.0, PeakOptions());
+    ASSERT_GE(peaks.size(), 3u);
+    EXPECT_EQ(peaks[0].bin, 80u);
+    EXPECT_EQ(peaks[1].bin, 40u);
+    EXPECT_EQ(peaks[2].bin, 120u);
+}
+
+TEST(PeaksTest, EnergyFractionRuleFiltersWeakPeaks)
+{
+    // One strong peak plus a local max below 1 % of total energy.
+    std::vector<double> power(256, 0.0);
+    power[40] = 1000.0;
+    power[120] = 5.0; // 0.5 % of total
+    PeakOptions opt;
+    opt.min_energy_frac = 0.01;
+    const auto peaks = findPeaks(power, 1000.0, opt);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].bin, 40u);
+}
+
+TEST(PeaksTest, LocalMaximumRequired)
+{
+    // A wide plateau's shoulder bins must not register as peaks.
+    std::vector<double> power(128, 0.0);
+    power[30] = 10.0;
+    power[31] = 20.0; // the actual peak
+    power[32] = 10.0;
+    const auto peaks = findPeaks(power, 1000.0, PeakOptions());
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].bin, 31u);
+}
+
+TEST(PeaksTest, DcGuardExcludesLowBins)
+{
+    std::vector<double> power(256, 0.0);
+    power[1] = 1e6; // DC leakage
+    power[255] = 1e6; // negative-frequency DC leakage
+    power[40] = 10.0;
+    PeakOptions opt;
+    opt.dc_guard_bins = 3;
+    const auto peaks = findPeaks(power, 1000.0, opt);
+    ASSERT_EQ(peaks.size(), 1u);
+    EXPECT_EQ(peaks[0].bin, 40u);
+    // The guard bins are excluded from the energy denominator too.
+    EXPECT_GT(peaks[0].energy_frac, 0.9);
+}
+
+TEST(PeaksTest, MaxPeaksCap)
+{
+    std::vector<double> power(256, 0.0);
+    for (std::size_t b = 10; b < 250; b += 20)
+        power[b] = 10.0;
+    PeakOptions opt;
+    opt.max_peaks = 3;
+    const auto peaks = findPeaks(power, 1000.0, opt);
+    EXPECT_EQ(peaks.size(), 3u);
+}
+
+TEST(PeaksTest, EmptyAndZeroSpectra)
+{
+    EXPECT_TRUE(findPeaks({}, 1000.0, PeakOptions()).empty());
+    std::vector<double> zeros(64, 0.0);
+    EXPECT_TRUE(findPeaks(zeros, 1000.0, PeakOptions()).empty());
+}
+
+} // namespace

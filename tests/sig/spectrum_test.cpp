@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "sig/spectrum.h"
+
+namespace
+{
+
+TEST(SpectrumTest, PowerToDb)
+{
+    EXPECT_DOUBLE_EQ(eddie::sig::powerToDb(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(eddie::sig::powerToDb(100.0), 20.0);
+    EXPECT_DOUBLE_EQ(eddie::sig::powerToDb(0.0), -200.0);
+    EXPECT_DOUBLE_EQ(eddie::sig::powerToDb(0.0, -120.0), -120.0);
+    // Floor clamps very small values.
+    EXPECT_DOUBLE_EQ(eddie::sig::powerToDb(1e-30, -120.0), -120.0);
+}
+
+TEST(SpectrumTest, SpectrumToDb)
+{
+    const auto db = eddie::sig::spectrumToDb({1.0, 10.0, 0.0});
+    ASSERT_EQ(db.size(), 3u);
+    EXPECT_DOUBLE_EQ(db[0], 0.0);
+    EXPECT_DOUBLE_EQ(db[1], 10.0);
+    EXPECT_DOUBLE_EQ(db[2], -200.0);
+}
+
+TEST(SpectrumTest, AverageSpectrum)
+{
+    eddie::sig::Spectrogram sg;
+    sg.power = {{1.0, 2.0}, {3.0, 4.0}};
+    sg.frame_time = {0.0, 0.5};
+    const auto avg = eddie::sig::averageSpectrum(sg);
+    ASSERT_EQ(avg.size(), 2u);
+    EXPECT_DOUBLE_EQ(avg[0], 2.0);
+    EXPECT_DOUBLE_EQ(avg[1], 3.0);
+}
+
+TEST(SpectrumTest, AverageOfEmptySpectrogram)
+{
+    eddie::sig::Spectrogram sg;
+    EXPECT_TRUE(eddie::sig::averageSpectrum(sg).empty());
+}
+
+TEST(SpectrumTest, TotalPower)
+{
+    EXPECT_DOUBLE_EQ(eddie::sig::totalPower({1.0, 2.0, 3.0}), 6.0);
+    EXPECT_DOUBLE_EQ(eddie::sig::totalPower({}), 0.0);
+}
+
+} // namespace

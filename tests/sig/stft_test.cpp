@@ -1,0 +1,109 @@
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "sig/stft.h"
+
+namespace
+{
+
+using eddie::sig::Complex;
+using eddie::sig::Spectrogram;
+using eddie::sig::Stft;
+using eddie::sig::StftConfig;
+
+std::vector<double>
+sine(std::size_t n, double freq, double fs)
+{
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = std::sin(2.0 * std::numbers::pi * freq * double(i) / fs);
+    return x;
+}
+
+TEST(StftTest, FrameCountAndTiming)
+{
+    StftConfig cfg;
+    cfg.window_size = 256;
+    cfg.hop = 128;
+    cfg.sample_rate = 1000.0;
+    Stft stft(cfg);
+
+    const auto sg = stft.analyze(sine(1024, 100.0, 1000.0));
+    EXPECT_EQ(sg.numFrames(), 1 + (1024 - 256) / 128);
+    EXPECT_EQ(sg.fftSize(), 256u);
+    EXPECT_DOUBLE_EQ(sg.frame_time[0], 0.0);
+    EXPECT_NEAR(sg.frame_time[1], 0.128, 1e-12);
+    EXPECT_NEAR(sg.window_seconds, 0.256, 1e-12);
+}
+
+TEST(StftTest, ToneAppearsInEveryFrame)
+{
+    StftConfig cfg;
+    cfg.window_size = 256;
+    cfg.hop = 128;
+    cfg.sample_rate = 1000.0;
+    Stft stft(cfg);
+
+    const double f0 = 1000.0 * 32.0 / 256.0; // bin 32
+    const auto sg = stft.analyze(sine(2048, f0, 1000.0));
+    for (std::size_t f = 0; f < sg.numFrames(); ++f) {
+        std::size_t best = 1;
+        for (std::size_t b = 1; b < 128; ++b)
+            if (sg.power[f][b] > sg.power[f][best])
+                best = b;
+        EXPECT_EQ(best, 32u) << "frame " << f;
+    }
+}
+
+TEST(StftTest, ShortSignalYieldsNoFrames)
+{
+    StftConfig cfg;
+    cfg.window_size = 256;
+    cfg.hop = 128;
+    cfg.sample_rate = 1000.0;
+    Stft stft(cfg);
+    EXPECT_EQ(stft.analyze(sine(100, 10.0, 1000.0)).numFrames(), 0u);
+}
+
+TEST(StftTest, ComplexInputNegativeFrequency)
+{
+    StftConfig cfg;
+    cfg.window_size = 128;
+    cfg.hop = 64;
+    cfg.sample_rate = 1000.0;
+    Stft stft(cfg);
+
+    // e^{-j 2 pi f t} concentrates at a negative frequency.
+    const double f0 = 1000.0 * 16.0 / 128.0;
+    std::vector<Complex> x(512);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double ang = -2.0 * std::numbers::pi * f0 *
+            double(i) / 1000.0;
+        x[i] = Complex(std::cos(ang), std::sin(ang));
+    }
+    const auto sg = stft.analyze(x);
+    ASSERT_GT(sg.numFrames(), 0u);
+    std::size_t best = 1;
+    for (std::size_t b = 1; b < 128; ++b)
+        if (sg.power[0][b] > sg.power[0][best])
+            best = b;
+    EXPECT_LT(sg.binFrequency(best), 0.0);
+    EXPECT_NEAR(sg.binFrequency(best), -f0, 1.0);
+}
+
+TEST(StftTest, InvalidConfigThrows)
+{
+    StftConfig bad;
+    bad.window_size = 0;
+    EXPECT_THROW(Stft{bad}, std::invalid_argument);
+    bad.window_size = 64;
+    bad.hop = 0;
+    EXPECT_THROW(Stft{bad}, std::invalid_argument);
+    bad.hop = 32;
+    bad.sample_rate = -1.0;
+    EXPECT_THROW(Stft{bad}, std::invalid_argument);
+}
+
+} // namespace

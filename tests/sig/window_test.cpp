@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "sig/window.h"
+
+namespace
+{
+
+using eddie::sig::WindowType;
+
+class WindowParamTest : public ::testing::TestWithParam<WindowType>
+{
+};
+
+TEST_P(WindowParamTest, CoefficientsWithinUnitRange)
+{
+    const auto w = eddie::sig::makeWindow(GetParam(), 256);
+    ASSERT_EQ(w.size(), 256u);
+    for (double v : w) {
+        EXPECT_GE(v, -1e-12);
+        EXPECT_LE(v, 1.0 + 1e-12);
+    }
+}
+
+TEST_P(WindowParamTest, SymmetricAboutCenter)
+{
+    const std::size_t n = 128;
+    const auto w = eddie::sig::makeWindow(GetParam(), n);
+    // Periodic windows satisfy w[i] == w[n - i].
+    for (std::size_t i = 1; i < n / 2; ++i)
+        EXPECT_NEAR(w[i], w[n - i], 1e-12) << "i=" << i;
+}
+
+TEST_P(WindowParamTest, EnergyPositive)
+{
+    const auto w = eddie::sig::makeWindow(GetParam(), 64);
+    EXPECT_GT(eddie::sig::windowEnergy(w), 0.0);
+}
+
+TEST_P(WindowParamTest, NameNonEmpty)
+{
+    EXPECT_FALSE(eddie::sig::windowName(GetParam()).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowParamTest,
+                         ::testing::Values(WindowType::Rectangular,
+                                           WindowType::Hann,
+                                           WindowType::Hamming,
+                                           WindowType::Blackman));
+
+TEST(WindowTest, RectangularIsAllOnes)
+{
+    const auto w = eddie::sig::makeWindow(WindowType::Rectangular, 16);
+    for (double v : w)
+        EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(WindowTest, HannStartsAtZero)
+{
+    const auto w = eddie::sig::makeWindow(WindowType::Hann, 64);
+    EXPECT_NEAR(w[0], 0.0, 1e-12);
+    EXPECT_NEAR(w[32], 1.0, 1e-12); // peak at center
+}
+
+TEST(WindowTest, ZeroLength)
+{
+    EXPECT_TRUE(eddie::sig::makeWindow(WindowType::Hann, 0).empty());
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "stats/anova.h"
+
+namespace
+{
+
+using eddie::stats::anova;
+using eddie::stats::AnovaObservation;
+
+TEST(AnovaTest, DetectsStrongMainEffect)
+{
+    // Factor 0 shifts the response strongly; factor 1 does nothing.
+    std::mt19937_64 rng(1);
+    std::normal_distribution<double> noise(0.0, 0.5);
+    std::vector<AnovaObservation> data;
+    for (std::size_t a = 0; a < 3; ++a) {
+        for (std::size_t b = 0; b < 3; ++b) {
+            for (int rep = 0; rep < 10; ++rep) {
+                AnovaObservation obs;
+                obs.levels = {a, b};
+                obs.response = 5.0 * double(a) + noise(rng);
+                data.push_back(obs);
+            }
+        }
+    }
+    const auto res = anova({"width", "depth"}, data, 0.05);
+    ASSERT_EQ(res.effects.size(), 2u);
+    EXPECT_TRUE(res.effects[0].significant);
+    EXPECT_LT(res.effects[0].p_value, 1e-10);
+    EXPECT_FALSE(res.effects[1].significant);
+    EXPECT_GT(res.effects[1].p_value, 0.05);
+}
+
+TEST(AnovaTest, NoEffectNoSignificance)
+{
+    std::mt19937_64 rng(2);
+    std::normal_distribution<double> noise(0.0, 1.0);
+    std::vector<AnovaObservation> data;
+    for (std::size_t a = 0; a < 4; ++a) {
+        for (int rep = 0; rep < 12; ++rep) {
+            AnovaObservation obs;
+            obs.levels = {a};
+            obs.response = noise(rng);
+            data.push_back(obs);
+        }
+    }
+    const auto res = anova({"rob"}, data, 0.01);
+    EXPECT_FALSE(res.effects[0].significant);
+}
+
+TEST(AnovaTest, SumOfSquaresDecomposition)
+{
+    std::vector<AnovaObservation> data;
+    std::mt19937_64 rng(3);
+    std::normal_distribution<double> noise(0.0, 1.0);
+    for (std::size_t a = 0; a < 2; ++a) {
+        for (std::size_t b = 0; b < 2; ++b) {
+            for (int rep = 0; rep < 5; ++rep) {
+                data.push_back(
+                    {{a, b}, double(a) - double(b) + noise(rng)});
+            }
+        }
+    }
+    const auto res = anova({"f1", "f2"}, data, 0.05);
+    double model_ss = 0.0;
+    for (const auto &e : res.effects)
+        model_ss += e.sum_squares;
+    EXPECT_LE(model_ss, res.total_sum_squares + 1e-9);
+    EXPECT_NEAR(model_ss + res.error_sum_squares,
+                res.total_sum_squares, 1e-9);
+}
+
+TEST(AnovaTest, SingleLevelFactorHasNoDof)
+{
+    std::vector<AnovaObservation> data;
+    for (int i = 0; i < 10; ++i)
+        data.push_back({{0}, double(i)});
+    const auto res = anova({"constant"}, data, 0.05);
+    EXPECT_DOUBLE_EQ(res.effects[0].dof, 0.0);
+    EXPECT_FALSE(res.effects[0].significant);
+}
+
+TEST(AnovaTest, BadInputsThrow)
+{
+    EXPECT_THROW(anova({"x"}, {}, 0.05), std::invalid_argument);
+    std::vector<AnovaObservation> data{{{0, 1}, 1.0}};
+    EXPECT_THROW(anova({"onlyone"}, data, 0.05),
+                 std::invalid_argument);
+}
+
+} // namespace

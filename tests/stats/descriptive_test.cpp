@@ -1,0 +1,62 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+#include "stats/edf.h"
+
+namespace
+{
+
+using namespace eddie::stats;
+
+TEST(DescriptiveTest, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(DescriptiveTest, VarianceAndStddev)
+{
+    std::vector<double> x{2, 4, 4, 4, 5, 5, 7, 9};
+    // Sample variance with Bessel correction: 32/7.
+    EXPECT_NEAR(variance(x), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(x), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(DescriptiveTest, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{4, 1, 2, 3}), 2.5);
+}
+
+TEST(DescriptiveTest, Percentiles)
+{
+    std::vector<double> x{10, 20, 30, 40, 50};
+    EXPECT_DOUBLE_EQ(percentile(x, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(x, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(x, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(x, 25.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(x, 62.5), 35.0); // interpolated
+}
+
+TEST(EdfTest, StepsAndBounds)
+{
+    std::vector<double> x{1.0, 2.0, 2.0, 4.0};
+    const Edf f(x);
+    EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(f(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(f(2.0), 0.75); // ties counted together
+    EXPECT_DOUBLE_EQ(f(3.0), 0.75);
+    EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(f(99.0), 1.0);
+    EXPECT_EQ(f.size(), 4u);
+}
+
+TEST(EdfTest, EmptySample)
+{
+    const Edf f(std::vector<double>{});
+    EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "stats/gmm.h"
+
+namespace
+{
+
+using eddie::stats::GaussianMixture;
+using eddie::stats::parametricTest;
+
+std::vector<double>
+bimodal(std::size_t n, double m1, double m2, double sd,
+        std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> a(m1, sd), b(m2, sd);
+    std::bernoulli_distribution pick(0.5);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = pick(rng) ? a(rng) : b(rng);
+    return v;
+}
+
+TEST(GmmTest, SingleComponentRecoversMoments)
+{
+    std::mt19937_64 rng(1);
+    std::normal_distribution<double> d(3.0, 2.0);
+    std::vector<double> x(5000);
+    for (auto &v : x)
+        v = d(rng);
+    const auto gmm = GaussianMixture::fit(x, 1);
+    ASSERT_EQ(gmm.components().size(), 1u);
+    EXPECT_NEAR(gmm.components()[0].mean, 3.0, 0.1);
+    EXPECT_NEAR(gmm.components()[0].stddev, 2.0, 0.1);
+}
+
+TEST(GmmTest, TwoComponentsFindBothModes)
+{
+    const auto x = bimodal(4000, -4.0, 4.0, 0.7, 2);
+    const auto gmm = GaussianMixture::fit(x, 2);
+    ASSERT_EQ(gmm.components().size(), 2u);
+    double lo = gmm.components()[0].mean;
+    double hi = gmm.components()[1].mean;
+    if (lo > hi)
+        std::swap(lo, hi);
+    EXPECT_NEAR(lo, -4.0, 0.3);
+    EXPECT_NEAR(hi, 4.0, 0.3);
+}
+
+TEST(GmmTest, CdfIsMonotoneAndNormalized)
+{
+    const auto x = bimodal(1000, -2.0, 2.0, 0.5, 3);
+    const auto gmm = GaussianMixture::fit(x, 2);
+    EXPECT_NEAR(gmm.cdf(-100.0), 0.0, 1e-9);
+    EXPECT_NEAR(gmm.cdf(100.0), 1.0, 1e-9);
+    double prev = 0.0;
+    for (double t = -6.0; t <= 6.0; t += 0.25) {
+        const double c = gmm.cdf(t);
+        EXPECT_GE(c, prev - 1e-12);
+        prev = c;
+    }
+}
+
+TEST(GmmTest, BimodalFitsBetterThanUnimodal)
+{
+    const auto x = bimodal(3000, -5.0, 5.0, 0.5, 4);
+    const auto g1 = GaussianMixture::fit(x, 1);
+    const auto g2 = GaussianMixture::fit(x, 2);
+    EXPECT_GT(g2.logLikelihood(x), g1.logLikelihood(x) + 0.5);
+}
+
+TEST(GmmTest, ParametricTestAcceptsMatchingSample)
+{
+    const auto train = bimodal(4000, -3.0, 3.0, 1.0, 5);
+    const auto gmm = GaussianMixture::fit(train, 2);
+    const auto probe = bimodal(100, -3.0, 3.0, 1.0, 6);
+    const auto res = parametricTest(gmm, probe, 0.01);
+    EXPECT_FALSE(res.reject);
+}
+
+TEST(GmmTest, ParametricTestRejectsShiftedSample)
+{
+    const auto train = bimodal(4000, -3.0, 3.0, 1.0, 7);
+    const auto gmm = GaussianMixture::fit(train, 2);
+    const auto probe = bimodal(100, 5.0, 11.0, 1.0, 8);
+    const auto res = parametricTest(gmm, probe, 0.01);
+    EXPECT_TRUE(res.reject);
+}
+
+TEST(GmmTest, EmptyInputThrows)
+{
+    EXPECT_THROW(GaussianMixture::fit({}, 2), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "stats/ks.h"
+
+namespace
+{
+
+using eddie::stats::ksStatistic;
+using eddie::stats::ksTest;
+
+std::vector<double>
+gaussianSample(std::size_t n, double mean, double sd, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> d(mean, sd);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = d(rng);
+    return v;
+}
+
+TEST(KsTest, IdenticalSamplesHaveZeroStatistic)
+{
+    std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(ksStatistic(a, a), 0.0);
+    const auto res = ksTest(a, a, 0.01);
+    EXPECT_FALSE(res.reject);
+}
+
+TEST(KsTest, DisjointSamplesHaveStatisticOne)
+{
+    std::vector<double> a{1.0, 2.0, 3.0};
+    std::vector<double> b{10.0, 11.0, 12.0};
+    EXPECT_DOUBLE_EQ(ksStatistic(a, b), 1.0);
+}
+
+TEST(KsTest, KnownSmallExample)
+{
+    // R(x) steps at 1,2,3; M(x) steps at 2,3,4.
+    // Max gap is 1/3 (at x in [1,2) and [3,4)).
+    std::vector<double> a{1.0, 2.0, 3.0};
+    std::vector<double> b{2.0, 3.0, 4.0};
+    EXPECT_NEAR(ksStatistic(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KsTest, SameDistributionRarelyRejects)
+{
+    int rejects = 0;
+    const int trials = 200;
+    for (int t = 0; t < trials; ++t) {
+        auto a = gaussianSample(200, 0.0, 1.0, 2 * t);
+        auto b = gaussianSample(50, 0.0, 1.0, 2 * t + 1);
+        if (ksTest(a, b, 0.01).reject)
+            ++rejects;
+    }
+    // Expected ~1 % rejections at alpha = 0.01.
+    EXPECT_LE(rejects, 8);
+}
+
+TEST(KsTest, ShiftedDistributionRejects)
+{
+    int rejects = 0;
+    const int trials = 50;
+    for (int t = 0; t < trials; ++t) {
+        auto a = gaussianSample(400, 0.0, 1.0, 3 * t);
+        auto b = gaussianSample(100, 1.5, 1.0, 3 * t + 1);
+        if (ksTest(a, b, 0.01).reject)
+            ++rejects;
+    }
+    EXPECT_GE(rejects, 48); // overwhelming power at this shift
+}
+
+TEST(KsTest, CriticalValueFormula)
+{
+    const auto res = ksTest(gaussianSample(100, 0, 1, 1),
+                            gaussianSample(25, 0, 1, 2), 0.05);
+    // c(0.05) * sqrt((100+25)/(100*25)) = 1.3581 * sqrt(0.05).
+    EXPECT_NEAR(res.critical, 1.3581 * std::sqrt(0.05), 2e-3);
+}
+
+TEST(KsTest, PValueConsistentWithRejection)
+{
+    auto a = gaussianSample(300, 0.0, 1.0, 10);
+    auto b = gaussianSample(80, 2.0, 1.0, 11);
+    const auto res = ksTest(a, b, 0.01);
+    EXPECT_TRUE(res.reject);
+    EXPECT_LT(res.p_value, 0.01);
+}
+
+TEST(KsTest, EmptyInputsNeverReject)
+{
+    std::vector<double> a{1.0, 2.0};
+    std::vector<double> empty;
+    EXPECT_FALSE(ksTest(a, empty).reject);
+    EXPECT_FALSE(ksTest(empty, a).reject);
+}
+
+TEST(KsTest, TiesHandledCorrectly)
+{
+    // All values identical in both samples: D = 0.
+    std::vector<double> a(10, 5.0);
+    std::vector<double> b(4, 5.0);
+    EXPECT_DOUBLE_EQ(ksStatistic(a, b), 0.0);
+    // Half of a's mass below b's point value.
+    std::vector<double> c{1.0, 1.0, 9.0, 9.0};
+    std::vector<double> d{1.0, 1.0, 1.0, 1.0};
+    EXPECT_NEAR(ksStatistic(c, d), 0.5, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,79 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "stats/mwu.h"
+
+namespace
+{
+
+using eddie::stats::mwuTest;
+
+std::vector<double>
+sample(std::size_t n, double shift, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> d(shift, 1.0);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = d(rng);
+    return v;
+}
+
+TEST(MwuTest, IdenticalGroupsDoNotReject)
+{
+    std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8};
+    const auto res = mwuTest(a, a, 0.05);
+    EXPECT_FALSE(res.reject);
+    EXPECT_NEAR(res.z, 0.0, 1e-9);
+}
+
+TEST(MwuTest, UStatisticSmallExample)
+{
+    // a = {1,2}, b = {3,4}: every b beats every a, U_a = 0.
+    std::vector<double> a{1.0, 2.0};
+    std::vector<double> b{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mwuTest(a, b, 0.05).u, 0.0);
+    // Reversed: U_a = n_a * n_b = 4.
+    EXPECT_DOUBLE_EQ(mwuTest(b, a, 0.05).u, 4.0);
+}
+
+TEST(MwuTest, MedianShiftDetected)
+{
+    auto a = sample(100, 0.0, 1);
+    auto b = sample(100, 1.0, 2);
+    const auto res = mwuTest(a, b, 0.01);
+    EXPECT_TRUE(res.reject);
+    EXPECT_LT(res.p_value, 1e-4);
+}
+
+TEST(MwuTest, SameDistributionRarelyRejects)
+{
+    int rejects = 0;
+    for (int t = 0; t < 200; ++t) {
+        auto a = sample(60, 0.0, 100 + 2 * t);
+        auto b = sample(60, 0.0, 101 + 2 * t);
+        if (mwuTest(a, b, 0.01).reject)
+            ++rejects;
+    }
+    EXPECT_LE(rejects, 8);
+}
+
+TEST(MwuTest, AllTiedValues)
+{
+    std::vector<double> a(10, 3.0);
+    std::vector<double> b(10, 3.0);
+    const auto res = mwuTest(a, b, 0.05);
+    EXPECT_FALSE(res.reject);
+    EXPECT_DOUBLE_EQ(res.p_value, 1.0);
+}
+
+TEST(MwuTest, EmptyInputs)
+{
+    std::vector<double> a{1.0};
+    std::vector<double> empty;
+    EXPECT_FALSE(mwuTest(a, empty).reject);
+    EXPECT_FALSE(mwuTest(empty, a).reject);
+}
+
+} // namespace

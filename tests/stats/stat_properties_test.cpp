@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Property-based tests of the statistical substrate: invariances the
+ * tests must satisfy regardless of the data.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "stats/ks.h"
+#include "stats/mwu.h"
+#include "stats/special.h"
+
+namespace
+{
+
+using namespace eddie::stats;
+
+class StatPropertyTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::mt19937_64 rng{std::uint64_t(GetParam())};
+
+    std::vector<double>
+    sample(std::size_t n, double mu = 0.0, double sigma = 1.0)
+    {
+        std::normal_distribution<double> d(mu, sigma);
+        std::vector<double> v(n);
+        for (auto &x : v)
+            x = d(rng);
+        return v;
+    }
+};
+
+TEST_P(StatPropertyTest, KsStatisticIsSymmetric)
+{
+    const auto a = sample(60, 0.0, 1.0);
+    const auto b = sample(25, 0.4, 1.3);
+    EXPECT_DOUBLE_EQ(ksStatistic(a, b), ksStatistic(b, a));
+}
+
+TEST_P(StatPropertyTest, KsInvariantUnderMonotoneTransform)
+{
+    // D depends only on ranks, so any strictly increasing transform
+    // leaves it unchanged.
+    const auto a = sample(50, 1.0, 0.5);
+    const auto b = sample(30, 1.2, 0.5);
+    auto f = [](double x) { return std::exp(0.7 * x) + 3.0; };
+    std::vector<double> fa, fb;
+    for (double v : a)
+        fa.push_back(f(v));
+    for (double v : b)
+        fb.push_back(f(v));
+    EXPECT_NEAR(ksStatistic(a, b), ksStatistic(fa, fb), 1e-12);
+}
+
+TEST_P(StatPropertyTest, KsStatisticBounds)
+{
+    const auto a = sample(40);
+    const auto b = sample(17, 5.0);
+    const double d = ksStatistic(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+}
+
+TEST_P(StatPropertyTest, KsMoreDataMorePower)
+{
+    // With the same separation, larger samples must not raise the
+    // critical value.
+    const auto r1 = ksTest(sample(100), sample(10, 0.5), 0.01);
+    const auto r2 = ksTest(sample(100), sample(80, 0.5), 0.01);
+    EXPECT_LE(r2.critical, r1.critical);
+}
+
+TEST_P(StatPropertyTest, MwuSymmetricInU)
+{
+    // U_a + U_b = n_a * n_b.
+    const auto a = sample(30, 0.0);
+    const auto b = sample(20, 0.7);
+    const double ua = mwuTest(a, b).u;
+    const double ub = mwuTest(b, a).u;
+    EXPECT_NEAR(ua + ub, 30.0 * 20.0, 1e-9);
+}
+
+TEST_P(StatPropertyTest, MwuInvariantUnderShiftOfBoth)
+{
+    const auto a = sample(25);
+    const auto b = sample(25, 0.3);
+    auto shift = [](std::vector<double> v) {
+        for (auto &x : v)
+            x += 42.0;
+        return v;
+    };
+    EXPECT_NEAR(mwuTest(a, b).z, mwuTest(shift(a), shift(b)).z, 1e-9);
+}
+
+TEST_P(StatPropertyTest, KolmogorovQIsDecreasing)
+{
+    double prev = 1.1;
+    for (double x = 0.1; x < 2.5; x += 0.1) {
+        const double q = kolmogorovQ(x);
+        EXPECT_LT(q, prev);
+        prev = q;
+    }
+}
+
+TEST_P(StatPropertyTest, TighterAlphaRaisesCritical)
+{
+    EXPECT_GT(kolmogorovCritical(0.01), kolmogorovCritical(0.05));
+    EXPECT_GT(kolmogorovCritical(0.05), kolmogorovCritical(0.10));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatPropertyTest,
+                         ::testing::Range(1, 11));
+
+} // namespace

@@ -1,0 +1,25 @@
+/** @file Smoke test: the umbrella header compiles and exposes the
+ *  API end to end. */
+
+#include <gtest/gtest.h>
+
+#include "eddie.h"
+
+namespace
+{
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude)
+{
+    using namespace eddie;
+    static_assert(kVersionMajor >= 1);
+
+    auto w = workloads::makeWorkload("sha", 0.1);
+    core::PipelineConfig cfg;
+    cfg.train_runs = 2;
+    core::Pipeline pipe(std::move(w), cfg);
+    const auto model = pipe.trainModel();
+    const auto ev = pipe.monitorRun(model, 1);
+    EXPECT_GT(ev.metrics.groups, 0u);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace eddie;
+
+class WorkloadParamTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    workloads::Workload
+    make(double scale = 0.12)
+    {
+        return workloads::makeWorkload(GetParam(), scale);
+    }
+
+    cpu::RunResult
+    run(const workloads::Workload &w, std::uint64_t seed = 3)
+    {
+        cpu::CoreConfig cfg;
+        cfg.max_instructions = 60'000'000;
+        cpu::Core core(cfg);
+        return core.run(w.program, w.regions, w.make_input(seed), {},
+                        seed);
+    }
+};
+
+TEST_P(WorkloadParamTest, AnalyzesWithMultipleLoopRegions)
+{
+    const auto w = make();
+    EXPECT_EQ(w.name, GetParam());
+    EXPECT_GE(w.regions.num_loops, 2u) << "loop nests";
+    EXPECT_GT(w.regions.regions.size(), w.regions.num_loops);
+}
+
+TEST_P(WorkloadParamTest, RunsToCompletion)
+{
+    const auto w = make();
+    const auto rr = run(w);
+    // Finished (did not hit the cap) and did real work.
+    EXPECT_LT(rr.stats.instructions, 60'000'000u);
+    EXPECT_GT(rr.stats.instructions, 50'000u);
+    EXPECT_GT(rr.stats.cycles, 0u);
+}
+
+TEST_P(WorkloadParamTest, EveryLoopRegionExecutes)
+{
+    const auto w = make();
+    const auto rr = run(w);
+    std::vector<std::size_t> samples(w.regions.num_loops, 0);
+    for (std::size_t r : rr.region)
+        if (r < samples.size())
+            ++samples[r];
+    for (std::size_t l = 0; l < samples.size(); ++l)
+        EXPECT_GT(samples[l], 0u) << "loop region " << l;
+}
+
+TEST_P(WorkloadParamTest, DifferentSeedsGiveDifferentInputs)
+{
+    const auto w = make();
+    const auto a = w.make_input(1);
+    const auto b = w.make_input(2);
+    ASSERT_EQ(a.size(), b.size());
+    bool any_diff = false;
+    for (std::size_t s = 0; s < a.size(); ++s)
+        if (a[s].second != b[s].second)
+            any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_P(WorkloadParamTest, DeterministicForSameSeed)
+{
+    const auto w = make();
+    const auto r1 = run(w, 11);
+    const auto r2 = run(w, 11);
+    EXPECT_EQ(r1.stats.instructions, r2.stats.instructions);
+    EXPECT_EQ(r1.stats.cycles, r2.stats.cycles);
+}
+
+TEST_P(WorkloadParamTest, ScaleChangesRunLength)
+{
+    const auto small = make(0.08);
+    const auto large = make(0.25);
+    const auto rs = run(small);
+    const auto rl = run(large);
+    EXPECT_GT(rl.stats.instructions, rs.stats.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadParamTest,
+    ::testing::ValuesIn(workloads::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(WorkloadTest, UnknownNameThrows)
+{
+    EXPECT_THROW(workloads::makeWorkload("nope"),
+                 std::invalid_argument);
+}
+
+TEST(WorkloadTest, TenBenchmarks)
+{
+    EXPECT_EQ(workloads::workloadNames().size(), 10u);
+}
+
+} // namespace

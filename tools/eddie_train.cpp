@@ -1,0 +1,70 @@
+/**
+ * @file
+ * eddie_train — characterize a workload's normal execution and save
+ * the trained model.
+ *
+ *   eddie_train <workload> <model-file>
+ *       [--scale S] [--runs N] [--em] [--snr DB] [--alpha A]
+ *
+ * The model file is a plain-text artifact consumed by eddie_monitor
+ * and eddie_inspect.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/pipeline.h"
+#include "tool_util.h"
+
+using namespace eddie;
+
+int
+main(int argc, char **argv)
+{
+    tools::Args args(argc, argv);
+    if (args.positional().size() != 2) {
+        std::fprintf(stderr,
+                     "usage: eddie_train <workload> <model-file> "
+                     "[--scale S] [--runs N] [--em] [--snr DB] "
+                     "[--alpha A]\n  workloads:");
+        for (const auto &n : workloads::workloadNames())
+            std::fprintf(stderr, " %s", n.c_str());
+        std::fprintf(stderr, "\n");
+        return 2;
+    }
+    const auto &name = args.positional()[0];
+    const auto &out_path = args.positional()[1];
+
+    core::PipelineConfig cfg;
+    cfg.train_runs = std::size_t(args.getLong("runs", 8));
+    cfg.trainer.alpha = args.getDouble("alpha", 0.01);
+    if (args.has("em")) {
+        cfg.path = core::SignalPath::EmBaseband;
+        cfg.channel.snr_db = args.getDouble("snr", 30.0);
+        cfg.core.os_irq_rate_hz = 1000.0;
+    }
+
+    core::Pipeline pipe(
+        workloads::makeWorkload(name, args.getDouble("scale", 1.0)),
+        cfg);
+    std::printf("training '%s' on %zu runs (%s path)...\n",
+                name.c_str(), cfg.train_runs,
+                args.has("em") ? "EM" : "power");
+    core::TrainingDiagnostics diag;
+    const auto model = pipe.trainModel(&diag);
+
+    std::size_t trained = 0;
+    for (const auto &r : model.regions)
+        trained += r.trained;
+    std::printf("trained %zu of %zu regions\n", trained,
+                model.regions.size());
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    core::saveModel(model, os);
+    std::printf("model written to %s\n", out_path.c_str());
+    return 0;
+}

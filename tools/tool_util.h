@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tiny flag parser shared by the command-line tools.
+ */
+
+#ifndef EDDIE_TOOLS_TOOL_UTIL_H
+#define EDDIE_TOOLS_TOOL_UTIL_H
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace eddie::tools
+{
+
+/** Positional arguments plus --key value / --flag options. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a.rfind("--", 0) == 0) {
+                const std::string key = a.substr(2);
+                if (i + 1 < argc && argv[i + 1][0] != '-') {
+                    options_.emplace_back(key, argv[++i]);
+                } else {
+                    options_.emplace_back(key, "");
+                }
+            } else {
+                positional_.push_back(a);
+            }
+        }
+    }
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        for (const auto &[k, v] : options_)
+            if (k == key)
+                return true;
+        return false;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        for (const auto &[k, v] : options_)
+            if (k == key)
+                return v;
+        return fallback;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto v = get(key);
+        return v.empty() ? fallback : std::atof(v.c_str());
+    }
+
+    long
+    getLong(const std::string &key, long fallback) const
+    {
+        const auto v = get(key);
+        return v.empty() ? fallback : std::atol(v.c_str());
+    }
+
+  private:
+    std::vector<std::string> positional_;
+    std::vector<std::pair<std::string, std::string>> options_;
+};
+
+} // namespace eddie::tools
+
+#endif // EDDIE_TOOLS_TOOL_UTIL_H
