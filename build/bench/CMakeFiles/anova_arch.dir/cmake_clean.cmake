@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anova_arch.dir/anova_arch.cpp.o"
+  "CMakeFiles/anova_arch.dir/anova_arch.cpp.o.d"
+  "anova_arch"
+  "anova_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anova_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_power_cmp.dir/baseline_power_cmp.cpp.o"
+  "CMakeFiles/baseline_power_cmp.dir/baseline_power_cmp.cpp.o.d"
+  "baseline_power_cmp"
+  "baseline_power_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_power_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/eddie_bench_util.dir/bench_util.cpp.o.d"
+  "libeddie_bench_util.a"
+  "libeddie_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

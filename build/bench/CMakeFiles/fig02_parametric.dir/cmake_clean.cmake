@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_parametric.dir/fig02_parametric.cpp.o"
+  "CMakeFiles/fig02_parametric.dir/fig02_parametric.cpp.o.d"
+  "fig02_parametric"
+  "fig02_parametric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_parametric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

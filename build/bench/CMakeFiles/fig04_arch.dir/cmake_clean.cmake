@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_arch.dir/fig04_arch.cpp.o"
+  "CMakeFiles/fig04_arch.dir/fig04_arch.cpp.o.d"
+  "fig04_arch"
+  "fig04_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_contamination_fn.dir/fig05_contamination_fn.cpp.o"
+  "CMakeFiles/fig05_contamination_fn.dir/fig05_contamination_fn.cpp.o.d"
+  "fig05_contamination_fn"
+  "fig05_contamination_fn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_contamination_fn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

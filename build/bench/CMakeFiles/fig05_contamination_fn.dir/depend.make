@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_contamination_fn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_inject_size_loop.dir/fig06_inject_size_loop.cpp.o"
+  "CMakeFiles/fig06_inject_size_loop.dir/fig06_inject_size_loop.cpp.o.d"
+  "fig06_inject_size_loop"
+  "fig06_inject_size_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_inject_size_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

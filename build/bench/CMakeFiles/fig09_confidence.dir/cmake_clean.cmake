@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_confidence.dir/fig09_confidence.cpp.o"
+  "CMakeFiles/fig09_confidence.dir/fig09_confidence.cpp.o.d"
+  "fig09_confidence"
+  "fig09_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

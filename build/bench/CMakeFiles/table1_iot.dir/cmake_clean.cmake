@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_iot.dir/table1_iot.cpp.o"
+  "CMakeFiles/table1_iot.dir/table1_iot.cpp.o.d"
+  "table1_iot"
+  "table1_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

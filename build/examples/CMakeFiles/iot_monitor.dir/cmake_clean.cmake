@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_monitor.dir/iot_monitor.cpp.o"
+  "CMakeFiles/iot_monitor.dir/iot_monitor.cpp.o.d"
+  "iot_monitor"
+  "iot_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

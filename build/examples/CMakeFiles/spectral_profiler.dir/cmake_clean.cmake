@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_profiler.dir/spectral_profiler.cpp.o"
+  "CMakeFiles/spectral_profiler.dir/spectral_profiler.cpp.o.d"
+  "spectral_profiler"
+  "spectral_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

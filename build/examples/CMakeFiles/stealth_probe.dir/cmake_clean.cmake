@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stealth_probe.dir/stealth_probe.cpp.o"
+  "CMakeFiles/stealth_probe.dir/stealth_probe.cpp.o.d"
+  "stealth_probe"
+  "stealth_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stealth_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_parametric.cpp" "src/core/CMakeFiles/eddie_core.dir/baseline_parametric.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/baseline_parametric.cpp.o.d"
+  "/root/repo/src/core/baseline_power.cpp" "src/core/CMakeFiles/eddie_core.dir/baseline_power.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/baseline_power.cpp.o.d"
+  "/root/repo/src/core/capture_io.cpp" "src/core/CMakeFiles/eddie_core.dir/capture_io.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/capture_io.cpp.o.d"
+  "/root/repo/src/core/fast_ks.cpp" "src/core/CMakeFiles/eddie_core.dir/fast_ks.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/fast_ks.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/eddie_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/eddie_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/eddie_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/eddie_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/sts.cpp" "src/core/CMakeFiles/eddie_core.dir/sts.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/sts.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/eddie_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/eddie_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sig/CMakeFiles/eddie_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eddie_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/eddie_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/eddie_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/eddie_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/eddie_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eddie_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_core.dir/baseline_parametric.cpp.o"
+  "CMakeFiles/eddie_core.dir/baseline_parametric.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/baseline_power.cpp.o"
+  "CMakeFiles/eddie_core.dir/baseline_power.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/capture_io.cpp.o"
+  "CMakeFiles/eddie_core.dir/capture_io.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/fast_ks.cpp.o"
+  "CMakeFiles/eddie_core.dir/fast_ks.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/metrics.cpp.o"
+  "CMakeFiles/eddie_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/model.cpp.o"
+  "CMakeFiles/eddie_core.dir/model.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/monitor.cpp.o"
+  "CMakeFiles/eddie_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/pipeline.cpp.o"
+  "CMakeFiles/eddie_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/sts.cpp.o"
+  "CMakeFiles/eddie_core.dir/sts.cpp.o.d"
+  "CMakeFiles/eddie_core.dir/trainer.cpp.o"
+  "CMakeFiles/eddie_core.dir/trainer.cpp.o.d"
+  "libeddie_core.a"
+  "libeddie_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_pred.cpp" "src/cpu/CMakeFiles/eddie_cpu.dir/branch_pred.cpp.o" "gcc" "src/cpu/CMakeFiles/eddie_cpu.dir/branch_pred.cpp.o.d"
+  "/root/repo/src/cpu/cache.cpp" "src/cpu/CMakeFiles/eddie_cpu.dir/cache.cpp.o" "gcc" "src/cpu/CMakeFiles/eddie_cpu.dir/cache.cpp.o.d"
+  "/root/repo/src/cpu/config.cpp" "src/cpu/CMakeFiles/eddie_cpu.dir/config.cpp.o" "gcc" "src/cpu/CMakeFiles/eddie_cpu.dir/config.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/eddie_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/eddie_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/injection.cpp" "src/cpu/CMakeFiles/eddie_cpu.dir/injection.cpp.o" "gcc" "src/cpu/CMakeFiles/eddie_cpu.dir/injection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/eddie_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eddie_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

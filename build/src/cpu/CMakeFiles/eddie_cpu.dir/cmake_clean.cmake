@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_cpu.dir/branch_pred.cpp.o"
+  "CMakeFiles/eddie_cpu.dir/branch_pred.cpp.o.d"
+  "CMakeFiles/eddie_cpu.dir/cache.cpp.o"
+  "CMakeFiles/eddie_cpu.dir/cache.cpp.o.d"
+  "CMakeFiles/eddie_cpu.dir/config.cpp.o"
+  "CMakeFiles/eddie_cpu.dir/config.cpp.o.d"
+  "CMakeFiles/eddie_cpu.dir/core.cpp.o"
+  "CMakeFiles/eddie_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/eddie_cpu.dir/injection.cpp.o"
+  "CMakeFiles/eddie_cpu.dir/injection.cpp.o.d"
+  "libeddie_cpu.a"
+  "libeddie_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

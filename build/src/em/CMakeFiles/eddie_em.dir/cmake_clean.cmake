@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_em.dir/emanation.cpp.o"
+  "CMakeFiles/eddie_em.dir/emanation.cpp.o.d"
+  "libeddie_em.a"
+  "libeddie_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

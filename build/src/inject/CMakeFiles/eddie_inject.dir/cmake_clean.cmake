@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_inject.dir/scenarios.cpp.o"
+  "CMakeFiles/eddie_inject.dir/scenarios.cpp.o.d"
+  "libeddie_inject.a"
+  "libeddie_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_power.dir/energy_model.cpp.o"
+  "CMakeFiles/eddie_power.dir/energy_model.cpp.o.d"
+  "CMakeFiles/eddie_power.dir/power_trace.cpp.o"
+  "CMakeFiles/eddie_power.dir/power_trace.cpp.o.d"
+  "libeddie_power.a"
+  "libeddie_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prog/builder.cpp" "src/prog/CMakeFiles/eddie_prog.dir/builder.cpp.o" "gcc" "src/prog/CMakeFiles/eddie_prog.dir/builder.cpp.o.d"
+  "/root/repo/src/prog/cfg.cpp" "src/prog/CMakeFiles/eddie_prog.dir/cfg.cpp.o" "gcc" "src/prog/CMakeFiles/eddie_prog.dir/cfg.cpp.o.d"
+  "/root/repo/src/prog/loops.cpp" "src/prog/CMakeFiles/eddie_prog.dir/loops.cpp.o" "gcc" "src/prog/CMakeFiles/eddie_prog.dir/loops.cpp.o.d"
+  "/root/repo/src/prog/program.cpp" "src/prog/CMakeFiles/eddie_prog.dir/program.cpp.o" "gcc" "src/prog/CMakeFiles/eddie_prog.dir/program.cpp.o.d"
+  "/root/repo/src/prog/regions.cpp" "src/prog/CMakeFiles/eddie_prog.dir/regions.cpp.o" "gcc" "src/prog/CMakeFiles/eddie_prog.dir/regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_prog.dir/builder.cpp.o"
+  "CMakeFiles/eddie_prog.dir/builder.cpp.o.d"
+  "CMakeFiles/eddie_prog.dir/cfg.cpp.o"
+  "CMakeFiles/eddie_prog.dir/cfg.cpp.o.d"
+  "CMakeFiles/eddie_prog.dir/loops.cpp.o"
+  "CMakeFiles/eddie_prog.dir/loops.cpp.o.d"
+  "CMakeFiles/eddie_prog.dir/program.cpp.o"
+  "CMakeFiles/eddie_prog.dir/program.cpp.o.d"
+  "CMakeFiles/eddie_prog.dir/regions.cpp.o"
+  "CMakeFiles/eddie_prog.dir/regions.cpp.o.d"
+  "libeddie_prog.a"
+  "libeddie_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sig/fft.cpp" "src/sig/CMakeFiles/eddie_sig.dir/fft.cpp.o" "gcc" "src/sig/CMakeFiles/eddie_sig.dir/fft.cpp.o.d"
+  "/root/repo/src/sig/filter.cpp" "src/sig/CMakeFiles/eddie_sig.dir/filter.cpp.o" "gcc" "src/sig/CMakeFiles/eddie_sig.dir/filter.cpp.o.d"
+  "/root/repo/src/sig/modulation.cpp" "src/sig/CMakeFiles/eddie_sig.dir/modulation.cpp.o" "gcc" "src/sig/CMakeFiles/eddie_sig.dir/modulation.cpp.o.d"
+  "/root/repo/src/sig/noise.cpp" "src/sig/CMakeFiles/eddie_sig.dir/noise.cpp.o" "gcc" "src/sig/CMakeFiles/eddie_sig.dir/noise.cpp.o.d"
+  "/root/repo/src/sig/peaks.cpp" "src/sig/CMakeFiles/eddie_sig.dir/peaks.cpp.o" "gcc" "src/sig/CMakeFiles/eddie_sig.dir/peaks.cpp.o.d"
+  "/root/repo/src/sig/spectrum.cpp" "src/sig/CMakeFiles/eddie_sig.dir/spectrum.cpp.o" "gcc" "src/sig/CMakeFiles/eddie_sig.dir/spectrum.cpp.o.d"
+  "/root/repo/src/sig/stft.cpp" "src/sig/CMakeFiles/eddie_sig.dir/stft.cpp.o" "gcc" "src/sig/CMakeFiles/eddie_sig.dir/stft.cpp.o.d"
+  "/root/repo/src/sig/window.cpp" "src/sig/CMakeFiles/eddie_sig.dir/window.cpp.o" "gcc" "src/sig/CMakeFiles/eddie_sig.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_sig.dir/fft.cpp.o"
+  "CMakeFiles/eddie_sig.dir/fft.cpp.o.d"
+  "CMakeFiles/eddie_sig.dir/filter.cpp.o"
+  "CMakeFiles/eddie_sig.dir/filter.cpp.o.d"
+  "CMakeFiles/eddie_sig.dir/modulation.cpp.o"
+  "CMakeFiles/eddie_sig.dir/modulation.cpp.o.d"
+  "CMakeFiles/eddie_sig.dir/noise.cpp.o"
+  "CMakeFiles/eddie_sig.dir/noise.cpp.o.d"
+  "CMakeFiles/eddie_sig.dir/peaks.cpp.o"
+  "CMakeFiles/eddie_sig.dir/peaks.cpp.o.d"
+  "CMakeFiles/eddie_sig.dir/spectrum.cpp.o"
+  "CMakeFiles/eddie_sig.dir/spectrum.cpp.o.d"
+  "CMakeFiles/eddie_sig.dir/stft.cpp.o"
+  "CMakeFiles/eddie_sig.dir/stft.cpp.o.d"
+  "CMakeFiles/eddie_sig.dir/window.cpp.o"
+  "CMakeFiles/eddie_sig.dir/window.cpp.o.d"
+  "libeddie_sig.a"
+  "libeddie_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anova.cpp" "src/stats/CMakeFiles/eddie_stats.dir/anova.cpp.o" "gcc" "src/stats/CMakeFiles/eddie_stats.dir/anova.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/eddie_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/eddie_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/edf.cpp" "src/stats/CMakeFiles/eddie_stats.dir/edf.cpp.o" "gcc" "src/stats/CMakeFiles/eddie_stats.dir/edf.cpp.o.d"
+  "/root/repo/src/stats/gmm.cpp" "src/stats/CMakeFiles/eddie_stats.dir/gmm.cpp.o" "gcc" "src/stats/CMakeFiles/eddie_stats.dir/gmm.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/stats/CMakeFiles/eddie_stats.dir/ks.cpp.o" "gcc" "src/stats/CMakeFiles/eddie_stats.dir/ks.cpp.o.d"
+  "/root/repo/src/stats/mwu.cpp" "src/stats/CMakeFiles/eddie_stats.dir/mwu.cpp.o" "gcc" "src/stats/CMakeFiles/eddie_stats.dir/mwu.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/eddie_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/eddie_stats.dir/special.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_stats.dir/anova.cpp.o"
+  "CMakeFiles/eddie_stats.dir/anova.cpp.o.d"
+  "CMakeFiles/eddie_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/eddie_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/eddie_stats.dir/edf.cpp.o"
+  "CMakeFiles/eddie_stats.dir/edf.cpp.o.d"
+  "CMakeFiles/eddie_stats.dir/gmm.cpp.o"
+  "CMakeFiles/eddie_stats.dir/gmm.cpp.o.d"
+  "CMakeFiles/eddie_stats.dir/ks.cpp.o"
+  "CMakeFiles/eddie_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/eddie_stats.dir/mwu.cpp.o"
+  "CMakeFiles/eddie_stats.dir/mwu.cpp.o.d"
+  "CMakeFiles/eddie_stats.dir/special.cpp.o"
+  "CMakeFiles/eddie_stats.dir/special.cpp.o.d"
+  "libeddie_stats.a"
+  "libeddie_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

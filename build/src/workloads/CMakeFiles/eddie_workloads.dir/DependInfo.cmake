@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/basicmath.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/basicmath.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/basicmath.cpp.o.d"
+  "/root/repo/src/workloads/bitcount.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/bitcount.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/bitcount.cpp.o.d"
+  "/root/repo/src/workloads/dijkstra.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/dijkstra.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/fft.cpp.o.d"
+  "/root/repo/src/workloads/gsm.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/gsm.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/gsm.cpp.o.d"
+  "/root/repo/src/workloads/patricia.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/patricia.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/patricia.cpp.o.d"
+  "/root/repo/src/workloads/rijndael.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/rijndael.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/rijndael.cpp.o.d"
+  "/root/repo/src/workloads/sha.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/sha.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/sha.cpp.o.d"
+  "/root/repo/src/workloads/stringsearch.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/stringsearch.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/stringsearch.cpp.o.d"
+  "/root/repo/src/workloads/susan.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/susan.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/susan.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/workload.cpp.o.d"
+  "/root/repo/src/workloads/workload_util.cpp" "src/workloads/CMakeFiles/eddie_workloads.dir/workload_util.cpp.o" "gcc" "src/workloads/CMakeFiles/eddie_workloads.dir/workload_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/eddie_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/eddie_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eddie_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

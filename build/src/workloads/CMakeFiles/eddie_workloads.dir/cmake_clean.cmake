@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_workloads.dir/basicmath.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/basicmath.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/bitcount.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/bitcount.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/dijkstra.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/fft.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/fft.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/gsm.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/gsm.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/patricia.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/patricia.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/rijndael.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/rijndael.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/sha.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/sha.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/stringsearch.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/stringsearch.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/susan.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/susan.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/workload.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/workload.cpp.o.d"
+  "CMakeFiles/eddie_workloads.dir/workload_util.cpp.o"
+  "CMakeFiles/eddie_workloads.dir/workload_util.cpp.o.d"
+  "libeddie_workloads.a"
+  "libeddie_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

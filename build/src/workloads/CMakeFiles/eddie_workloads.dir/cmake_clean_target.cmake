@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeddie_workloads.a"
+)

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/capture_io_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/capture_io_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/fast_ks_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/fast_ks_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/group_size_selection_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/group_size_selection_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/model_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/model_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pipeline_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/sts_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/sts_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/trainer_monitor_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/trainer_monitor_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

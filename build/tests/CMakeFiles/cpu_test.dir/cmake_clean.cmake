@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_test.dir/cpu/branch_pred_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/branch_pred_test.cpp.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/cache_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/cache_test.cpp.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/core_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/core_test.cpp.o.d"
+  "CMakeFiles/cpu_test.dir/cpu/injection_test.cpp.o"
+  "CMakeFiles/cpu_test.dir/cpu/injection_test.cpp.o.d"
+  "cpu_test"
+  "cpu_test.pdb"
+  "cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

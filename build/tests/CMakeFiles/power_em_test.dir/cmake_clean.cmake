@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_em_test.dir/em/emanation_test.cpp.o"
+  "CMakeFiles/power_em_test.dir/em/emanation_test.cpp.o.d"
+  "CMakeFiles/power_em_test.dir/power/power_test.cpp.o"
+  "CMakeFiles/power_em_test.dir/power/power_test.cpp.o.d"
+  "power_em_test"
+  "power_em_test.pdb"
+  "power_em_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_em_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sig_test.dir/sig/fft_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig/fft_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig/filter_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig/filter_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig/modulation_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig/modulation_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig/noise_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig/noise_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig/peaks_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig/peaks_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig/spectrum_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig/spectrum_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig/stft_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig/stft_test.cpp.o.d"
+  "CMakeFiles/sig_test.dir/sig/window_test.cpp.o"
+  "CMakeFiles/sig_test.dir/sig/window_test.cpp.o.d"
+  "sig_test"
+  "sig_test.pdb"
+  "sig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

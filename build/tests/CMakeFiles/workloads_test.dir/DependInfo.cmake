@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/workloads_test.cpp" "tests/CMakeFiles/workloads_test.dir/workloads/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/workloads_test.dir/workloads/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eddie_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/eddie_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/eddie_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/eddie_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/eddie_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/eddie_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eddie_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/eddie_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/eddie_sig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_analyze.dir/eddie_analyze.cpp.o"
+  "CMakeFiles/eddie_analyze.dir/eddie_analyze.cpp.o.d"
+  "eddie_analyze"
+  "eddie_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_capture.dir/eddie_capture.cpp.o"
+  "CMakeFiles/eddie_capture.dir/eddie_capture.cpp.o.d"
+  "eddie_capture"
+  "eddie_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

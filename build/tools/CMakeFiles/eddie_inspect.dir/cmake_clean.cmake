@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_inspect.dir/eddie_inspect.cpp.o"
+  "CMakeFiles/eddie_inspect.dir/eddie_inspect.cpp.o.d"
+  "eddie_inspect"
+  "eddie_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

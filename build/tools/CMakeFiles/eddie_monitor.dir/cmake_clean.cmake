@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_monitor.dir/eddie_monitor.cpp.o"
+  "CMakeFiles/eddie_monitor.dir/eddie_monitor.cpp.o.d"
+  "eddie_monitor"
+  "eddie_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eddie_train.dir/eddie_train.cpp.o"
+  "CMakeFiles/eddie_train.dir/eddie_train.cpp.o.d"
+  "eddie_train"
+  "eddie_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eddie_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

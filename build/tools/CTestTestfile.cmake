@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_roundtrip "bash" "-c" "set -e; d=\$(mktemp -d); trap 'rm -rf \$d' EXIT; /root/repo/build/tools/eddie_train bitcount \$d/m --scale 0.15 --runs 3 && /root/repo/build/tools/eddie_inspect \$d/m --histogram 0 > /dev/null && /root/repo/build/tools/eddie_capture bitcount \$d/c --scale 0.15 && /root/repo/build/tools/eddie_analyze \$d/m \$d/c bitcount --scale 0.15 && /root/repo/build/tools/eddie_capture bitcount \$d/ci --scale 0.15 --inject loop && ! /root/repo/build/tools/eddie_analyze \$d/m \$d/ci bitcount --scale 0.15 > /dev/null")
+set_tests_properties(tools_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
