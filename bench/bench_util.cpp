@@ -34,6 +34,7 @@ benchOptions()
     opt.scale = envDouble("EDDIE_SCALE", opt.fast ? 0.4 : 1.5);
     opt.train_runs = envSize("EDDIE_TRAIN_RUNS", opt.fast ? 4 : 8);
     opt.monitor_runs = envSize("EDDIE_MONITOR_RUNS", opt.fast ? 3 : 5);
+    opt.threads = envSize("EDDIE_THREADS", 0);
     return opt;
 }
 
@@ -42,6 +43,7 @@ iotConfig(const BenchOptions &opt)
 {
     core::PipelineConfig cfg;
     cfg.train_runs = opt.train_runs;
+    cfg.threads = opt.threads;
     cfg.path = core::SignalPath::EmBaseband;
     cfg.channel.snr_db = 30.0; // near-field probe: strong signal
     cfg.channel.interferers.push_back({3.7e6, 0.05});
@@ -57,6 +59,7 @@ simConfig(const BenchOptions &opt)
 {
     core::PipelineConfig cfg;
     cfg.train_runs = opt.train_runs;
+    cfg.threads = opt.threads;
     cfg.path = core::SignalPath::Power;
     return cfg;
 }
@@ -67,17 +70,27 @@ evaluateWorkload(const core::Pipeline &pipe,
                  std::size_t injected_runs, const PlanFactory &make_plan,
                  std::uint64_t seed_base)
 {
-    std::vector<core::RunMetrics> runs;
+    // Same run order as the old serial loop (clean runs, then
+    // injected runs), evaluated as one parallel Monte-Carlo batch.
+    std::vector<std::uint64_t> seeds;
+    std::vector<cpu::InjectionPlan> plans;
+    seeds.reserve(clean_runs + injected_runs);
+    plans.reserve(clean_runs + injected_runs);
     for (std::size_t i = 0; i < clean_runs; ++i) {
-        const auto ev = pipe.monitorRun(model, seed_base + i);
-        runs.push_back(ev.metrics);
+        seeds.push_back(seed_base + i);
+        plans.emplace_back();
     }
     for (std::size_t i = 0; i < injected_runs; ++i) {
-        const auto plan = make_plan ? make_plan(i) : cpu::InjectionPlan();
-        const auto ev = pipe.monitorRun(model,
-                                        seed_base + 100 + i, plan);
-        runs.push_back(ev.metrics);
+        seeds.push_back(seed_base + 100 + i);
+        plans.push_back(make_plan ? make_plan(i)
+                                  : cpu::InjectionPlan());
     }
+    const auto evals = pipe.monitorBatch(model, seeds, plans);
+
+    std::vector<core::RunMetrics> runs;
+    runs.reserve(evals.size());
+    for (const auto &ev : evals)
+        runs.push_back(ev.metrics);
     return core::aggregate(runs);
 }
 

@@ -9,6 +9,8 @@
  *   EDDIE_TRAIN_RUNS    training runs per benchmark (default 8)
  *   EDDIE_MONITOR_RUNS  monitored runs per condition (default 5)
  *   EDDIE_FAST          set to 1 for a quick smoke configuration
+ *   EDDIE_THREADS       worker threads (default 0 = hardware);
+ *                       results are identical for any value
  */
 
 #ifndef EDDIE_BENCH_BENCH_UTIL_H
@@ -32,6 +34,8 @@ struct BenchOptions
     std::size_t train_runs = 8;
     std::size_t monitor_runs = 5;
     bool fast = false;
+    /** Worker threads; 0 = hardware concurrency. */
+    std::size_t threads = 0;
 };
 
 /** Reads BenchOptions from the environment. */

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * perf_pipeline — stage-level performance benchmark of the EDDIE
+ * pipeline, tracking the perf trajectory across PRs.
+ *
+ * Times the four pipeline stages (capture = simulate+emanate, STFT,
+ * train, monitor), sweeps trainModel and monitorBatch over a thread
+ * grid, and writes a machine-readable BENCH_pipeline.json with stage
+ * wall-times, thread counts, and speedups vs. 1 thread.
+ *
+ *   perf_pipeline [--workload sha] [--scale S] [--runs N]
+ *                 [--monitor-runs M] [--out BENCH_pipeline.json]
+ *
+ * Environment knobs from bench_util (EDDIE_SCALE, ...) are NOT used
+ * here: perf numbers must be comparable across invocations, so all
+ * knobs are explicit flags with fixed defaults.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "sig/stft.h"
+#include "tools/tool_util.h"
+
+using namespace eddie;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
+/** Best-of-k wall time of @p fn in milliseconds. */
+template <typename Fn>
+double
+bestOf(std::size_t k, Fn &&fn)
+{
+    double best = -1.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        const auto t0 = Clock::now();
+        fn();
+        const double ms = msSince(t0);
+        if (best < 0.0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+void
+printJsonMap(std::FILE *f, const char *key,
+             const std::vector<std::size_t> &threads,
+             const std::vector<double> &ms)
+{
+    std::fprintf(f, "  \"%s\": {", key);
+    for (std::size_t i = 0; i < threads.size(); ++i)
+        std::fprintf(f, "%s\"%zu\": %.3f", i == 0 ? "" : ", ",
+                     threads[i], ms[i]);
+    std::fprintf(f, "},\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tools::Args args(argc, argv);
+    const std::string workload_name = args.get("workload", "sha");
+    const double scale = args.getDouble("scale", 0.5);
+    const std::size_t train_runs =
+        std::size_t(args.getLong("runs", 8));
+    const std::size_t monitor_runs =
+        std::size_t(args.getLong("monitor-runs", 8));
+    const std::string out_path =
+        args.get("out", "BENCH_pipeline.json");
+
+    core::PipelineConfig cfg;
+    cfg.train_runs = train_runs;
+    auto workload = workloads::makeWorkload(workload_name, scale);
+
+    bench::printHeader(
+        "perf_pipeline — stage wall-times and thread scaling",
+        "workload " + workload_name + ", hardware threads " +
+            std::to_string(common::ThreadPool::hardwareThreads()));
+
+    // Stage 1: capture (one full simulate + STS extraction).
+    core::Pipeline pipe(std::move(workload), cfg);
+    const auto rr = pipe.simulate(cfg.train_seed_base);
+    const double capture_ms =
+        bestOf(3, [&] { (void)pipe.captureRun(cfg.train_seed_base); });
+    std::printf("capture (simulate+STFT+STS): %8.1f ms  (%zu samples)\n",
+                capture_ms, rr.power.size());
+
+    // Stage 2: STFT alone on the captured power trace, single
+    // thread. samples/sec is the figure future PRs compare.
+    sig::StftConfig sc;
+    sc.window_size = cfg.stft_window;
+    sc.hop = cfg.stft_hop;
+    sc.window = cfg.stft_window_fn;
+    sc.sample_rate = rr.sample_rate;
+    const sig::Stft stft(sc);
+    const double stft_ms = bestOf(5, [&] { (void)stft.analyze(rr.power); });
+    const double stft_samples_per_sec =
+        double(rr.power.size()) / (stft_ms * 1e-3);
+    std::printf("stft: %8.1f ms  (%.3g samples/s)\n", stft_ms,
+                stft_samples_per_sec);
+
+    // Stage 3: trainModel over the thread grid.
+    const std::vector<std::size_t> grid = {1, 2, 4, 8};
+    std::vector<double> train_ms;
+    for (std::size_t t : grid) {
+        core::PipelineConfig c = cfg;
+        c.threads = t;
+        core::Pipeline p(workloads::makeWorkload(workload_name, scale),
+                         c);
+        const auto t0 = Clock::now();
+        (void)p.trainModel();
+        train_ms.push_back(msSince(t0));
+        std::printf("train x%-2zu threads: %8.1f ms\n", t,
+                    train_ms.back());
+    }
+
+    // Stage 4: batch monitoring over the thread grid.
+    const auto model = pipe.trainModel();
+    std::vector<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < monitor_runs; ++i)
+        seeds.push_back(cfg.monitor_seed_base + i);
+    std::vector<double> monitor_ms;
+    for (std::size_t t : grid) {
+        core::PipelineConfig c = cfg;
+        c.threads = t;
+        core::Pipeline p(workloads::makeWorkload(workload_name, scale),
+                         c);
+        const auto t0 = Clock::now();
+        (void)p.monitorBatch(model, seeds);
+        monitor_ms.push_back(msSince(t0));
+        std::printf("monitor %zu runs x%-2zu threads: %8.1f ms\n",
+                    monitor_runs, t, monitor_ms.back());
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"perf_pipeline\",\n");
+    std::fprintf(f, "  \"workload\": \"%s\",\n",
+                 workload_name.c_str());
+    std::fprintf(f, "  \"scale\": %g,\n", scale);
+    std::fprintf(f, "  \"train_runs\": %zu,\n", train_runs);
+    std::fprintf(f, "  \"monitor_runs\": %zu,\n", monitor_runs);
+    std::fprintf(f, "  \"hardware_threads\": %zu,\n",
+                 common::ThreadPool::hardwareThreads());
+    std::fprintf(f, "  \"capture_ms\": %.3f,\n", capture_ms);
+    std::fprintf(f, "  \"stft_ms\": %.3f,\n", stft_ms);
+    std::fprintf(f, "  \"stft_samples_per_sec\": %.1f,\n",
+                 stft_samples_per_sec);
+    printJsonMap(f, "train_ms", grid, train_ms);
+    printJsonMap(f, "monitor_ms", grid, monitor_ms);
+    std::fprintf(f, "  \"train_speedup_vs_1\": {");
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        std::fprintf(f, "%s\"%zu\": %.3f", i == 0 ? "" : ", ",
+                     grid[i], train_ms[0] / train_ms[i]);
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"monitor_speedup_vs_1\": {");
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        std::fprintf(f, "%s\"%zu\": %.3f", i == 0 ? "" : ", ",
+                     grid[i], monitor_ms[0] / monitor_ms[i]);
+    std::fprintf(f, "}\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

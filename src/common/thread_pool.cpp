@@ -1,0 +1,133 @@
+#include "thread_pool.h"
+
+#include <algorithm>
+
+namespace eddie::common
+{
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t total =
+        threads == 0 ? hardwareThreads() : threads;
+    // The caller is one of the `total` threads; only helpers spawn.
+    workers_.reserve(total > 0 ? total - 1 : 0);
+    for (std::size_t i = 0; i + 1 < total; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+std::size_t
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::runBatch(Batch &batch)
+{
+    for (;;) {
+        const std::size_t i =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.count)
+            return;
+        try {
+            (*batch.job)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (!batch.error)
+                batch.error = std::current_exception();
+        }
+        // The release increment publishes this index's writes; the
+        // caller's acquire load of `done` in parallelFor picks them
+        // all up once the count is reached.
+        if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            batch.count) {
+            // Taking the lock pairs with the caller's predicate
+            // check, closing the missed-wakeup window.
+            std::lock_guard<std::mutex> lk(mu_);
+            cv_done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || count == 1) {
+        // Serial path: plain loop with the same drain-then-rethrow
+        // exception semantics as the threaded path, so behaviour is
+        // identical at every thread count.
+        std::exception_ptr err;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!err)
+                    err = std::current_exception();
+            }
+        }
+        if (err)
+            std::rethrow_exception(err);
+        return;
+    }
+
+    auto batch = std::make_shared<Batch>();
+    batch->job = &fn;
+    batch->count = count;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        batch_ = batch;
+        ++generation_;
+    }
+    cv_work_.notify_all();
+
+    runBatch(*batch); // the caller works too
+
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+        return batch->done.load(std::memory_order_acquire) ==
+               batch->count;
+    });
+    if (batch->error) {
+        std::exception_ptr err = batch->error;
+        lk.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Batch> batch;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_work_.wait(lk, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            batch = batch_;
+        }
+        // A late wake-up is harmless: a finished batch hands out no
+        // index, and the snapshot keeps the object alive.
+        runBatch(*batch);
+    }
+}
+
+} // namespace eddie::common

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Deterministic fixed-size thread pool for index-parallel loops.
+ *
+ * EDDIE's expensive stages (training captures, the trainer's
+ * group-size sweep, Monte-Carlo monitoring) are all embarrassingly
+ * parallel over an index: every index reads shared immutable inputs
+ * and writes only its own output slot. This pool exploits exactly
+ * that shape and nothing more — there is no work stealing, no task
+ * graph, and no cross-batch queueing.
+ *
+ * Determinism contract: parallelFor(count, fn) executes fn(i) exactly
+ * once for every i in [0, count) and returns only after all of them
+ * completed. Which thread runs which index is unspecified, but as
+ * long as fn(i) touches only index-i state (the pattern used
+ * everywhere in this repo, enforced by parallelMap's slot-per-index
+ * result vector), the combined result is bit-identical for any thread
+ * count, including 1.
+ */
+
+#ifndef EDDIE_COMMON_THREAD_POOL_H
+#define EDDIE_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eddie::common
+{
+
+/**
+ * Pool of `size() - 1` helper threads plus the calling thread.
+ *
+ * A pool of size 1 spawns no threads at all: parallelFor degrades to
+ * a plain serial loop on the caller, so single-threaded runs behave
+ * exactly like the pre-pool code (same stack, same exception
+ * propagation, debuggable with a plain debugger).
+ *
+ * Not reentrant: calling parallelFor from inside a task deadlocks by
+ * design (the stages that use the pool are strictly sequential).
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads total thread count; 0 = hardware concurrency. */
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Threads that execute work, including the calling thread. */
+    std::size_t size() const { return workers_.size() + 1; }
+
+    /**
+     * Runs fn(i) for every i in [0, count); blocks until all indices
+     * completed. The caller participates in the work. If one or more
+     * invocations throw, one of the captured exceptions is rethrown
+     * after the whole batch has drained (the batch is never
+     * abandoned half-done).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Maps [0, count) through @p fn into an index-ordered vector.
+     * Slot i is written only by the invocation fn(i), which is what
+     * makes the result independent of scheduling.
+     */
+    template <typename Fn>
+    auto parallelMap(std::size_t count, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        std::vector<decltype(fn(std::size_t{0}))> out(count);
+        parallelFor(count,
+                    [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** Hardware concurrency, never 0. */
+    static std::size_t hardwareThreads();
+
+    /** Resolves a user-facing thread-count knob: 0 = hardware. */
+    static std::size_t resolveThreads(std::size_t requested)
+    {
+        return requested == 0 ? hardwareThreads() : requested;
+    }
+
+  private:
+    /**
+     * One parallelFor invocation. Heap-allocated and snapshotted by
+     * each participant under the mutex, so a helper that wakes up
+     * late only ever touches its own (possibly already finished)
+     * batch object — there is no window in which a straggler can
+     * observe the next batch's half-initialized state.
+     */
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *job = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::exception_ptr error; // guarded by the pool mutex
+    };
+
+    void workerLoop();
+    void runBatch(Batch &batch);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::shared_ptr<Batch> batch_;   // guarded by mu_
+    std::uint64_t generation_ = 0;   // guarded by mu_
+    bool stop_ = false;              // guarded by mu_
+};
+
+/**
+ * Serial fallback helper: runs the loop on @p pool when present,
+ * inline otherwise. Lets library code accept an optional pool without
+ * branching at every call site.
+ */
+inline void
+forEachIndex(ThreadPool *pool, std::size_t count,
+             const std::function<void(std::size_t)> &fn)
+{
+    if (pool != nullptr) {
+        pool->parallelFor(count, fn);
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+    }
+}
+
+} // namespace eddie::common
+
+#endif // EDDIE_COMMON_THREAD_POOL_H

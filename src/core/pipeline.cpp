@@ -1,5 +1,8 @@
 #include "pipeline.h"
 
+#include <stdexcept>
+
+#include "common/thread_pool.h"
 #include "sig/stft.h"
 
 namespace eddie::core
@@ -53,15 +56,20 @@ Pipeline::captureRun(std::uint64_t seed,
 TrainedModel
 Pipeline::trainModel(TrainingDiagnostics *diag) const
 {
-    std::vector<std::vector<Sts>> runs;
-    runs.reserve(config_.train_runs);
-    for (std::size_t i = 0; i < config_.train_runs; ++i)
-        runs.push_back(captureRun(config_.train_seed_base + i));
+    common::ThreadPool pool(
+        common::ThreadPool::resolveThreads(config_.threads));
+    // Each seed's simulate→emanate→STFT→STS chain is an independent
+    // task; parallelMap orders the streams by seed index, so the
+    // trained model is bit-identical regardless of thread count.
+    const auto runs = pool.parallelMap(
+        config_.train_runs, [&](std::size_t i) {
+            return captureRun(config_.train_seed_base + i);
+        });
     const double sentinel =
         missingPeakSentinel(config_.core.clock_hz /
                             double(config_.core.cycles_per_sample));
     return train(runs, workload_.regions, sentinel, config_.trainer,
-                 diag);
+                 diag, &pool);
 }
 
 RunEvaluation
@@ -78,6 +86,23 @@ Pipeline::monitorRun(const TrainedModel &model, std::uint64_t seed,
     ev.records = monitor.records();
     ev.metrics = scoreRun(stream, ev.records, ev.reports, model);
     return ev;
+}
+
+std::vector<RunEvaluation>
+Pipeline::monitorBatch(const TrainedModel &model,
+                       const std::vector<std::uint64_t> &seeds,
+                       const std::vector<cpu::InjectionPlan> &plans) const
+{
+    if (!plans.empty() && plans.size() != seeds.size())
+        throw std::invalid_argument(
+            "monitorBatch: plans must be empty or match seeds");
+    common::ThreadPool pool(
+        common::ThreadPool::resolveThreads(config_.threads));
+    return pool.parallelMap(seeds.size(), [&](std::size_t i) {
+        return monitorRun(model, seeds[i],
+                          plans.empty() ? cpu::InjectionPlan()
+                                        : plans[i]);
+    });
 }
 
 } // namespace eddie::core

@@ -57,6 +57,13 @@ struct PipelineConfig
     std::size_t train_runs = 10;
     std::uint64_t train_seed_base = 1000;
     std::uint64_t monitor_seed_base = 9000;
+
+    /**
+     * Worker threads for training captures, the trainer's group-size
+     * sweep, and batch monitoring; 0 = hardware concurrency. Results
+     * are bit-identical for any value (see common/thread_pool.h).
+     */
+    std::size_t threads = 0;
 };
 
 /** Outcome of monitoring one run. */
@@ -95,6 +102,20 @@ class Pipeline
                              std::uint64_t seed,
                              const cpu::InjectionPlan &plan =
                                  cpu::InjectionPlan()) const;
+
+    /**
+     * Monitors many independent runs, distributing the
+     * simulate→capture→monitor chains over config().threads workers.
+     * Element i of the result corresponds to seeds[i] (and plans[i]
+     * when @p plans is non-empty; plans.size() must then equal
+     * seeds.size()), so the output order — and every value in it —
+     * is independent of the thread count. This is the Monte-Carlo
+     * engine behind the bench/ figures.
+     */
+    std::vector<RunEvaluation>
+    monitorBatch(const TrainedModel &model,
+                 const std::vector<std::uint64_t> &seeds,
+                 const std::vector<cpu::InjectionPlan> &plans = {}) const;
 
     const workloads::Workload &workload() const { return workload_; }
     const PipelineConfig &config() const { return config_; }

@@ -79,7 +79,8 @@ falseRejectionRate(const RegionModel &region,
 TrainedModel
 train(const std::vector<std::vector<Sts>> &runs,
       const prog::RegionGraph &regions, double sentinel,
-      const TrainerConfig &cfg, TrainingDiagnostics *diag)
+      const TrainerConfig &cfg, TrainingDiagnostics *diag,
+      common::ThreadPool *pool)
 {
     TrainedModel model;
     model.alpha = cfg.alpha;
@@ -131,7 +132,11 @@ train(const std::vector<std::vector<Sts>> &runs,
         }
     }
 
-    for (std::size_t r = 0; r < model.regions.size(); ++r) {
+    // Per-region training is independent: region r writes only
+    // model.regions[r] and diag->...[r], and reads only the shared
+    // immutable inputs gathered above, so the parallel loop is
+    // deterministic regardless of thread count.
+    common::forEachIndex(pool, model.regions.size(), [&](std::size_t r) {
         RegionModel &rm = model.regions[r];
         rm.name = regions.regions[r].name;
         rm.succs = regions.regions[r].succs;
@@ -139,7 +144,7 @@ train(const std::vector<std::vector<Sts>> &runs,
         if (diag != nullptr)
             diag->sts_count[r] = samples.size();
         if (samples.size() < cfg.min_sts_per_region)
-            continue; // stays untrained
+            return; // stays untrained
 
         // Number of peak ranks: count ranks where a real (non-
         // sentinel) peak usually exists; mostly-missing ranks would
@@ -226,7 +231,7 @@ train(const std::vector<std::vector<Sts>> &runs,
         }
         if (diag != nullptr)
             diag->sweeps[r] = std::move(sweep);
-    }
+    });
     return model;
 }
 

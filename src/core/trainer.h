@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "model.h"
 #include "prog/regions.h"
 #include "sts.h"
@@ -87,16 +88,24 @@ struct TrainingDiagnostics
 /**
  * Trains a model from labeled STS streams (one per training run).
  *
+ * The per-region work (reference building plus the group-size/FRR
+ * sweep, by far the dominant cost) is distributed over @p pool when
+ * one is given. Every region writes only its own model and
+ * diagnostics slot, so the result is bit-identical for any thread
+ * count — see the ThreadPool determinism contract.
+ *
  * @param runs STS streams with ground-truth region labels
  * @param regions the program's region state machine
  * @param sentinel missing-peak sentinel used when extracting STSs
  * @param cfg trainer options
  * @param diag optional diagnostics sink
+ * @param pool optional thread pool (nullptr = serial)
  */
 TrainedModel train(const std::vector<std::vector<Sts>> &runs,
                    const prog::RegionGraph &regions, double sentinel,
                    const TrainerConfig &cfg = TrainerConfig(),
-                   TrainingDiagnostics *diag = nullptr);
+                   TrainingDiagnostics *diag = nullptr,
+                   common::ThreadPool *pool = nullptr);
 
 /**
  * False-rejection rate of the K-S group test for one region at group

@@ -2,102 +2,13 @@
 
 #include <cassert>
 #include <cmath>
-#include <numbers>
+#include <limits>
 #include <stdexcept>
+
+#include "fft_plan.h"
 
 namespace eddie::sig
 {
-
-namespace
-{
-
-constexpr double kTwoPi = 2.0 * std::numbers::pi;
-
-/** Iterative radix-2 Cooley-Tukey, in place; n must be a power of two. */
-void
-fftRadix2(std::vector<Complex> &a, bool inverse)
-{
-    const std::size_t n = a.size();
-    if (n <= 1)
-        return;
-
-    // Bit-reversal permutation.
-    for (std::size_t i = 1, j = 0; i < n; ++i) {
-        std::size_t bit = n >> 1;
-        for (; j & bit; bit >>= 1)
-            j ^= bit;
-        j ^= bit;
-        if (i < j)
-            std::swap(a[i], a[j]);
-    }
-
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double ang = (inverse ? kTwoPi : -kTwoPi) / double(len);
-        const Complex wlen(std::cos(ang), std::sin(ang));
-        for (std::size_t i = 0; i < n; i += len) {
-            Complex w(1.0, 0.0);
-            for (std::size_t k = 0; k < len / 2; ++k) {
-                Complex u = a[i + k];
-                Complex v = a[i + k + len / 2] * w;
-                a[i + k] = u + v;
-                a[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-        }
-    }
-}
-
-/**
- * Bluestein chirp-z transform for arbitrary n, expressed as a circular
- * convolution that is evaluated with power-of-two FFTs.
- */
-void
-fftBluestein(std::vector<Complex> &a, bool inverse)
-{
-    const std::size_t n = a.size();
-    const std::size_t m = nextPowerOfTwo(2 * n + 1);
-
-    // Precompute chirp factors w[k] = e^{+-i pi k^2 / n}.
-    std::vector<Complex> chirp(n);
-    for (std::size_t k = 0; k < n; ++k) {
-        // k^2 mod 2n avoids precision loss for large k.
-        const std::size_t k2 = (k * k) % (2 * n);
-        const double ang = (inverse ? 1.0 : -1.0) *
-            std::numbers::pi * double(k2) / double(n);
-        chirp[k] = Complex(std::cos(ang), std::sin(ang));
-    }
-
-    std::vector<Complex> x(m, Complex(0.0, 0.0));
-    std::vector<Complex> y(m, Complex(0.0, 0.0));
-    for (std::size_t k = 0; k < n; ++k)
-        x[k] = a[k] * chirp[k];
-    y[0] = std::conj(chirp[0]);
-    for (std::size_t k = 1; k < n; ++k)
-        y[k] = y[m - k] = std::conj(chirp[k]);
-
-    fftRadix2(x, false);
-    fftRadix2(y, false);
-    for (std::size_t k = 0; k < m; ++k)
-        x[k] *= y[k];
-    fftRadix2(x, true);
-
-    const double scale = 1.0 / double(m);
-    for (std::size_t k = 0; k < n; ++k)
-        a[k] = x[k] * chirp[k] * scale;
-}
-
-void
-transform(std::vector<Complex> &a, bool inverse)
-{
-    if (a.empty())
-        return;
-    if (isPowerOfTwo(a.size()))
-        fftRadix2(a, inverse);
-    else
-        fftBluestein(a, inverse);
-}
-
-} // namespace
 
 bool
 isPowerOfTwo(std::size_t n)
@@ -108,6 +19,15 @@ isPowerOfTwo(std::size_t n)
 std::size_t
 nextPowerOfTwo(std::size_t n)
 {
+    if (n <= 1)
+        return 1;
+    const std::size_t max_pow = std::size_t{1}
+        << (std::numeric_limits<std::size_t>::digits - 1);
+    if (n > max_pow) {
+        // p <<= 1 below would wrap to 0 and loop forever.
+        throw std::overflow_error(
+            "nextPowerOfTwo: no power of two >= n fits in size_t");
+    }
     std::size_t p = 1;
     while (p < n)
         p <<= 1;
@@ -117,26 +37,34 @@ nextPowerOfTwo(std::size_t n)
 void
 fft(std::vector<Complex> &data)
 {
-    transform(data, false);
+    if (data.empty())
+        return;
+    FftPlan(data.size()).forward(data);
 }
 
 void
 ifft(std::vector<Complex> &data)
 {
-    transform(data, true);
-    const double scale = data.empty() ? 1.0 : 1.0 / double(data.size());
-    for (auto &v : data)
-        v *= scale;
+    if (data.empty())
+        return;
+    FftPlan(data.size()).inverse(data);
 }
 
 std::vector<Complex>
 fftReal(const std::vector<double> &data)
 {
-    std::vector<Complex> c(data.size());
+    std::vector<Complex> out(data.size());
+    if (data.empty())
+        return out;
+    FftPlan plan(data.size());
+    if (plan.hasRealFastPath()) {
+        plan.forwardReal(data.data(), out.data());
+        return out;
+    }
     for (std::size_t i = 0; i < data.size(); ++i)
-        c[i] = Complex(data[i], 0.0);
-    fft(c);
-    return c;
+        out[i] = Complex(data[i], 0.0);
+    plan.forward(out);
+    return out;
 }
 
 double
@@ -152,11 +80,15 @@ binToFrequency(std::size_t bin, std::size_t n, double sample_rate)
 std::size_t
 frequencyToBin(double freq, std::size_t n, double sample_rate)
 {
-    double k = freq * double(n) / sample_rate;
-    if (k < 0.0)
-        k += double(n);
-    std::size_t bin = std::size_t(std::llround(k)) % n;
-    return bin;
+    // Round first, wrap second — wrapping in the double domain
+    // (adding n before rounding) loses the low bits of k for huge n,
+    // mapping exactly-negative frequencies to a neighboring bin.
+    const long long k =
+        std::llround(freq * double(n) / sample_rate);
+    long long bin = k % (long long)(n);
+    if (bin < 0)
+        bin += (long long)(n);
+    return std::size_t(bin);
 }
 
 } // namespace eddie::sig

@@ -22,7 +22,13 @@ using Complex = std::complex<double>;
 /** Returns true when @p n is a (nonzero) power of two. */
 bool isPowerOfTwo(std::size_t n);
 
-/** Smallest power of two that is >= @p n. */
+/**
+ * Smallest power of two that is >= @p n.
+ *
+ * @throws std::overflow_error when no such power fits in size_t
+ *         (n > 2^63 on 64-bit targets); the naive shift loop would
+ *         otherwise wrap to zero and spin forever.
+ */
 std::size_t nextPowerOfTwo(std::size_t n);
 
 /**

@@ -1,0 +1,272 @@
+#include "fft_plan.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <numbers>
+
+namespace eddie::sig
+{
+
+namespace detail
+{
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/** Immutable per-size tables for the iterative radix-2 transform. */
+struct Radix2Tables
+{
+    std::size_t n = 0;
+    /** Bit-reversal permutation of [0, n). */
+    std::vector<std::uint32_t> bitrev;
+    /** twiddle[j] = e^{-2 pi i j / n}, j in [0, n/2). */
+    std::vector<Complex> twiddle;
+
+    explicit Radix2Tables(std::size_t size) : n(size)
+    {
+        bitrev.resize(n);
+        for (std::size_t i = 1, j = 0; i < n; ++i) {
+            std::size_t bit = n >> 1;
+            for (; j & bit; bit >>= 1)
+                j ^= bit;
+            j ^= bit;
+            bitrev[i] = std::uint32_t(j);
+        }
+        twiddle.resize(n / 2);
+        for (std::size_t j = 0; j < n / 2; ++j) {
+            const double ang = -kTwoPi * double(j) / double(n);
+            twiddle[j] = Complex(std::cos(ang), std::sin(ang));
+        }
+    }
+};
+
+/**
+ * Radix-2 Cooley-Tukey with precomputed tables. Exact twiddles from
+ * the table (rather than the w *= wlen recurrence of the untabled
+ * fallback) also improve accuracy for large transforms.
+ */
+void
+radix2Transform(Complex *a, const Radix2Tables &t, bool inverse)
+{
+    const std::size_t n = t.n;
+    if (n <= 1)
+        return;
+    for (std::size_t i = 1; i < n; ++i) {
+        const std::size_t j = t.bitrev[i];
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t half = len / 2;
+        const std::size_t stride = n / len;
+        for (std::size_t i = 0; i < n; i += len) {
+            for (std::size_t k = 0; k < half; ++k) {
+                Complex w = t.twiddle[k * stride];
+                if (inverse)
+                    w = std::conj(w);
+                const Complex u = a[i + k];
+                const Complex v = a[i + k + half] * w;
+                a[i + k] = u + v;
+                a[i + k + half] = u - v;
+            }
+        }
+    }
+}
+
+/**
+ * Immutable per-size tables for Bluestein's chirp-z transform: the
+ * chirp sequence and the already-transformed chirp filter for both
+ * directions, leaving two inner FFTs per transform.
+ */
+struct BluesteinTables
+{
+    std::size_t n = 0;
+    std::size_t m = 0; // inner power-of-two size
+    std::shared_ptr<const Radix2Tables> inner;
+    /** chirp[k] = e^{-i pi k^2 / n} (forward direction). */
+    std::vector<Complex> chirp;
+    /** FFT_m of the wrapped filter conj(chirp) / chirp. */
+    std::vector<Complex> filter_fwd;
+    std::vector<Complex> filter_inv;
+
+    BluesteinTables(std::size_t size,
+                    std::shared_ptr<const Radix2Tables> inner_tables)
+        : n(size), m(inner_tables->n), inner(std::move(inner_tables))
+    {
+        chirp.resize(n);
+        for (std::size_t k = 0; k < n; ++k) {
+            // k^2 mod 2n avoids precision loss for large k.
+            const std::size_t k2 = (k * k) % (2 * n);
+            const double ang =
+                -std::numbers::pi * double(k2) / double(n);
+            chirp[k] = Complex(std::cos(ang), std::sin(ang));
+        }
+        filter_fwd = makeFilter(false);
+        filter_inv = makeFilter(true);
+    }
+
+  private:
+    std::vector<Complex>
+    makeFilter(bool inverse) const
+    {
+        // Forward filter taps are conj(chirp); the inverse chirp is
+        // conj(chirp), so its filter taps are chirp itself.
+        std::vector<Complex> y(m, Complex(0.0, 0.0));
+        y[0] = inverse ? chirp[0] : std::conj(chirp[0]);
+        for (std::size_t k = 1; k < n; ++k)
+            y[k] = y[m - k] =
+                inverse ? chirp[k] : std::conj(chirp[k]);
+        radix2Transform(y.data(), *inner, false);
+        return y;
+    }
+};
+
+namespace
+{
+
+std::shared_ptr<const Radix2Tables>
+sharedRadix2Tables(std::size_t n)
+{
+    static std::mutex mu;
+    static std::map<std::size_t, std::shared_ptr<const Radix2Tables>>
+        cache;
+    std::lock_guard<std::mutex> lk(mu);
+    auto &slot = cache[n];
+    if (!slot)
+        slot = std::make_shared<Radix2Tables>(n);
+    return slot;
+}
+
+std::shared_ptr<const BluesteinTables>
+sharedBluesteinTables(std::size_t n)
+{
+    static std::mutex mu;
+    static std::map<std::size_t,
+                    std::shared_ptr<const BluesteinTables>>
+        cache;
+    // The inner tables come from the radix-2 cache; fetch them
+    // outside this cache's lock to keep the two locks unnested.
+    auto inner = sharedRadix2Tables(nextPowerOfTwo(2 * n + 1));
+    std::lock_guard<std::mutex> lk(mu);
+    auto &slot = cache[n];
+    if (!slot)
+        slot = std::make_shared<BluesteinTables>(n, std::move(inner));
+    return slot;
+}
+
+} // namespace
+
+} // namespace detail
+
+FftPlan::FftPlan(std::size_t n) : n_(n)
+{
+    if (n_ == 0)
+        return;
+    if (isPowerOfTwo(n_)) {
+        radix2_ = detail::sharedRadix2Tables(n_);
+    } else {
+        bluestein_ = detail::sharedBluesteinTables(n_);
+        work_.resize(bluestein_->m);
+    }
+}
+
+FftPlan::~FftPlan() = default;
+FftPlan::FftPlan(FftPlan &&) noexcept = default;
+FftPlan &FftPlan::operator=(FftPlan &&) noexcept = default;
+
+void
+FftPlan::transform(Complex *a, bool inverse)
+{
+    if (n_ <= 1)
+        return;
+    if (radix2_) {
+        detail::radix2Transform(a, *radix2_, inverse);
+        return;
+    }
+    const auto &t = *bluestein_;
+    const std::size_t m = t.m;
+    std::fill(work_.begin() + std::ptrdiff_t(n_), work_.end(),
+              Complex(0.0, 0.0));
+    for (std::size_t k = 0; k < n_; ++k) {
+        const Complex c =
+            inverse ? std::conj(t.chirp[k]) : t.chirp[k];
+        work_[k] = a[k] * c;
+    }
+    detail::radix2Transform(work_.data(), *t.inner, false);
+    const auto &filter = inverse ? t.filter_inv : t.filter_fwd;
+    for (std::size_t k = 0; k < m; ++k)
+        work_[k] *= filter[k];
+    detail::radix2Transform(work_.data(), *t.inner, true);
+    const double scale = 1.0 / double(m);
+    for (std::size_t k = 0; k < n_; ++k) {
+        const Complex c =
+            inverse ? std::conj(t.chirp[k]) : t.chirp[k];
+        a[k] = work_[k] * c * scale;
+    }
+}
+
+void
+FftPlan::forward(std::vector<Complex> &data)
+{
+    assert(data.size() == n_);
+    transform(data.data(), false);
+}
+
+void
+FftPlan::inverse(std::vector<Complex> &data)
+{
+    assert(data.size() == n_);
+    transform(data.data(), true);
+    if (n_ == 0)
+        return;
+    const double scale = 1.0 / double(n_);
+    for (auto &v : data)
+        v *= scale;
+}
+
+void
+FftPlan::ensureRealTables()
+{
+    if (half_ != nullptr)
+        return;
+    const std::size_t h = n_ / 2;
+    half_ = std::unique_ptr<FftPlan>(new FftPlan(h));
+    packed_.resize(h);
+    real_twiddle_.resize(h);
+    for (std::size_t k = 0; k < h; ++k) {
+        const double ang = -detail::kTwoPi * double(k) / double(n_);
+        real_twiddle_[k] = Complex(std::cos(ang), std::sin(ang));
+    }
+}
+
+void
+FftPlan::forwardReal(const double *in, Complex *out)
+{
+    assert(hasRealFastPath());
+    ensureRealTables();
+    const std::size_t h = n_ / 2;
+
+    // Pack adjacent real samples into complex pairs and run one
+    // half-size transform: z[j] = x[2j] + i x[2j+1].
+    for (std::size_t j = 0; j < h; ++j)
+        packed_[j] = Complex(in[2 * j], in[2 * j + 1]);
+    half_->transform(packed_.data(), false);
+
+    // Unpack: split Z into the even/odd-sample spectra E and O, then
+    // X[k] = E[k] + w^k O[k] with w = e^{-2 pi i / n}.
+    const Complex z0 = packed_[0];
+    out[0] = Complex(z0.real() + z0.imag(), 0.0);
+    out[h] = Complex(z0.real() - z0.imag(), 0.0); // Nyquist bin
+    for (std::size_t k = 1; k < h; ++k) {
+        const Complex zk = packed_[k];
+        const Complex zc = std::conj(packed_[h - k]);
+        const Complex even = 0.5 * (zk + zc);
+        const Complex odd = Complex(0.0, -0.5) * (zk - zc);
+        const Complex x = even + real_twiddle_[k] * odd;
+        out[k] = x;
+        out[n_ - k] = std::conj(x); // real input: mirror spectrum
+    }
+}
+
+} // namespace eddie::sig

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Precomputed FFT plans with a process-wide table cache.
+ *
+ * The free functions in fft.h recompute bit-reversal order and
+ * twiddle factors on every call; for the STFT hot loop (thousands of
+ * same-size transforms per captured run) that is pure waste. An
+ * FftPlan precomputes, per transform size:
+ *
+ *  - the bit-reversal permutation and a twiddle table (radix-2 sizes);
+ *  - the chirp sequence and the FFT of the chirp filter (Bluestein
+ *    sizes), turning each transform into two inner FFTs instead of
+ *    three plus two table builds;
+ *  - for even sizes, the real-input fast path: an N-point transform
+ *    of a real signal via one N/2-point complex FFT plus an O(N)
+ *    unpack, roughly halving the butterfly work.
+ *
+ * Tables are immutable and shared through a mutex-protected global
+ * cache, so constructing a plan for an already-seen size is cheap
+ * (a lock + two scratch allocations). Scratch buffers live in the
+ * plan instance: a plan is NOT safe for concurrent use — create one
+ * plan per thread (the tables underneath are still shared).
+ */
+
+#ifndef EDDIE_SIG_FFT_PLAN_H
+#define EDDIE_SIG_FFT_PLAN_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "fft.h"
+
+namespace eddie::sig
+{
+
+namespace detail
+{
+struct Radix2Tables;
+struct BluesteinTables;
+} // namespace detail
+
+/** Reusable transform plan for one size; see file comment. */
+class FftPlan
+{
+  public:
+    /** Builds (or fetches from cache) the tables for size @p n. */
+    explicit FftPlan(std::size_t n);
+    ~FftPlan();
+
+    FftPlan(FftPlan &&) noexcept;
+    FftPlan &operator=(FftPlan &&) noexcept;
+    FftPlan(const FftPlan &) = delete;
+    FftPlan &operator=(const FftPlan &) = delete;
+
+    std::size_t size() const { return n_; }
+
+    /** Unnormalized in-place forward FFT; data.size() must be n. */
+    void forward(std::vector<Complex> &data);
+
+    /** In-place inverse FFT normalized by 1/n. */
+    void inverse(std::vector<Complex> &data);
+
+    /** True when forwardReal() is available (n even, nonzero). */
+    bool hasRealFastPath() const { return n_ != 0 && n_ % 2 == 0; }
+
+    /**
+     * Full n-point spectrum of a real signal via one n/2-point
+     * complex FFT. @p in must hold n doubles, @p out n bins; the
+     * upper half of @p out is filled with the conjugate mirror.
+     * Requires hasRealFastPath().
+     */
+    void forwardReal(const double *in, Complex *out);
+
+  private:
+    void transform(Complex *data, bool inverse);
+    void ensureRealTables();
+
+    std::size_t n_ = 0;
+    std::shared_ptr<const detail::Radix2Tables> radix2_;
+    std::shared_ptr<const detail::BluesteinTables> bluestein_;
+    std::vector<Complex> work_; // Bluestein convolution scratch
+
+    // Real fast path, built lazily on first forwardReal().
+    std::unique_ptr<FftPlan> half_;
+    std::vector<Complex> real_twiddle_; // e^{-2 pi i k / n}, k in [0, n/2)
+    std::vector<Complex> packed_;       // n/2 packed samples
+};
+
+} // namespace eddie::sig
+
+#endif // EDDIE_SIG_FFT_PLAN_H

@@ -7,7 +7,8 @@ namespace eddie::sig
 
 Stft::Stft(const StftConfig &config)
     : config_(config),
-      window_(makeWindow(config.window, config.window_size))
+      window_(makeWindow(config.window, config.window_size)),
+      plan_(config.window_size)
 {
     if (config_.window_size == 0)
         throw std::invalid_argument("Stft: window_size must be > 0");
@@ -15,50 +16,90 @@ Stft::Stft(const StftConfig &config)
         throw std::invalid_argument("Stft: hop must be > 0");
     if (config_.sample_rate <= 0.0)
         throw std::invalid_argument("Stft: sample_rate must be > 0");
+    const std::size_t n = config_.window_size;
+    if (plan_.hasRealFastPath())
+        real_frame_.resize(n);
+    complex_frame_.resize(n);
+    spectrum_.resize(n);
+}
+
+Spectrogram
+Stft::emptySpectrogram() const
+{
+    Spectrogram out;
+    out.sample_rate = config_.sample_rate;
+    out.window_seconds = double(config_.window_size) /
+        config_.sample_rate;
+    out.hop_seconds = double(config_.hop) / config_.sample_rate;
+    return out;
+}
+
+std::size_t
+Stft::frameCount(std::size_t samples) const
+{
+    if (samples < config_.window_size)
+        return 0;
+    return 1 + (samples - config_.window_size) / config_.hop;
 }
 
 Spectrogram
 Stft::analyze(const std::vector<double> &signal) const
 {
-    std::vector<Complex> c(signal.size());
-    for (std::size_t i = 0; i < signal.size(); ++i)
-        c[i] = Complex(signal[i], 0.0);
-    return analyzeFrames(c);
+    if (!plan_.hasRealFastPath()) {
+        // Odd window size: no packed half-size transform; go through
+        // the complex path.
+        std::vector<Complex> c(signal.size());
+        for (std::size_t i = 0; i < signal.size(); ++i)
+            c[i] = Complex(signal[i], 0.0);
+        return analyze(c);
+    }
+
+    Spectrogram out = emptySpectrogram();
+    const std::size_t n = config_.window_size;
+    const std::size_t frames = frameCount(signal.size());
+    out.power.reserve(frames);
+    out.frame_time.reserve(frames);
+
+    const std::size_t half = n / 2;
+    for (std::size_t f = 0; f < frames; ++f) {
+        const std::size_t start = f * config_.hop;
+        for (std::size_t i = 0; i < n; ++i)
+            real_frame_[i] = signal[start + i] * window_[i];
+        plan_.forwardReal(real_frame_.data(), spectrum_.data());
+
+        auto &pw = out.power.emplace_back(n);
+        // Real input: the upper half mirrors the lower, so norm only
+        // half the bins.
+        pw[0] = std::norm(spectrum_[0]);
+        pw[half] = std::norm(spectrum_[half]);
+        for (std::size_t i = 1; i < half; ++i) {
+            const double v = std::norm(spectrum_[i]);
+            pw[i] = v;
+            pw[n - i] = v;
+        }
+        out.frame_time.push_back(double(start) / config_.sample_rate);
+    }
+    return out;
 }
 
 Spectrogram
 Stft::analyze(const std::vector<Complex> &signal) const
 {
-    return analyzeFrames(signal);
-}
-
-Spectrogram
-Stft::analyzeFrames(const std::vector<Complex> &signal) const
-{
-    Spectrogram out;
-    out.sample_rate = config_.sample_rate;
-    out.window_seconds = double(config_.window_size) / config_.sample_rate;
-    out.hop_seconds = double(config_.hop) / config_.sample_rate;
-
+    Spectrogram out = emptySpectrogram();
     const std::size_t n = config_.window_size;
-    if (signal.size() < n)
-        return out;
-
-    const std::size_t frames = 1 + (signal.size() - n) / config_.hop;
+    const std::size_t frames = frameCount(signal.size());
     out.power.reserve(frames);
     out.frame_time.reserve(frames);
 
-    std::vector<Complex> buf(n);
     for (std::size_t f = 0; f < frames; ++f) {
         const std::size_t start = f * config_.hop;
         for (std::size_t i = 0; i < n; ++i)
-            buf[i] = signal[start + i] * window_[i];
-        fft(buf);
+            complex_frame_[i] = signal[start + i] * window_[i];
+        plan_.forward(complex_frame_);
 
-        std::vector<double> pw(n);
+        auto &pw = out.power.emplace_back(n);
         for (std::size_t i = 0; i < n; ++i)
-            pw[i] = std::norm(buf[i]);
-        out.power.push_back(std::move(pw));
+            pw[i] = std::norm(complex_frame_[i]);
         out.frame_time.push_back(double(start) / config_.sample_rate);
     }
     return out;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "fft.h"
+#include "fft_plan.h"
 #include "window.h"
 
 namespace eddie::sig
@@ -67,8 +68,15 @@ struct Spectrogram
 /**
  * Computes STFTs over real or complex signals.
  *
- * Stateless apart from the cached window coefficients; safe to reuse
- * across signals.
+ * Holds a cached FFT plan plus per-frame scratch buffers, so the
+ * analysis loop performs no allocations beyond the output rows.
+ * Real input uses the plan's real fast path (one half-size complex
+ * FFT per frame) for even window sizes.
+ *
+ * Reusable across signals, but NOT safe for concurrent use from
+ * multiple threads (the scratch is shared state); construct one Stft
+ * per thread — construction is cheap because the FFT tables come
+ * from the process-wide plan cache.
  */
 class Stft
 {
@@ -84,10 +92,17 @@ class Stft
     const StftConfig &config() const { return config_; }
 
   private:
-    Spectrogram analyzeFrames(const std::vector<Complex> &signal) const;
+    Spectrogram emptySpectrogram() const;
+    std::size_t frameCount(std::size_t samples) const;
 
     StftConfig config_;
     std::vector<double> window_;
+    // Scratch reused across frames; mutable because analysis is
+    // logically const (see the thread-safety note above).
+    mutable FftPlan plan_;
+    mutable std::vector<double> real_frame_;
+    mutable std::vector<Complex> complex_frame_;
+    mutable std::vector<Complex> spectrum_;
 };
 
 } // namespace eddie::sig

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests of the deterministic thread pool: exact-once index coverage,
+ * ordered results, exception propagation, and batch reuse under
+ * contention (the scheduling paths TSan inspects).
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace
+{
+
+using eddie::common::ThreadPool;
+
+TEST(ThreadPoolTest, SizeCountsCallerThread)
+{
+    ThreadPool one(1);
+    EXPECT_EQ(one.size(), 1u);
+    ThreadPool four(4);
+    EXPECT_EQ(four.size(), 4u);
+    ThreadPool def(0);
+    EXPECT_EQ(def.size(), ThreadPool::hardwareThreads());
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+        ThreadPool pool(threads);
+        const std::size_t count = 1000;
+        std::vector<std::atomic<int>> hits(count);
+        pool.parallelFor(count, [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i
+                                         << " threads " << threads;
+    }
+}
+
+TEST(ThreadPoolTest, ParallelMapIsOrderedAndThreadCountInvariant)
+{
+    const std::size_t count = 257;
+    auto square = [](std::size_t i) { return double(i) * double(i); };
+
+    ThreadPool serial(1);
+    const auto want = serial.parallelMap(count, square);
+    ASSERT_EQ(want.size(), count);
+    for (std::size_t i = 0; i < count; ++i)
+        ASSERT_EQ(want[i], double(i) * double(i));
+
+    for (std::size_t threads : {2u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.parallelMap(count, square), want)
+            << "threads " << threads;
+    }
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleElementBatches)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionIsRethrownAfterBatchDrains)
+{
+    for (std::size_t threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        std::atomic<std::size_t> completed{0};
+        EXPECT_THROW(
+            pool.parallelFor(100,
+                             [&](std::size_t i) {
+                                 if (i == 17)
+                                     throw std::runtime_error("boom");
+                                 completed.fetch_add(1);
+                             }),
+            std::runtime_error);
+        // The batch drains fully: every non-throwing index ran.
+        EXPECT_EQ(completed.load(), 99u);
+        // And the pool stays usable afterwards.
+        std::atomic<std::size_t> after{0};
+        pool.parallelFor(10,
+                         [&](std::size_t) { after.fetch_add(1); });
+        EXPECT_EQ(after.load(), 10u);
+    }
+}
+
+TEST(ThreadPoolTest, ManyConsecutiveBatchesReuseWorkers)
+{
+    // Stresses batch setup/teardown — the straggler handoff between
+    // batches is where naive pools race.
+    ThreadPool pool(4);
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t count = 1 + std::size_t(round) % 7;
+        std::vector<int> out(count, 0);
+        pool.parallelFor(count,
+                         [&](std::size_t i) { out[i] = round; });
+        for (std::size_t i = 0; i < count; ++i)
+            ASSERT_EQ(out[i], round) << "round " << round;
+    }
+}
+
+TEST(ThreadPoolTest, ForEachIndexSerialFallback)
+{
+    std::vector<int> out(5, 0);
+    eddie::common::forEachIndex(nullptr, out.size(),
+                                [&](std::size_t i) { out[i] = 1; });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 5);
+}
+
+TEST(ThreadPoolTest, ResolveThreads)
+{
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3u);
+    EXPECT_EQ(ThreadPool::resolveThreads(0),
+              ThreadPool::hardwareThreads());
+}
+
+} // namespace

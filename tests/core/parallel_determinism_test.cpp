@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Determinism contract of the parallel execution layer: training and
+ * batch monitoring must produce byte-identical results at any thread
+ * count (the seed-ordered reduction described in docs/ALGORITHM.md).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+
+namespace
+{
+
+using namespace eddie;
+using core::Pipeline;
+using core::PipelineConfig;
+
+std::string
+serializedModel(const PipelineConfig &base, std::size_t threads)
+{
+    PipelineConfig cfg = base;
+    cfg.threads = threads;
+    Pipeline pipe(workloads::makeWorkload("bitcount", 0.15), cfg);
+    const auto model = pipe.trainModel();
+    std::ostringstream os;
+    core::saveModel(model, os);
+    return os.str();
+}
+
+TEST(ParallelDeterminismTest, TrainedModelIsByteIdenticalAcrossThreadCounts)
+{
+    PipelineConfig cfg;
+    cfg.train_runs = 4;
+    const auto at1 = serializedModel(cfg, 1);
+    ASSERT_FALSE(at1.empty());
+    EXPECT_EQ(serializedModel(cfg, 2), at1);
+    EXPECT_EQ(serializedModel(cfg, 8), at1);
+}
+
+TEST(ParallelDeterminismTest, TrainingDiagnosticsMatchAcrossThreadCounts)
+{
+    PipelineConfig cfg;
+    cfg.train_runs = 3;
+
+    core::TrainingDiagnostics serial, parallel;
+    {
+        PipelineConfig c = cfg;
+        c.threads = 1;
+        Pipeline pipe(workloads::makeWorkload("sha", 0.15), c);
+        pipe.trainModel(&serial);
+    }
+    {
+        PipelineConfig c = cfg;
+        c.threads = 8;
+        Pipeline pipe(workloads::makeWorkload("sha", 0.15), c);
+        pipe.trainModel(&parallel);
+    }
+    ASSERT_EQ(serial.sweeps.size(), parallel.sweeps.size());
+    EXPECT_EQ(serial.sts_count, parallel.sts_count);
+    for (std::size_t r = 0; r < serial.sweeps.size(); ++r) {
+        ASSERT_EQ(serial.sweeps[r].size(), parallel.sweeps[r].size())
+            << "region " << r;
+        for (std::size_t i = 0; i < serial.sweeps[r].size(); ++i) {
+            EXPECT_EQ(serial.sweeps[r][i].n,
+                      parallel.sweeps[r][i].n);
+            EXPECT_EQ(serial.sweeps[r][i].false_rejection_rate,
+                      parallel.sweeps[r][i].false_rejection_rate);
+        }
+    }
+}
+
+TEST(ParallelDeterminismTest, MonitorBatchMatchesSerialMonitorRuns)
+{
+    PipelineConfig cfg;
+    cfg.train_runs = 3;
+    cfg.threads = 4;
+    Pipeline pipe(workloads::makeWorkload("bitcount", 0.15), cfg);
+    const auto model = pipe.trainModel();
+
+    const std::vector<std::uint64_t> seeds = {9000, 9001, 9002, 9003,
+                                              9004};
+    const auto batch = pipe.monitorBatch(model, seeds);
+    ASSERT_EQ(batch.size(), seeds.size());
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        const auto one = pipe.monitorRun(model, seeds[i]);
+        EXPECT_EQ(batch[i].reports.size(), one.reports.size())
+            << "seed " << seeds[i];
+        EXPECT_EQ(batch[i].metrics.groups, one.metrics.groups);
+        EXPECT_EQ(batch[i].metrics.false_positives,
+                  one.metrics.false_positives);
+        EXPECT_EQ(batch[i].metrics.covered_steps,
+                  one.metrics.covered_steps);
+    }
+}
+
+TEST(ParallelDeterminismTest, MonitorBatchRejectsMismatchedPlans)
+{
+    PipelineConfig cfg;
+    Pipeline pipe(workloads::makeWorkload("bitcount", 0.15), cfg);
+    core::TrainedModel model; // contents irrelevant
+    EXPECT_THROW(pipe.monitorBatch(model, {1, 2, 3},
+                                   std::vector<cpu::InjectionPlan>(2)),
+                 std::invalid_argument);
+}
+
+} // namespace

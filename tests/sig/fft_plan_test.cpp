@@ -1,0 +1,166 @@
+/**
+ * @file
+ * FftPlan equivalence tests: the planned transforms (radix-2 tables,
+ * cached Bluestein, real-input fast path) must agree with a naive
+ * O(n^2) DFT for every size, and with the free fft() functions.
+ */
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sig/fft_plan.h"
+
+namespace
+{
+
+using eddie::sig::Complex;
+using eddie::sig::FftPlan;
+
+std::vector<Complex>
+randomSignal(std::size_t n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    std::vector<Complex> x(n);
+    for (auto &v : x)
+        v = Complex(d(rng), d(rng));
+    return x;
+}
+
+std::vector<double>
+randomRealSignal(std::size_t n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = d(rng);
+    return x;
+}
+
+/** O(n^2) reference DFT. */
+std::vector<Complex>
+naiveDft(const std::vector<Complex> &x)
+{
+    const std::size_t n = x.size();
+    std::vector<Complex> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        Complex acc(0.0, 0.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double ang = -2.0 * std::numbers::pi *
+                double(j * k % n) / double(n);
+            acc += x[j] * Complex(std::cos(ang), std::sin(ang));
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+TEST(FftPlanTest, MatchesNaiveDftForAllSizesUpTo64)
+{
+    // Covers every radix-2 size and every Bluestein size in range.
+    for (std::size_t n = 1; n <= 64; ++n) {
+        auto x = randomSignal(n, n);
+        const auto ref = naiveDft(x);
+        FftPlan plan(n);
+        EXPECT_EQ(plan.size(), n);
+        plan.forward(x);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_NEAR(std::abs(x[i] - ref[i]), 0.0, 1e-8)
+                << "n=" << n << " bin " << i;
+        }
+    }
+}
+
+TEST(FftPlanTest, MatchesNaiveDftForLargerBluesteinSizes)
+{
+    for (std::size_t n : {100u, 257u, 1000u}) {
+        auto x = randomSignal(n, 31 * n);
+        const auto ref = naiveDft(x);
+        FftPlan plan(n);
+        plan.forward(x);
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_NEAR(std::abs(x[i] - ref[i]), 0.0, 1e-7)
+                << "n=" << n << " bin " << i;
+        }
+    }
+}
+
+TEST(FftPlanTest, RealFastPathMatchesNaiveDft)
+{
+    // Even sizes only; includes half-sizes that are themselves
+    // non-powers-of-two (nested Bluestein) and the STFT's 2048.
+    for (std::size_t n : {2u, 4u, 6u, 10u, 12u, 20u, 64u, 100u, 250u,
+                          1024u, 2048u}) {
+        const auto x = randomRealSignal(n, 7 * n + 1);
+        std::vector<Complex> cx(n);
+        for (std::size_t i = 0; i < n; ++i)
+            cx[i] = Complex(x[i], 0.0);
+        const auto ref = naiveDft(cx);
+
+        FftPlan plan(n);
+        ASSERT_TRUE(plan.hasRealFastPath()) << "n=" << n;
+        std::vector<Complex> out(n);
+        plan.forwardReal(x.data(), out.data());
+        for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_NEAR(std::abs(out[i] - ref[i]), 0.0,
+                        1e-7 * double(n))
+                << "n=" << n << " bin " << i;
+        }
+    }
+}
+
+TEST(FftPlanTest, OddSizesHaveNoRealFastPath)
+{
+    EXPECT_FALSE(FftPlan(1).hasRealFastPath());
+    EXPECT_FALSE(FftPlan(17).hasRealFastPath());
+    EXPECT_TRUE(FftPlan(2).hasRealFastPath());
+}
+
+TEST(FftPlanTest, InverseRoundTrip)
+{
+    for (std::size_t n : {8u, 100u, 1024u}) {
+        auto x = randomSignal(n, 13 * n);
+        const auto orig = x;
+        FftPlan plan(n);
+        plan.forward(x);
+        plan.inverse(x);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-9)
+                << "n=" << n;
+    }
+}
+
+TEST(FftPlanTest, AgreesWithFreeFunctions)
+{
+    for (std::size_t n : {16u, 100u}) {
+        auto via_plan = randomSignal(n, 3 * n);
+        auto via_free = via_plan;
+        FftPlan plan(n);
+        plan.forward(via_plan);
+        eddie::sig::fft(via_free);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_NEAR(std::abs(via_plan[i] - via_free[i]), 0.0,
+                        1e-12);
+    }
+}
+
+TEST(FftPlanTest, PlanIsReusableAcrossTransforms)
+{
+    FftPlan plan(32);
+    auto a = randomSignal(32, 1);
+    auto b = randomSignal(32, 2);
+    const auto ra = naiveDft(a);
+    const auto rb = naiveDft(b);
+    plan.forward(a);
+    plan.forward(b);
+    for (std::size_t i = 0; i < 32; ++i) {
+        ASSERT_NEAR(std::abs(a[i] - ra[i]), 0.0, 1e-9);
+        ASSERT_NEAR(std::abs(b[i] - rb[i]), 0.0, 1e-9);
+    }
+}
+
+} // namespace

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <random>
 
@@ -127,6 +128,49 @@ TEST(FftTest, BinFrequencyMapping)
         const double f = eddie::sig::binToFrequency(bin, 1024, 48000.0);
         EXPECT_EQ(eddie::sig::frequencyToBin(f, 1024, 48000.0), bin);
     }
+}
+
+TEST(FftTest, NextPowerOfTwoGuardsAgainstShiftOverflow)
+{
+    // Above the largest representable power of two the shift loop
+    // would wrap to zero and spin forever; it must throw instead.
+    const std::size_t max_pow = std::size_t{1}
+        << (std::numeric_limits<std::size_t>::digits - 1);
+    EXPECT_EQ(eddie::sig::nextPowerOfTwo(max_pow), max_pow);
+    EXPECT_EQ(eddie::sig::nextPowerOfTwo(max_pow - 1), max_pow);
+    EXPECT_THROW(eddie::sig::nextPowerOfTwo(max_pow + 1),
+                 std::overflow_error);
+    EXPECT_THROW(eddie::sig::nextPowerOfTwo(
+                     std::numeric_limits<std::size_t>::max()),
+                 std::overflow_error);
+    EXPECT_EQ(eddie::sig::nextPowerOfTwo(0), 1u);
+}
+
+TEST(FftTest, FrequencyToBinExactNegativeFrequencies)
+{
+    // Exactly-negative frequencies map straight back to their bin;
+    // rounding must happen before wrapping so no precision is lost
+    // in the k + n round-trip.
+    const double fs = 48000.0;
+    for (std::size_t n : {1024u, 4096u}) {
+        for (std::size_t bin :
+             {n / 2 + 1, n / 2 + 7, n - 2, n - 1}) {
+            const double f = eddie::sig::binToFrequency(bin, n, fs);
+            ASSERT_LT(f, 0.0);
+            EXPECT_EQ(eddie::sig::frequencyToBin(f, n, fs), bin)
+                << "n=" << n << " bin=" << bin;
+        }
+    }
+    // A tiny negative frequency rounds to bin 0 (the nearest bin),
+    // never to the out-of-range bin n.
+    EXPECT_EQ(eddie::sig::frequencyToBin(-1e-9, 1024, 48000.0), 0u);
+    // Precision: beyond 2^53, n - 1 is not representable in a
+    // double, so the old wrap-then-round path (k + n computed in the
+    // double domain) collapsed -1/n to bin 0; rounding first keeps
+    // it at bin n - 1.
+    const std::size_t big = std::size_t{1} << 54;
+    EXPECT_EQ(eddie::sig::frequencyToBin(-1.0 / double(big), big, 1.0),
+              big - 1);
 }
 
 TEST(FftTest, EmptyAndSingleElement)

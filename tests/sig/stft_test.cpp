@@ -93,6 +93,51 @@ TEST(StftTest, ComplexInputNegativeFrequency)
     EXPECT_NEAR(sg.binFrequency(best), -f0, 1.0);
 }
 
+TEST(StftTest, RealFastPathMatchesComplexPath)
+{
+    // The real-input path (half-size packed FFT) must agree with the
+    // generic complex path on the same samples.
+    for (std::size_t window : {256u, 250u, 2048u}) {
+        StftConfig cfg;
+        cfg.window_size = window;
+        cfg.hop = window / 2;
+        cfg.sample_rate = 20000.0;
+        Stft stft(cfg);
+
+        auto x = sine(5 * window, 917.0, 20000.0);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x[i] += 0.25 * std::sin(0.37 * double(i)); // aperiodic part
+
+        std::vector<Complex> cx(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            cx[i] = Complex(x[i], 0.0);
+
+        const auto real_sg = stft.analyze(x);
+        const auto cplx_sg = stft.analyze(cx);
+        ASSERT_EQ(real_sg.numFrames(), cplx_sg.numFrames());
+        for (std::size_t f = 0; f < real_sg.numFrames(); ++f) {
+            for (std::size_t b = 0; b < window; ++b) {
+                ASSERT_NEAR(real_sg.power[f][b], cplx_sg.power[f][b],
+                            1e-6 * (1.0 + cplx_sg.power[f][b]))
+                    << "window " << window << " frame " << f
+                    << " bin " << b;
+            }
+        }
+    }
+}
+
+TEST(StftTest, OddWindowSizeFallsBackToComplexPath)
+{
+    StftConfig cfg;
+    cfg.window_size = 255; // odd: no packed half-size transform
+    cfg.hop = 128;
+    cfg.sample_rate = 1000.0;
+    Stft stft(cfg);
+    const auto sg = stft.analyze(sine(1024, 100.0, 1000.0));
+    EXPECT_EQ(sg.fftSize(), 255u);
+    EXPECT_GT(sg.numFrames(), 0u);
+}
+
 TEST(StftTest, InvalidConfigThrows)
 {
     StftConfig bad;

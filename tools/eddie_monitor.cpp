@@ -4,7 +4,7 @@
  * model and print a report.
  *
  *   eddie_monitor <model-file> <workload>
- *       [--scale S] [--seed N] [--em] [--snr DB]
+ *       [--scale S] [--seed N] [--em] [--snr DB] [--threads T]
  *       [--inject loop|burst] [--payload N] [--contamination R]
  *       [--target REGION]
  *
@@ -28,7 +28,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: eddie_monitor <model-file> <workload> "
                      "[--scale S] [--seed N] [--em] [--snr DB]\n"
-                     "       [--inject loop|burst] [--payload N] "
+                     "       [--threads T] [--inject loop|burst] "
+                     "[--payload N] "
                      "[--contamination R] [--target REGION]\n");
         return 2;
     }
@@ -41,6 +42,7 @@ main(int argc, char **argv)
     const auto model = core::loadModel(is);
 
     core::PipelineConfig cfg;
+    cfg.threads = std::size_t(args.getLong("threads", 0));
     if (args.has("em")) {
         cfg.path = core::SignalPath::EmBaseband;
         cfg.channel.snr_db = args.getDouble("snr", 30.0);

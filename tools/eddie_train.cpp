@@ -5,6 +5,7 @@
  *
  *   eddie_train <workload> <model-file>
  *       [--scale S] [--runs N] [--em] [--snr DB] [--alpha A]
+ *       [--threads T]
  *
  * The model file is a plain-text artifact consumed by eddie_monitor
  * and eddie_inspect.
@@ -13,6 +14,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "tool_util.h"
 
@@ -26,7 +28,10 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: eddie_train <workload> <model-file> "
                      "[--scale S] [--runs N] [--em] [--snr DB] "
-                     "[--alpha A]\n  workloads:");
+                     "[--alpha A] [--threads T]\n"
+                     "  --threads 0 (default) uses all hardware "
+                     "threads; any value yields the same model\n"
+                     "  workloads:");
         for (const auto &n : workloads::workloadNames())
             std::fprintf(stderr, " %s", n.c_str());
         std::fprintf(stderr, "\n");
@@ -38,6 +43,7 @@ main(int argc, char **argv)
     core::PipelineConfig cfg;
     cfg.train_runs = std::size_t(args.getLong("runs", 8));
     cfg.trainer.alpha = args.getDouble("alpha", 0.01);
+    cfg.threads = std::size_t(args.getLong("threads", 0));
     if (args.has("em")) {
         cfg.path = core::SignalPath::EmBaseband;
         cfg.channel.snr_db = args.getDouble("snr", 30.0);
@@ -47,9 +53,10 @@ main(int argc, char **argv)
     core::Pipeline pipe(
         workloads::makeWorkload(name, args.getDouble("scale", 1.0)),
         cfg);
-    std::printf("training '%s' on %zu runs (%s path)...\n",
+    std::printf("training '%s' on %zu runs (%s path, %zu threads)...\n",
                 name.c_str(), cfg.train_runs,
-                args.has("em") ? "EM" : "power");
+                args.has("em") ? "EM" : "power",
+                common::ThreadPool::resolveThreads(cfg.threads));
     core::TrainingDiagnostics diag;
     const auto model = pipe.trainModel(&diag);
 
