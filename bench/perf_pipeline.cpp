@@ -4,9 +4,14 @@
  * pipeline, tracking the perf trajectory across PRs.
  *
  * Times the four pipeline stages (capture = simulate+emanate, STFT,
- * train, monitor), sweeps trainModel and monitorBatch over a thread
- * grid, and writes a machine-readable BENCH_pipeline.json with stage
- * wall-times, thread counts, and speedups vs. 1 thread.
+ * train, monitor), breaks passband synthesis down per stage
+ * (envelope/tones/AWGN/filter) against a reference implementation
+ * using per-sample libm trig, std::normal_distribution, and separate
+ * filter+decimate passes, measures capture-cache cold/warm
+ * throughput, sweeps trainModel and monitorBatch over a thread grid,
+ * and writes a machine-readable BENCH_pipeline.json with stage
+ * wall-times, before/after kernel speedups, cache hit rates, and
+ * speedups vs. 1 thread.
  *
  *   perf_pipeline [--workload sha] [--scale S] [--runs N]
  *                 [--monitor-runs M] [--out BENCH_pipeline.json]
@@ -17,12 +22,20 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <memory>
+#include <numbers>
+#include <random>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/thread_pool.h"
+#include "core/capture_cache.h"
+#include "em/emanation.h"
+#include "sig/filter.h"
+#include "sig/modulation.h"
 #include "sig/stft.h"
 #include "tools/tool_util.h"
 
@@ -67,6 +80,121 @@ printJsonMap(std::FILE *f, const char *key,
         std::fprintf(f, "%s\"%zu\": %.3f", i == 0 ? "" : ", ",
                      threads[i], ms[i]);
     std::fprintf(f, "},\n");
+}
+
+void
+printJsonTimings(std::FILE *f, const char *key,
+                 const em::SynthesisTimings &t)
+{
+    std::fprintf(f,
+                 "  \"%s\": {\"envelope_ms\": %.3f, \"tones_ms\": "
+                 "%.3f, \"awgn_ms\": %.3f, \"filter_ms\": %.3f, "
+                 "\"total_ms\": %.3f},\n",
+                 key, t.envelope_ms, t.tones_ms, t.awgn_ms,
+                 t.filter_ms,
+                 t.envelope_ms + t.tones_ms + t.awgn_ms +
+                     t.filter_ms);
+}
+
+// ---------------------------------------------------------------
+// Reference synthesis chain: the pre-kernel formulation with a libm
+// trig call per sample, std::normal_distribution AWGN, and separate
+// firFilter + decimate passes. Kept here so every bench run reports
+// the before/after kernel speedup on the same machine and input.
+// ---------------------------------------------------------------
+
+std::vector<double>
+referenceAmModulate(const std::vector<double> &envelope,
+                    double envelope_rate, const sig::AmConfig &am)
+{
+    const auto env = sig::normalizeEnvelope(envelope);
+    const std::size_t n = std::size_t(double(env.size()) /
+                                      envelope_rate * am.sample_rate);
+    const double w = 2.0 * std::numbers::pi * am.carrier_hz;
+    std::vector<double> rf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = double(i) / am.sample_rate;
+        const std::size_t j = std::min(
+            env.size() - 1, std::size_t(t * envelope_rate));
+        rf[i] = am.amplitude * (1.0 + am.depth * env[j]) *
+                std::cos(w * t);
+    }
+    return rf;
+}
+
+void
+referenceAddTone(std::mt19937_64 &rng, std::vector<double> &signal,
+                 double freq_hz, double sample_rate, double amplitude)
+{
+    std::uniform_real_distribution<double> dist(
+        0.0, 2.0 * std::numbers::pi);
+    const double phase = dist(rng);
+    const double w = 2.0 * std::numbers::pi * freq_hz;
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        signal[i] += amplitude *
+                     std::cos(w * double(i) / sample_rate + phase);
+}
+
+void
+referenceAddAwgn(std::mt19937_64 &rng, std::vector<double> &signal,
+                 double snr_db)
+{
+    double power = 0.0;
+    for (double v : signal)
+        power += v * v;
+    power /= double(signal.size());
+    const double sigma =
+        std::sqrt(power / std::pow(10.0, snr_db / 10.0));
+    std::normal_distribution<double> gauss;
+    for (auto &v : signal)
+        v += sigma * gauss(rng);
+}
+
+std::vector<sig::Complex>
+referenceIqDownconvert(const std::vector<double> &rf,
+                       const sig::ReceiverConfig &rx)
+{
+    const double w = 2.0 * std::numbers::pi * rx.center_hz;
+    std::vector<sig::Complex> mixed(rf.size());
+    for (std::size_t i = 0; i < rf.size(); ++i) {
+        const double t = double(i) / rx.sample_rate;
+        mixed[i] = 2.0 * rf[i] *
+                   sig::Complex(std::cos(w * t), -std::sin(w * t));
+    }
+    const auto h = sig::designLowPass(rx.bandwidth_hz, rx.sample_rate,
+                                      rx.fir_taps);
+    return sig::decimate(sig::firFilter(mixed, h), rx.decimation);
+}
+
+/** Full reference chain with the same per-stage accounting as
+ *  passbandCapture. */
+std::vector<sig::Complex>
+referencePassbandCapture(const std::vector<double> &power,
+                         double power_rate,
+                         const em::PassbandConfig &cfg,
+                         std::uint64_t seed,
+                         em::SynthesisTimings &t)
+{
+    std::mt19937_64 rng(seed);
+    auto t0 = Clock::now();
+    auto rf = referenceAmModulate(power, power_rate, cfg.am);
+    t.envelope_ms += msSince(t0);
+
+    t0 = Clock::now();
+    for (const auto &tone : cfg.channel.interferers)
+        referenceAddTone(rng, rf, cfg.am.carrier_hz + tone.offset_hz,
+                         cfg.am.sample_rate, tone.amplitude);
+    t.tones_ms += msSince(t0);
+
+    t0 = Clock::now();
+    if (cfg.channel.snr_db < 200.0)
+        referenceAddAwgn(rng, rf, cfg.channel.snr_db);
+    t.awgn_ms += msSince(t0);
+
+    t0 = Clock::now();
+    auto iq = referenceIqDownconvert(rf, cfg.rx);
+    t.filter_ms += msSince(t0);
+    return iq;
 }
 
 } // namespace
@@ -114,6 +242,65 @@ main(int argc, char **argv)
         double(rr.power.size()) / (stft_ms * 1e-3);
     std::printf("stft: %8.1f ms  (%.3g samples/s)\n", stft_ms,
                 stft_samples_per_sec);
+
+    // Passband synthesis, per stage: the vectorized kernels (phasor
+    // oscillators, blocked Box-Muller AWGN, fused decimating FIR)
+    // against the per-sample trig reference, on the same power trace.
+    auto pb = em::defaultPassbandConfig();
+    pb.channel.snr_db = 25.0;
+    pb.channel.interferers = {{250e3, 0.1}, {-400e3, 0.05}};
+
+    em::SynthesisTimings synth_after;
+    em::SynthesisTimings synth_before;
+    const std::size_t synth_reps = 3;
+    for (std::size_t i = 0; i < synth_reps; ++i) {
+        (void)em::passbandCapture(rr.power, rr.sample_rate, pb, 11,
+                                  &synth_after);
+        (void)referencePassbandCapture(rr.power, rr.sample_rate, pb,
+                                       11, synth_before);
+    }
+    const auto scaleTimings = [&](em::SynthesisTimings &t) {
+        t.envelope_ms /= double(synth_reps);
+        t.tones_ms /= double(synth_reps);
+        t.awgn_ms /= double(synth_reps);
+        t.filter_ms /= double(synth_reps);
+    };
+    scaleTimings(synth_after);
+    scaleTimings(synth_before);
+    const auto totalMs = [](const em::SynthesisTimings &t) {
+        return t.envelope_ms + t.tones_ms + t.awgn_ms + t.filter_ms;
+    };
+    const double synth_speedup =
+        totalMs(synth_before) / totalMs(synth_after);
+    std::printf("synthesis (envelope/tones/awgn/filter), ms:\n");
+    std::printf("  reference: %8.1f / %8.1f / %8.1f / %8.1f  "
+                "(total %8.1f)\n",
+                synth_before.envelope_ms, synth_before.tones_ms,
+                synth_before.awgn_ms, synth_before.filter_ms,
+                totalMs(synth_before));
+    std::printf("  kernels:   %8.1f / %8.1f / %8.1f / %8.1f  "
+                "(total %8.1f, %.2fx)\n",
+                synth_after.envelope_ms, synth_after.tones_ms,
+                synth_after.awgn_ms, synth_after.filter_ms,
+                totalMs(synth_after), synth_speedup);
+
+    // Capture cache: cold miss vs. warm hit on the same key.
+    auto cache = std::make_shared<core::CaptureCache>();
+    core::PipelineConfig cached_cfg = cfg;
+    cached_cfg.capture_cache = cache;
+    core::Pipeline cached_pipe(
+        workloads::makeWorkload(workload_name, scale), cached_cfg);
+    const auto cold_t0 = Clock::now();
+    (void)cached_pipe.captureRun(cfg.train_seed_base);
+    const double cache_cold_ms = msSince(cold_t0);
+    const double cache_warm_ms = bestOf(
+        5, [&] { (void)cached_pipe.captureRun(cfg.train_seed_base); });
+    const auto cache_stats = cache->stats();
+    const double cache_warm_speedup = cache_cold_ms / cache_warm_ms;
+    std::printf("capture cache: cold %8.1f ms, warm %8.3f ms "
+                "(%.0fx), %s\n",
+                cache_cold_ms, cache_warm_ms, cache_warm_speedup,
+                core::describe(cache_stats).c_str());
 
     // Stage 3: trainModel over the thread grid.
     const std::vector<std::size_t> grid = {1, 2, 4, 8};
@@ -166,6 +353,18 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"stft_ms\": %.3f,\n", stft_ms);
     std::fprintf(f, "  \"stft_samples_per_sec\": %.1f,\n",
                  stft_samples_per_sec);
+    printJsonTimings(f, "synthesis_before", synth_before);
+    printJsonTimings(f, "synthesis_after", synth_after);
+    std::fprintf(f, "  \"synthesis_speedup\": %.3f,\n", synth_speedup);
+    std::fprintf(f,
+                 "  \"capture_cache\": {\"cold_ms\": %.3f, "
+                 "\"warm_ms\": %.3f, \"warm_speedup\": %.1f, "
+                 "\"hits\": %llu, \"misses\": %llu, \"hit_rate\": "
+                 "%.3f},\n",
+                 cache_cold_ms, cache_warm_ms, cache_warm_speedup,
+                 (unsigned long long)cache_stats.hits,
+                 (unsigned long long)cache_stats.misses,
+                 cache_stats.hitRate());
     printJsonMap(f, "train_ms", grid, train_ms);
     printJsonMap(f, "monitor_ms", grid, monitor_ms);
     std::fprintf(f, "  \"train_speedup_vs_1\": {");

@@ -1,0 +1,170 @@
+#include "capture_cache.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "capture_io.h"
+
+namespace eddie::core
+{
+
+namespace
+{
+
+constexpr char kSpillMagic[8] = {'E', 'D', 'D', 'I', 'E', 'S', 'P', 'L'};
+constexpr std::uint32_t kSpillVersion = 1;
+
+std::uint64_t
+fnv1a64(const std::string &bytes,
+        std::uint64_t h = 1469598103934665603ULL)
+{
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+CaptureCache::CaptureCache(CaptureCacheConfig config)
+    : config_(std::move(config))
+{
+}
+
+std::string
+CaptureCache::spillPath(const std::string &key) const
+{
+    // Hash-named; collisions are harmless because the file carries
+    // the full key, which is verified on load.
+    const std::uint64_t a = fnv1a64(key);
+    const std::uint64_t b = fnv1a64(key, a ^ 0x9e3779b97f4a7c15ULL);
+    char name[48];
+    std::snprintf(name, sizeof name, "cap-%016llx%016llx.sts",
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    return config_.spill_dir + "/" + name;
+}
+
+std::vector<Sts>
+CaptureCache::getOrCompute(
+    const std::string &key,
+    const std::function<std::vector<Sts>()> &compute)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = index_.find(key);
+        if (it != index_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            ++stats_.hits;
+            return *it->second->second;
+        }
+    }
+
+    // Disk tier: a spill file is trusted only if its stored key
+    // matches byte for byte.
+    if (!config_.spill_dir.empty()) {
+        std::ifstream is(spillPath(key), std::ios::binary);
+        if (is) {
+            try {
+                char magic[8];
+                is.read(magic, sizeof magic);
+                std::uint32_t version = 0;
+                is.read(reinterpret_cast<char *>(&version),
+                        sizeof version);
+                std::uint64_t key_size = 0;
+                is.read(reinterpret_cast<char *>(&key_size),
+                        sizeof key_size);
+                if (is &&
+                    std::memcmp(magic, kSpillMagic, sizeof magic) ==
+                        0 &&
+                    version == kSpillVersion &&
+                    key_size == key.size()) {
+                    std::string stored(key.size(), '\0');
+                    is.read(stored.data(),
+                            std::streamsize(stored.size()));
+                    if (is && stored == key) {
+                        auto stream = loadStsStream(is);
+                        auto value = std::make_shared<
+                            const std::vector<Sts>>(
+                            std::move(stream));
+                        std::lock_guard<std::mutex> lock(mu_);
+                        ++stats_.disk_hits;
+                        if (index_.find(key) == index_.end())
+                            insertLocked(key, value);
+                        return *value;
+                    }
+                }
+            } catch (const std::exception &) {
+                // Corrupt spill file: fall through to recompute.
+            }
+        }
+    }
+
+    auto value =
+        std::make_shared<const std::vector<Sts>>(compute());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.misses;
+        // A racing thread may have inserted the same key while we
+        // computed; the values are identical, so keep the first.
+        if (index_.find(key) == index_.end())
+            insertLocked(key, value);
+    }
+    return *value;
+}
+
+void
+CaptureCache::insertLocked(
+    const std::string &key,
+    std::shared_ptr<const std::vector<Sts>> value)
+{
+    lru_.emplace_front(key, std::move(value));
+    index_[key] = lru_.begin();
+    while (lru_.size() > config_.capacity) {
+        const Entry &victim = lru_.back();
+        if (!config_.spill_dir.empty()) {
+            std::ofstream os(spillPath(victim.first),
+                             std::ios::binary);
+            if (os) {
+                os.write(kSpillMagic, sizeof kSpillMagic);
+                os.write(reinterpret_cast<const char *>(
+                             &kSpillVersion),
+                         sizeof kSpillVersion);
+                const std::uint64_t key_size = victim.first.size();
+                os.write(reinterpret_cast<const char *>(&key_size),
+                         sizeof key_size);
+                os.write(victim.first.data(),
+                         std::streamsize(victim.first.size()));
+                saveStsStream(*victim.second, os);
+                if (os)
+                    ++stats_.spills;
+            }
+        }
+        ++stats_.evictions;
+        index_.erase(victim.first);
+        lru_.pop_back();
+    }
+    stats_.entries = lru_.size();
+}
+
+CaptureCacheStats
+CaptureCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+CaptureCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    stats_.entries = 0;
+}
+
+} // namespace eddie::core

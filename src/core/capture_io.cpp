@@ -15,6 +15,9 @@ namespace
 constexpr char kMagic[8] = {'E', 'D', 'D', 'I', 'E', 'C', 'A', 'P'};
 constexpr std::uint32_t kVersion = 1;
 
+constexpr char kStsMagic[8] = {'E', 'D', 'D', 'I', 'E', 'S', 'T', 'S'};
+constexpr std::uint32_t kStsVersion = 1;
+
 template <typename T>
 void
 writeRaw(std::ostream &os, const T &value)
@@ -92,6 +95,58 @@ loadCapture(std::istream &is)
     for (std::uint64_t i = 0; i < n; ++i)
         run.injected[i] = readRaw<std::uint8_t>(is);
     return run;
+}
+
+void
+saveStsStream(const std::vector<Sts> &stream, std::ostream &os)
+{
+    os.write(kStsMagic, sizeof kStsMagic);
+    writeRaw(os, kStsVersion);
+    writeRaw(os, std::uint64_t(stream.size()));
+    for (const auto &sts : stream) {
+        writeRaw(os, sts.t_start);
+        writeRaw(os, sts.t_end);
+        writeRaw(os, std::uint64_t(sts.true_region));
+        writeRaw(os, std::uint8_t(sts.injected ? 1 : 0));
+        writeRaw(os, std::uint64_t(sts.peak_freqs.size()));
+        os.write(reinterpret_cast<const char *>(sts.peak_freqs.data()),
+                 std::streamsize(sts.peak_freqs.size() *
+                                 sizeof(double)));
+    }
+}
+
+std::vector<Sts>
+loadStsStream(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof magic);
+    if (!is || std::memcmp(magic, kStsMagic, sizeof magic) != 0)
+        throw std::runtime_error("sts stream: bad magic");
+    const auto version = readRaw<std::uint32_t>(is);
+    if (version != kStsVersion)
+        throw std::runtime_error("sts stream: unsupported version");
+
+    const auto count = readRaw<std::uint64_t>(is);
+    // Sanity cap: days of STSs at the pipeline's hop rate.
+    if (count > (std::uint64_t(1) << 32))
+        throw std::runtime_error("sts stream: implausible size");
+
+    std::vector<Sts> stream(count);
+    for (auto &sts : stream) {
+        sts.t_start = readRaw<double>(is);
+        sts.t_end = readRaw<double>(is);
+        sts.true_region = std::size_t(readRaw<std::uint64_t>(is));
+        sts.injected = readRaw<std::uint8_t>(is) != 0;
+        const auto peaks = readRaw<std::uint64_t>(is);
+        if (peaks > (std::uint64_t(1) << 20))
+            throw std::runtime_error("sts stream: implausible peaks");
+        sts.peak_freqs.resize(peaks);
+        is.read(reinterpret_cast<char *>(sts.peak_freqs.data()),
+                std::streamsize(peaks * sizeof(double)));
+        if (!is)
+            throw std::runtime_error("sts stream: truncated input");
+    }
+    return stream;
 }
 
 void

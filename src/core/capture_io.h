@@ -11,8 +11,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "cpu/run_result.h"
+#include "sts.h"
 
 namespace eddie::core
 {
@@ -35,6 +37,21 @@ cpu::RunResult loadCapture(std::istream &is);
  *  failure. */
 void saveCaptureFile(const cpu::RunResult &run, const std::string &path);
 cpu::RunResult loadCaptureFile(const std::string &path);
+
+/**
+ * Writes an extracted STS stream in the binary capture format
+ * (magic "EDDIESTS"); the capture cache's disk spill and offline STS
+ * analysis use this.
+ *
+ * Layout: magic, u32 version, u64 STS count, then per STS: t_start,
+ * t_end (f64), u64 true_region, u8 injected, u64 peak count and the
+ * peak frequencies (f64).
+ */
+void saveStsStream(const std::vector<Sts> &stream, std::ostream &os);
+
+/** Reads an STS stream written by saveStsStream(). Throws on
+ *  malformed input. */
+std::vector<Sts> loadStsStream(std::istream &is);
 
 } // namespace eddie::core
 

@@ -1,6 +1,7 @@
 #include "metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "prog/regions.h"
 
@@ -144,6 +145,23 @@ aggregate(const std::vector<RunMetrics> &runs)
     if (acc_regions > 0)
         agg.accuracy_pct = 100.0 * acc_sum / double(acc_regions);
     return agg;
+}
+
+std::string
+describe(const CaptureCacheStats &stats)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "capture cache: %llu hits, %llu disk hits, "
+                  "%llu misses (%.1f%% hit rate), %zu entries, "
+                  "%llu evictions (%llu spilled)",
+                  static_cast<unsigned long long>(stats.hits),
+                  static_cast<unsigned long long>(stats.disk_hits),
+                  static_cast<unsigned long long>(stats.misses),
+                  100.0 * stats.hitRate(), stats.entries,
+                  static_cast<unsigned long long>(stats.evictions),
+                  static_cast<unsigned long long>(stats.spills));
+    return std::string(buf);
 }
 
 } // namespace eddie::core

@@ -8,6 +8,8 @@
 #define EDDIE_CORE_METRICS_H
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "model.h"
@@ -69,6 +71,32 @@ struct AggregateMetrics
 
 /** Combines per-run metrics (paper-style averages). */
 AggregateMetrics aggregate(const std::vector<RunMetrics> &runs);
+
+/**
+ * Counters of the capture memoization cache (see capture_cache.h),
+ * snapshotted by CaptureCache::stats(). A lookup increments exactly
+ * one of hits, disk_hits, or misses.
+ */
+struct CaptureCacheStats
+{
+    std::uint64_t hits = 0;      ///< served from memory
+    std::uint64_t disk_hits = 0; ///< served from the disk spill
+    std::uint64_t misses = 0;    ///< recomputed from the simulator
+    std::uint64_t evictions = 0; ///< LRU entries dropped from memory
+    std::uint64_t spills = 0;    ///< evictions persisted to disk
+    std::size_t entries = 0;     ///< current in-memory entries
+
+    std::uint64_t lookups() const { return hits + disk_hits + misses; }
+    /** Fraction of lookups that skipped the simulator. */
+    double hitRate() const
+    {
+        const std::uint64_t n = lookups();
+        return n == 0 ? 0.0 : double(hits + disk_hits) / double(n);
+    }
+};
+
+/** One-line human-readable summary of the cache counters. */
+std::string describe(const CaptureCacheStats &stats);
 
 } // namespace eddie::core
 

@@ -1,12 +1,228 @@
 #include "pipeline.h"
 
+#include <cstring>
 #include <stdexcept>
 
+#include "capture_cache.h"
 #include "common/thread_pool.h"
 #include "sig/stft.h"
 
 namespace eddie::core
 {
+
+namespace
+{
+
+/**
+ * Endianness-stable byte serializer for cache keys. Every field is
+ * appended explicitly — struct padding never reaches the key, so the
+ * same capture always produces the same bytes.
+ */
+class KeyBuilder
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(char(v)); }
+
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(char((v >> (8 * i)) & 0xff));
+    }
+
+    void i64(std::int64_t v) { u64(std::uint64_t(v)); }
+
+    void f64(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.append(s);
+    }
+
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+std::uint64_t
+fnv1aWords(const std::vector<std::int64_t> &words, std::uint64_t h)
+{
+    for (std::int64_t w : words) {
+        std::uint64_t v = std::uint64_t(w);
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+void
+keyProgram(KeyBuilder &kb, const prog::Program &program)
+{
+    kb.str(program.name);
+    kb.u64(program.code.size());
+    for (const auto &instr : program.code) {
+        kb.u8(std::uint8_t(instr.op));
+        kb.u8(instr.rd);
+        kb.u8(instr.rs1);
+        kb.u8(instr.rs2);
+        kb.i64(instr.imm);
+    }
+}
+
+void
+keyRegions(KeyBuilder &kb, const prog::RegionGraph &regions)
+{
+    kb.u64(regions.num_loops);
+    kb.u64(regions.regions.size());
+    for (const auto &r : regions.regions) {
+        kb.u8(std::uint8_t(r.kind));
+        kb.u64(r.loop);
+        kb.u64(r.from_loop);
+        kb.u64(r.to_loop);
+        kb.u64(r.header_instr);
+        kb.u64(r.hot_header_instr);
+        kb.u64(r.succs.size());
+        for (std::size_t s : r.succs)
+            kb.u64(s);
+    }
+}
+
+void
+keyInput(KeyBuilder &kb, const cpu::MemoryImage &image)
+{
+    // The image can be megabytes; fold it to a hash instead of
+    // embedding it. Everything else in the key is exact bytes.
+    std::uint64_t h = 1469598103934665603ULL;
+    std::uint64_t words = 0;
+    kb.u64(image.size());
+    for (const auto &[addr, data] : image) {
+        kb.u64(addr);
+        h = fnv1aWords(data, h);
+        words += data.size();
+    }
+    kb.u64(words);
+    kb.u64(h);
+}
+
+void
+keyCoreConfig(KeyBuilder &kb, const cpu::CoreConfig &c)
+{
+    kb.u8(c.out_of_order ? 1 : 0);
+    kb.u64(c.issue_width);
+    kb.u64(c.pipeline_depth);
+    kb.u64(c.rob_size);
+    kb.f64(c.clock_hz);
+    for (const auto *cache : {&c.l1, &c.l2}) {
+        kb.u64(cache->size_bytes);
+        kb.u64(cache->assoc);
+        kb.u64(cache->line_bytes);
+    }
+    kb.u64(c.l1_latency);
+    kb.u64(c.l2_latency);
+    kb.u64(c.dram_latency);
+    kb.u64(c.mul_latency);
+    kb.u64(c.div_latency);
+    kb.u64(c.memory_words);
+    kb.u64(c.cycles_per_sample);
+    kb.f64(c.schedule_jitter);
+    kb.u64(c.jitter_epoch_instrs);
+    kb.f64(c.os_irq_rate_hz);
+    kb.u64(c.os_irq_ops);
+    kb.u64(c.max_instructions);
+    kb.u64(c.snapshot_words);
+}
+
+void
+keyEnergy(KeyBuilder &kb, const power::EnergyParams &e)
+{
+    kb.f64(e.issue_base);
+    kb.f64(e.alu);
+    kb.f64(e.mul);
+    kb.f64(e.div);
+    kb.f64(e.branch);
+    kb.f64(e.l1_ref);
+    kb.f64(e.l2_ref);
+    kb.f64(e.dram);
+    kb.f64(e.flush_per_stage);
+    kb.f64(e.baseline_per_cycle);
+}
+
+void
+keySignalChain(KeyBuilder &kb, const PipelineConfig &config)
+{
+    kb.u64(config.stft_window);
+    kb.u64(config.stft_hop);
+    kb.u8(std::uint8_t(config.stft_window_fn));
+
+    const auto &p = config.features.peaks;
+    kb.f64(p.min_energy_frac);
+    kb.u64(p.max_peaks);
+    kb.u8(p.skip_dc ? 1 : 0);
+    kb.u64(p.dc_guard_bins);
+    kb.u64(p.neighborhood);
+    kb.u64(config.features.max_peaks);
+    kb.u8(config.features.positive_only ? 1 : 0);
+
+    kb.u8(std::uint8_t(config.path));
+    kb.f64(config.channel.depth);
+    kb.f64(config.channel.snr_db);
+    kb.u64(config.channel.interferers.size());
+    for (const auto &tone : config.channel.interferers) {
+        kb.f64(tone.offset_hz);
+        kb.f64(tone.amplitude);
+    }
+}
+
+void
+keyPlan(KeyBuilder &kb, const cpu::InjectionPlan &plan)
+{
+    kb.u64(plan.seed);
+    kb.u64(plan.loops.size());
+    for (const auto &loop : plan.loops) {
+        kb.u64(loop.loop_region);
+        kb.f64(loop.contamination);
+        kb.u64(loop.ops.size());
+        for (auto op : loop.ops)
+            kb.u8(std::uint8_t(op));
+    }
+    kb.u64(plan.bursts.size());
+    for (const auto &burst : plan.bursts) {
+        kb.u64(burst.trigger_region);
+        kb.u64(burst.occurrence);
+        kb.u64(burst.total_ops);
+        kb.u64(burst.body.size());
+        for (auto op : burst.body)
+            kb.u8(std::uint8_t(op));
+    }
+}
+
+} // namespace
+
+std::string
+captureCacheKey(const workloads::Workload &workload,
+                const PipelineConfig &config, std::uint64_t seed,
+                const cpu::InjectionPlan &plan)
+{
+    KeyBuilder kb;
+    kb.str("EDDIE-CKEY-v1");
+    keyProgram(kb, workload.program);
+    keyRegions(kb, workload.regions);
+    keyInput(kb, workload.make_input(seed));
+    keyCoreConfig(kb, config.core);
+    keyEnergy(kb, config.energy);
+    keySignalChain(kb, config);
+    kb.u64(seed);
+    keyPlan(kb, plan);
+    return kb.take();
+}
 
 Pipeline::Pipeline(workloads::Workload workload, PipelineConfig config)
     : workload_(std::move(workload)), config_(std::move(config))
@@ -50,7 +266,11 @@ std::vector<Sts>
 Pipeline::captureRun(std::uint64_t seed,
                      const cpu::InjectionPlan &plan) const
 {
-    return toSts(simulate(seed, plan));
+    if (config_.capture_cache == nullptr)
+        return toSts(simulate(seed, plan));
+    return config_.capture_cache->getOrCompute(
+        captureCacheKey(workload_, config_, seed, plan),
+        [&] { return toSts(simulate(seed, plan)); });
 }
 
 TrainedModel

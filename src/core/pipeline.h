@@ -10,6 +10,8 @@
 #define EDDIE_CORE_PIPELINE_H
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/core.h"
@@ -23,6 +25,8 @@
 
 namespace eddie::core
 {
+
+class CaptureCache;
 
 /** Which signal the STSs are computed on. */
 enum class SignalPath
@@ -64,6 +68,15 @@ struct PipelineConfig
      * are bit-identical for any value (see common/thread_pool.h).
      */
     std::size_t threads = 0;
+
+    /**
+     * Optional capture memoization cache (see capture_cache.h);
+     * null disables memoization. May be shared across Pipeline
+     * instances and threads. Because captures are deterministic in
+     * their cache key, results are bit-identical with the cache on
+     * or off.
+     */
+    std::shared_ptr<CaptureCache> capture_cache;
 };
 
 /** Outcome of monitoring one run. */
@@ -124,6 +137,19 @@ class Pipeline
     workloads::Workload workload_;
     PipelineConfig config_;
 };
+
+/**
+ * Stable serialized identity of one captureRun invocation: program
+ * code and region graph, initial memory image (folded to a hash),
+ * core/energy/STFT/feature/channel configuration, signal path,
+ * injection plan, and seed. Two invocations with equal keys produce
+ * bit-identical STS streams; anything that can change the stream is
+ * part of the key. This is the CaptureCache key used by Pipeline.
+ */
+std::string captureCacheKey(const workloads::Workload &workload,
+                            const PipelineConfig &config,
+                            std::uint64_t seed,
+                            const cpu::InjectionPlan &plan);
 
 } // namespace eddie::core
 

@@ -1,42 +1,87 @@
 #include "emanation.h"
 
+#include <chrono>
+
 #include "sig/noise.h"
 
 namespace eddie::em
 {
 
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Runs @p fn, adding its wall time to *slot when timing is on. */
+template <typename Fn>
+void
+timed(double *slot, Fn &&fn)
+{
+    if (slot == nullptr) {
+        fn();
+        return;
+    }
+    const auto t0 = Clock::now();
+    fn();
+    *slot += std::chrono::duration<double, std::milli>(Clock::now() -
+                                                       t0)
+                 .count();
+}
+
+} // namespace
+
 std::vector<sig::Complex>
 emanateBaseband(const std::vector<double> &power, double sample_rate,
-                const ChannelConfig &cfg, std::uint64_t seed)
+                const ChannelConfig &cfg, std::uint64_t seed,
+                SynthesisTimings *timings)
 {
-    const auto env = sig::normalizeEnvelope(power);
-    std::vector<sig::Complex> iq(env.size());
-    for (std::size_t i = 0; i < env.size(); ++i)
-        iq[i] = sig::Complex(1.0 + cfg.depth * env[i], 0.0);
+    std::vector<sig::Complex> iq;
+    timed(timings ? &timings->envelope_ms : nullptr, [&] {
+        const auto env = sig::normalizeEnvelope(power);
+        iq.resize(env.size());
+        for (std::size_t i = 0; i < env.size(); ++i)
+            iq[i] = sig::Complex(1.0 + cfg.depth * env[i], 0.0);
+    });
 
     sig::NoiseSource noise(seed);
-    for (const auto &tone : cfg.interferers)
-        noise.addTone(iq, tone.offset_hz, sample_rate, tone.amplitude);
-    if (cfg.snr_db < 200.0)
-        noise.addAwgn(iq, cfg.snr_db);
+    timed(timings ? &timings->tones_ms : nullptr, [&] {
+        for (const auto &tone : cfg.interferers)
+            noise.addTone(iq, tone.offset_hz, sample_rate,
+                          tone.amplitude);
+    });
+    timed(timings ? &timings->awgn_ms : nullptr, [&] {
+        if (cfg.snr_db < 200.0)
+            noise.addAwgn(iq, cfg.snr_db);
+    });
     return iq;
 }
 
 std::vector<sig::Complex>
 passbandCapture(const std::vector<double> &power, double power_rate,
-                const PassbandConfig &cfg, std::uint64_t seed)
+                const PassbandConfig &cfg, std::uint64_t seed,
+                SynthesisTimings *timings)
 {
-    auto rf = sig::amModulate(power, power_rate, cfg.am);
+    std::vector<double> rf;
+    timed(timings ? &timings->envelope_ms : nullptr, [&] {
+        rf = sig::amModulate(power, power_rate, cfg.am);
+    });
 
     sig::NoiseSource noise(seed);
-    for (const auto &tone : cfg.channel.interferers) {
-        noise.addTone(rf, cfg.am.carrier_hz + tone.offset_hz,
-                      cfg.am.sample_rate, tone.amplitude);
-    }
-    if (cfg.channel.snr_db < 200.0)
-        noise.addAwgn(rf, cfg.channel.snr_db);
+    timed(timings ? &timings->tones_ms : nullptr, [&] {
+        for (const auto &tone : cfg.channel.interferers) {
+            noise.addTone(rf, cfg.am.carrier_hz + tone.offset_hz,
+                          cfg.am.sample_rate, tone.amplitude);
+        }
+    });
+    timed(timings ? &timings->awgn_ms : nullptr, [&] {
+        if (cfg.channel.snr_db < 200.0)
+            noise.addAwgn(rf, cfg.channel.snr_db);
+    });
 
-    return sig::iqDownconvert(rf, cfg.rx);
+    std::vector<sig::Complex> iq;
+    timed(timings ? &timings->filter_ms : nullptr,
+          [&] { iq = sig::iqDownconvert(rf, cfg.rx); });
+    return iq;
 }
 
 PassbandConfig

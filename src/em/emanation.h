@@ -51,6 +51,23 @@ struct ChannelConfig
 };
 
 /**
+ * Wall-clock breakdown of one synthesis call, filled when a non-null
+ * pointer is passed to emanateBaseband()/passbandCapture(). Used by
+ * bench/perf_pipeline's per-stage report.
+ */
+struct SynthesisTimings
+{
+    /** Envelope normalization + AM modulation (carrier synthesis). */
+    double envelope_ms = 0.0;
+    /** Interference tone synthesis. */
+    double tones_ms = 0.0;
+    /** AWGN generation. */
+    double awgn_ms = 0.0;
+    /** IQ mixing + decimating FIR (passband path only). */
+    double filter_ms = 0.0;
+};
+
+/**
  * Converts a power trace into the complex-baseband signal an IQ
  * receiver tuned to the clock carrier would deliver.
  *
@@ -58,11 +75,14 @@ struct ChannelConfig
  * @param sample_rate rate of @p power (becomes the IQ rate)
  * @param cfg channel parameters
  * @param seed noise seed
+ * @param timings optional per-stage wall-clock sink
  */
 std::vector<sig::Complex> emanateBaseband(const std::vector<double> &power,
                                           double sample_rate,
                                           const ChannelConfig &cfg,
-                                          std::uint64_t seed = 0x5eed);
+                                          std::uint64_t seed = 0x5eed,
+                                          SynthesisTimings *timings =
+                                              nullptr);
 
 /** Parameters for the full passband demonstration. */
 struct PassbandConfig
@@ -81,7 +101,9 @@ struct PassbandConfig
 std::vector<sig::Complex> passbandCapture(const std::vector<double> &power,
                                           double power_rate,
                                           const PassbandConfig &cfg,
-                                          std::uint64_t seed = 0x5eed);
+                                          std::uint64_t seed = 0x5eed,
+                                          SynthesisTimings *timings =
+                                              nullptr);
 
 /** A PassbandConfig with consistent defaults: a 10 MHz carrier at
  *  40 MS/s, receiver tuned to the carrier, 4 MHz bandwidth. */

@@ -74,6 +74,46 @@ firFilterImpl(const std::vector<T> &x, const std::vector<double> &h)
 
 template <typename T>
 std::vector<T>
+firDecimateImpl(const std::vector<T> &x, const std::vector<double> &h,
+                std::size_t factor)
+{
+    if (factor == 0)
+        throw std::invalid_argument("firDecimate: factor must be > 0");
+    const std::size_t n = x.size();
+    const std::size_t m = h.size();
+    const std::size_t out_n = n == 0 ? 0 : (n - 1) / factor + 1;
+    std::vector<T> y(out_n, T{});
+    if (n == 0 || m == 0)
+        return y;
+
+    const std::ptrdiff_t delay = std::ptrdiff_t(m / 2);
+    for (std::size_t o = 0; o < out_n; ++o) {
+        const std::ptrdiff_t i = std::ptrdiff_t(o * factor);
+        // Taps k touch x[i + delay - k]; the edge loops guard each
+        // access, the interior loop accumulates the same terms in
+        // the same order without the guard (bit-identical result).
+        const std::ptrdiff_t first = i + delay; // k = 0
+        const std::ptrdiff_t last =
+            i + delay - std::ptrdiff_t(m) + 1; // k = m - 1
+        T acc{};
+        if (last >= 0 && first < std::ptrdiff_t(n)) {
+            const T *xp = x.data() + first;
+            for (std::size_t k = 0; k < m; ++k)
+                acc += xp[-std::ptrdiff_t(k)] * h[k];
+        } else {
+            for (std::size_t k = 0; k < m; ++k) {
+                const std::ptrdiff_t j = i + delay - std::ptrdiff_t(k);
+                if (j >= 0 && j < std::ptrdiff_t(n))
+                    acc += x[std::size_t(j)] * h[k];
+            }
+        }
+        y[o] = acc;
+    }
+    return y;
+}
+
+template <typename T>
+std::vector<T>
 decimateImpl(const std::vector<T> &x, std::size_t factor)
 {
     if (factor == 0)
@@ -109,6 +149,20 @@ std::vector<Complex>
 decimate(const std::vector<Complex> &x, std::size_t factor)
 {
     return decimateImpl(x, factor);
+}
+
+std::vector<double>
+firDecimate(const std::vector<double> &x, const std::vector<double> &h,
+            std::size_t factor)
+{
+    return firDecimateImpl(x, h, factor);
+}
+
+std::vector<Complex>
+firDecimate(const std::vector<Complex> &x, const std::vector<double> &h,
+            std::size_t factor)
+{
+    return firDecimateImpl(x, h, factor);
 }
 
 } // namespace eddie::sig

@@ -46,6 +46,22 @@ std::vector<double> decimate(const std::vector<double> &x,
 std::vector<Complex> decimate(const std::vector<Complex> &x,
                               std::size_t factor);
 
+/**
+ * Fused decimating FIR: bit-identical to
+ * `decimate(firFilter(x, h), factor)` but computes only the kept
+ * outputs (1/factor of the work) and runs the interior — where every
+ * tap is in range — through a branch-free loop. This is the hot
+ * kernel of the IQ receiver.
+ */
+std::vector<double> firDecimate(const std::vector<double> &x,
+                                const std::vector<double> &h,
+                                std::size_t factor);
+
+/** Complex-input variant of firDecimate(). */
+std::vector<Complex> firDecimate(const std::vector<Complex> &x,
+                                 const std::vector<double> &h,
+                                 std::size_t factor);
+
 } // namespace eddie::sig
 
 #endif // EDDIE_SIG_FILTER_H

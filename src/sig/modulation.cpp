@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
+#include <cstdint>
 #include <stdexcept>
 
 #include "filter.h"
+#include "oscillator.h"
 
 namespace eddie::sig
 {
@@ -63,16 +64,33 @@ amModulate(const std::vector<double> &envelope, double envelope_rate,
     const auto env = normalizeEnvelope(envelope);
     const double duration = double(env.size()) / envelope_rate;
     const std::size_t n = std::size_t(duration * cfg.sample_rate);
-    const double w = 2.0 * std::numbers::pi * cfg.carrier_hz;
+    if (n == 0 || env.empty())
+        return std::vector<double>(n, 0.0);
 
+    // Zero-order-hold resampling via an integer phase accumulator:
+    // j advances exactly when i * envelope_rate / sample_rate crosses
+    // the next integer (rates quantized to 1e-6 Hz), so there is no
+    // per-sample multiply/divide and no float rounding drift on long
+    // traces.
+    const std::uint64_t env_step =
+        std::uint64_t(std::llround(envelope_rate * 1e6));
+    const std::uint64_t rf_step =
+        std::uint64_t(std::llround(cfg.sample_rate * 1e6));
+    const std::size_t j_max = env.size() - 1;
+    std::size_t j = 0;
+    std::uint64_t acc = 0;
+
+    PhasorOscillator osc(cfg.carrier_hz, cfg.sample_rate);
     std::vector<double> rf(n);
     for (std::size_t i = 0; i < n; ++i) {
-        const double t = double(i) / cfg.sample_rate;
-        // Zero-order hold resampling of the envelope.
-        std::size_t j = std::size_t(t * envelope_rate);
-        if (j >= env.size())
-            j = env.size() - 1;
-        rf[i] = cfg.amplitude * (1.0 + cfg.depth * env[j]) * std::cos(w * t);
+        rf[i] = cfg.amplitude * (1.0 + cfg.depth * env[j]) *
+            osc.nextCos();
+        acc += env_step;
+        while (acc >= rf_step) {
+            acc -= rf_step;
+            if (j < j_max)
+                ++j;
+        }
     }
     return rf;
 }
@@ -83,19 +101,16 @@ iqDownconvert(const std::vector<double> &rf, const ReceiverConfig &cfg)
     if (cfg.sample_rate <= 0.0)
         throw std::invalid_argument("iqDownconvert: bad sample rate");
 
-    const double w = 2.0 * std::numbers::pi * cfg.center_hz;
+    PhasorOscillator osc(cfg.center_hz, cfg.sample_rate);
     std::vector<Complex> iq(rf.size());
     for (std::size_t i = 0; i < rf.size(); ++i) {
-        const double t = double(i) / cfg.sample_rate;
         // Multiply by e^{-j w t}; factor 2 recovers unit sideband gain.
-        iq[i] = 2.0 * rf[i] *
-            Complex(std::cos(w * t), -std::sin(w * t));
+        iq[i] = 2.0 * rf[i] * std::conj(osc.next());
     }
 
     const auto h = designLowPass(cfg.bandwidth_hz, cfg.sample_rate,
                                  cfg.fir_taps);
-    auto filtered = firFilter(iq, h);
-    return decimate(filtered, cfg.decimation);
+    return firDecimate(iq, h, cfg.decimation);
 }
 
 } // namespace eddie::sig

@@ -1,10 +1,51 @@
 #include "noise.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "oscillator.h"
+
 namespace eddie::sig
 {
+
+namespace
+{
+
+/** Block size for AWGN generation: large enough to amortize the loop
+ *  setup, small enough to stay in L1. */
+constexpr std::size_t kAwgnBlock = 4096;
+
+/** Maps a raw 64-bit draw to a uniform in [0, 1) with 53 bits. */
+inline double
+toUnit(std::uint64_t bits)
+{
+    return double(bits >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+void
+gaussianBlock(std::mt19937_64 &rng, double *dst, std::size_t n)
+{
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    std::size_t i = 0;
+    for (; i + 1 < n; i += 2) {
+        // 1 - u keeps u1 in (0, 1] so the log is finite.
+        const double u1 = 1.0 - toUnit(rng());
+        const double u2 = toUnit(rng());
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        const double a = two_pi * u2;
+        dst[i] = r * std::cos(a);
+        dst[i + 1] = r * std::sin(a);
+    }
+    if (i < n) {
+        const double u1 = 1.0 - toUnit(rng());
+        const double u2 = toUnit(rng());
+        const double r = std::sqrt(-2.0 * std::log(u1));
+        dst[i] = r * std::cos(two_pi * u2);
+    }
+}
 
 NoiseSource::NoiseSource(std::uint64_t seed) : rng_(seed)
 {
@@ -40,8 +81,15 @@ NoiseSource::addAwgn(std::vector<double> &signal, double snr_db)
         return;
     const double pn = ps / std::pow(10.0, snr_db / 10.0);
     const double sigma = std::sqrt(pn);
-    for (auto &v : signal)
-        v += sigma * gauss_(rng_);
+    double block[kAwgnBlock];
+    for (std::size_t base = 0; base < signal.size();
+         base += kAwgnBlock) {
+        const std::size_t len =
+            std::min(kAwgnBlock, signal.size() - base);
+        gaussianBlock(rng_, block, len);
+        for (std::size_t i = 0; i < len; ++i)
+            signal[base + i] += sigma * block[i];
+    }
 }
 
 void
@@ -52,37 +100,39 @@ NoiseSource::addAwgn(std::vector<Complex> &signal, double snr_db)
         return;
     const double pn = ps / std::pow(10.0, snr_db / 10.0);
     const double sigma = std::sqrt(pn / 2.0); // split across I and Q
-    for (auto &v : signal)
-        v += Complex(sigma * gauss_(rng_), sigma * gauss_(rng_));
+    double block[kAwgnBlock];
+    for (std::size_t base = 0; base < signal.size();
+         base += kAwgnBlock / 2) {
+        const std::size_t len =
+            std::min(kAwgnBlock / 2, signal.size() - base);
+        gaussianBlock(rng_, block, 2 * len);
+        for (std::size_t i = 0; i < len; ++i) {
+            signal[base + i] += Complex(sigma * block[2 * i],
+                                        sigma * block[2 * i + 1]);
+        }
+    }
 }
 
 void
 NoiseSource::addTone(std::vector<double> &signal, double freq_hz,
                      double sample_rate, double amplitude)
 {
-    const double w = 2.0 * std::numbers::pi * freq_hz;
     std::uniform_real_distribution<double> phase(0.0,
                                                  2.0 * std::numbers::pi);
-    const double p0 = phase(rng_);
-    for (std::size_t i = 0; i < signal.size(); ++i) {
-        const double t = double(i) / sample_rate;
-        signal[i] += amplitude * std::cos(w * t + p0);
-    }
+    PhasorOscillator osc(freq_hz, sample_rate, phase(rng_));
+    for (auto &v : signal)
+        v += amplitude * osc.nextCos();
 }
 
 void
 NoiseSource::addTone(std::vector<Complex> &signal, double freq_hz,
                      double sample_rate, double amplitude)
 {
-    const double w = 2.0 * std::numbers::pi * freq_hz;
     std::uniform_real_distribution<double> phase(0.0,
                                                  2.0 * std::numbers::pi);
-    const double p0 = phase(rng_);
-    for (std::size_t i = 0; i < signal.size(); ++i) {
-        const double t = double(i) / sample_rate;
-        signal[i] += amplitude *
-            Complex(std::cos(w * t + p0), std::sin(w * t + p0));
-    }
+    PhasorOscillator osc(freq_hz, sample_rate, phase(rng_));
+    for (auto &v : signal)
+        v += amplitude * osc.next();
 }
 
 } // namespace eddie::sig

@@ -16,6 +16,17 @@ namespace eddie::sig
 {
 
 /**
+ * Fills dst[0..n) with independent standard-normal samples via a
+ * blocked Box-Muller transform: raw 64-bit draws are mapped straight
+ * to (0,1] / [0,1) uniforms and each (log, sqrt, cos, sin) group
+ * yields two outputs, with no rejection loop — unlike
+ * std::normal_distribution's polar method this does a fixed amount of
+ * work per sample, which is what makes it fast at passband rates.
+ * Deterministic given the RNG state.
+ */
+void gaussianBlock(std::mt19937_64 &rng, double *dst, std::size_t n);
+
+/**
  * Additive white Gaussian noise generator plus narrowband (radio)
  * interference tones, as seen by a near-field probe.
  */
@@ -49,7 +60,6 @@ class NoiseSource
     double signalPower(const std::vector<Complex> &x) const;
 
     std::mt19937_64 rng_;
-    std::normal_distribution<double> gauss_{0.0, 1.0};
 };
 
 } // namespace eddie::sig

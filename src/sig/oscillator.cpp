@@ -1,0 +1,31 @@
+#include "oscillator.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace eddie::sig
+{
+
+PhasorOscillator::PhasorOscillator(double freq_hz, double sample_rate,
+                                   double phase0)
+    : w_(2.0 * std::numbers::pi * freq_hz), sample_rate_(sample_rate),
+      phase0_(phase0)
+{
+    const double step = w_ / sample_rate_;
+    rot_re_ = std::cos(step);
+    rot_im_ = std::sin(step);
+    anchor();
+}
+
+void
+PhasorOscillator::anchor()
+{
+    // Same expression as the trig reference cos(w * t + p0) with
+    // t = i / fs, so anchor samples match it to the last rounding.
+    const double t = double(index_) / sample_rate_;
+    const double ph = w_ * t + phase0_;
+    re_ = std::cos(ph);
+    im_ = std::sin(ph);
+}
+
+} // namespace eddie::sig
