@@ -34,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "core/capture_cache.h"
 #include "em/emanation.h"
+#include "inject/scenarios.h"
 #include "sig/filter.h"
 #include "sig/modulation.h"
 #include "sig/stft.h"
@@ -335,6 +336,78 @@ main(int argc, char **argv)
                     monitor_runs, t, monitor_ms.back());
     }
 
+    // Degradation sweep: channel fault intensity vs detection
+    // quality, with the signal-quality gate on and off. Both monitors
+    // share one capture cache per point, so they score bit-identical
+    // STS streams and the only difference is the gate.
+    struct SweepRow
+    {
+        double intensity;
+        double gated_fp, ungated_fp; // clean-run FP %
+        double gated_tp, ungated_tp; // injected-run TP %
+        double gated_degraded_pct;   // % of groups quarantined
+    };
+    const double intensities[] = {0.0, 0.5, 1.0, 2.0};
+    const std::size_t target_loop =
+        inject::defaultTargetLoop(pipe.workload());
+    std::vector<SweepRow> sweep;
+    std::printf("degradation sweep (fault intensity; FP%% on clean "
+                "runs, TP%% on injected):\n");
+    std::printf("  %-9s %10s %10s %10s %10s %10s\n", "intensity",
+                "gated FP", "ungated FP", "gated TP", "ungated TP",
+                "degraded");
+    for (double k : intensities) {
+        core::PipelineConfig c = cfg;
+        auto &fc = c.channel.faults;
+        fc.enabled = k > 0.0;
+        fc.dropout.rate_hz = 120.0 * k;
+        fc.dropout.mean_duration_s = 6e-4;
+        fc.snr_collapse.rate_hz = 60.0 * k;
+        fc.interference.rate_hz = 60.0 * k;
+        c.capture_cache = std::make_shared<core::CaptureCache>();
+        core::PipelineConfig cu = c;
+        cu.monitor.quality.enabled = false;
+        core::Pipeline gated(
+            workloads::makeWorkload(workload_name, scale), c);
+        core::Pipeline ungated(
+            workloads::makeWorkload(workload_name, scale), cu);
+
+        std::vector<std::uint64_t> clean_seeds;
+        std::vector<std::uint64_t> inj_seeds;
+        std::vector<cpu::InjectionPlan> plans;
+        for (std::size_t i = 0; i < monitor_runs; ++i) {
+            clean_seeds.push_back(cfg.monitor_seed_base + i);
+            inj_seeds.push_back(cfg.monitor_seed_base + 100 + i);
+            plans.push_back(inject::canonicalLoopInjection(
+                target_loop, 1.0, inj_seeds.back()));
+        }
+        const auto scoreBatch =
+            [&](const core::Pipeline &p,
+                const std::vector<std::uint64_t> &seeds,
+                const std::vector<cpu::InjectionPlan> &pl) {
+                std::vector<core::RunMetrics> ms;
+                for (const auto &ev : p.monitorBatch(model, seeds, pl))
+                    ms.push_back(ev.metrics);
+                return core::aggregate(ms);
+            };
+        const auto g_clean = scoreBatch(gated, clean_seeds, {});
+        const auto u_clean = scoreBatch(ungated, clean_seeds, {});
+        const auto g_inj = scoreBatch(gated, inj_seeds, plans);
+        const auto u_inj = scoreBatch(ungated, inj_seeds, plans);
+        sweep.push_back({k, g_clean.false_positive_pct,
+                         u_clean.false_positive_pct,
+                         g_inj.true_positive_pct,
+                         u_inj.true_positive_pct,
+                         g_clean.degraded_pct});
+        std::printf("  %-9.2f %9.2f%% %9.2f%% %9.2f%% %9.2f%% "
+                    "%9.2f%%\n",
+                    k, g_clean.false_positive_pct,
+                    u_clean.false_positive_pct,
+                    g_inj.true_positive_pct, u_inj.true_positive_pct,
+                    g_clean.degraded_pct);
+        std::fflush(stdout);
+    }
+
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -376,7 +449,20 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < grid.size(); ++i)
         std::fprintf(f, "%s\"%zu\": %.3f", i == 0 ? "" : ", ",
                      grid[i], monitor_ms[0] / monitor_ms[i]);
-    std::fprintf(f, "}\n");
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"degradation_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto &r = sweep[i];
+        std::fprintf(f,
+                     "    {\"intensity\": %.2f, \"gated_fp_pct\": "
+                     "%.3f, \"ungated_fp_pct\": %.3f, "
+                     "\"gated_tp_pct\": %.3f, \"ungated_tp_pct\": "
+                     "%.3f, \"gated_degraded_pct\": %.3f}%s\n",
+                     r.intensity, r.gated_fp, r.ungated_fp, r.gated_tp,
+                     r.ungated_tp, r.gated_degraded_pct,
+                     i + 1 == sweep.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());

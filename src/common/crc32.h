@@ -1,0 +1,30 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the
+ * persistence layer's integrity framing: model, capture, STS-stream,
+ * and cache-spill files all carry a checksum over their payload so a
+ * bit-flipped or short artifact is detected before it can poison a
+ * cache or train a model (see docs/ALGORITHM.md §10).
+ */
+
+#ifndef EDDIE_COMMON_CRC32_H
+#define EDDIE_COMMON_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace eddie::common
+{
+
+/** CRC-32 of @p data; @p seed chains incremental updates (pass a
+ *  previous result to continue a running checksum). */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/** Convenience overload for whole byte strings. */
+std::uint32_t crc32(const std::string &bytes, std::uint32_t seed = 0);
+
+} // namespace eddie::common
+
+#endif // EDDIE_COMMON_CRC32_H

@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
 #include "capture_io.h"
+#include "errors.h"
 
 namespace eddie::core
 {
@@ -15,7 +17,8 @@ namespace
 {
 
 constexpr char kSpillMagic[8] = {'E', 'D', 'D', 'I', 'E', 'S', 'P', 'L'};
-constexpr std::uint32_t kSpillVersion = 1;
+/** Version 2 embeds the framed (CRC-checked) STS stream format. */
+constexpr std::uint32_t kSpillVersion = 2;
 
 std::uint64_t
 fnv1a64(const std::string &bytes,
@@ -26,6 +29,39 @@ fnv1a64(const std::string &bytes,
         h *= 1099511628211ULL;
     }
     return h;
+}
+
+/**
+ * Loads and verifies one spill file. Throws IoError on truncation
+ * and FormatError on corruption (the caller counts them apart).
+ * Returns nullopt when the stored key differs from @p key — a hash
+ * collision with another capture's spill, which is a plain miss,
+ * not damage.
+ */
+std::optional<std::vector<Sts>>
+loadSpill(std::istream &is, const std::string &key)
+{
+    char magic[8];
+    is.read(magic, sizeof magic);
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char *>(&version), sizeof version);
+    std::uint64_t key_size = 0;
+    is.read(reinterpret_cast<char *>(&key_size), sizeof key_size);
+    if (!is)
+        throw IoError("spill: truncated header");
+    if (std::memcmp(magic, kSpillMagic, sizeof magic) != 0)
+        throw FormatError("spill: bad magic");
+    if (version != kSpillVersion)
+        throw FormatError("spill: unsupported version");
+    if (key_size > (std::uint64_t(1) << 20))
+        throw FormatError("spill: implausible key size");
+    std::string stored(std::size_t(key_size), '\0');
+    is.read(stored.data(), std::streamsize(stored.size()));
+    if (!is)
+        throw IoError("spill: truncated key");
+    if (stored != key)
+        return std::nullopt;
+    return loadStsStream(is);
 }
 
 } // namespace
@@ -65,41 +101,38 @@ CaptureCache::getOrCompute(
     }
 
     // Disk tier: a spill file is trusted only if its stored key
-    // matches byte for byte.
+    // matches byte for byte and the embedded stream passes its CRC.
+    // A damaged file can cost a recompute but never poison the
+    // cache: it is counted (corrupt vs short read) and the lookup
+    // proceeds as a miss.
     if (!config_.spill_dir.empty()) {
         std::ifstream is(spillPath(key), std::ios::binary);
         if (is) {
+            bool short_read = false;
+            bool corrupt = false;
             try {
-                char magic[8];
-                is.read(magic, sizeof magic);
-                std::uint32_t version = 0;
-                is.read(reinterpret_cast<char *>(&version),
-                        sizeof version);
-                std::uint64_t key_size = 0;
-                is.read(reinterpret_cast<char *>(&key_size),
-                        sizeof key_size);
-                if (is &&
-                    std::memcmp(magic, kSpillMagic, sizeof magic) ==
-                        0 &&
-                    version == kSpillVersion &&
-                    key_size == key.size()) {
-                    std::string stored(key.size(), '\0');
-                    is.read(stored.data(),
-                            std::streamsize(stored.size()));
-                    if (is && stored == key) {
-                        auto stream = loadStsStream(is);
-                        auto value = std::make_shared<
-                            const std::vector<Sts>>(
-                            std::move(stream));
-                        std::lock_guard<std::mutex> lock(mu_);
-                        ++stats_.disk_hits;
-                        if (index_.find(key) == index_.end())
-                            insertLocked(key, value);
-                        return *value;
-                    }
+                auto stream = loadSpill(is, key);
+                if (stream.has_value()) {
+                    auto value =
+                        std::make_shared<const std::vector<Sts>>(
+                            std::move(*stream));
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++stats_.disk_hits;
+                    if (index_.find(key) == index_.end())
+                        insertLocked(key, value);
+                    return *value;
                 }
+            } catch (const IoError &) {
+                short_read = true;
             } catch (const std::exception &) {
-                // Corrupt spill file: fall through to recompute.
+                corrupt = true;
+            }
+            if (short_read || corrupt) {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (short_read)
+                    ++stats_.spill_short_read;
+                else
+                    ++stats_.spill_corrupt;
             }
         }
     }

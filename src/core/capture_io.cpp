@@ -4,7 +4,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "errors.h"
 
 namespace eddie::core
 {
@@ -13,10 +16,22 @@ namespace
 {
 
 constexpr char kMagic[8] = {'E', 'D', 'D', 'I', 'E', 'C', 'A', 'P'};
-constexpr std::uint32_t kVersion = 1;
-
 constexpr char kStsMagic[8] = {'E', 'D', 'D', 'I', 'E', 'S', 'T', 'S'};
-constexpr std::uint32_t kStsVersion = 1;
+
+/**
+ * Version 2 (both formats) adds integrity framing after the magic and
+ * version: u64 payload length, the payload bytes, then a CRC-32 of
+ * the payload. A flipped bit fails the checksum and a short file
+ * fails the length, so a corrupt artifact is a typed error instead of
+ * silently-wrong samples. Version-1 files (no framing, and without
+ * the STS quality fields) still load.
+ */
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kStsVersion = 2;
+
+/** Payloads are capped before allocation; a capture is bounded by
+ *  hours of f64 samples. */
+constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t(1) << 37;
 
 template <typename T>
 void
@@ -27,22 +42,65 @@ writeRaw(std::ostream &os, const T &value)
 
 template <typename T>
 T
-readRaw(std::istream &is)
+readRaw(std::istream &is, const char *what)
 {
     T value{};
     is.read(reinterpret_cast<char *>(&value), sizeof value);
     if (!is)
-        throw std::runtime_error("capture: truncated input");
+        throw IoError(std::string(what) + ": truncated input");
     return value;
 }
 
-} // namespace
+/** Writes magic + version + length-framed, CRC-trailed payload. */
+void
+writeFramed(std::ostream &os, const char (&magic)[8],
+            std::uint32_t version, const std::string &payload)
+{
+    os.write(magic, sizeof magic);
+    writeRaw(os, version);
+    writeRaw(os, std::uint64_t(payload.size()));
+    os.write(payload.data(), std::streamsize(payload.size()));
+    writeRaw(os, common::crc32(payload));
+}
+
+/**
+ * Reads the header and, for framed versions, the verified payload.
+ * Returns the stored version; for version 1 the payload string stays
+ * empty and the caller parses the legacy layout straight from @p is.
+ */
+std::uint32_t
+readFramed(std::istream &is, const char (&magic)[8],
+           std::uint32_t current_version, const char *what,
+           std::string &payload)
+{
+    char stored[8];
+    is.read(stored, sizeof stored);
+    if (!is)
+        throw IoError(std::string(what) + ": truncated input");
+    if (std::memcmp(stored, magic, sizeof stored) != 0)
+        throw FormatError(std::string(what) + ": bad magic");
+    const auto version = readRaw<std::uint32_t>(is, what);
+    if (version == 1)
+        return version; // legacy: unframed payload follows
+    if (version != current_version)
+        throw FormatError(std::string(what) + ": unsupported version");
+
+    const auto size = readRaw<std::uint64_t>(is, what);
+    if (size > kMaxPayloadBytes)
+        throw FormatError(std::string(what) + ": implausible size");
+    payload.resize(std::size_t(size));
+    is.read(payload.data(), std::streamsize(payload.size()));
+    if (!is)
+        throw IoError(std::string(what) + ": truncated payload");
+    const auto stored_crc = readRaw<std::uint32_t>(is, what);
+    if (stored_crc != common::crc32(payload))
+        throw FormatError(std::string(what) + ": checksum mismatch");
+    return version;
+}
 
 void
-saveCapture(const cpu::RunResult &run, std::ostream &os)
+writeCapturePayload(const cpu::RunResult &run, std::ostream &os)
 {
-    os.write(kMagic, sizeof kMagic);
-    writeRaw(os, kVersion);
     writeRaw(os, run.sample_rate);
     const std::uint64_t n = run.power.size();
     writeRaw(os, n);
@@ -63,51 +121,44 @@ saveCapture(const cpu::RunResult &run, std::ostream &os)
 }
 
 cpu::RunResult
-loadCapture(std::istream &is)
+readCapturePayload(std::istream &is)
 {
-    char magic[8];
-    is.read(magic, sizeof magic);
-    if (!is || std::memcmp(magic, kMagic, sizeof magic) != 0)
-        throw std::runtime_error("capture: bad magic");
-    const auto version = readRaw<std::uint32_t>(is);
-    if (version != kVersion)
-        throw std::runtime_error("capture: unsupported version");
-
     cpu::RunResult run;
-    run.sample_rate = readRaw<double>(is);
+    run.sample_rate = readRaw<double>(is, "capture");
     if (!(run.sample_rate > 0.0))
-        throw std::runtime_error("capture: bad sample rate");
-    const auto n = readRaw<std::uint64_t>(is);
+        throw FormatError("capture: bad sample rate");
+    const auto n = readRaw<std::uint64_t>(is, "capture");
     // Sanity cap: a capture is bounded by hours of samples.
     if (n > (std::uint64_t(1) << 34))
-        throw std::runtime_error("capture: implausible size");
+        throw FormatError("capture: implausible size");
 
     run.power.resize(n);
     is.read(reinterpret_cast<char *>(run.power.data()),
             std::streamsize(n * sizeof(double)));
     if (!is)
-        throw std::runtime_error("capture: truncated samples");
+        throw IoError("capture: truncated samples");
 
     run.region.resize(n);
     for (std::uint64_t i = 0; i < n; ++i)
-        run.region[i] = readRaw<std::uint64_t>(is);
+        run.region[i] = readRaw<std::uint64_t>(is, "capture");
     run.injected.resize(n);
     for (std::uint64_t i = 0; i < n; ++i)
-        run.injected[i] = readRaw<std::uint8_t>(is);
+        run.injected[i] = readRaw<std::uint8_t>(is, "capture");
     return run;
 }
 
 void
-saveStsStream(const std::vector<Sts> &stream, std::ostream &os)
+writeStsPayload(const std::vector<Sts> &stream, std::ostream &os)
 {
-    os.write(kStsMagic, sizeof kStsMagic);
-    writeRaw(os, kStsVersion);
     writeRaw(os, std::uint64_t(stream.size()));
     for (const auto &sts : stream) {
         writeRaw(os, sts.t_start);
         writeRaw(os, sts.t_end);
         writeRaw(os, std::uint64_t(sts.true_region));
         writeRaw(os, std::uint8_t(sts.injected ? 1 : 0));
+        writeRaw(os, sts.window_energy);
+        writeRaw(os, sts.peak_energy_frac);
+        writeRaw(os, std::uint8_t(sts.faulted ? 1 : 0));
         writeRaw(os, std::uint64_t(sts.peak_freqs.size()));
         os.write(reinterpret_cast<const char *>(sts.peak_freqs.data()),
                  std::streamsize(sts.peak_freqs.size() *
@@ -116,37 +167,77 @@ saveStsStream(const std::vector<Sts> &stream, std::ostream &os)
 }
 
 std::vector<Sts>
-loadStsStream(std::istream &is)
+readStsPayload(std::istream &is, std::uint32_t version)
 {
-    char magic[8];
-    is.read(magic, sizeof magic);
-    if (!is || std::memcmp(magic, kStsMagic, sizeof magic) != 0)
-        throw std::runtime_error("sts stream: bad magic");
-    const auto version = readRaw<std::uint32_t>(is);
-    if (version != kStsVersion)
-        throw std::runtime_error("sts stream: unsupported version");
-
-    const auto count = readRaw<std::uint64_t>(is);
+    const auto count = readRaw<std::uint64_t>(is, "sts stream");
     // Sanity cap: days of STSs at the pipeline's hop rate.
     if (count > (std::uint64_t(1) << 32))
-        throw std::runtime_error("sts stream: implausible size");
+        throw FormatError("sts stream: implausible size");
 
     std::vector<Sts> stream(count);
     for (auto &sts : stream) {
-        sts.t_start = readRaw<double>(is);
-        sts.t_end = readRaw<double>(is);
-        sts.true_region = std::size_t(readRaw<std::uint64_t>(is));
-        sts.injected = readRaw<std::uint8_t>(is) != 0;
-        const auto peaks = readRaw<std::uint64_t>(is);
+        sts.t_start = readRaw<double>(is, "sts stream");
+        sts.t_end = readRaw<double>(is, "sts stream");
+        sts.true_region =
+            std::size_t(readRaw<std::uint64_t>(is, "sts stream"));
+        sts.injected = readRaw<std::uint8_t>(is, "sts stream") != 0;
+        if (version >= 2) {
+            sts.window_energy = readRaw<double>(is, "sts stream");
+            sts.peak_energy_frac = readRaw<double>(is, "sts stream");
+            sts.faulted = readRaw<std::uint8_t>(is, "sts stream") != 0;
+        }
+        const auto peaks = readRaw<std::uint64_t>(is, "sts stream");
         if (peaks > (std::uint64_t(1) << 20))
-            throw std::runtime_error("sts stream: implausible peaks");
+            throw FormatError("sts stream: implausible peaks");
         sts.peak_freqs.resize(peaks);
         is.read(reinterpret_cast<char *>(sts.peak_freqs.data()),
                 std::streamsize(peaks * sizeof(double)));
         if (!is)
-            throw std::runtime_error("sts stream: truncated input");
+            throw IoError("sts stream: truncated input");
     }
     return stream;
+}
+
+} // namespace
+
+void
+saveCapture(const cpu::RunResult &run, std::ostream &os)
+{
+    std::ostringstream payload(std::ios::binary);
+    writeCapturePayload(run, payload);
+    writeFramed(os, kMagic, kVersion, payload.str());
+}
+
+cpu::RunResult
+loadCapture(std::istream &is)
+{
+    std::string payload;
+    const auto version = readFramed(is, kMagic, kVersion, "capture",
+                                    payload);
+    if (version == 1)
+        return readCapturePayload(is);
+    std::istringstream ps(payload, std::ios::binary);
+    return readCapturePayload(ps);
+}
+
+void
+saveStsStream(const std::vector<Sts> &stream, std::ostream &os)
+{
+    std::ostringstream payload(std::ios::binary);
+    writeStsPayload(stream, payload);
+    writeFramed(os, kStsMagic, kStsVersion, payload.str());
+}
+
+std::vector<Sts>
+loadStsStream(std::istream &is)
+{
+    std::string payload;
+    const auto version = readFramed(is, kStsMagic, kStsVersion,
+                                    "sts stream", payload);
+    if (version == 1)
+        return readStsPayload(is, version);
+    std::istringstream ps(payload, std::ios::binary);
+    return readStsPayload(ps, version);
 }
 
 void
@@ -154,10 +245,10 @@ saveCaptureFile(const cpu::RunResult &run, const std::string &path)
 {
     std::ofstream os(path, std::ios::binary);
     if (!os)
-        throw std::runtime_error("capture: cannot open " + path);
+        throw IoError("capture: cannot open " + path);
     saveCapture(run, os);
     if (!os)
-        throw std::runtime_error("capture: write failed: " + path);
+        throw IoError("capture: write failed: " + path);
 }
 
 cpu::RunResult
@@ -165,7 +256,7 @@ loadCaptureFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        throw std::runtime_error("capture: cannot open " + path);
+        throw IoError("capture: cannot open " + path);
     return loadCapture(is);
 }
 

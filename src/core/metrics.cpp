@@ -31,6 +31,13 @@ scoreRun(const std::vector<Sts> &stream,
 
     for (std::size_t t = 0; t < steps; ++t) {
         const StepRecord &rec = records[t];
+        // Quarantined windows carry no usable signal; charging them
+        // as false negatives would punish the monitor for refusing
+        // to guess. They are tallied separately.
+        if (rec.degraded) {
+            ++m.degraded_groups;
+            continue;
+        }
         // Warmup steps of a *trained* region make no test decision;
         // counting them as groups would charge the latency/accuracy
         // trade-off twice. Steps in untrained (blind) regions do
@@ -82,6 +89,7 @@ aggregate(const std::vector<RunMetrics> &runs)
 {
     AggregateMetrics agg;
     std::size_t groups = 0, fp = 0, inj = 0, tp = 0, fn = 0;
+    std::size_t degraded = 0;
     double latency_sum = 0.0;
     std::size_t latency_count = 0;
     std::size_t covered = 0, labeled = 0;
@@ -91,6 +99,7 @@ aggregate(const std::vector<RunMetrics> &runs)
 
     for (const auto &r : runs) {
         groups += r.groups;
+        degraded += r.degraded_groups;
         fp += r.false_positives;
         inj += r.injected_groups;
         tp += r.true_positives;
@@ -122,6 +131,10 @@ aggregate(const std::vector<RunMetrics> &runs)
 
     if (groups > 0)
         agg.false_positive_pct = 100.0 * double(fp) / double(groups);
+    if (groups + degraded > 0) {
+        agg.degraded_pct =
+            100.0 * double(degraded) / double(groups + degraded);
+    }
     if (inj > 0) {
         agg.false_negative_pct = 100.0 * double(fn) / double(inj);
         agg.true_positive_pct = 100.0 * double(tp) / double(inj);
@@ -150,17 +163,39 @@ aggregate(const std::vector<RunMetrics> &runs)
 std::string
 describe(const CaptureCacheStats &stats)
 {
-    char buf[160];
+    char buf[224];
     std::snprintf(buf, sizeof buf,
                   "capture cache: %llu hits, %llu disk hits, "
                   "%llu misses (%.1f%% hit rate), %zu entries, "
-                  "%llu evictions (%llu spilled)",
+                  "%llu evictions (%llu spilled), "
+                  "%llu corrupt / %llu short spill reads",
                   static_cast<unsigned long long>(stats.hits),
                   static_cast<unsigned long long>(stats.disk_hits),
                   static_cast<unsigned long long>(stats.misses),
                   100.0 * stats.hitRate(), stats.entries,
                   static_cast<unsigned long long>(stats.evictions),
-                  static_cast<unsigned long long>(stats.spills));
+                  static_cast<unsigned long long>(stats.spills),
+                  static_cast<unsigned long long>(stats.spill_corrupt),
+                  static_cast<unsigned long long>(
+                      stats.spill_short_read));
+    return std::string(buf);
+}
+
+std::string
+describe(const DegradedStats &stats)
+{
+    char buf[224];
+    std::snprintf(
+        buf, sizeof buf,
+        "degraded mode: %zu quarantined (%zu dropout, %zu saturated, "
+        "%zu noise-floor, %zu malformed), %zu outages, %zu resyncs, "
+        "longest outage %zu",
+        stats.quarantined,
+        stats.by_kind[std::size_t(WindowQuality::Dropout)],
+        stats.by_kind[std::size_t(WindowQuality::Saturated)],
+        stats.by_kind[std::size_t(WindowQuality::NoiseFloor)],
+        stats.by_kind[std::size_t(WindowQuality::Malformed)],
+        stats.outages, stats.resyncs, stats.longest_outage);
     return std::string(buf);
 }
 

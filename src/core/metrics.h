@@ -37,6 +37,9 @@ struct RunMetrics
      *  per-region-averaged accuracy. */
     std::vector<std::size_t> region_groups;
     std::vector<std::size_t> region_correct;
+    /** Steps the quality gate quarantined (no detection decision;
+     *  excluded from the counts above). */
+    std::size_t degraded_groups = 0;
 };
 
 /**
@@ -67,6 +70,8 @@ struct AggregateMetrics
     double true_positive_pct = 0.0;
     std::size_t runs_detected = 0;
     std::size_t runs_with_injection = 0;
+    /** Share of steps quarantined by the quality gate. */
+    double degraded_pct = 0.0;
 };
 
 /** Combines per-run metrics (paper-style averages). */
@@ -84,6 +89,11 @@ struct CaptureCacheStats
     std::uint64_t misses = 0;    ///< recomputed from the simulator
     std::uint64_t evictions = 0; ///< LRU entries dropped from memory
     std::uint64_t spills = 0;    ///< evictions persisted to disk
+    /** Spill files rejected as corrupt (bad magic/CRC/contents);
+     *  each such lookup is counted as a miss and recomputed. */
+    std::uint64_t spill_corrupt = 0;
+    /** Spill files rejected as truncated (short read). */
+    std::uint64_t spill_short_read = 0;
     std::size_t entries = 0;     ///< current in-memory entries
 
     std::uint64_t lookups() const { return hits + disk_hits + misses; }
@@ -97,6 +107,10 @@ struct CaptureCacheStats
 
 /** One-line human-readable summary of the cache counters. */
 std::string describe(const CaptureCacheStats &stats);
+
+/** One-line human-readable summary of the monitor's degraded-mode
+ *  counters (quality.h). */
+std::string describe(const DegradedStats &stats);
 
 } // namespace eddie::core
 

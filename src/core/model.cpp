@@ -1,13 +1,152 @@
 #include "model.h"
 
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
-#include <stdexcept>
+#include <sstream>
+
+#include "common/crc32.h"
+#include "errors.h"
 
 namespace eddie::core
 {
+
+namespace
+{
+
+/**
+ * Whitespace tokenizer over the model text that tracks the current
+ * line, so a malformed file is rejected with a message naming the
+ * offending line instead of a bare stream failure. Every numeric
+ * token is validated in full — trailing garbage inside a token is an
+ * error, not silently ignored.
+ */
+class ModelParser
+{
+  public:
+    explicit ModelParser(std::string text) : text_(std::move(text)) {}
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw FormatError("model: line " + std::to_string(line_) +
+                          ": " + what);
+    }
+
+    bool atEnd()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+
+    std::string token(const char *what)
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            fail(std::string("missing ") + what);
+        return text_.substr(start, pos_ - start);
+    }
+
+    std::size_t u64(const char *what, std::size_t max)
+    {
+        const std::string tok = token(what);
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(tok.c_str(), &end, 10);
+        if (end != tok.c_str() + tok.size() || tok[0] == '-')
+            fail(std::string("bad ") + what + " '" + tok + "'");
+        if (v > max) {
+            fail(std::string(what) + " " + tok +
+                 " out of range (max " + std::to_string(max) + ")");
+        }
+        return std::size_t(v);
+    }
+
+    double f64(const char *what)
+    {
+        const std::string tok = token(what);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail(std::string("bad ") + what + " '" + tok + "'");
+        if (!std::isfinite(v))
+            fail(std::string(what) + " is not finite");
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            if (text_[pos_] == '\n')
+                ++line_;
+            ++pos_;
+        }
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+};
+
+constexpr const char *kCrcPrefix = "#crc32 ";
+
+/** Caps: beyond these the counts describe no model this pipeline can
+ *  produce, so the file is corrupt however plausible each token. */
+constexpr std::size_t kMaxRegions = std::size_t(1) << 20;
+constexpr std::size_t kMaxRanks = std::size_t(1) << 12;
+constexpr std::size_t kMaxRankValues = std::size_t(1) << 24;
+
+/**
+ * Splits the model text into body and optional integrity trailer and
+ * verifies the latter. The trailer is a final "#crc32 <hex> <len>"
+ * line over the body bytes; files written before it existed (or by
+ * external tools) load without it, and parsers that stop after the
+ * last region never see it — the body bytes are unchanged.
+ */
+std::string
+verifiedBody(const std::string &text)
+{
+    const std::size_t at = text.rfind(kCrcPrefix);
+    if (at == std::string::npos)
+        return text; // legacy file: no trailer to check
+    if (at != 0 && text[at - 1] != '\n')
+        return text; // "#crc32" inside a token, not a trailer line
+
+    // Strict shape: "#crc32 <hex> <len>\n" ending the file exactly.
+    // The CRC covers the body; the rigid format covers the trailer
+    // itself, so no byte of the file can flip undetected.
+    const char *s = text.c_str() + at + std::strlen(kCrcPrefix);
+    char *end = nullptr;
+    const unsigned long long crc = std::strtoull(s, &end, 16);
+    bool ok = end != s && *end == ' ';
+    unsigned long long len = 0;
+    if (ok) {
+        s = end + 1;
+        len = std::strtoull(s, &end, 10);
+        ok = end != s && end[0] == '\n' && end[1] == '\0';
+    }
+    if (!ok || len != at) {
+        throw FormatError(
+            "model: malformed #crc32 trailer (wrong length or "
+            "unparseable)");
+    }
+    if (common::crc32(text.data(), std::size_t(len)) != crc)
+        throw FormatError("model: checksum mismatch");
+    return text.substr(0, at);
+}
+
+} // namespace
 
 TrainedModel
 withGroupSize(const TrainedModel &model, std::size_t n)
@@ -30,65 +169,101 @@ withAlpha(const TrainedModel &model, double alpha)
 void
 saveModel(const TrainedModel &model, std::ostream &os)
 {
-    os << std::setprecision(
+    std::ostringstream body;
+    body << std::setprecision(
         std::numeric_limits<double>::max_digits10);
-    os << "eddie-model 1\n";
-    os << model.alpha << ' ' << model.sentinel << ' '
-       << model.entry_region << ' ' << model.num_loops << ' '
-       << model.regions.size() << '\n';
+    body << "eddie-model 1\n";
+    body << model.alpha << ' ' << model.sentinel << ' '
+         << model.entry_region << ' ' << model.num_loops << ' '
+         << model.regions.size() << '\n';
     for (const auto &r : model.regions) {
-        os << r.name << ' ' << int(r.trained) << ' ' << r.num_peaks
-           << ' ' << r.group_n << ' ' << r.succs.size();
+        body << r.name << ' ' << int(r.trained) << ' ' << r.num_peaks
+             << ' ' << r.group_n << ' ' << r.succs.size();
         for (auto s : r.succs)
-            os << ' ' << s;
-        os << '\n';
-        os << r.ref.size() << '\n';
+            body << ' ' << s;
+        body << '\n';
+        body << r.ref.size() << '\n';
         for (const auto &rank : r.ref) {
-            os << rank.size();
+            body << rank.size();
             for (double v : rank)
-                os << ' ' << v;
-            os << '\n';
+                body << ' ' << v;
+            body << '\n';
         }
     }
+    const std::string text = body.str();
+    os << text;
+    char trailer[48];
+    std::snprintf(trailer, sizeof trailer, "%s%08x %zu\n", kCrcPrefix,
+                  common::crc32(text), text.size());
+    os << trailer;
 }
 
 TrainedModel
 loadModel(std::istream &is)
 {
-    std::string magic;
-    int version = 0;
-    is >> magic >> version;
-    if (magic != "eddie-model" || version != 1)
-        throw std::runtime_error("loadModel: bad header");
+    std::ostringstream slurp;
+    slurp << is.rdbuf();
+    ModelParser p(verifiedBody(slurp.str()));
+
+    if (p.token("magic") != "eddie-model")
+        throw FormatError("loadModel: bad header");
+    if (p.u64("version", 1000) != 1)
+        throw FormatError("loadModel: bad header");
 
     TrainedModel m;
-    std::size_t num_regions = 0;
-    is >> m.alpha >> m.sentinel >> m.entry_region >> m.num_loops >>
-        num_regions;
-    if (!is)
-        throw std::runtime_error("loadModel: bad model header line");
+    m.alpha = p.f64("alpha");
+    if (!(m.alpha > 0.0 && m.alpha < 1.0))
+        p.fail("alpha outside (0, 1)");
+    m.sentinel = p.f64("sentinel");
+    if (!(m.sentinel > 0.0))
+        p.fail("sentinel must be positive");
+    m.entry_region = p.u64("entry region", kMaxRegions);
+    m.num_loops = p.u64("loop count", kMaxRegions);
+    const std::size_t num_regions = p.u64("region count", kMaxRegions);
+    if (num_regions > 0 && m.entry_region >= num_regions)
+        p.fail("entry region out of range");
+    if (m.num_loops > num_regions)
+        p.fail("loop count exceeds region count");
+
     m.regions.resize(num_regions);
     for (auto &r : m.regions) {
-        int trained = 0;
-        std::size_t num_succs = 0;
-        is >> r.name >> trained >> r.num_peaks >> r.group_n >> num_succs;
+        r.name = p.token("region name");
+        const std::size_t trained = p.u64("trained flag", 1);
         r.trained = trained != 0;
+        r.num_peaks = p.u64("peak count", kMaxRanks);
+        r.group_n = p.u64("group size", kMaxRankValues);
+        if (r.trained && r.group_n == 0)
+            p.fail("trained region with zero group size");
+        const std::size_t num_succs =
+            p.u64("successor count", kMaxRegions);
         r.succs.resize(num_succs);
-        for (auto &s : r.succs)
-            is >> s;
-        std::size_t num_ranks = 0;
-        is >> num_ranks;
-        r.ref.resize(num_ranks);
-        for (auto &rank : r.ref) {
-            std::size_t k = 0;
-            is >> k;
-            rank.resize(k);
-            for (auto &v : rank)
-                is >> v;
+        for (auto &s : r.succs) {
+            s = p.u64("successor id", kMaxRegions);
+            if (s >= num_regions)
+                p.fail("successor id out of range");
         }
-        if (!is)
-            throw std::runtime_error("loadModel: truncated region");
+        const std::size_t num_ranks = p.u64("rank count", kMaxRanks);
+        if (r.num_peaks > num_ranks)
+            p.fail("peak count exceeds rank count");
+        r.ref.resize(num_ranks);
+        for (std::size_t rank_idx = 0; rank_idx < num_ranks;
+             ++rank_idx) {
+            auto &rank = r.ref[rank_idx];
+            rank.resize(p.u64("rank size", kMaxRankValues));
+            double prev = -std::numeric_limits<double>::infinity();
+            for (auto &v : rank) {
+                v = p.f64("reference value");
+                // The K-S fast path requires ascending references.
+                if (v < prev)
+                    p.fail("reference values not sorted");
+                prev = v;
+            }
+            if (r.trained && rank_idx < r.num_peaks && rank.empty())
+                p.fail("trained region with empty peak rank");
+        }
     }
+    if (!p.atEnd())
+        p.fail("trailing data after last region");
     return m;
 }
 

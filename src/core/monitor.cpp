@@ -9,7 +9,8 @@ namespace eddie::core
 {
 
 Monitor::Monitor(const TrainedModel &model, const MonitorConfig &cfg)
-    : model_(model), cfg_(cfg), current_(model.entry_region)
+    : model_(model), cfg_(cfg), current_(model.entry_region),
+      gate_(model, cfg.quality)
 {
     max_history_ = 8;
     for (const auto &r : model_.regions)
@@ -113,16 +114,79 @@ Monitor::regionFit(std::size_t region, std::size_t window) const
     return fit;
 }
 
+void
+Monitor::quarantine(WindowQuality q, StepRecord &rec)
+{
+    rec.degraded = true;
+    ++degraded_.quarantined;
+    ++degraded_.by_kind[std::size_t(q)];
+    // A quarantined window breaks any anomaly streak: the channel,
+    // not the program, explains the rejections around it.
+    anomaly_count_ = 0;
+    ++outage_len_;
+    degraded_.longest_outage =
+        std::max(degraded_.longest_outage, outage_len_);
+    if (outage_len_ == cfg_.quality.resync_outage) {
+        // The history now predates the outage and would misjudge
+        // whatever region execution is in when signal returns.
+        ++degraded_.outages;
+        history_.clear();
+        resync_pending_ = true;
+    }
+}
+
+bool
+Monitor::resync()
+{
+    ++degraded_.resyncs;
+    resync_pending_ = false;
+    // Execution moved on during the outage, so the successor map is
+    // stale: scan every trained region and re-lock to the best
+    // accepting fit over the fresh window.
+    std::size_t best = model_.regions.size();
+    double best_d = 1.0;
+    for (std::size_t r = 0; r < model_.regions.size(); ++r) {
+        const Fit f = regionFit(r, cfg_.transition_window);
+        if (f.testable && f.accepts && f.mean_d < best_d) {
+            best = r;
+            best_d = f.mean_d;
+        }
+    }
+    if (best >= model_.regions.size() || best == current_)
+        return false; // none fits better; stay and resume normally
+    current_ = best;
+    steps_since_change_ = 0;
+    return true;
+}
+
 StepRecord
 Monitor::step(const Sts &sts)
 {
     StepRecord rec;
     rec.region = current_;
 
+    const WindowQuality q = gate_.assess(sts, current_);
+    if (q != WindowQuality::Good) {
+        quarantine(q, rec);
+        records_.push_back(rec);
+        ++step_index_;
+        return rec;
+    }
+    outage_len_ = 0;
+
     history_.push_back(sts.peak_freqs);
     if (history_.size() > max_history_)
         history_.pop_front();
     ++steps_since_change_;
+
+    if (resync_pending_ &&
+        history_.size() >= cfg_.transition_window) {
+        rec.transitioned = resync();
+        rec.region = current_;
+        records_.push_back(rec);
+        ++step_index_;
+        return rec;
+    }
 
     const Fit cur = regionFit(current_);
     rec.tested = cur.testable;

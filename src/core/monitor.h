@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "model.h"
+#include "quality.h"
 #include "sts.h"
 
 namespace eddie::core
@@ -75,6 +76,15 @@ struct MonitorConfig
      * near 0.58 against large references.
      */
     std::size_t transition_window = 8;
+    /**
+     * Signal-quality gate (DESIGN.md §6): windows the gate flags are
+     * quarantined — excluded from the K-S history and from anomaly
+     * streaks — and an outage of quality.resync_outage consecutive
+     * quarantined windows makes the monitor drop its stale history
+     * and re-lock to the best-fitting trained region once good signal
+     * returns. A no-op on clean channels at the default thresholds.
+     */
+    QualityConfig quality;
 };
 
 /** What the monitor concluded for one STS. */
@@ -91,6 +101,9 @@ struct StepRecord
     bool reported = false;
     /** The monitor switched region while processing this STS. */
     bool transitioned = false;
+    /** The quality gate quarantined this STS (no test performed;
+     *  excluded from history and from anomaly accounting). */
+    bool degraded = false;
 };
 
 /** A reported anomaly. */
@@ -121,6 +134,9 @@ class Monitor
 
     std::size_t currentRegion() const { return current_; }
 
+    /** Degraded-mode counters (quarantines, outages, resyncs). */
+    const DegradedStats &degradedStats() const { return degraded_; }
+
   private:
     /** Outcome of testing the current window against one region. */
     struct Fit
@@ -138,6 +154,12 @@ class Monitor
     Fit regionFit(std::size_t region, std::size_t window = 0) const;
     void fillGroup(std::size_t region_n, std::size_t rank,
                    std::vector<double> &out) const;
+    /** Handles a quarantined window; fills @p rec and does the
+     *  outage bookkeeping. */
+    void quarantine(WindowQuality q, StepRecord &rec);
+    /** After an outage, re-locks onto the trained region the
+     *  refilled history fits best. Returns true on a region change. */
+    bool resync();
 
     const TrainedModel &model_;
     MonitorConfig cfg_;
@@ -159,6 +181,14 @@ class Monitor
 
     std::vector<AnomalyReport> reports_;
     std::vector<StepRecord> records_;
+
+    QualityGate gate_;
+    DegradedStats degraded_;
+    /** Length of the quarantine episode in progress (0 = none). */
+    std::size_t outage_len_ = 0;
+    /** Set when an outage invalidated the history; cleared by the
+     *  re-lock scan once enough good windows arrive. */
+    bool resync_pending_ = false;
 };
 
 } // namespace eddie::core

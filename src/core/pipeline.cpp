@@ -5,6 +5,7 @@
 
 #include "capture_cache.h"
 #include "common/thread_pool.h"
+#include "faults/fault_injector.h"
 #include "sig/stft.h"
 
 namespace eddie::core
@@ -179,6 +180,24 @@ keySignalChain(KeyBuilder &kb, const PipelineConfig &config)
         kb.f64(tone.offset_hz);
         kb.f64(tone.amplitude);
     }
+
+    // Fault injection changes the captured stream, so every knob is
+    // part of the capture identity.
+    const auto &f = config.channel.faults;
+    kb.u8(f.enabled ? 1 : 0);
+    kb.u64(f.seed);
+    for (const auto *ep :
+         {&f.dropout, &f.snr_collapse, &f.interference}) {
+        kb.f64(ep->rate_hz);
+        kb.f64(ep->mean_duration_s);
+    }
+    kb.f64(f.snr_collapse_db);
+    kb.f64(f.interference_amplitude);
+    kb.f64(f.interference_density);
+    kb.f64(f.drift_max_hz);
+    kb.f64(f.drift_period_s);
+    kb.f64(f.frame_truncate_prob);
+    kb.f64(f.frame_corrupt_prob);
 }
 
 void
@@ -212,7 +231,7 @@ captureCacheKey(const workloads::Workload &workload,
                 const cpu::InjectionPlan &plan)
 {
     KeyBuilder kb;
-    kb.str("EDDIE-CKEY-v1");
+    kb.str("EDDIE-CKEY-v2");
     keyProgram(kb, workload.program);
     keyRegions(kb, workload.regions);
     keyInput(kb, workload.make_input(seed));
@@ -247,19 +266,58 @@ Pipeline::toSts(const cpu::RunResult &rr) const
     sc.sample_rate = rr.sample_rate;
     const sig::Stft stft(sc);
 
+    // Seed the channel (noise and fault episodes) from the trace so
+    // repeated captures of the same run see different realizations.
+    const std::uint64_t chan_seed =
+        0x9e3779b97f4a7c15ULL ^ rr.stats.cycles;
+    std::vector<faults::FaultEpisode> episodes;
+
     sig::Spectrogram sg;
     if (config_.path == SignalPath::Power) {
-        sg = stft.analyze(rr.power);
+        if (config_.channel.faults.enabled) {
+            auto power = rr.power;
+            episodes = faults::applySignalFaults(
+                power, rr.sample_rate, config_.channel.faults,
+                chan_seed);
+            sg = stft.analyze(power);
+        } else {
+            sg = stft.analyze(rr.power);
+        }
     } else {
-        // Seed the channel from the trace so repeated captures of
-        // the same run see different noise.
-        const auto iq = em::emanateBaseband(
-            rr.power, rr.sample_rate, config_.channel,
-            0x9e3779b97f4a7c15ULL ^ rr.stats.cycles);
+        const auto iq =
+            em::emanateBaseband(rr.power, rr.sample_rate,
+                                config_.channel, chan_seed, nullptr,
+                                &episodes);
         sg = stft.analyze(iq);
     }
-    return extractStsStream(sg, &rr, workload_.regions.regions.size(),
-                            config_.features);
+    auto stream = extractStsStream(sg, &rr,
+                                   workload_.regions.regions.size(),
+                                   config_.features);
+
+    if (config_.channel.faults.enabled) {
+        // Frame-level faults (truncation/corruption) model losses in
+        // the capture frontend after spectral analysis.
+        std::vector<std::vector<double> *> frames;
+        frames.reserve(stream.size());
+        for (auto &sts : stream)
+            frames.push_back(&sts.peak_freqs);
+        const auto mangled = faults::applyFrameFaults(
+            frames, missingPeakSentinel(sg.sample_rate),
+            config_.channel.faults, chan_seed);
+        // Ground-truth fault labels: a window is degraded when an
+        // episode overlaps it in time or its frame was mangled.
+        for (std::size_t i = 0; i < stream.size(); ++i) {
+            auto &sts = stream[i];
+            sts.faulted = i < mangled.size() && mangled[i] != 0;
+            for (const auto &ep : episodes) {
+                if (ep.t_start < sts.t_end && ep.t_end > sts.t_start) {
+                    sts.faulted = true;
+                    break;
+                }
+            }
+        }
+    }
+    return stream;
 }
 
 std::vector<Sts>
@@ -305,6 +363,7 @@ Pipeline::monitorRun(const TrainedModel &model, std::uint64_t seed,
     ev.reports = monitor.reports();
     ev.records = monitor.records();
     ev.metrics = scoreRun(stream, ev.records, ev.reports, model);
+    ev.degraded = monitor.degradedStats();
     return ev;
 }
 

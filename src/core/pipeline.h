@@ -85,6 +85,8 @@ struct RunEvaluation
     RunMetrics metrics;
     std::vector<AnomalyReport> reports;
     std::vector<StepRecord> records;
+    /** Quality-gate counters from the monitor (quality.h). */
+    DegradedStats degraded;
 };
 
 /** Binds a workload to a configuration and runs the experiment

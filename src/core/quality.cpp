@@ -1,0 +1,77 @@
+#include "quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace eddie::core
+{
+
+QualityGate::QualityGate(const TrainedModel &model,
+                         const QualityConfig &cfg)
+    : model_(model), cfg_(cfg)
+{
+}
+
+double
+QualityGate::baseline() const
+{
+    if (energies_.size() < cfg_.energy_warmup)
+        return 0.0;
+    std::vector<double> sorted(energies_.begin(), energies_.end());
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + std::ptrdiff_t(sorted.size() / 2),
+                     sorted.end());
+    return sorted[sorted.size() / 2];
+}
+
+WindowQuality
+QualityGate::assess(const Sts &sts, std::size_t region)
+{
+    if (!cfg_.enabled)
+        return WindowQuality::Good;
+
+    const RegionModel *rm = region < model_.regions.size() ?
+        &model_.regions[region] : nullptr;
+
+    // Structural checks first: these need no baseline and catch
+    // frame corruption regardless of channel state.
+    std::size_t real_peaks = 0;
+    for (double v : sts.peak_freqs) {
+        if (!std::isfinite(v) || v < 0.0 || v > model_.sentinel)
+            return WindowQuality::Malformed;
+        if (v < model_.sentinel)
+            ++real_peaks;
+    }
+    if (rm != nullptr && rm->trained &&
+        sts.peak_freqs.size() < rm->ref.size()) {
+        // Every in-process STS is padded to max_peaks; a shorter list
+        // than the model's rank count means a truncated frame.
+        return WindowQuality::Malformed;
+    }
+
+    // Energy gates; window_energy == 0 marks a legacy stream without
+    // the quality fields, which the gate must not judge.
+    if (sts.window_energy > 0.0) {
+        const double base = baseline();
+        if (base > 0.0) {
+            if (sts.window_energy * cfg_.energy_drop_ratio < base)
+                return WindowQuality::Dropout;
+            if (sts.window_energy > base * cfg_.energy_surge_ratio)
+                return WindowQuality::Saturated;
+            const bool comb_gone = real_peaks == 0 ||
+                sts.peak_energy_frac < cfg_.min_peak_energy_frac;
+            if (sts.window_energy > base * cfg_.noise_energy_ratio &&
+                comb_gone && rm != nullptr && rm->trained &&
+                rm->num_peaks >= cfg_.min_expected_peaks) {
+                return WindowQuality::NoiseFloor;
+            }
+        }
+        energies_.push_back(sts.window_energy);
+        if (energies_.size() > cfg_.energy_window)
+            energies_.pop_front();
+    }
+    return WindowQuality::Good;
+}
+
+} // namespace eddie::core

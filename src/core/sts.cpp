@@ -40,10 +40,14 @@ extractStsStream(const sig::Spectrogram &sg, const cpu::RunResult *annot,
         if (cfg.max_peaks > 0 && peaks.size() > cfg.max_peaks)
             peaks.resize(cfg.max_peaks);
         sts.peak_freqs.reserve(cfg.max_peaks);
-        for (const auto &p : peaks)
+        for (const auto &p : peaks) {
             sts.peak_freqs.push_back(p.freq);
+            sts.peak_energy_frac += p.energy_frac;
+        }
         while (sts.peak_freqs.size() < cfg.max_peaks)
             sts.peak_freqs.push_back(sentinel);
+        for (double v : sg.power[f])
+            sts.window_energy += v;
 
         if (annot != nullptr && !annot->region.empty()) {
             const auto lo = std::size_t(sts.t_start * annot->sample_rate);

@@ -31,6 +31,19 @@ struct Sts
     std::size_t true_region = std::size_t(-1);
     /** True when the window contains injected execution. */
     bool injected = false;
+    /**
+     * Signal-quality features for the monitor's per-window gate
+     * (core/quality.h): total spectral power of the window and the
+     * fraction of it concentrated in the detected peaks (a sharpness
+     * proxy — near zero when the noise floor swamps the comb).
+     * window_energy is 0 in streams from pre-quality capture files;
+     * the gate treats that as "unknown" and skips its energy checks.
+     */
+    double window_energy = 0.0;
+    double peak_energy_frac = 0.0;
+    /** Ground truth: a channel fault episode overlapped this window
+     *  or mangled its frame (faults/fault_injector.h). */
+    bool faulted = false;
 };
 
 /** Feature-extraction options. */

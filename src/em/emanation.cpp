@@ -33,7 +33,8 @@ timed(double *slot, Fn &&fn)
 std::vector<sig::Complex>
 emanateBaseband(const std::vector<double> &power, double sample_rate,
                 const ChannelConfig &cfg, std::uint64_t seed,
-                SynthesisTimings *timings)
+                SynthesisTimings *timings,
+                std::vector<faults::FaultEpisode> *fault_log)
 {
     std::vector<sig::Complex> iq;
     timed(timings ? &timings->envelope_ms : nullptr, [&] {
@@ -53,13 +54,21 @@ emanateBaseband(const std::vector<double> &power, double sample_rate,
         if (cfg.snr_db < 200.0)
             noise.addAwgn(iq, cfg.snr_db);
     });
+    // Faults degrade the *received* signal, so they layer on last.
+    if (cfg.faults.enabled) {
+        auto log = faults::applySignalFaults(iq, sample_rate,
+                                             cfg.faults, seed);
+        if (fault_log != nullptr)
+            *fault_log = std::move(log);
+    }
     return iq;
 }
 
 std::vector<sig::Complex>
 passbandCapture(const std::vector<double> &power, double power_rate,
                 const PassbandConfig &cfg, std::uint64_t seed,
-                SynthesisTimings *timings)
+                SynthesisTimings *timings,
+                std::vector<faults::FaultEpisode> *fault_log)
 {
     std::vector<double> rf;
     timed(timings ? &timings->envelope_ms : nullptr, [&] {
@@ -81,6 +90,14 @@ passbandCapture(const std::vector<double> &power, double power_rate,
     std::vector<sig::Complex> iq;
     timed(timings ? &timings->filter_ms : nullptr,
           [&] { iq = sig::iqDownconvert(rf, cfg.rx); });
+    if (cfg.channel.faults.enabled) {
+        const double iq_rate =
+            cfg.rx.sample_rate / double(cfg.rx.decimation);
+        auto log = faults::applySignalFaults(iq, iq_rate,
+                                             cfg.channel.faults, seed);
+        if (fault_log != nullptr)
+            *fault_log = std::move(log);
+    }
     return iq;
 }
 

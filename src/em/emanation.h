@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "faults/fault_injector.h"
 #include "sig/fft.h"
 #include "sig/modulation.h"
 
@@ -48,6 +49,14 @@ struct ChannelConfig
     double snr_db = 30.0;
     /** Narrowband interferers folded into the captured band. */
     std::vector<Interferer> interferers;
+    /**
+     * Channel fault model (see faults/fault_injector.h): dropouts,
+     * SNR collapses, impulsive interference, and carrier drift are
+     * layered onto the capture after the stationary noise above.
+     * Disabled by default — the clean channel is bit-identical to the
+     * pre-fault implementation.
+     */
+    faults::FaultConfig faults;
 };
 
 /**
@@ -74,15 +83,18 @@ struct SynthesisTimings
  * @param power power samples from the simulator
  * @param sample_rate rate of @p power (becomes the IQ rate)
  * @param cfg channel parameters
- * @param seed noise seed
+ * @param seed noise seed (also mixed into the fault episode streams)
  * @param timings optional per-stage wall-clock sink
+ * @param fault_log optional sink for the applied fault episodes
  */
 std::vector<sig::Complex> emanateBaseband(const std::vector<double> &power,
                                           double sample_rate,
                                           const ChannelConfig &cfg,
                                           std::uint64_t seed = 0x5eed,
                                           SynthesisTimings *timings =
-                                              nullptr);
+                                              nullptr,
+                                          std::vector<faults::FaultEpisode>
+                                              *fault_log = nullptr);
 
 /** Parameters for the full passband demonstration. */
 struct PassbandConfig
@@ -103,7 +115,9 @@ std::vector<sig::Complex> passbandCapture(const std::vector<double> &power,
                                           const PassbandConfig &cfg,
                                           std::uint64_t seed = 0x5eed,
                                           SynthesisTimings *timings =
-                                              nullptr);
+                                              nullptr,
+                                          std::vector<faults::FaultEpisode>
+                                              *fault_log = nullptr);
 
 /** A PassbandConfig with consistent defaults: a 10 MHz carrier at
  *  40 MS/s, receiver tuned to the carrier, 4 MHz bandwidth. */

@@ -1,0 +1,345 @@
+#include "fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <random>
+#include <string>
+
+#include "core/errors.h"
+#include "sig/noise.h"
+
+namespace eddie::faults
+{
+
+namespace
+{
+
+/** Distinct RNG stream per fault class: enabling or re-parameterizing
+ *  one class must not move another class's episodes. */
+std::uint64_t
+classSeed(const FaultConfig &cfg, std::uint64_t run_seed,
+          std::uint64_t class_id)
+{
+    // splitmix64 finalizer over the mixed seeds.
+    std::uint64_t z = cfg.seed ^ (run_seed * 0x9E3779B97F4A7C15ULL) ^
+                      (class_id * 0xBF58476D1CE4E5B9ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+void
+checkFinite(double v, const char *what)
+{
+    if (!std::isfinite(v))
+        throw core::ChannelFault(std::string("fault config: ") + what +
+                                 " is not finite");
+}
+
+void
+checkNonNegative(double v, const char *what)
+{
+    checkFinite(v, what);
+    if (v < 0.0)
+        throw core::ChannelFault(std::string("fault config: ") + what +
+                                 " is negative");
+}
+
+void
+checkProbability(double v, const char *what)
+{
+    checkFinite(v, what);
+    if (v < 0.0 || v > 1.0)
+        throw core::ChannelFault(std::string("fault config: ") + what +
+                                 " is outside [0, 1]");
+}
+
+void
+checkEpisode(const EpisodeConfig &e, const char *what)
+{
+    checkNonNegative(e.rate_hz, what);
+    checkFinite(e.mean_duration_s, what);
+    if (e.rate_hz > 0.0 && e.mean_duration_s <= 0.0)
+        throw core::ChannelFault(std::string("fault config: ") + what +
+                                 " has non-positive mean duration");
+}
+
+/** Poisson episode arrivals with exponential durations over
+ *  [0, duration_s), clipped to the capture. */
+std::vector<FaultEpisode>
+drawEpisodes(const EpisodeConfig &e, FaultKind kind, double duration_s,
+             std::mt19937_64 &rng)
+{
+    std::vector<FaultEpisode> out;
+    if (e.rate_hz <= 0.0 || duration_s <= 0.0)
+        return out;
+    std::exponential_distribution<double> gap(e.rate_hz);
+    std::exponential_distribution<double> len(1.0 / e.mean_duration_s);
+    double t = gap(rng);
+    while (t < duration_s) {
+        FaultEpisode ep;
+        ep.kind = kind;
+        ep.t_start = t;
+        ep.t_end = std::min(duration_s, t + len(rng));
+        out.push_back(ep);
+        t = ep.t_end + gap(rng);
+    }
+    return out;
+}
+
+/** [i0, i1) sample range of an episode. */
+std::pair<std::size_t, std::size_t>
+sampleRange(const FaultEpisode &ep, double sample_rate, std::size_t n)
+{
+    const auto i0 = std::size_t(ep.t_start * sample_rate);
+    auto i1 = std::size_t(std::ceil(ep.t_end * sample_rate));
+    return {std::min(i0, n), std::min(i1, n)};
+}
+
+double
+meanPower(const std::vector<sig::Complex> &x)
+{
+    if (x.empty())
+        return 0.0;
+    double p = 0.0;
+    for (const auto &v : x)
+        p += std::norm(v);
+    return p / double(x.size());
+}
+
+double
+meanPower(const std::vector<double> &x)
+{
+    if (x.empty())
+        return 0.0;
+    double p = 0.0;
+    for (double v : x)
+        p += v * v;
+    return p / double(x.size());
+}
+
+void
+zeroRange(std::vector<sig::Complex> &x, std::size_t i0, std::size_t i1)
+{
+    std::fill(x.begin() + std::ptrdiff_t(i0),
+              x.begin() + std::ptrdiff_t(i1), sig::Complex(0.0, 0.0));
+}
+
+void
+zeroRange(std::vector<double> &x, std::size_t i0, std::size_t i1)
+{
+    std::fill(x.begin() + std::ptrdiff_t(i0),
+              x.begin() + std::ptrdiff_t(i1), 0.0);
+}
+
+void
+addNoiseRange(std::vector<sig::Complex> &x, std::size_t i0,
+              std::size_t i1, double sigma, std::mt19937_64 &rng)
+{
+    // Complex AWGN: total variance sigma^2 split across I and Q.
+    const double s = sigma / std::numbers::sqrt2;
+    std::vector<double> g(2 * (i1 - i0));
+    sig::gaussianBlock(rng, g.data(), g.size());
+    for (std::size_t i = i0; i < i1; ++i) {
+        x[i] += sig::Complex(s * g[2 * (i - i0)],
+                             s * g[2 * (i - i0) + 1]);
+    }
+}
+
+void
+addNoiseRange(std::vector<double> &x, std::size_t i0, std::size_t i1,
+              double sigma, std::mt19937_64 &rng)
+{
+    std::vector<double> g(i1 - i0);
+    sig::gaussianBlock(rng, g.data(), g.size());
+    for (std::size_t i = i0; i < i1; ++i)
+        x[i] += sigma * g[i - i0];
+}
+
+void
+addImpulse(std::vector<sig::Complex> &x, std::size_t i, double amp,
+           double u)
+{
+    // Random-phase impulse; u in [0, 1).
+    const double a = 2.0 * std::numbers::pi * u;
+    x[i] += amp * sig::Complex(std::cos(a), std::sin(a));
+}
+
+void
+addImpulse(std::vector<double> &x, std::size_t i, double amp, double u)
+{
+    x[i] += u < 0.5 ? amp : -amp;
+}
+
+/** Everything except drift is identical for real and IQ captures. */
+template <typename Signal>
+std::vector<FaultEpisode>
+applyCommonFaults(Signal &signal, double sample_rate,
+                  const FaultConfig &cfg, std::uint64_t run_seed)
+{
+    std::vector<FaultEpisode> log;
+    const std::size_t n = signal.size();
+    const double duration_s = double(n) / sample_rate;
+
+    // SNR collapse and interference are applied before dropouts so a
+    // dropped receiver really flatlines (order: noise in, then lock
+    // lost), and their sigma references the pre-fault signal power.
+    const double base_power = meanPower(signal);
+
+    {
+        std::mt19937_64 rng(classSeed(cfg, run_seed, 2));
+        const auto eps = drawEpisodes(cfg.snr_collapse,
+                                      FaultKind::SnrCollapse,
+                                      duration_s, rng);
+        const double sigma = std::sqrt(
+            base_power / std::pow(10.0, cfg.snr_collapse_db / 10.0));
+        for (const auto &ep : eps) {
+            const auto [i0, i1] = sampleRange(ep, sample_rate, n);
+            if (i0 < i1 && sigma > 0.0)
+                addNoiseRange(signal, i0, i1, sigma, rng);
+        }
+        log.insert(log.end(), eps.begin(), eps.end());
+    }
+
+    {
+        std::mt19937_64 rng(classSeed(cfg, run_seed, 3));
+        const auto eps = drawEpisodes(cfg.interference,
+                                      FaultKind::Interference,
+                                      duration_s, rng);
+        std::uniform_real_distribution<double> unit(0.0, 1.0);
+        for (const auto &ep : eps) {
+            const auto [i0, i1] = sampleRange(ep, sample_rate, n);
+            for (std::size_t i = i0; i < i1; ++i) {
+                if (unit(rng) < cfg.interference_density)
+                    addImpulse(signal, i, cfg.interference_amplitude,
+                               unit(rng));
+            }
+        }
+        log.insert(log.end(), eps.begin(), eps.end());
+    }
+
+    {
+        std::mt19937_64 rng(classSeed(cfg, run_seed, 1));
+        const auto eps = drawEpisodes(cfg.dropout, FaultKind::Dropout,
+                                      duration_s, rng);
+        for (const auto &ep : eps) {
+            const auto [i0, i1] = sampleRange(ep, sample_rate, n);
+            zeroRange(signal, i0, i1);
+        }
+        log.insert(log.end(), eps.begin(), eps.end());
+    }
+
+    return log;
+}
+
+} // namespace
+
+void
+validate(const FaultConfig &cfg)
+{
+    checkEpisode(cfg.dropout, "dropout");
+    checkEpisode(cfg.snr_collapse, "snr_collapse");
+    checkFinite(cfg.snr_collapse_db, "snr_collapse_db");
+    checkEpisode(cfg.interference, "interference");
+    checkNonNegative(cfg.interference_amplitude,
+                     "interference_amplitude");
+    checkProbability(cfg.interference_density, "interference_density");
+    checkNonNegative(cfg.drift_max_hz, "drift_max_hz");
+    checkFinite(cfg.drift_period_s, "drift_period_s");
+    if (cfg.drift_max_hz > 0.0 && cfg.drift_period_s <= 0.0)
+        throw core::ChannelFault(
+            "fault config: drift enabled with non-positive period");
+    checkProbability(cfg.frame_truncate_prob, "frame_truncate_prob");
+    checkProbability(cfg.frame_corrupt_prob, "frame_corrupt_prob");
+}
+
+std::vector<FaultEpisode>
+applySignalFaults(std::vector<sig::Complex> &iq, double sample_rate,
+                  const FaultConfig &cfg, std::uint64_t run_seed)
+{
+    if (!cfg.enabled)
+        return {};
+    validate(cfg);
+    auto log = applyCommonFaults(iq, sample_rate, cfg, run_seed);
+
+    if (cfg.drift_max_hz > 0.0 && !iq.empty()) {
+        // Sawtooth carrier-offset ramp, phase-continuous: the
+        // instantaneous offset rises 0 → drift_max_hz over each
+        // period, then snaps back (a receiver re-acquiring the
+        // carrier). Phase accumulates so the IQ rotation is smooth
+        // within a ramp.
+        double phase = 0.0;
+        const double dt = 1.0 / sample_rate;
+        for (std::size_t i = 0; i < iq.size(); ++i) {
+            const double t = double(i) * dt;
+            const double ramp =
+                (t / cfg.drift_period_s) -
+                std::floor(t / cfg.drift_period_s);
+            phase += 2.0 * std::numbers::pi * cfg.drift_max_hz * ramp *
+                     dt;
+            iq[i] *= sig::Complex(std::cos(phase), std::sin(phase));
+        }
+        FaultEpisode ep;
+        ep.kind = FaultKind::Drift;
+        ep.t_start = 0.0;
+        ep.t_end = double(iq.size()) * dt;
+        log.push_back(ep);
+    }
+    return log;
+}
+
+std::vector<FaultEpisode>
+applySignalFaults(std::vector<double> &signal, double sample_rate,
+                  const FaultConfig &cfg, std::uint64_t run_seed)
+{
+    if (!cfg.enabled)
+        return {};
+    validate(cfg);
+    // Drift needs a complex carrier to rotate; skipped on the direct
+    // power path.
+    return applyCommonFaults(signal, sample_rate, cfg, run_seed);
+}
+
+std::vector<std::uint8_t>
+applyFrameFaults(const std::vector<std::vector<double> *> &frames,
+                 double sentinel, const FaultConfig &cfg,
+                 std::uint64_t run_seed)
+{
+    std::vector<std::uint8_t> faulted(frames.size(), 0);
+    if (!cfg.enabled)
+        return faulted;
+    validate(cfg);
+    if (cfg.frame_truncate_prob <= 0.0 && cfg.frame_corrupt_prob <= 0.0)
+        return faulted;
+
+    std::mt19937_64 rng(classSeed(cfg, run_seed, 4));
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    const double junk_span = sentinel > 0.0 ? 2.0 * sentinel : 1.0;
+    for (std::size_t f = 0; f < frames.size(); ++f) {
+        auto &peaks = *frames[f];
+        if (unit(rng) < cfg.frame_truncate_prob) {
+            // Drop the tail without sentinel padding: the frame
+            // arrives short, as a truncated radio frame would.
+            const auto keep =
+                std::size_t(unit(rng) * double(peaks.size()) / 2.0);
+            peaks.resize(keep);
+            faulted[f] = 1;
+        }
+        if (unit(rng) < cfg.frame_corrupt_prob) {
+            for (auto &v : peaks) {
+                const double u = unit(rng);
+                // Mostly out-of-band junk; occasionally the
+                // classic symptom of a mangled frame, a NaN.
+                v = u < 0.1 ?
+                        std::numeric_limits<double>::quiet_NaN() :
+                        u * junk_span;
+            }
+            faulted[f] = 1;
+        }
+    }
+    return faulted;
+}
+
+} // namespace eddie::faults

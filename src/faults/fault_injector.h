@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Deterministic channel fault injection (DESIGN.md §6,
+ * docs/ALGORITHM.md §10).
+ *
+ * EDDIE's evaluation otherwise assumes a clean receiver; real EM
+ * capture loses antenna lock, picks up interferers, drifts off the
+ * carrier, and delivers truncated frames. This subsystem layers those
+ * degradations onto the synthesized channel so every one of them is a
+ * reproducible regression scenario:
+ *
+ *  - burst sample dropouts (receiver loses lock; samples flatline),
+ *  - SNR-collapse episodes (noise floor swamps the signal),
+ *  - impulsive wideband interference (sparse strong spikes),
+ *  - carrier/clock drift ramps (IQ path only: a sawtooth frequency
+ *    offset, phase-continuous),
+ *  - frame truncation/corruption on the extracted STS stream.
+ *
+ * Every fault class is independently configurable and draws from its
+ * own RNG stream derived from (config seed, class id, run seed), so
+ * enabling one class never perturbs another's episodes and the same
+ * seeds always reproduce the same degradation — the property the
+ * robustness tests and the bench degradation sweep rely on.
+ *
+ * Layering: this library sits below core (it depends only on sig and
+ * the header-only core/errors.h), so the pipeline can apply faults
+ * inside the capture chain without a dependency cycle.
+ */
+
+#ifndef EDDIE_FAULTS_FAULT_INJECTOR_H
+#define EDDIE_FAULTS_FAULT_INJECTOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sig/fft.h"
+
+namespace eddie::faults
+{
+
+/** Episode process of one fault class: episodes arrive as a Poisson
+ *  process and last an exponentially distributed duration. */
+struct EpisodeConfig
+{
+    /** Expected episodes per second of capture; 0 disables. */
+    double rate_hz = 0.0;
+    /** Mean episode duration, seconds. */
+    double mean_duration_s = 2e-4;
+};
+
+/** Complete channel fault model. Default-constructed = clean channel
+ *  (enabled=false makes every application an exact no-op). */
+struct FaultConfig
+{
+    /** Master switch; false bypasses fault injection entirely. */
+    bool enabled = false;
+    /** Base seed; mixed with a per-run seed so different runs see
+     *  different (but reproducible) episode placements. */
+    std::uint64_t seed = 0xFA017;
+
+    /** Burst sample dropouts: samples in an episode are zeroed. */
+    EpisodeConfig dropout;
+
+    /** SNR-collapse episodes: AWGN added over the episode span. */
+    EpisodeConfig snr_collapse;
+    /** SNR (dB, relative to the whole signal's power) during a
+     *  collapse episode; negative = noise stronger than signal. */
+    double snr_collapse_db = -3.0;
+
+    /** Impulsive wideband interference episodes. */
+    EpisodeConfig interference;
+    /** Impulse amplitude relative to unit carrier. */
+    double interference_amplitude = 4.0;
+    /** Per-sample impulse probability within an episode. */
+    double interference_density = 0.15;
+
+    /** Peak carrier-offset of the drift ramp, Hz; 0 disables. The
+     *  offset ramps 0 → drift_max_hz over each drift_period_s
+     *  (sawtooth), phase-continuous. IQ signals only. */
+    double drift_max_hz = 0.0;
+    double drift_period_s = 1e-2;
+
+    /** Probability that an extracted frame's peak list is truncated
+     *  (tail dropped, no sentinel padding — a short frame). */
+    double frame_truncate_prob = 0.0;
+    /** Probability that a frame's peaks are overwritten with junk
+     *  (out-of-band frequencies, occasionally non-finite). */
+    double frame_corrupt_prob = 0.0;
+};
+
+/** Kind of one logged fault episode. */
+enum class FaultKind
+{
+    Dropout,
+    SnrCollapse,
+    Interference,
+    Drift,
+};
+
+/** One applied degradation episode (ground truth for scoring). */
+struct FaultEpisode
+{
+    FaultKind kind = FaultKind::Dropout;
+    /** Start/end time within the capture, seconds. */
+    double t_start = 0.0;
+    double t_end = 0.0;
+};
+
+/** Throws eddie::core::ChannelFault when @p cfg holds non-finite or
+ *  negative rates/durations/probabilities. */
+void validate(const FaultConfig &cfg);
+
+/**
+ * Applies the signal-level faults (dropout, SNR collapse,
+ * interference, drift) to a complex-baseband capture in place.
+ *
+ * @param iq IQ samples (mutated)
+ * @param sample_rate rate of @p iq, Hz
+ * @param cfg fault model (validated; no-op when !cfg.enabled)
+ * @param run_seed per-run entropy mixed into every episode stream
+ * @return the applied episodes, ordered by class then time
+ */
+std::vector<FaultEpisode> applySignalFaults(std::vector<sig::Complex> &iq,
+                                            double sample_rate,
+                                            const FaultConfig &cfg,
+                                            std::uint64_t run_seed);
+
+/** Real-signal variant (direct power path). Drift does not apply to
+ *  real captures and is skipped. */
+std::vector<FaultEpisode> applySignalFaults(std::vector<double> &signal,
+                                            double sample_rate,
+                                            const FaultConfig &cfg,
+                                            std::uint64_t run_seed);
+
+/**
+ * Applies frame truncation/corruption to ranked peak-frequency lists
+ * (one vector per STFT frame, passed as pointers so the caller's
+ * frame type stays above this library).
+ *
+ * @param frames peak list of each frame (mutated)
+ * @param sentinel missing-peak sentinel of the stream (junk
+ *        frequencies are drawn from [0, 2*sentinel))
+ * @return one flag per frame: nonzero when the frame was faulted
+ */
+std::vector<std::uint8_t>
+applyFrameFaults(const std::vector<std::vector<double> *> &frames,
+                 double sentinel, const FaultConfig &cfg,
+                 std::uint64_t run_seed);
+
+} // namespace eddie::faults
+
+#endif // EDDIE_FAULTS_FAULT_INJECTOR_H

@@ -23,7 +23,7 @@ sampleModel()
     r0.num_peaks = 2;
     r0.group_n = 16;
     r0.ref = {{1.0, 2.0, 3.0}, {4.0, 5.0}};
-    r0.succs = {2};
+    r0.succs = {1};
     RegionModel r1;
     r1.name = "L1";
     r1.trained = false;

@@ -19,8 +19,11 @@
 
 using namespace eddie;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     tools::Args args(argc, argv);
     if (args.positional().size() != 3) {
@@ -78,4 +81,13 @@ main(int argc, char **argv)
         }
     }
     return mon.reports().empty() ? 0 : 3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return eddie::tools::runTool("eddie_analyze",
+                                 [&] { return run(argc, argv); });
 }

@@ -19,8 +19,11 @@
 
 using namespace eddie;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     tools::Args args(argc, argv);
     if (args.positional().size() != 2) {
@@ -65,4 +68,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(rr.stats.injected_ops),
                 args.positional()[1].c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return eddie::tools::runTool("eddie_capture",
+                                 [&] { return run(argc, argv); });
 }

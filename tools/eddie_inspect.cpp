@@ -14,8 +14,11 @@
 
 using namespace eddie;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     tools::Args args(argc, argv);
     if (args.positional().size() != 1) {
@@ -80,4 +83,13 @@ main(int argc, char **argv)
         }
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return eddie::tools::runTool("eddie_inspect",
+                                 [&] { return run(argc, argv); });
 }

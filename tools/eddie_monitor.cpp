@@ -20,8 +20,11 @@
 
 using namespace eddie;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     tools::Args args(argc, argv);
     if (args.positional().size() != 2) {
@@ -106,4 +109,13 @@ main(int argc, char **argv)
                             ev.metrics.labeled_steps, 1)));
     }
     return ev.reports.empty() ? 0 : 3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return eddie::tools::runTool("eddie_monitor",
+                                 [&] { return run(argc, argv); });
 }

@@ -20,8 +20,11 @@
 
 using namespace eddie;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     tools::Args args(argc, argv);
     if (args.positional().size() != 2) {
@@ -74,4 +77,13 @@ main(int argc, char **argv)
     core::saveModel(model, os);
     std::printf("model written to %s\n", out_path.c_str());
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return eddie::tools::runTool("eddie_train",
+                                 [&] { return run(argc, argv); });
 }

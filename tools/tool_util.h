@@ -1,17 +1,40 @@
 /**
  * @file
- * Tiny flag parser shared by the command-line tools.
+ * Tiny flag parser and top-level exception handler shared by the
+ * command-line tools.
  */
 
 #ifndef EDDIE_TOOLS_TOOL_UTIL_H
 #define EDDIE_TOOLS_TOOL_UTIL_H
 
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
 namespace eddie::tools
 {
+
+/**
+ * Runs a tool's body, turning any escaped exception — a corrupt model
+ * file, an unknown workload, a failed write — into a one-line stderr
+ * message and exit code 1 instead of std::terminate. Bodies return
+ * their own exit codes (0 ok, 2 usage, 3 anomalies reported).
+ */
+template <typename Body>
+int
+runTool(const char *tool, Body &&body)
+{
+    try {
+        return body();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: error: %s\n", tool, e.what());
+    } catch (...) {
+        std::fprintf(stderr, "%s: error: unknown exception\n", tool);
+    }
+    return 1;
+}
 
 /** Positional arguments plus --key value / --flag options. */
 class Args
