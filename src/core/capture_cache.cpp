@@ -90,13 +90,21 @@ CaptureCache::getOrCompute(
     const std::string &key,
     const std::function<std::vector<Sts>()> &compute)
 {
+    return *getOrComputeShared(key, compute);
+}
+
+std::shared_ptr<const std::vector<Sts>>
+CaptureCache::getOrComputeShared(
+    const std::string &key,
+    const std::function<std::vector<Sts>()> &compute)
+{
     {
         std::lock_guard<std::mutex> lock(mu_);
         const auto it = index_.find(key);
         if (it != index_.end()) {
             lru_.splice(lru_.begin(), lru_, it->second);
             ++stats_.hits;
-            return *it->second->second;
+            return it->second->second;
         }
     }
 
@@ -120,7 +128,7 @@ CaptureCache::getOrCompute(
                     ++stats_.disk_hits;
                     if (index_.find(key) == index_.end())
                         insertLocked(key, value);
-                    return *value;
+                    return value;
                 }
             } catch (const IoError &) {
                 short_read = true;
@@ -147,7 +155,7 @@ CaptureCache::getOrCompute(
         if (index_.find(key) == index_.end())
             insertLocked(key, value);
     }
-    return *value;
+    return value;
 }
 
 void

@@ -73,11 +73,23 @@ class CaptureCache
     /**
      * Returns the stream cached under @p key, computing and caching
      * it via @p compute on a miss. The returned value is a copy; the
-     * cached entry is immutable.
+     * cached entry is immutable. Thin wrapper over
+     * getOrComputeShared() kept for callers that mutate the stream.
      */
     std::vector<Sts>
     getOrCompute(const std::string &key,
                  const std::function<std::vector<Sts>()> &compute);
+
+    /**
+     * Like getOrCompute() but returns the cached entry itself (no
+     * copy, never null). A hit costs a map lookup plus a refcount
+     * bump — the mutex is released before any Sts data is touched —
+     * so sharded monitor workers hitting the same warm key no longer
+     * serialize on copying streams under the lock.
+     */
+    std::shared_ptr<const std::vector<Sts>>
+    getOrComputeShared(const std::string &key,
+                       const std::function<std::vector<Sts>()> &compute);
 
     /** Snapshot of the hit/miss counters (see core/metrics.h). */
     CaptureCacheStats stats() const;

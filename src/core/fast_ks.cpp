@@ -1,10 +1,8 @@
 #include "fast_ks.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
-#include "stats/special.h"
+#include "stats/ks.h"
 
 namespace eddie::core
 {
@@ -13,58 +11,17 @@ double
 ksStatisticSortedRef(const std::vector<double> &sorted_ref,
                      std::span<const double> monitored)
 {
-    const std::size_t m = sorted_ref.size();
-    const std::size_t n = monitored.size();
-    if (m == 0 || n == 0)
+    if (sorted_ref.empty() || monitored.empty())
         return 0.0;
-
     std::vector<double> mon(monitored.begin(), monitored.end());
     std::sort(mon.begin(), mon.end());
-
-    const double inv_m = 1.0 / double(m);
-    const double inv_n = 1.0 / double(n);
-    double d = 0.0;
-
-    // Before the first monitored point M = 0; R can rise up to
-    // R(mon[0]^-).
-    {
-        const auto lb = std::lower_bound(sorted_ref.begin(),
-                                         sorted_ref.end(), mon[0]);
-        d = std::max(d, double(lb - sorted_ref.begin()) * inv_m);
-    }
-    // Walk distinct monitored values; M only plateaus after the last
-    // occurrence of a tie group.
-    std::size_t i = 0;
-    while (i < n) {
-        std::size_t j = i;
-        while (j + 1 < n && mon[j + 1] == mon[i])
-            ++j;
-        const double level = double(j + 1) * inv_n; // M on [mon[i], next)
-        const auto ub = std::upper_bound(sorted_ref.begin(),
-                                         sorted_ref.end(), mon[i]);
-        const double r_at = double(ub - sorted_ref.begin()) * inv_m;
-        d = std::max(d, std::abs(r_at - level));
-        const double next =
-            (j + 1 < n) ? mon[j + 1] :
-            std::numeric_limits<double>::infinity();
-        const auto lb = std::lower_bound(sorted_ref.begin(),
-                                         sorted_ref.end(), next);
-        const double r_before_next =
-            double(lb - sorted_ref.begin()) * inv_m;
-        d = std::max(d, std::abs(r_before_next - level));
-        i = j + 1;
-    }
-    return d;
+    return stats::ksStatisticSorted(sorted_ref, mon);
 }
 
 double
 ksCriticalValue(std::size_t m, std::size_t n, double alpha)
 {
-    if (m == 0 || n == 0)
-        return 1.0;
-    const double dm = double(m), dn = double(n);
-    return stats::kolmogorovCritical(alpha) *
-        std::sqrt((dm + dn) / (dm * dn));
+    return stats::ksCritical(m, n, alpha);
 }
 
 bool

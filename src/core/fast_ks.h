@@ -1,8 +1,12 @@
 /**
  * @file
- * K-S testing against a pre-sorted reference sample in
- * O(n log n + n log m) for a monitored group of n values — the hot
- * path of both training (group-size sweeps) and monitoring.
+ * Compatibility wrappers around the presorted K-S kernels that now
+ * live in stats/ks.h (ksStatisticSorted / ksTestSorted /
+ * ksCritical). Earlier PRs grew these entry points in core/ before
+ * the stats layer had presorted overloads; benches and tests still
+ * call them, so they stay as thin forwarding shims. New code should
+ * call the stats kernels directly with presorted spans (the Monitor
+ * and trainer hot paths do, allocation-free).
  *
  * Produces exactly the same statistic as stats::ksStatistic (verified
  * by unit tests).
@@ -18,7 +22,9 @@ namespace eddie::core
 {
 
 /** D statistic between a sorted reference and a small monitored
- *  group. @p sorted_ref must be ascending. */
+ *  group. @p sorted_ref must be ascending; @p monitored may be in
+ *  any order (it is copied and sorted here — use
+ *  stats::ksStatisticSorted with caller scratch on hot paths). */
 double ksStatisticSortedRef(const std::vector<double> &sorted_ref,
                             std::span<const double> monitored);
 

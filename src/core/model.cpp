@@ -148,6 +148,29 @@ verifiedBody(const std::string &text)
 
 } // namespace
 
+void
+SortedReference::build(const std::vector<std::vector<double>> &ranks)
+{
+    offsets_.assign(1, 0);
+    offsets_.reserve(ranks.size() + 1);
+    std::size_t total = 0;
+    for (const auto &r : ranks)
+        total += r.size();
+    values_.clear();
+    values_.reserve(total);
+    for (const auto &r : ranks) {
+        values_.insert(values_.end(), r.begin(), r.end());
+        offsets_.push_back(values_.size());
+    }
+}
+
+void
+TrainedModel::finalize()
+{
+    for (auto &r : regions)
+        r.sorted.build(r.ref);
+}
+
 TrainedModel
 withGroupSize(const TrainedModel &model, std::size_t n)
 {
@@ -264,6 +287,7 @@ loadModel(std::istream &is)
     }
     if (!p.atEnd())
         p.fail("trailing data after last region");
+    m.finalize();
     return m;
 }
 

@@ -10,11 +10,44 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
 namespace eddie::core
 {
+
+/**
+ * Cache-friendly presorted reference layout: every rank's ascending
+ * reference values packed into one contiguous buffer, addressed by a
+ * rank offset table. Built once at training/model-load time so the
+ * monitoring hot path K-S-tests against immutable spans with zero
+ * per-call allocation or sorting (stats::ksStatisticSorted).
+ */
+class SortedReference
+{
+  public:
+    /** Packs @p ranks (each already ascending-sorted) contiguously. */
+    void build(const std::vector<std::vector<double>> &ranks);
+
+    /** Number of packed ranks (0 when never built). */
+    std::size_t numRanks() const
+    {
+        return offsets_.empty() ? 0 : offsets_.size() - 1;
+    }
+
+    /** Ascending values of rank @p p. */
+    std::span<const double> rank(std::size_t p) const
+    {
+        return {values_.data() + offsets_[p],
+                offsets_[p + 1] - offsets_[p]};
+    }
+
+  private:
+    std::vector<double> values_;
+    /** numRanks() + 1 offsets into values_. */
+    std::vector<std::size_t> offsets_;
+};
 
 /** Model of one region. */
 struct RegionModel
@@ -29,6 +62,11 @@ struct RegionModel
     std::size_t group_n = 8;
     /** Reference peak frequencies per rank, each ascending-sorted. */
     std::vector<std::vector<double>> ref;
+    /** Presorted contiguous view of ref — derived, not serialized;
+     *  rebuilt by TrainedModel::finalize() (train() and loadModel()
+     *  call it; hand-assembled models should too, and the Monitor
+     *  builds a private copy when a region was left unfinalized). */
+    SortedReference sorted;
     /** Successor region ids in the state machine. */
     std::vector<std::size_t> succs;
 };
@@ -47,6 +85,10 @@ struct TrainedModel
     std::size_t num_loops = 0;
 
     std::size_t numRegions() const { return regions.size(); }
+
+    /** Rebuilds every region's SortedReference from its ref ranks.
+     *  Call after mutating any region's ref. */
+    void finalize();
 };
 
 /**

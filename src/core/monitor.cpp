@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "fast_ks.h"
+#include "stats/ks.h"
 #include "stats/mwu.h"
 
 namespace eddie::core
@@ -13,10 +13,31 @@ Monitor::Monitor(const TrainedModel &model, const MonitorConfig &cfg)
       gate_(model, cfg.quality)
 {
     max_history_ = 8;
-    for (const auto &r : model_.regions)
+    std::size_t width = 1;
+    for (const auto &r : model_.regions) {
         max_history_ = std::max(max_history_, r.group_n);
+        width = std::max(width, r.ref.size());
+    }
+    history_.reset(max_history_, width, model_.sentinel);
+    scratch_.reserve(max_history_);
     if (current_ >= model_.regions.size())
         current_ = 0;
+
+    // Presorted reference views: share the model's finalized layout;
+    // build a private copy only for regions a hand-assembled model
+    // left unfinalized. In the trained/loaded path every Monitor in a
+    // batch reads the same immutable buffers (no per-run model copy).
+    sorted_.resize(model_.regions.size());
+    own_sorted_.resize(model_.regions.size());
+    for (std::size_t r = 0; r < model_.regions.size(); ++r) {
+        const RegionModel &rm = model_.regions[r];
+        if (rm.sorted.numRanks() == rm.ref.size()) {
+            sorted_[r] = &rm.sorted;
+        } else {
+            own_sorted_[r].build(rm.ref);
+            sorted_[r] = &own_sorted_[r];
+        }
+    }
 
     candidates_.resize(model_.regions.size());
     for (std::size_t r = 0; r < model_.regions.size(); ++r) {
@@ -37,22 +58,41 @@ Monitor::Monitor(const TrainedModel &model, const MonitorConfig &cfg)
 }
 
 void
-Monitor::fillGroup(std::size_t region_n, std::size_t rank,
-                   std::vector<double> &out) const
+Monitor::gatherGroup(std::size_t n, std::size_t rank)
 {
     const std::size_t have = history_.size();
-    const std::size_t n = std::min(region_n, have);
-    out.clear();
-    out.reserve(n);
-    for (std::size_t k = have - n; k < have; ++k) {
-        const auto &freqs = history_[k];
-        out.push_back(rank < freqs.size() ? freqs[rank] :
-                      model_.sentinel);
+    scratch_.resize(n);
+    for (std::size_t k = 0; k < n; ++k)
+        scratch_[k] = history_.at(have - n + k, rank);
+}
+
+bool
+Monitor::testRank(std::span<const double> ref, double &d)
+{
+    ++test_calls_;
+    if (cfg_.test == TestKind::KolmogorovSmirnov) {
+        if (cfg_.use_presorted) {
+            std::sort(scratch_.begin(), scratch_.end());
+            d = stats::ksStatisticSorted(ref, scratch_);
+        } else {
+            // Legacy formulation: copies and sorts both samples on
+            // every call (kept for the perf_pipeline ablation).
+            d = stats::ksStatistic(ref, scratch_);
+        }
+        return d > stats::ksCritical(ref.size(), scratch_.size(),
+                                     model_.alpha);
     }
+    const auto res =
+        cfg_.use_presorted
+            ? (std::sort(scratch_.begin(), scratch_.end()),
+               stats::mwuTestSorted(ref, scratch_, model_.alpha))
+            : stats::mwuTest(ref, scratch_, model_.alpha);
+    d = 1.0 - res.p_value; // "distance" proxy for handoff
+    return res.reject;
 }
 
 Monitor::Fit
-Monitor::regionFit(std::size_t region, std::size_t window) const
+Monitor::regionFit(std::size_t region, std::size_t window)
 {
     Fit fit;
     const RegionModel &rm = model_.regions[region];
@@ -64,27 +104,16 @@ Monitor::regionFit(std::size_t region, std::size_t window) const
         return fit;
     fit.testable = true;
 
+    const SortedReference &sorted = *sorted_[region];
     double d_sum = 0.0;
-    std::vector<double> mon;
     for (std::size_t p = 0; p < rm.num_peaks; ++p) {
-        fillGroup(n, p, mon);
-        bool rejected;
+        gatherGroup(n, p);
         double d;
-        if (cfg_.test == TestKind::KolmogorovSmirnov) {
-            d = ksStatisticSortedRef(rm.ref[p], mon);
-            rejected = d > ksCriticalValue(rm.ref[p].size(),
-                                           mon.size(), model_.alpha);
-        } else {
-            const auto res = stats::mwuTest(rm.ref[p], mon,
-                                            model_.alpha);
-            rejected = res.reject;
-            d = 1.0 - res.p_value; // "distance" proxy for handoff
-        }
-        d_sum += d;
-        if (rejected)
+        if (testRank(sorted.rank(p), d))
             ++fit.rejected_ranks;
         else
             ++fit.accepted_ranks;
+        d_sum += d;
     }
     fit.mean_d = d_sum / double(rm.num_peaks);
     fit.rejects = fit.rejected_ranks >= std::max<std::size_t>(
@@ -98,14 +127,11 @@ Monitor::regionFit(std::size_t region, std::size_t window) const
     // distributions are. Prevents peak-poor regions from absorbing
     // anomalous windows.
     if (fit.accepts) {
-        for (std::size_t p = rm.num_peaks; p < rm.ref.size(); ++p) {
-            fillGroup(n, p, mon);
-            const bool rejected =
-                cfg_.test == TestKind::KolmogorovSmirnov ?
-                    ksRejectSortedRef(rm.ref[p], mon, model_.alpha) :
-                    stats::mwuTest(rm.ref[p], mon,
-                                   model_.alpha).reject;
-            if (rejected) {
+        for (std::size_t p = rm.num_peaks; p < sorted.numRanks();
+             ++p) {
+            gatherGroup(n, p);
+            double d;
+            if (testRank(sorted.rank(p), d)) {
                 fit.accepts = false;
                 break;
             }
@@ -174,9 +200,7 @@ Monitor::step(const Sts &sts)
     }
     outage_len_ = 0;
 
-    history_.push_back(sts.peak_freqs);
-    if (history_.size() > max_history_)
-        history_.pop_front();
+    history_.push(sts.peak_freqs);
     ++steps_since_change_;
 
     if (resync_pending_ &&

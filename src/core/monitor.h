@@ -16,11 +16,12 @@
 #define EDDIE_CORE_MONITOR_H
 
 #include <cstddef>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "model.h"
 #include "quality.h"
+#include "ring_buffer.h"
 #include "sts.h"
 
 namespace eddie::core
@@ -85,6 +86,16 @@ struct MonitorConfig
      * returns. A no-op on clean channels at the default thresholds.
      */
     QualityConfig quality;
+    /**
+     * Ablation knob: when false, every group comparison routes
+     * through the legacy copy-and-sort stats::ksStatistic /
+     * stats::mwuTest formulation instead of the presorted
+     * allocation-free kernels. Verdicts are identical (regression-
+     * tested); only the cost differs. perf_pipeline flips this to
+     * report the before/after monitor-loop speedup on the same
+     * machine and streams.
+     */
+    bool use_presorted = true;
 };
 
 /** What the monitor concluded for one STS. */
@@ -137,6 +148,11 @@ class Monitor
     /** Degraded-mode counters (quarantines, outages, resyncs). */
     const DegradedStats &degradedStats() const { return degraded_; }
 
+    /** Two-sample tests performed so far (K-S or MWU, including
+     *  guard-rank checks) — the throughput denominator reported by
+     *  perf_pipeline. */
+    std::size_t testCalls() const { return test_calls_; }
+
   private:
     /** Outcome of testing the current window against one region. */
     struct Fit
@@ -150,10 +166,15 @@ class Monitor
     };
 
     /** Tests the window against one region's model; @p window
-     *  overrides the region's group size when nonzero. */
-    Fit regionFit(std::size_t region, std::size_t window = 0) const;
-    void fillGroup(std::size_t region_n, std::size_t rank,
-                   std::vector<double> &out) const;
+     *  overrides the region's group size when nonzero. Non-const
+     *  only because it reuses the scratch arena. */
+    Fit regionFit(std::size_t region, std::size_t window = 0);
+    /** Gathers the newest @p n rank-@p rank observations into the
+     *  scratch arena (no allocation once warmed). */
+    void gatherGroup(std::size_t n, std::size_t rank);
+    /** One two-sample test of the gathered group against a region's
+     *  rank reference; fills @p d with the distance proxy. */
+    bool testRank(std::span<const double> ref, double &d);
     /** Handles a quarantined window; fills @p rec and does the
      *  outage bookkeeping. */
     void quarantine(WindowQuality q, StepRecord &rec);
@@ -175,9 +196,22 @@ class Monitor
     std::size_t anomaly_count_ = 0;
     std::size_t step_index_ = 0;
 
-    /** History of observed peak vectors (most recent at the back). */
-    std::deque<std::vector<double>> history_;
+    /** History of observed peak vectors (most recent last), a
+     *  fixed-capacity ring sized to the largest group the model can
+     *  request. */
+    PeakHistory history_;
     std::size_t max_history_;
+
+    /** Per-region presorted reference views: the model's own (when
+     *  finalized) or a Monitor-built copy for hand-assembled models
+     *  that skipped TrainedModel::finalize(). */
+    std::vector<const SortedReference *> sorted_;
+    std::vector<SortedReference> own_sorted_;
+
+    /** Reusable group scratch; sorted in place on the presorted
+     *  path. Sized once, so steady-state steps never allocate. */
+    std::vector<double> scratch_;
+    std::size_t test_calls_ = 0;
 
     std::vector<AnomalyReport> reports_;
     std::vector<StepRecord> records_;

@@ -324,9 +324,18 @@ std::vector<Sts>
 Pipeline::captureRun(std::uint64_t seed,
                      const cpu::InjectionPlan &plan) const
 {
-    if (config_.capture_cache == nullptr)
-        return toSts(simulate(seed, plan));
-    return config_.capture_cache->getOrCompute(
+    return *captureRunShared(seed, plan);
+}
+
+std::shared_ptr<const std::vector<Sts>>
+Pipeline::captureRunShared(std::uint64_t seed,
+                           const cpu::InjectionPlan &plan) const
+{
+    if (config_.capture_cache == nullptr) {
+        return std::make_shared<const std::vector<Sts>>(
+            toSts(simulate(seed, plan)));
+    }
+    return config_.capture_cache->getOrComputeShared(
         captureCacheKey(workload_, config_, seed, plan),
         [&] { return toSts(simulate(seed, plan)); });
 }
@@ -354,15 +363,15 @@ RunEvaluation
 Pipeline::monitorRun(const TrainedModel &model, std::uint64_t seed,
                      const cpu::InjectionPlan &plan) const
 {
-    const auto stream = captureRun(seed, plan);
+    const auto stream = captureRunShared(seed, plan);
     Monitor monitor(model, config_.monitor);
-    for (const auto &sts : stream)
+    for (const auto &sts : *stream)
         monitor.step(sts);
 
     RunEvaluation ev;
     ev.reports = monitor.reports();
     ev.records = monitor.records();
-    ev.metrics = scoreRun(stream, ev.records, ev.reports, model);
+    ev.metrics = scoreRun(*stream, ev.records, ev.reports, model);
     ev.degraded = monitor.degradedStats();
     return ev;
 }

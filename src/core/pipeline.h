@@ -106,6 +106,17 @@ class Pipeline
                                 const cpu::InjectionPlan &plan =
                                     cpu::InjectionPlan()) const;
 
+    /**
+     * Like captureRun() but returns a shared immutable stream (never
+     * null): on a warm cache the monitor hot path reads the cached
+     * entry directly instead of copying hundreds of STSs per run.
+     * Without a cache this wraps a fresh capture.
+     */
+    std::shared_ptr<const std::vector<Sts>>
+    captureRunShared(std::uint64_t seed,
+                     const cpu::InjectionPlan &plan =
+                         cpu::InjectionPlan()) const;
+
     /** STS stream from an already-simulated run. */
     std::vector<Sts> toSts(const cpu::RunResult &rr) const;
 

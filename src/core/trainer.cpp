@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 
-#include "fast_ks.h"
+#include "stats/ks.h"
 
 namespace eddie::core
 {
@@ -49,6 +50,21 @@ falseRejectionRate(const RegionModel &region,
     const std::size_t reject_threshold = std::max<std::size_t>(
         1, region.num_peaks / reject_peak_divisor);
 
+    // The group-size sweep replays this inner loop for every
+    // (start, rank) pair — the dominant training cost. Use the
+    // presorted allocation-free kernel against the (already sorted)
+    // reference ranks, and hoist the per-rank critical values: they
+    // depend only on (m, n), not on the group.
+    const bool synced =
+        region.sorted.numRanks() == region.ref.size();
+    const auto refOf = [&](std::size_t p) {
+        return synced ? region.sorted.rank(p)
+                      : std::span<const double>(region.ref[p]);
+    };
+    std::vector<double> crit(region.num_peaks);
+    for (std::size_t p = 0; p < region.num_peaks; ++p)
+        crit[p] = stats::ksCritical(refOf(p).size(), n, alpha);
+
     std::size_t groups = 0;
     std::size_t rejected = 0;
     std::vector<double> mon(n);
@@ -62,7 +78,10 @@ falseRejectionRate(const RegionModel &region,
                 for (std::size_t p = 0; p < region.num_peaks; ++p) {
                     for (std::size_t k = 0; k < n; ++k)
                         mon[k] = run[start + k].peak_freqs[p];
-                    if (ksRejectSortedRef(region.ref[p], mon, alpha))
+                    std::sort(mon.begin(), mon.end());
+                    const auto ref = refOf(p);
+                    if (!ref.empty() && !mon.empty() &&
+                        stats::ksStatisticSorted(ref, mon) > crit[p])
                         ++rejecting;
                 }
                 ++groups;
@@ -190,6 +209,10 @@ train(const std::vector<std::vector<Sts>> &runs,
             }
             std::sort(ref.begin(), ref.end());
         }
+        // Pack the sorted ranks into the contiguous presorted layout
+        // now, so the group-size sweep below (and every monitor that
+        // later shares this model) runs the allocation-free kernels.
+        rm.sorted.build(rm.ref);
         rm.trained = true;
 
         // n selection (paper Sec. 4.3): smallest n whose false

@@ -60,10 +60,25 @@ findPeaks(const std::vector<double> &power, double sample_rate,
         peaks.push_back(p);
     }
 
-    std::sort(peaks.begin(), peaks.end(),
-              [](const Peak &a, const Peak &b) { return a.power > b.power; });
-    if (opt.max_peaks > 0 && peaks.size() > opt.max_peaks)
+    // Strict weak order with a bin tiebreak: equal-power peaks (which
+    // the synthetic spectra do produce) get a defined order, so the
+    // top-k selection below keeps the same set a full sort would.
+    const auto stronger = [](const Peak &a, const Peak &b) {
+        if (a.power != b.power)
+            return a.power > b.power;
+        return a.bin < b.bin;
+    };
+    if (opt.max_peaks > 0 && peaks.size() > opt.max_peaks) {
+        // Top-k selection: every STFT frame funnels through here, and
+        // candidate counts can dwarf max_peaks, so partition to the
+        // k-th element first and only sort the survivors.
+        std::nth_element(peaks.begin(),
+                         peaks.begin() +
+                             std::ptrdiff_t(opt.max_peaks),
+                         peaks.end(), stronger);
         peaks.resize(opt.max_peaks);
+    }
+    std::sort(peaks.begin(), peaks.end(), stronger);
     return peaks;
 }
 

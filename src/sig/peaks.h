@@ -59,7 +59,7 @@ struct PeakOptions
  * @param power     per-bin power values
  * @param sample_rate sample rate in Hz (for Peak::freq)
  * @param opt       extraction options
- * @return peaks sorted by descending power
+ * @return peaks sorted by descending power (ties by ascending bin)
  */
 std::vector<Peak> findPeaks(const std::vector<double> &power,
                             double sample_rate,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "special.h"
@@ -9,19 +10,14 @@
 namespace eddie::stats
 {
 
-double
-ksStatistic(std::span<const double> reference,
-            std::span<const double> monitored)
+namespace
 {
-    if (reference.empty() || monitored.empty())
-        return 0.0;
 
-    std::vector<double> r(reference.begin(), reference.end());
-    std::vector<double> m(monitored.begin(), monitored.end());
-    std::sort(r.begin(), r.end());
-    std::sort(m.begin(), m.end());
-
-    // Merge-walk both sorted samples tracking the EDF gap.
+/** EDF sup-distance by simultaneous merge-walk of two sorted
+ *  samples, O(m + n). */
+double
+ksSortedMergeWalk(std::span<const double> r, std::span<const double> m)
+{
     double d = 0.0;
     std::size_t i = 0, j = 0;
     const double inv_r = 1.0 / double(r.size());
@@ -41,17 +37,111 @@ ksStatistic(std::span<const double> reference,
     return d;
 }
 
+/**
+ * EDF sup-distance evaluated only at the monitored sample's jump
+ * points, locating the reference EDF by binary search: O(n log m).
+ * The candidate maxima of |R - M| are the steps of either EDF; at a
+ * reference-only step between two monitored values, M is constant
+ * and R is largest just before the next monitored value, which the
+ * r_before_next probe covers — so walking monitored tie groups
+ * suffices.
+ */
+double
+ksSortedSearchWalk(std::span<const double> ref,
+                   std::span<const double> mon)
+{
+    const std::size_t m = ref.size();
+    const std::size_t n = mon.size();
+    const double inv_m = 1.0 / double(m);
+    const double inv_n = 1.0 / double(n);
+    double d = 0.0;
+
+    // Before the first monitored point M = 0; R can rise up to
+    // R(mon[0]^-).
+    {
+        const auto lb =
+            std::lower_bound(ref.begin(), ref.end(), mon[0]);
+        d = std::max(d, double(lb - ref.begin()) * inv_m);
+    }
+    // Walk distinct monitored values; M only plateaus after the last
+    // occurrence of a tie group.
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && mon[j + 1] == mon[i])
+            ++j;
+        const double level = double(j + 1) * inv_n; // M on [mon[i], next)
+        const auto ub =
+            std::upper_bound(ref.begin(), ref.end(), mon[i]);
+        const double r_at = double(ub - ref.begin()) * inv_m;
+        d = std::max(d, std::abs(r_at - level));
+        const double next = (j + 1 < n)
+                                ? mon[j + 1]
+                                : std::numeric_limits<double>::infinity();
+        const auto lb = std::lower_bound(ref.begin(), ref.end(), next);
+        const double r_before_next =
+            double(lb - ref.begin()) * inv_m;
+        d = std::max(d, std::abs(r_before_next - level));
+        i = j + 1;
+    }
+    return d;
+}
+
+} // namespace
+
+double
+ksStatisticSorted(std::span<const double> sorted_reference,
+                  std::span<const double> sorted_monitored)
+{
+    const std::size_t m = sorted_reference.size();
+    const std::size_t n = sorted_monitored.size();
+    if (m == 0 || n == 0)
+        return 0.0;
+    // The monitor compares small groups (n ~ 8..64) against large
+    // references (m up to thousands): there the log-search walk does
+    // ~2 n log2 m probes against the merge walk's m + n steps.
+    // Lopsidedness the other way is symmetric.
+    if (n * 32 < m)
+        return ksSortedSearchWalk(sorted_reference, sorted_monitored);
+    if (m * 32 < n)
+        return ksSortedSearchWalk(sorted_monitored, sorted_reference);
+    return ksSortedMergeWalk(sorted_reference, sorted_monitored);
+}
+
+double
+ksStatistic(std::span<const double> reference,
+            std::span<const double> monitored)
+{
+    if (reference.empty() || monitored.empty())
+        return 0.0;
+
+    std::vector<double> r(reference.begin(), reference.end());
+    std::vector<double> m(monitored.begin(), monitored.end());
+    std::sort(r.begin(), r.end());
+    std::sort(m.begin(), m.end());
+    return ksStatisticSorted(r, m);
+}
+
+double
+ksCritical(std::size_t m, std::size_t n, double alpha)
+{
+    if (m == 0 || n == 0)
+        return 1.0;
+    const double dm = double(m), dn = double(n);
+    return kolmogorovCritical(alpha) * std::sqrt((dm + dn) / (dm * dn));
+}
+
+namespace
+{
+
 KsResult
-ksTest(std::span<const double> reference, std::span<const double> monitored,
-       double alpha)
+ksResultFromStatistic(double statistic, std::size_t m_count,
+                      std::size_t n_count, double alpha)
 {
     KsResult res;
-    if (reference.empty() || monitored.empty())
-        return res;
-
-    const double m = double(reference.size());
-    const double n = double(monitored.size());
-    res.statistic = ksStatistic(reference, monitored);
+    const double m = double(m_count);
+    const double n = double(n_count);
+    res.statistic = statistic;
     res.critical = kolmogorovCritical(alpha) * std::sqrt((m + n) / (m * n));
     const double en = std::sqrt(m * n / (m + n));
     // Stephens' small-sample correction improves the asymptotic
@@ -60,6 +150,30 @@ ksTest(std::span<const double> reference, std::span<const double> monitored,
     res.p_value = kolmogorovQ(lambda);
     res.reject = res.statistic > res.critical;
     return res;
+}
+
+} // namespace
+
+KsResult
+ksTest(std::span<const double> reference, std::span<const double> monitored,
+       double alpha)
+{
+    if (reference.empty() || monitored.empty())
+        return KsResult();
+    return ksResultFromStatistic(ksStatistic(reference, monitored),
+                                 reference.size(), monitored.size(),
+                                 alpha);
+}
+
+KsResult
+ksTestSorted(std::span<const double> sorted_reference,
+             std::span<const double> sorted_monitored, double alpha)
+{
+    if (sorted_reference.empty() || sorted_monitored.empty())
+        return KsResult();
+    return ksResultFromStatistic(
+        ksStatisticSorted(sorted_reference, sorted_monitored),
+        sorted_reference.size(), sorted_monitored.size(), alpha);
 }
 
 double

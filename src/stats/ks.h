@@ -7,6 +7,13 @@
  * null hypothesis (both samples drawn from the same population) is
  * rejected at significance alpha when
  * D_{m,n} > c(alpha) * sqrt((m+n)/(m n)).
+ *
+ * Two entry points per operation: the historical convenience API
+ * that accepts unsorted samples (and pays a copy + sort per call),
+ * and the presorted overloads that take already-ascending spans and
+ * run allocation-free — the monitoring hot path calls the latter
+ * thousands of times per second against immutable reference samples
+ * that were sorted once at training time.
  */
 
 #ifndef EDDIE_STATS_KS_H
@@ -41,9 +48,29 @@ struct KsResult
 KsResult ksTest(std::span<const double> reference,
                 std::span<const double> monitored, double alpha = 0.01);
 
-/** Just the D statistic, without the decision machinery. */
+/** Just the D statistic, without the decision machinery. Copies and
+ *  sorts both samples; a thin wrapper over ksStatisticSorted. */
 double ksStatistic(std::span<const double> reference,
                    std::span<const double> monitored);
+
+/**
+ * D statistic when both samples are already ascending-sorted.
+ * Allocation-free. Picks between a merge-walk (O(m+n)) and a
+ * binary-search walk over the reference (O(n log m)) depending on
+ * how lopsided the sizes are; both produce the same statistic
+ * (verified by the brute-force property tests).
+ */
+double ksStatisticSorted(std::span<const double> sorted_reference,
+                         std::span<const double> sorted_monitored);
+
+/** Full test on presorted samples; allocation-free. */
+KsResult ksTestSorted(std::span<const double> sorted_reference,
+                      std::span<const double> sorted_monitored,
+                      double alpha = 0.01);
+
+/** Critical value c(alpha) * sqrt((m+n)/(m n)) for sample sizes
+ *  @p m and @p n. */
+double ksCritical(std::size_t m, std::size_t n, double alpha);
 
 /**
  * One-sample K-S distance between a sample's EDF and a model CDF

@@ -10,48 +10,46 @@ namespace eddie::stats
 {
 
 MwuResult
-mwuTest(std::span<const double> a, std::span<const double> b, double alpha)
+mwuTestSorted(std::span<const double> sorted_a,
+              std::span<const double> sorted_b, double alpha)
 {
     MwuResult res;
-    const std::size_t na = a.size();
-    const std::size_t nb = b.size();
+    const std::size_t na = sorted_a.size();
+    const std::size_t nb = sorted_b.size();
     if (na == 0 || nb == 0)
         return res;
 
-    struct Tagged
-    {
-        double value;
-        bool from_a;
-    };
-    std::vector<Tagged> all;
-    all.reserve(na + nb);
-    for (double v : a)
-        all.push_back({v, true});
-    for (double v : b)
-        all.push_back({v, false});
-    std::sort(all.begin(), all.end(),
-              [](const Tagged &x, const Tagged &y) {
-                  return x.value < y.value;
-              });
-
-    // Midranks with tie groups; accumulate tie correction term.
-    const std::size_t n = all.size();
+    // Two-pointer walk over the (virtual) merged order: each tie
+    // group spans positions [pos+1, pos+t] and every member gets the
+    // group's midrank. Accumulating with one addition per a-element
+    // keeps the floating-point sum bit-identical to the historical
+    // merged-array formulation.
+    const std::size_t n = na + nb;
     double rank_sum_a = 0.0;
     double tie_term = 0.0;
-    std::size_t i = 0;
-    while (i < n) {
-        std::size_t j = i;
-        while (j + 1 < n && all[j + 1].value == all[i].value)
-            ++j;
-        const double rank = 0.5 * (double(i + 1) + double(j + 1));
-        const double t = double(j - i + 1);
-        if (t > 1.0)
-            tie_term += t * t * t - t;
-        for (std::size_t k = i; k <= j; ++k) {
-            if (all[k].from_a)
-                rank_sum_a += rank;
+    std::size_t i = 0, j = 0, pos = 0;
+    while (i < na || j < nb) {
+        const double v =
+            (j >= nb || (i < na && sorted_a[i] <= sorted_b[j]))
+                ? sorted_a[i]
+                : sorted_b[j];
+        std::size_t ca = 0, cb = 0;
+        while (i < na && sorted_a[i] == v) {
+            ++i;
+            ++ca;
         }
-        i = j + 1;
+        while (j < nb && sorted_b[j] == v) {
+            ++j;
+            ++cb;
+        }
+        const std::size_t t = ca + cb;
+        const double rank =
+            0.5 * (double(pos + 1) + double(pos + t));
+        if (t > 1)
+            tie_term += double(t) * double(t) * double(t) - double(t);
+        for (std::size_t k = 0; k < ca; ++k)
+            rank_sum_a += rank;
+        pos += t;
     }
 
     const double m = double(na), nn = double(nb), big_n = double(n);
@@ -75,6 +73,18 @@ mwuTest(std::span<const double> a, std::span<const double> b, double alpha)
     res.p_value = std::clamp(res.p_value, 0.0, 1.0);
     res.reject = res.p_value < alpha;
     return res;
+}
+
+MwuResult
+mwuTest(std::span<const double> a, std::span<const double> b, double alpha)
+{
+    if (a.empty() || b.empty())
+        return MwuResult();
+    std::vector<double> sa(a.begin(), a.end());
+    std::vector<double> sb(b.begin(), b.end());
+    std::sort(sa.begin(), sa.end());
+    std::sort(sb.begin(), sb.end());
+    return mwuTestSorted(sa, sb, alpha);
 }
 
 } // namespace eddie::stats

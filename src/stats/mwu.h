@@ -29,10 +29,21 @@ struct MwuResult
 
 /**
  * Two-sided Mann-Whitney U test with tie correction (normal
- * approximation; adequate for the sample sizes EDDIE uses).
+ * approximation; adequate for the sample sizes EDDIE uses). Copies
+ * and sorts both samples; a thin wrapper over mwuTestSorted.
  */
 MwuResult mwuTest(std::span<const double> a, std::span<const double> b,
                   double alpha = 0.01);
+
+/**
+ * Same test when both samples are already ascending-sorted:
+ * allocation-free two-pointer rank walk, bit-identical to mwuTest on
+ * the same values. This is the monitor's hot-path entry (presorted
+ * reference + scratch-sorted group).
+ */
+MwuResult mwuTestSorted(std::span<const double> sorted_a,
+                        std::span<const double> sorted_b,
+                        double alpha = 0.01);
 
 } // namespace eddie::stats
 

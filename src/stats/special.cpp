@@ -202,6 +202,17 @@ kolmogorovCritical(double alpha)
 {
     if (alpha <= 0.0 || alpha >= 1.0)
         throw std::invalid_argument("kolmogorovCritical: bad alpha");
+    // One-slot memo: every K-S decision needs c(alpha), the monitor
+    // uses a single alpha for a whole run, and the bisection below
+    // costs ~200 evaluations of an exp series — it used to dominate
+    // the per-test cost of the monitoring hot loop. thread_local
+    // keeps it race-free without a lock; the cached value is the
+    // exact double the bisection produces, so results are
+    // bit-identical with or without the memo.
+    static thread_local double memo_alpha = -1.0;
+    static thread_local double memo_c = 0.0;
+    if (alpha == memo_alpha)
+        return memo_c;
     double lo = 0.01, hi = 4.0;
     // kolmogorovQ is strictly decreasing; bisect for Q(c) = alpha.
     for (int i = 0; i < 200; ++i) {
@@ -211,7 +222,9 @@ kolmogorovCritical(double alpha)
         else
             hi = mid;
     }
-    return 0.5 * (lo + hi);
+    memo_alpha = alpha;
+    memo_c = 0.5 * (lo + hi);
+    return memo_c;
 }
 
 } // namespace eddie::stats

@@ -5,6 +5,7 @@
  * contention (the scheduling paths TSan inspects).
  */
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -120,11 +121,16 @@ TEST(ThreadPoolTest, ForEachIndexSerialFallback)
     EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 5);
 }
 
-TEST(ThreadPoolTest, ResolveThreads)
+TEST(ThreadPoolTest, ResolveThreadsClampsToHardware)
 {
-    EXPECT_EQ(ThreadPool::resolveThreads(3), 3u);
-    EXPECT_EQ(ThreadPool::resolveThreads(0),
-              ThreadPool::hardwareThreads());
+    const std::size_t hw = ThreadPool::hardwareThreads();
+    EXPECT_EQ(ThreadPool::resolveThreads(0), hw);
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(3), std::min<std::size_t>(3, hw));
+    // Oversubscription is never honoured: CPU-bound work gains
+    // nothing from more threads than cores.
+    EXPECT_EQ(ThreadPool::resolveThreads(hw + 7), hw);
+    EXPECT_EQ(ThreadPool::resolveThreads(std::size_t(1) << 20), hw);
 }
 
 } // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Equivalence of the monitor's presorted fast path and the legacy
+ * copy-and-sort formulation (MonitorConfig::use_presorted). The flag
+ * exists purely as a perf ablation, so the two paths must agree on
+ * every verdict, record, report, and metric — for both supported
+ * tests and with injections present.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "inject/scenarios.h"
+
+namespace
+{
+
+using namespace eddie;
+using core::Pipeline;
+using core::PipelineConfig;
+using core::RunEvaluation;
+
+/** Every observable field of an evaluation, flattened to text so a
+ *  mismatch fails with a diffable blob instead of a field hunt. */
+std::string
+describeEval(const RunEvaluation &ev)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "reports:";
+    for (const auto &r : ev.reports)
+        os << " (" << r.step << ',' << r.time << ',' << r.region << ')';
+    os << "\nrecords:";
+    for (const auto &r : ev.records) {
+        os << " [" << r.region << r.tested << r.rejected << r.reported
+           << r.transitioned << r.degraded << ']';
+    }
+    const auto &m = ev.metrics;
+    os << "\nmetrics: " << m.groups << ' ' << m.injected_groups << ' '
+       << m.true_positives << ' ' << m.false_positives << ' '
+       << m.false_negatives << ' ' << m.detection_latency << ' '
+       << m.covered_steps << ' ' << m.labeled_steps << ' '
+       << m.degraded_groups;
+    os << "\nregion_groups:";
+    for (std::size_t v : m.region_groups)
+        os << ' ' << v;
+    os << "\nregion_correct:";
+    for (std::size_t v : m.region_correct)
+        os << ' ' << v;
+    os << "\ndegraded: " << ev.degraded.quarantined << ' '
+       << ev.degraded.outages << ' ' << ev.degraded.resyncs << ' '
+       << ev.degraded.longest_outage;
+    return os.str();
+}
+
+void
+expectPathsAgree(const PipelineConfig &base, core::TestKind test)
+{
+    PipelineConfig cfg = base;
+    cfg.monitor.test = test;
+    cfg.train_runs = 3;
+    cfg.threads = 1;
+    Pipeline pipe(workloads::makeWorkload("bitcount", 0.15), cfg);
+    const auto model = pipe.trainModel();
+
+    PipelineConfig legacy_cfg = cfg;
+    legacy_cfg.monitor.use_presorted = false;
+    Pipeline legacy(workloads::makeWorkload("bitcount", 0.15),
+                    legacy_cfg);
+
+    // Clean runs plus an injected one: the fast path has to agree on
+    // acceptances, rejections, handoffs, and anomaly streaks alike.
+    for (std::uint64_t seed : {9000ull, 9001ull, 9002ull}) {
+        const auto fast = pipe.monitorRun(model, seed);
+        const auto slow = legacy.monitorRun(model, seed);
+        EXPECT_EQ(describeEval(fast), describeEval(slow))
+            << "clean seed " << seed;
+    }
+    const auto plan = inject::canonicalLoopInjection(
+        inject::defaultTargetLoop(pipe.workload()), 1.0, 9100);
+    const auto fast = pipe.monitorRun(model, 9100, plan);
+    const auto slow = legacy.monitorRun(model, 9100, plan);
+    EXPECT_EQ(describeEval(fast), describeEval(slow)) << "injected";
+}
+
+TEST(MonitorFastpathTest, PresortedKsMatchesLegacyExactly)
+{
+    expectPathsAgree(PipelineConfig(),
+                     core::TestKind::KolmogorovSmirnov);
+}
+
+TEST(MonitorFastpathTest, PresortedMwuMatchesLegacyExactly)
+{
+    expectPathsAgree(PipelineConfig(), core::TestKind::MannWhitney);
+}
+
+TEST(MonitorFastpathTest, FastPathPerformsSameNumberOfTests)
+{
+    PipelineConfig cfg;
+    cfg.train_runs = 3;
+    cfg.threads = 1;
+    Pipeline pipe(workloads::makeWorkload("bitcount", 0.15), cfg);
+    const auto model = pipe.trainModel();
+    const auto stream = pipe.captureRun(9000);
+
+    core::MonitorConfig fast_cfg = cfg.monitor;
+    core::MonitorConfig slow_cfg = cfg.monitor;
+    slow_cfg.use_presorted = false;
+    core::Monitor fast(model, fast_cfg);
+    core::Monitor slow(model, slow_cfg);
+    for (const auto &sts : stream) {
+        fast.step(sts);
+        slow.step(sts);
+    }
+    EXPECT_GT(fast.testCalls(), 0u);
+    EXPECT_EQ(fast.testCalls(), slow.testCalls());
+}
+
+} // namespace

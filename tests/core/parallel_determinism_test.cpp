@@ -96,6 +96,63 @@ TEST(ParallelDeterminismTest, MonitorBatchMatchesSerialMonitorRuns)
     }
 }
 
+/** Flattens every observable field of a batch of evaluations so the
+ *  cross-thread comparison is byte-for-byte, not field-by-field. */
+std::string
+serializedBatch(const std::vector<core::RunEvaluation> &batch)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto &ev : batch) {
+        for (const auto &r : ev.reports)
+            os << r.step << ',' << r.time << ',' << r.region << ';';
+        for (const auto &r : ev.records) {
+            os << r.region << r.tested << r.rejected << r.reported
+               << r.transitioned << r.degraded;
+        }
+        const auto &m = ev.metrics;
+        os << '|' << m.groups << ' ' << m.injected_groups << ' '
+           << m.true_positives << ' ' << m.false_positives << ' '
+           << m.false_negatives << ' ' << m.detection_latency << ' '
+           << m.covered_steps << ' ' << m.labeled_steps << ' '
+           << m.degraded_groups << '|';
+        for (std::size_t v : m.region_groups)
+            os << v << ' ';
+        for (std::size_t v : m.region_correct)
+            os << v << ' ';
+        os << ev.degraded.quarantined << ' ' << ev.degraded.outages
+           << ' ' << ev.degraded.resyncs << ' '
+           << ev.degraded.longest_outage << '\n';
+    }
+    return os.str();
+}
+
+TEST(ParallelDeterminismTest,
+     MonitorVerdictsAreByteIdenticalAcrossThreadCounts)
+{
+    PipelineConfig base;
+    base.train_runs = 3;
+    base.threads = 1;
+    Pipeline trainer_pipe(workloads::makeWorkload("bitcount", 0.15),
+                          base);
+    const auto model = trainer_pipe.trainModel();
+
+    const std::vector<std::uint64_t> seeds = {9000, 9001, 9002, 9003,
+                                              9004, 9005};
+    std::string at1;
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        PipelineConfig cfg = base;
+        cfg.threads = threads;
+        Pipeline pipe(workloads::makeWorkload("bitcount", 0.15), cfg);
+        const auto s = serializedBatch(pipe.monitorBatch(model, seeds));
+        ASSERT_FALSE(s.empty());
+        if (threads == 1)
+            at1 = s;
+        else
+            EXPECT_EQ(s, at1) << "threads " << threads;
+    }
+}
+
 TEST(ParallelDeterminismTest, MonitorBatchRejectsMismatchedPlans)
 {
     PipelineConfig cfg;

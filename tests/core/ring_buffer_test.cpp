@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the monitor's fixed-capacity peak-history ring: eviction
+ * order, width normalization (pad/truncate), and reuse after clear()
+ * — the invariants Monitor::gatherGroup() depends on.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ring_buffer.h"
+
+namespace
+{
+
+using eddie::core::PeakHistory;
+
+TEST(PeakHistoryTest, FillsThenEvictsOldestFirst)
+{
+    PeakHistory h;
+    h.reset(3, 2, -1.0);
+    EXPECT_EQ(h.size(), 0u);
+
+    h.push({1.0, 10.0});
+    h.push({2.0, 20.0});
+    ASSERT_EQ(h.size(), 2u);
+    EXPECT_EQ(h.at(0, 0), 1.0);
+    EXPECT_EQ(h.at(1, 1), 20.0);
+
+    h.push({3.0, 30.0});
+    h.push({4.0, 40.0}); // evicts the {1, 10} row
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_EQ(h.at(0, 0), 2.0);
+    EXPECT_EQ(h.at(1, 0), 3.0);
+    EXPECT_EQ(h.at(2, 0), 4.0);
+    EXPECT_EQ(h.at(2, 1), 40.0);
+}
+
+TEST(PeakHistoryTest, MatchesReferenceSlidingWindow)
+{
+    // Long push sequence vs a plain vector-of-rows oracle: the ring
+    // must always expose exactly the newest `capacity` rows in order.
+    const std::size_t cap = 5, width = 3;
+    PeakHistory h;
+    h.reset(cap, width, 0.0);
+    std::vector<std::vector<double>> oracle;
+    for (std::size_t step = 0; step < 37; ++step) {
+        std::vector<double> row(width);
+        for (std::size_t p = 0; p < width; ++p)
+            row[p] = double(step * 10 + p);
+        h.push(row);
+        oracle.push_back(row);
+        if (oracle.size() > cap)
+            oracle.erase(oracle.begin());
+
+        ASSERT_EQ(h.size(), oracle.size()) << "step " << step;
+        for (std::size_t i = 0; i < oracle.size(); ++i)
+            for (std::size_t p = 0; p < width; ++p)
+                ASSERT_EQ(h.at(i, p), oracle[i][p])
+                    << "step " << step << " row " << i;
+    }
+}
+
+TEST(PeakHistoryTest, ShortRowsArePaddedWithFill)
+{
+    // A run whose STSs carry fewer peak ranks than the widest trained
+    // reference must read as "missing peak" at the absent ranks.
+    PeakHistory h;
+    h.reset(2, 4, 123.5);
+    h.push({7.0});
+    ASSERT_EQ(h.size(), 1u);
+    EXPECT_EQ(h.at(0, 0), 7.0);
+    EXPECT_EQ(h.at(0, 1), 123.5);
+    EXPECT_EQ(h.at(0, 3), 123.5);
+}
+
+TEST(PeakHistoryTest, LongRowsAreTruncated)
+{
+    PeakHistory h;
+    h.reset(2, 2, 0.0);
+    h.push({1.0, 2.0, 3.0, 4.0}); // ranks beyond width are dropped
+    ASSERT_EQ(h.size(), 1u);
+    EXPECT_EQ(h.at(0, 0), 1.0);
+    EXPECT_EQ(h.at(0, 1), 2.0);
+}
+
+TEST(PeakHistoryTest, ClearKeepsShapeAndRestartsCleanly)
+{
+    PeakHistory h;
+    h.reset(3, 2, -1.0);
+    h.push({1.0, 2.0});
+    h.push({3.0, 4.0});
+    h.clear();
+    EXPECT_EQ(h.size(), 0u);
+    h.push({5.0, 6.0});
+    ASSERT_EQ(h.size(), 1u);
+    EXPECT_EQ(h.at(0, 0), 5.0);
+    EXPECT_EQ(h.at(0, 1), 6.0);
+}
+
+TEST(PeakHistoryTest, DegenerateShapesAreClampedToOne)
+{
+    PeakHistory h;
+    h.reset(0, 0, 9.0); // capacity and width clamp to 1
+    h.push({});
+    ASSERT_EQ(h.size(), 1u);
+    EXPECT_EQ(h.at(0, 0), 9.0); // empty row: pure fill
+    h.push({42.0});
+    ASSERT_EQ(h.size(), 1u); // capacity 1: previous row evicted
+    EXPECT_EQ(h.at(0, 0), 42.0);
+}
+
+} // namespace

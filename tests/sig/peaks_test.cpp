@@ -87,6 +87,24 @@ TEST(PeaksTest, MaxPeaksCap)
     EXPECT_EQ(peaks.size(), 3u);
 }
 
+TEST(PeaksTest, EqualPowerTiesBreakByAscendingBin)
+{
+    // The top-k selection must be a strict weak order even when many
+    // candidates carry exactly equal power (symmetric real spectra do
+    // this): lower bins win, so the kept set and its order are
+    // defined, not whatever the partition happened to leave.
+    std::vector<double> power(256, 0.0);
+    for (std::size_t b = 10; b < 250; b += 20)
+        power[b] = 10.0;
+    PeakOptions opt;
+    opt.max_peaks = 3;
+    const auto peaks = findPeaks(power, 1000.0, opt);
+    ASSERT_EQ(peaks.size(), 3u);
+    EXPECT_EQ(peaks[0].bin, 10u);
+    EXPECT_EQ(peaks[1].bin, 30u);
+    EXPECT_EQ(peaks[2].bin, 50u);
+}
+
 TEST(PeaksTest, EmptyAndZeroSpectra)
 {
     EXPECT_TRUE(findPeaks({}, 1000.0, PeakOptions()).empty());
