@@ -11,7 +11,11 @@
  * throughput, sweeps trainModel and monitorBatch over a thread grid,
  * isolates the Monitor::step hot loop on pre-captured streams
  * (legacy copy-and-sort vs presorted kernels vs sharded
- * monitorBatch, with STS/sec, runs/sec, and K-S calls/sec), and
+ * monitorBatch, with STS/sec, runs/sec, and K-S calls/sec),
+ * benchmarks the supervised serving runtime (steady-state STS/s
+ * through a Supervisor, checkpoint write overhead, and recovery
+ * latency after an injected worker crash — all required to
+ * reproduce the bare monitor's verdicts bit-for-bit), and
  * writes a machine-readable BENCH_pipeline.json with stage
  * wall-times, before/after kernel speedups, cache hit rates,
  * speedups vs. 1 thread, and a final "asserts" block recording
@@ -26,12 +30,14 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
 #include <numbers>
 #include <random>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,6 +46,9 @@
 #include "core/capture_cache.h"
 #include "em/emanation.h"
 #include "inject/scenarios.h"
+#include "serve/checkpoint.h"
+#include "serve/sample_source.h"
+#include "serve/supervisor.h"
 #include "sig/filter.h"
 #include "sig/modulation.h"
 #include "sig/stft.h"
@@ -443,6 +452,161 @@ main(int argc, char **argv)
     }
     const double sharded_8_speedup = legacy_ms / sharded_ms.back();
 
+    // Stage 6: the supervised serving runtime (src/serve/) over the
+    // same pre-captured streams, one shard per stream behind the
+    // blocking bounded queue. Three measurements: steady-state
+    // throughput with checkpointing off, the same run with periodic
+    // disk checkpoints (write overhead), and a single-shard run with
+    // one injected worker crash (restart latency). Every variant must
+    // reproduce the bare monitor loop's verdicts bit-for-bit.
+    const auto recordsEqual =
+        [](const std::vector<core::StepRecord> &a,
+           const std::vector<core::StepRecord> &b) {
+            if (a.size() != b.size())
+                return false;
+            for (std::size_t i = 0; i < a.size(); ++i)
+                if (a[i].region != b[i].region ||
+                    a[i].tested != b[i].tested ||
+                    a[i].rejected != b[i].rejected ||
+                    a[i].reported != b[i].reported ||
+                    a[i].transitioned != b[i].transitioned ||
+                    a[i].degraded != b[i].degraded)
+                    return false;
+            return true;
+        };
+    const auto reportsEqual =
+        [](const std::vector<core::AnomalyReport> &a,
+           const std::vector<core::AnomalyReport> &b) {
+            if (a.size() != b.size())
+                return false;
+            for (std::size_t i = 0; i < a.size(); ++i)
+                if (a[i].step != b[i].step || a[i].time != b[i].time ||
+                    a[i].region != b[i].region)
+                    return false;
+            return true;
+        };
+    std::vector<std::vector<core::StepRecord>> serve_base_records;
+    std::vector<std::vector<core::AnomalyReport>> serve_base_reports;
+    for (const auto &stream : streams) {
+        core::Monitor m(model, cfg.monitor);
+        for (const auto &sts : *stream)
+            m.step(sts);
+        serve_base_records.push_back(m.records());
+        serve_base_reports.push_back(m.reports());
+    }
+
+    const auto shared_model =
+        std::make_shared<const core::TrainedModel>(model);
+    const auto runServe = [&](const serve::ServeConfig &sc,
+                              std::size_t num_shards,
+                              serve::Supervisor::StepHook hook,
+                              double &out_ms,
+                              core::ServeStats &out_stats) {
+        std::vector<std::unique_ptr<serve::VectorSource>> owned;
+        std::vector<serve::SampleSource *> sources;
+        for (std::size_t i = 0; i < num_shards; ++i) {
+            owned.push_back(
+                std::make_unique<serve::VectorSource>(streams[i]));
+            sources.push_back(owned.back().get());
+        }
+        serve::Supervisor sup(shared_model, sc);
+        if (hook)
+            sup.setStepHook(std::move(hook));
+        const auto t0 = Clock::now();
+        auto results = sup.run(sources);
+        out_ms = msSince(t0);
+        out_stats = sup.stats();
+        return results;
+    };
+    const auto verdictsMatch =
+        [&](const std::vector<serve::ShardResult> &results) {
+            for (std::size_t i = 0; i < results.size(); ++i)
+                if (!recordsEqual(results[i].records,
+                                  serve_base_records[i]) ||
+                    !reportsEqual(results[i].reports,
+                                  serve_base_reports[i]))
+                    return false;
+            return true;
+        };
+
+    serve::ServeConfig steady_cfg;
+    steady_cfg.monitor = cfg.monitor;
+    steady_cfg.checkpoint_interval = 0;
+    double serve_steady_ms = 0.0;
+    core::ServeStats serve_steady_stats;
+    const auto steady_results = runServe(
+        steady_cfg, streams.size(), nullptr, serve_steady_ms,
+        serve_steady_stats);
+    bool serving_verdicts_ok = verdictsMatch(steady_results);
+    const double serve_sts_per_sec =
+        perSec(monitor_total_sts, serve_steady_ms);
+
+    serve::ServeConfig ckpt_cfg = steady_cfg;
+    ckpt_cfg.checkpoint_interval = 32;
+    ckpt_cfg.checkpoint_path = out_path + ".serve-ckpt";
+    double serve_ckpt_ms = 0.0;
+    core::ServeStats serve_ckpt_stats;
+    const auto ckpt_results = runServe(ckpt_cfg, streams.size(),
+                                       nullptr, serve_ckpt_ms,
+                                       serve_ckpt_stats);
+    serving_verdicts_ok &= verdictsMatch(ckpt_results);
+    for (std::size_t i = 0; i < streams.size(); ++i)
+        std::remove(serve::shardCheckpointPath(
+                        ckpt_cfg.checkpoint_path, i, streams.size())
+                        .c_str());
+    const double ckpt_overhead_pct =
+        (serve_ckpt_ms / serve_steady_ms - 1.0) * 100.0;
+
+    // Isolated cost of one checkpoint write: serialize + fsync-free
+    // atomic rename of a full end-of-stream monitor state.
+    core::Monitor full_monitor(model, cfg.monitor);
+    for (const auto &sts : *streams.front())
+        full_monitor.step(sts);
+    serve::CheckpointData snap;
+    snap.monitor = full_monitor.exportState();
+    snap.source_pos = snap.monitor.step_index;
+    const std::string snap_path = out_path + ".serve-snap";
+    const double checkpoint_write_ms = bestOf(
+        5, [&] { serve::saveCheckpointFile(snap, snap_path); });
+    std::remove(snap_path.c_str());
+
+    serve::ServeConfig rec_cfg = steady_cfg;
+    rec_cfg.checkpoint_interval = 16;
+    const std::size_t crash_step = streams.front()->size() / 2;
+    auto crash_fired = std::make_shared<std::atomic<bool>>(false);
+    double serve_rec_ms = 0.0;
+    core::ServeStats serve_rec_stats;
+    const auto rec_results = runServe(
+        rec_cfg, 1,
+        [crash_step, crash_fired](std::size_t step,
+                                  const std::atomic<bool> &) {
+            if (step == crash_step && !crash_fired->exchange(true))
+                throw std::runtime_error("injected worker crash");
+        },
+        serve_rec_ms, serve_rec_stats);
+    serving_verdicts_ok &=
+        rec_results.size() == 1 &&
+        recordsEqual(rec_results[0].records, serve_base_records[0]) &&
+        reportsEqual(rec_results[0].reports, serve_base_reports[0]);
+
+    std::printf("serving runtime (%zu shards):\n", streams.size());
+    std::printf("  steady:       %8.1f ms  (%.3g STS/s)%s\n",
+                serve_steady_ms, serve_sts_per_sec,
+                serving_verdicts_ok ? "" : "  VERDICT MISMATCH");
+    std::printf("  checkpointed: %8.1f ms  (%llu checkpoints, "
+                "%+.1f%% vs steady)\n",
+                serve_ckpt_ms,
+                (unsigned long long)
+                    serve_ckpt_stats.checkpoints_written,
+                ckpt_overhead_pct);
+    std::printf("  ckpt write:   %8.3f ms per checkpoint\n",
+                checkpoint_write_ms);
+    std::printf("  recovery:     %8.1f ms  (%llu restart(s), "
+                "%.2f ms restart latency)\n",
+                serve_rec_ms,
+                (unsigned long long)serve_rec_stats.worker_restarts,
+                serve_rec_stats.restart_latency_ms);
+
     // Degradation sweep: channel fault intensity vs detection
     // quality, with the signal-quality gate on and off. Both monitors
     // share one capture cache per point, so they score bit-identical
@@ -592,6 +756,35 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"verdicts_identical\": %s\n",
                  verdicts_identical ? "true" : "false");
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"serving\": {\n");
+    std::fprintf(f, "    \"shards\": %zu,\n", streams.size());
+    std::fprintf(f, "    \"steady_ms\": %.3f,\n", serve_steady_ms);
+    std::fprintf(f, "    \"steady_sts_per_sec\": %.1f,\n",
+                 serve_sts_per_sec);
+    std::fprintf(f, "    \"delivered\": %llu,\n",
+                 (unsigned long long)serve_steady_stats.delivered);
+    std::fprintf(f, "    \"blocked_pushes\": %llu,\n",
+                 (unsigned long long)
+                     serve_steady_stats.blocked_pushes);
+    std::fprintf(f, "    \"checkpointed_ms\": %.3f,\n",
+                 serve_ckpt_ms);
+    std::fprintf(f, "    \"checkpoints_written\": %llu,\n",
+                 (unsigned long long)
+                     serve_ckpt_stats.checkpoints_written);
+    std::fprintf(f, "    \"checkpoint_overhead_pct\": %.2f,\n",
+                 ckpt_overhead_pct);
+    std::fprintf(f, "    \"checkpoint_write_ms\": %.3f,\n",
+                 checkpoint_write_ms);
+    std::fprintf(f, "    \"recovery_ms\": %.3f,\n", serve_rec_ms);
+    std::fprintf(f, "    \"worker_crashes\": %llu,\n",
+                 (unsigned long long)serve_rec_stats.worker_crashes);
+    std::fprintf(f, "    \"worker_restarts\": %llu,\n",
+                 (unsigned long long)serve_rec_stats.worker_restarts);
+    std::fprintf(f, "    \"restart_latency_ms\": %.3f,\n",
+                 serve_rec_stats.restart_latency_ms);
+    std::fprintf(f, "    \"verdicts_identical\": %s\n",
+                 serving_verdicts_ok ? "true" : "false");
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"asserts\": {\n");
     std::fprintf(f, "    \"monitor_loop_speedup_ge_2\": %s,\n",
                  monitor_loop_speedup >= 2.0 ? "true" : "false");
@@ -600,8 +793,10 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"train_8_no_slowdown\": %s,\n",
                  train_ms[0] / train_ms.back() >= 1.0 ? "true"
                                                       : "false");
-    std::fprintf(f, "    \"verdicts_identical\": %s\n",
+    std::fprintf(f, "    \"verdicts_identical\": %s,\n",
                  verdicts_identical ? "true" : "false");
+    std::fprintf(f, "    \"serving_verdicts_identical\": %s\n",
+                 serving_verdicts_ok ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"degradation_sweep\": [\n");
     for (std::size_t i = 0; i < sweep.size(); ++i) {

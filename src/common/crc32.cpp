@@ -1,6 +1,7 @@
 #include "crc32.h"
 
 #include <array>
+#include <fstream>
 
 namespace eddie::common
 {
@@ -41,6 +42,23 @@ std::uint32_t
 crc32(const std::string &bytes, std::uint32_t seed)
 {
     return crc32(bytes.data(), bytes.size(), seed);
+}
+
+std::optional<std::uint32_t>
+crc32File(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    char buf[1 << 16];
+    std::uint32_t c = 0;
+    while (is) {
+        is.read(buf, sizeof buf);
+        c = crc32(buf, std::size_t(is.gcount()), c);
+    }
+    if (is.bad())
+        return std::nullopt;
+    return c;
 }
 
 } // namespace eddie::common

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace eddie::common
@@ -24,6 +25,14 @@ std::uint32_t crc32(const void *data, std::size_t size,
 
 /** Convenience overload for whole byte strings. */
 std::uint32_t crc32(const std::string &bytes, std::uint32_t seed = 0);
+
+/**
+ * CRC-32 of a whole file's bytes, streamed in fixed-size chunks;
+ * nullopt when the file cannot be opened or read. The serving
+ * runtime's hot model reload polls this to detect a changed model
+ * artifact without parsing it.
+ */
+std::optional<std::uint32_t> crc32File(const std::string &path);
 
 } // namespace eddie::common
 

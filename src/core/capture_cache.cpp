@@ -168,9 +168,16 @@ CaptureCache::insertLocked(
     while (lru_.size() > config_.capacity) {
         const Entry &victim = lru_.back();
         if (!config_.spill_dir.empty()) {
-            std::ofstream os(spillPath(victim.first),
-                             std::ios::binary);
-            if (os) {
+            // A failed spill (ENOSPC, short write, open failure) is a
+            // counted soft failure: the entry is evicted without its
+            // spill and the partial file removed so a later lookup
+            // recomputes instead of tripping over a truncated
+            // artifact. The caller never sees an IoError from here —
+            // spilling is an optimization, not a durability promise.
+            const std::string path = spillPath(victim.first);
+            std::ofstream os(path, std::ios::binary);
+            bool ok = bool(os);
+            if (ok) {
                 os.write(kSpillMagic, sizeof kSpillMagic);
                 os.write(reinterpret_cast<const char *>(
                              &kSpillVersion),
@@ -180,9 +187,20 @@ CaptureCache::insertLocked(
                          sizeof key_size);
                 os.write(victim.first.data(),
                          std::streamsize(victim.first.size()));
-                saveStsStream(*victim.second, os);
-                if (os)
-                    ++stats_.spills;
+                try {
+                    saveStsStream(*victim.second, os);
+                } catch (const std::exception &) {
+                    ok = false;
+                }
+                os.flush();
+                ok = ok && bool(os);
+                os.close();
+            }
+            if (ok) {
+                ++stats_.spills;
+            } else {
+                ++stats_.spill_write_failed;
+                std::remove(path.c_str());
             }
         }
         ++stats_.evictions;

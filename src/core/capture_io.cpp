@@ -51,53 +51,6 @@ readRaw(std::istream &is, const char *what)
     return value;
 }
 
-/** Writes magic + version + length-framed, CRC-trailed payload. */
-void
-writeFramed(std::ostream &os, const char (&magic)[8],
-            std::uint32_t version, const std::string &payload)
-{
-    os.write(magic, sizeof magic);
-    writeRaw(os, version);
-    writeRaw(os, std::uint64_t(payload.size()));
-    os.write(payload.data(), std::streamsize(payload.size()));
-    writeRaw(os, common::crc32(payload));
-}
-
-/**
- * Reads the header and, for framed versions, the verified payload.
- * Returns the stored version; for version 1 the payload string stays
- * empty and the caller parses the legacy layout straight from @p is.
- */
-std::uint32_t
-readFramed(std::istream &is, const char (&magic)[8],
-           std::uint32_t current_version, const char *what,
-           std::string &payload)
-{
-    char stored[8];
-    is.read(stored, sizeof stored);
-    if (!is)
-        throw IoError(std::string(what) + ": truncated input");
-    if (std::memcmp(stored, magic, sizeof stored) != 0)
-        throw FormatError(std::string(what) + ": bad magic");
-    const auto version = readRaw<std::uint32_t>(is, what);
-    if (version == 1)
-        return version; // legacy: unframed payload follows
-    if (version != current_version)
-        throw FormatError(std::string(what) + ": unsupported version");
-
-    const auto size = readRaw<std::uint64_t>(is, what);
-    if (size > kMaxPayloadBytes)
-        throw FormatError(std::string(what) + ": implausible size");
-    payload.resize(std::size_t(size));
-    is.read(payload.data(), std::streamsize(payload.size()));
-    if (!is)
-        throw IoError(std::string(what) + ": truncated payload");
-    const auto stored_crc = readRaw<std::uint32_t>(is, what);
-    if (stored_crc != common::crc32(payload))
-        throw FormatError(std::string(what) + ": checksum mismatch");
-    return version;
-}
-
 void
 writeCapturePayload(const cpu::RunResult &run, std::ostream &os)
 {
@@ -201,6 +154,48 @@ readStsPayload(std::istream &is, std::uint32_t version)
 } // namespace
 
 void
+writeFramed(std::ostream &os, const char (&magic)[8],
+            std::uint32_t version, const std::string &payload)
+{
+    os.write(magic, sizeof magic);
+    writeRaw(os, version);
+    writeRaw(os, std::uint64_t(payload.size()));
+    os.write(payload.data(), std::streamsize(payload.size()));
+    writeRaw(os, common::crc32(payload));
+}
+
+std::uint32_t
+readFramed(std::istream &is, const char (&magic)[8],
+           std::uint32_t current_version,
+           std::uint32_t min_framed_version, const char *what,
+           std::string &payload)
+{
+    char stored[8];
+    is.read(stored, sizeof stored);
+    if (!is)
+        throw IoError(std::string(what) + ": truncated input");
+    if (std::memcmp(stored, magic, sizeof stored) != 0)
+        throw FormatError(std::string(what) + ": bad magic");
+    const auto version = readRaw<std::uint32_t>(is, what);
+    if (version < min_framed_version)
+        return version; // legacy: unframed payload follows
+    if (version != current_version)
+        throw FormatError(std::string(what) + ": unsupported version");
+
+    const auto size = readRaw<std::uint64_t>(is, what);
+    if (size > kMaxPayloadBytes)
+        throw FormatError(std::string(what) + ": implausible size");
+    payload.resize(std::size_t(size));
+    is.read(payload.data(), std::streamsize(payload.size()));
+    if (!is)
+        throw IoError(std::string(what) + ": truncated payload");
+    const auto stored_crc = readRaw<std::uint32_t>(is, what);
+    if (stored_crc != common::crc32(payload))
+        throw FormatError(std::string(what) + ": checksum mismatch");
+    return version;
+}
+
+void
 saveCapture(const cpu::RunResult &run, std::ostream &os)
 {
     std::ostringstream payload(std::ios::binary);
@@ -212,8 +207,8 @@ cpu::RunResult
 loadCapture(std::istream &is)
 {
     std::string payload;
-    const auto version = readFramed(is, kMagic, kVersion, "capture",
-                                    payload);
+    const auto version =
+        readFramed(is, kMagic, kVersion, 2, "capture", payload);
     if (version == 1)
         return readCapturePayload(is);
     std::istringstream ps(payload, std::ios::binary);
@@ -232,7 +227,7 @@ std::vector<Sts>
 loadStsStream(std::istream &is)
 {
     std::string payload;
-    const auto version = readFramed(is, kStsMagic, kStsVersion,
+    const auto version = readFramed(is, kStsMagic, kStsVersion, 2,
                                     "sts stream", payload);
     if (version == 1)
         return readStsPayload(is, version);

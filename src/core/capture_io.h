@@ -9,6 +9,7 @@
 #ifndef EDDIE_CORE_CAPTURE_IO_H
 #define EDDIE_CORE_CAPTURE_IO_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -52,6 +53,28 @@ void saveStsStream(const std::vector<Sts> &stream, std::ostream &os);
 /** Reads an STS stream written by saveStsStream(). Throws on
  *  malformed input. */
 std::vector<Sts> loadStsStream(std::istream &is);
+
+/**
+ * Shared v2 integrity framing (capture, STS stream, checkpoint
+ * files): magic, u32 version, u64 payload length, payload bytes,
+ * CRC-32 of the payload. A flipped bit fails the checksum and a short
+ * file fails the length, so a corrupt artifact is a typed error
+ * instead of silently-wrong state.
+ */
+void writeFramed(std::ostream &os, const char (&magic)[8],
+                 std::uint32_t version, const std::string &payload);
+
+/**
+ * Reads and verifies one framed artifact. Returns the stored version;
+ * versions below @p min_framed_version are returned with @p payload
+ * left empty (legacy layout — the caller parses straight from
+ * @p is). Throws IoError on truncation, FormatError on bad
+ * magic/version/CRC. @p what names the artifact in error messages.
+ */
+std::uint32_t readFramed(std::istream &is, const char (&magic)[8],
+                         std::uint32_t current_version,
+                         std::uint32_t min_framed_version,
+                         const char *what, std::string &payload);
 
 } // namespace eddie::core
 

@@ -178,6 +178,42 @@ describe(const CaptureCacheStats &stats)
                   static_cast<unsigned long long>(stats.spill_corrupt),
                   static_cast<unsigned long long>(
                       stats.spill_short_read));
+    std::string out(buf);
+    if (stats.spill_write_failed > 0) {
+        std::snprintf(buf, sizeof buf, ", %llu failed spill writes",
+                      static_cast<unsigned long long>(
+                          stats.spill_write_failed));
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+describe(const ServeStats &stats)
+{
+    char buf[320];
+    std::snprintf(
+        buf, sizeof buf,
+        "serve: %llu delivered, %llu processed, %llu dropped, "
+        "%llu blocked pushes, %llu retries (%llu stalls, %llu errors, "
+        "%llu give-ups), %llu restarts (%llu crashes, %llu hangs, "
+        "%llu escalations), %llu checkpoints, %llu restores, "
+        "%llu model reloads",
+        static_cast<unsigned long long>(stats.delivered),
+        static_cast<unsigned long long>(stats.processed),
+        static_cast<unsigned long long>(stats.dropped_oldest),
+        static_cast<unsigned long long>(stats.blocked_pushes),
+        static_cast<unsigned long long>(stats.source_retries),
+        static_cast<unsigned long long>(stats.source_stalls),
+        static_cast<unsigned long long>(stats.source_errors),
+        static_cast<unsigned long long>(stats.source_give_ups),
+        static_cast<unsigned long long>(stats.worker_restarts),
+        static_cast<unsigned long long>(stats.worker_crashes),
+        static_cast<unsigned long long>(stats.worker_hangs),
+        static_cast<unsigned long long>(stats.escalations),
+        static_cast<unsigned long long>(stats.checkpoints_written),
+        static_cast<unsigned long long>(stats.checkpoint_restores),
+        static_cast<unsigned long long>(stats.model_reloads));
     return std::string(buf);
 }
 

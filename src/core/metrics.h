@@ -94,6 +94,10 @@ struct CaptureCacheStats
     std::uint64_t spill_corrupt = 0;
     /** Spill files rejected as truncated (short read). */
     std::uint64_t spill_short_read = 0;
+    /** Spill writes that failed (ENOSPC, short write, open failure);
+     *  a counted soft failure — the entry is evicted without a spill
+     *  and the partial file removed, never an error to the caller. */
+    std::uint64_t spill_write_failed = 0;
     std::size_t entries = 0;     ///< current in-memory entries
 
     std::uint64_t lookups() const { return hits + disk_hits + misses; }
@@ -105,8 +109,45 @@ struct CaptureCacheStats
     }
 };
 
+/**
+ * Counters of the supervised streaming runtime (src/serve/): queue
+ * backpressure, source retry/backoff, worker supervision, and
+ * checkpointing. Defined here with the other metric structs so
+ * describe() overloads live in one place; core has no dependency on
+ * the serve layer.
+ */
+struct ServeStats
+{
+    std::uint64_t delivered = 0;  ///< STSs pushed into the queue
+    std::uint64_t processed = 0;  ///< monitor steps completed
+    /** Backpressure: windows evicted by the drop-oldest policy. */
+    std::uint64_t dropped_oldest = 0;
+    /** Backpressure: pushes that had to wait under the block policy. */
+    std::uint64_t blocked_pushes = 0;
+    std::uint64_t source_stalls = 0;  ///< pull attempts that stalled
+    std::uint64_t source_errors = 0;  ///< transient source errors
+    std::uint64_t source_retries = 0; ///< backed-off retry attempts
+    /** Retry budgets exhausted; surfaced to the supervisor as a
+     *  source failure (restart/escalation path). */
+    std::uint64_t source_give_ups = 0;
+    std::uint64_t worker_crashes = 0; ///< worker exceptions caught
+    std::uint64_t worker_hangs = 0;   ///< watchdog deadline misses
+    std::uint64_t worker_restarts = 0;
+    /** Shards abandoned after the restarts-per-window budget. */
+    std::uint64_t escalations = 0;
+    std::uint64_t checkpoints_written = 0;
+    std::uint64_t checkpoint_restores = 0;
+    std::uint64_t model_reloads = 0;
+    /** Total failure-detection-to-restart latency, ms. */
+    double restart_latency_ms = 0.0;
+};
+
 /** One-line human-readable summary of the cache counters. */
 std::string describe(const CaptureCacheStats &stats);
+
+/** One-line human-readable summary of the serving-runtime
+ *  counters. */
+std::string describe(const ServeStats &stats);
 
 /** One-line human-readable summary of the monitor's degraded-mode
  *  counters (quality.h). */

@@ -57,6 +57,50 @@ Monitor::Monitor(const TrainedModel &model, const MonitorConfig &cfg)
     }
 }
 
+MonitorState
+Monitor::exportState() const
+{
+    MonitorState s;
+    s.current = current_;
+    s.steps_since_change = steps_since_change_;
+    s.anomaly_count = anomaly_count_;
+    s.step_index = step_index_;
+    s.test_calls = test_calls_;
+    s.outage_len = outage_len_;
+    s.resync_pending = resync_pending_;
+    s.history.resize(history_.size());
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+        s.history[i].resize(history_.width());
+        for (std::size_t p = 0; p < history_.width(); ++p)
+            s.history[i][p] = history_.at(i, p);
+    }
+    s.degraded = degraded_;
+    s.gate_energies = gate_.exportEnergies();
+    s.reports = reports_;
+    s.records = records_;
+    return s;
+}
+
+void
+Monitor::restoreState(const MonitorState &state)
+{
+    current_ = state.current < model_.regions.size() ? state.current
+                                                     : 0;
+    steps_since_change_ = state.steps_since_change;
+    anomaly_count_ = state.anomaly_count;
+    step_index_ = state.step_index;
+    test_calls_ = state.test_calls;
+    outage_len_ = state.outage_len;
+    resync_pending_ = state.resync_pending;
+    history_.clear();
+    for (const auto &row : state.history)
+        history_.push(row);
+    degraded_ = state.degraded;
+    gate_.restoreEnergies(state.gate_energies);
+    reports_ = state.reports;
+    records_ = state.records;
+}
+
 void
 Monitor::gatherGroup(std::size_t n, std::size_t rank)
 {

@@ -128,6 +128,39 @@ struct AnomalyReport
     std::size_t region = 0;
 };
 
+/**
+ * Complete snapshot of a Monitor mid-stream: region state-machine
+ * position, PeakHistory ring contents, consecutive-rejection and
+ * degraded counters, quality-gate baseline, and the verdict log.
+ * Restoring this into a fresh Monitor over the same model and config
+ * continues the stream with bit-identical verdicts — the property the
+ * serving runtime's crash-consistent checkpointing relies on
+ * (serve/checkpoint.h serializes it; DESIGN.md §7).
+ */
+struct MonitorState
+{
+    /** Region state-machine position. */
+    std::size_t current = 0;
+    std::size_t steps_since_change = 0;
+    /** Consecutive-rejection streak in progress. */
+    std::size_t anomaly_count = 0;
+    std::size_t step_index = 0;
+    std::size_t test_calls = 0;
+    /** Quarantine episode in progress / pending re-lock. */
+    std::size_t outage_len = 0;
+    bool resync_pending = false;
+    /** PeakHistory rows, oldest first, each padded to the history
+     *  width of the exporting monitor. */
+    std::vector<std::vector<double>> history;
+    DegradedStats degraded;
+    /** Quality-gate energy baseline window, oldest first. */
+    std::vector<double> gate_energies;
+    /** Verdict log so far: a resumed monitor can retro-mark a
+     *  rejection streak that straddles the checkpoint. */
+    std::vector<AnomalyReport> reports;
+    std::vector<StepRecord> records;
+};
+
 /** Online monitor; feed STSs in arrival order via step(). */
 class Monitor
 {
@@ -136,6 +169,18 @@ class Monitor
 
     /** Processes one STS; returns the per-step conclusions. */
     StepRecord step(const Sts &sts);
+
+    /** Snapshots the full mutable state (see MonitorState). */
+    MonitorState exportState() const;
+
+    /**
+     * Restores a snapshot taken by exportState() on a monitor over
+     * the same model and config; subsequent step() calls produce
+     * bit-identical verdicts to the uninterrupted run. Rows wider or
+     * narrower than this monitor's history (a snapshot from a
+     * different model after a hot reload) are truncated or padded.
+     */
+    void restoreState(const MonitorState &state);
 
     /** All reports so far. */
     const std::vector<AnomalyReport> &reports() const { return reports_; }

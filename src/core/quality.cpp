@@ -25,6 +25,20 @@ QualityGate::baseline() const
     return sorted[sorted.size() / 2];
 }
 
+std::vector<double>
+QualityGate::exportEnergies() const
+{
+    return {energies_.begin(), energies_.end()};
+}
+
+void
+QualityGate::restoreEnergies(const std::vector<double> &energies)
+{
+    energies_.assign(energies.begin(), energies.end());
+    while (energies_.size() > cfg_.energy_window)
+        energies_.pop_front();
+}
+
 WindowQuality
 QualityGate::assess(const Sts &sts, std::size_t region)
 {

@@ -113,6 +113,14 @@ class QualityGate
     /** Current median baseline energy (0 before warmup). */
     double baseline() const;
 
+    /** Energy baseline window, oldest first — part of the monitor's
+     *  checkpointable state (serve/checkpoint.h). */
+    std::vector<double> exportEnergies() const;
+
+    /** Restores a window captured by exportEnergies(); only the
+     *  newest energy_window values are kept. */
+    void restoreEnergies(const std::vector<double> &energies);
+
   private:
     const TrainedModel &model_;
     QualityConfig cfg_;

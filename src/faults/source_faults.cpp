@@ -1,0 +1,67 @@
+#include "source_faults.h"
+
+#include <cmath>
+#include <string>
+
+#include "core/errors.h"
+
+namespace eddie::faults
+{
+
+namespace
+{
+
+/** splitmix64 finalizer over the mixed identifiers (same scheme as
+ *  fault_injector.cpp's classSeed, so schedules are reproducible and
+ *  independent across (seed, index, attempt) triples). */
+std::uint64_t
+mix(std::uint64_t seed, std::uint64_t index, std::uint64_t attempt)
+{
+    std::uint64_t z = seed ^ (index * 0x9E3779B97F4A7C15ULL) ^
+                      (attempt * 0xBF58476D1CE4E5B9ULL) ^
+                      0x50FA5CEDULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+void
+checkProbability(double v, const char *what)
+{
+    if (!std::isfinite(v) || v < 0.0 || v > 1.0)
+        throw core::ChannelFault(std::string("source fault config: ") +
+                                 what + " is outside [0, 1]");
+}
+
+} // namespace
+
+void
+validate(const SourceFaultConfig &cfg)
+{
+    checkProbability(cfg.stall_prob, "stall_prob");
+    checkProbability(cfg.error_prob, "error_prob");
+    if (cfg.stall_prob + cfg.error_prob > 1.0)
+        throw core::ChannelFault(
+            "source fault config: stall_prob + error_prob above 1");
+}
+
+PullFate
+pullFate(const SourceFaultConfig &cfg, std::uint64_t index,
+         std::uint64_t attempt)
+{
+    if (!cfg.enabled)
+        return PullFate::Deliver;
+    // The attempt at max_consecutive always delivers: faults delay
+    // windows, they never destroy them.
+    if (attempt >= cfg.max_consecutive)
+        return PullFate::Deliver;
+    const double u = double(mix(cfg.seed, index, attempt) >> 11) *
+                     0x1.0p-53;
+    if (u < cfg.stall_prob)
+        return PullFate::Stall;
+    if (u < cfg.stall_prob + cfg.error_prob)
+        return PullFate::TransientError;
+    return PullFate::Deliver;
+}
+
+} // namespace eddie::faults

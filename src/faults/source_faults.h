@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic source-level fault shapes for the serving runtime
+ * (src/serve/sample_source.h). Where fault_injector.h degrades the
+ * *signal*, this models the *delivery path* misbehaving: a pull from
+ * the sample source stalls (receiver buffer underrun, slow IPC) or
+ * fails transiently (socket reset, USB glitch) before the window is
+ * eventually delivered.
+ *
+ * The schedule is a pure function of (seed, item index, attempt
+ * number), so the same seed always yields the same fault pattern
+ * regardless of retry timing — the property the retry/backoff tests
+ * and the recovery bench rely on. Consecutive faults per item are
+ * capped, so with a retry budget above the cap every window is
+ * eventually delivered (faults delay, they never destroy).
+ */
+
+#ifndef EDDIE_FAULTS_SOURCE_FAULTS_H
+#define EDDIE_FAULTS_SOURCE_FAULTS_H
+
+#include <cstdint>
+
+namespace eddie::faults
+{
+
+/** Fault model of one sample-delivery path. Default-constructed =
+ *  perfect source (every pull delivers). */
+struct SourceFaultConfig
+{
+    /** Master switch; false makes every pull deliver. */
+    bool enabled = false;
+    /** Base seed; the schedule is deterministic in it. */
+    std::uint64_t seed = 0x50FA;
+    /** Probability that a pull attempt stalls (no data yet). */
+    double stall_prob = 0.0;
+    /** Probability that a pull attempt fails transiently. */
+    double error_prob = 0.0;
+    /** Cap on consecutive faulted attempts per item; the attempt at
+     *  this index always delivers. Keeps a bounded retry budget
+     *  sufficient for full delivery. */
+    std::uint64_t max_consecutive = 3;
+};
+
+/** Fate of one pull attempt. */
+enum class PullFate
+{
+    Deliver,
+    Stall,
+    TransientError,
+};
+
+/** Throws eddie::core::ChannelFault on non-finite or out-of-range
+ *  probabilities, or when the two probabilities sum above 1. */
+void validate(const SourceFaultConfig &cfg);
+
+/**
+ * Fate of attempt @p attempt (0-based) at delivering item @p index.
+ * Pure and stateless: derived by hashing (seed, index, attempt), so
+ * concurrent shards with different seeds draw independent schedules
+ * and a re-seeked source replays its schedule exactly.
+ */
+PullFate pullFate(const SourceFaultConfig &cfg, std::uint64_t index,
+                  std::uint64_t attempt);
+
+} // namespace eddie::faults
+
+#endif // EDDIE_FAULTS_SOURCE_FAULTS_H

@@ -1,0 +1,77 @@
+#include "backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace eddie::serve
+{
+
+namespace
+{
+
+/** splitmix64 finalizer; same construction as the fault schedules in
+ *  src/faults, so jitter is reproducible from (seed, attempt) alone. */
+std::uint64_t
+mix(std::uint64_t seed, std::uint64_t attempt)
+{
+    std::uint64_t z = seed ^ (attempt * 0x9E3779B97F4A7C15ULL) ^
+                      0xBACC0FFULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+void
+checkFinite(double v, const char *what)
+{
+    if (!std::isfinite(v))
+        throw std::invalid_argument(std::string("backoff config: ") +
+                                    what + " is not finite");
+}
+
+} // namespace
+
+void
+validate(const BackoffConfig &cfg)
+{
+    checkFinite(cfg.initial_ms, "initial_ms");
+    checkFinite(cfg.multiplier, "multiplier");
+    checkFinite(cfg.max_ms, "max_ms");
+    checkFinite(cfg.jitter, "jitter");
+    if (cfg.initial_ms < 0.0)
+        throw std::invalid_argument("backoff config: negative initial_ms");
+    if (cfg.multiplier < 1.0)
+        throw std::invalid_argument("backoff config: multiplier below 1");
+    if (cfg.max_ms < cfg.initial_ms)
+        throw std::invalid_argument(
+            "backoff config: max_ms below initial_ms");
+    if (cfg.jitter < 0.0 || cfg.jitter >= 1.0)
+        throw std::invalid_argument(
+            "backoff config: jitter outside [0, 1)");
+}
+
+Backoff::Backoff(const BackoffConfig &cfg) : cfg_(cfg)
+{
+    validate(cfg);
+}
+
+double
+Backoff::nextDelayMs()
+{
+    const std::size_t k = attempt_++;
+    // pow() instead of a running product so the delay for attempt k
+    // does not depend on how often reset() rewound the schedule.
+    double delay = cfg_.initial_ms *
+                   std::pow(cfg_.multiplier, double(k));
+    delay = std::min(delay, cfg_.max_ms);
+    if (cfg_.jitter > 0.0) {
+        const double u =
+            double(mix(cfg_.seed, k) >> 11) * 0x1.0p-53;
+        delay *= 1.0 + cfg_.jitter * (2.0 * u - 1.0);
+    }
+    return delay;
+}
+
+} // namespace eddie::serve

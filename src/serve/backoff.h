@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Capped exponential backoff with seeded jitter for the serving
+ * runtime's source retry path (sample_source.h).
+ *
+ * The delay for attempt k is min(initial * multiplier^k, max) scaled
+ * by a jitter factor drawn deterministically from (seed, k): the
+ * schedule is a pure function of the config, so the same seed always
+ * produces the same delay sequence (regression-tested), while
+ * different shards seeded differently desynchronize their retries —
+ * the thundering-herd countermeasure jitter exists for.
+ */
+
+#ifndef EDDIE_SERVE_BACKOFF_H
+#define EDDIE_SERVE_BACKOFF_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eddie::serve
+{
+
+/** Backoff schedule parameters. */
+struct BackoffConfig
+{
+    /** Delay before the first retry, ms. */
+    double initial_ms = 1.0;
+    /** Growth factor per attempt (>= 1). */
+    double multiplier = 2.0;
+    /** Delay ceiling, ms (the "capped" in capped exponential). */
+    double max_ms = 100.0;
+    /** Jitter half-width: each delay is scaled by a factor uniform in
+     *  [1 - jitter, 1 + jitter]. 0 disables jitter. */
+    double jitter = 0.25;
+    /** Seed of the deterministic jitter stream. */
+    std::uint64_t seed = 0xB0FF;
+};
+
+/** Throws std::invalid_argument on non-finite or out-of-range
+ *  parameters. */
+void validate(const BackoffConfig &cfg);
+
+/**
+ * One retry schedule. nextDelayMs() advances through the attempts;
+ * reset() rewinds to attempt 0 *and* replays the same jitter stream,
+ * so a schedule is fully reproducible from its config alone.
+ */
+class Backoff
+{
+  public:
+    explicit Backoff(const BackoffConfig &cfg);
+
+    /** Delay before the next retry, ms; advances the attempt count. */
+    double nextDelayMs();
+
+    /** Rewinds to attempt 0; the schedule replays identically. */
+    void reset() { attempt_ = 0; }
+
+    /** Attempts consumed since construction or the last reset(). */
+    std::size_t attempts() const { return attempt_; }
+
+  private:
+    BackoffConfig cfg_;
+    std::size_t attempt_ = 0;
+};
+
+} // namespace eddie::serve
+
+#endif // EDDIE_SERVE_BACKOFF_H

@@ -1,0 +1,248 @@
+#include "checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/capture_io.h"
+#include "core/errors.h"
+
+namespace eddie::serve
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'E', 'D', 'D', 'I', 'E', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+/** Element-count sanity cap; a corrupt length field must fail as
+ *  FormatError, not as a giant allocation. */
+constexpr std::uint64_t kMaxElements = std::uint64_t(1) << 32;
+
+/** StepRecord flag bits (u8 in the payload). */
+constexpr std::uint8_t kTested = 1 << 0;
+constexpr std::uint8_t kRejected = 1 << 1;
+constexpr std::uint8_t kReported = 1 << 2;
+constexpr std::uint8_t kTransitioned = 1 << 3;
+constexpr std::uint8_t kDegraded = 1 << 4;
+
+template <typename T>
+void
+put(std::string &out, T value)
+{
+    out.append(reinterpret_cast<const char *>(&value), sizeof value);
+}
+
+/** Bounds-checked payload cursor; running past the end means the
+ *  payload lied about its own structure (CRC passed, so this is a
+ *  format bug, not line noise). */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &payload) : payload_(payload) {}
+
+    template <typename T>
+    T get()
+    {
+        T value;
+        if (off_ + sizeof value > payload_.size())
+            throw core::FormatError("checkpoint: payload underrun");
+        std::memcpy(&value, payload_.data() + off_, sizeof value);
+        off_ += sizeof value;
+        return value;
+    }
+
+    std::uint64_t count(const char *what)
+    {
+        const std::uint64_t n = get<std::uint64_t>();
+        if (n > kMaxElements)
+            throw core::FormatError(
+                std::string("checkpoint: implausible ") + what +
+                " count");
+        return n;
+    }
+
+    bool exhausted() const { return off_ == payload_.size(); }
+
+  private:
+    const std::string &payload_;
+    std::size_t off_ = 0;
+};
+
+std::string
+encode(const CheckpointData &ckpt)
+{
+    const core::MonitorState &m = ckpt.monitor;
+    std::string out;
+    put<std::uint64_t>(out, ckpt.source_pos);
+    put<std::uint64_t>(out, m.current);
+    put<std::uint64_t>(out, m.steps_since_change);
+    put<std::uint64_t>(out, m.anomaly_count);
+    put<std::uint64_t>(out, m.step_index);
+    put<std::uint64_t>(out, m.test_calls);
+    put<std::uint64_t>(out, m.outage_len);
+    put<std::uint8_t>(out, m.resync_pending ? 1 : 0);
+
+    put<std::uint64_t>(out, m.degraded.quarantined);
+    put<std::uint64_t>(out, m.degraded.outages);
+    put<std::uint64_t>(out, m.degraded.resyncs);
+    put<std::uint64_t>(out, m.degraded.longest_outage);
+    for (std::size_t kind : m.degraded.by_kind)
+        put<std::uint64_t>(out, kind);
+
+    put<std::uint64_t>(out, m.gate_energies.size());
+    for (double e : m.gate_energies)
+        put<double>(out, e);
+
+    const std::uint64_t width =
+        m.history.empty() ? 0 : m.history.front().size();
+    put<std::uint64_t>(out, m.history.size());
+    put<std::uint64_t>(out, width);
+    for (const auto &row : m.history)
+        for (std::size_t p = 0; p < width; ++p)
+            put<double>(out, p < row.size() ? row[p] : 0.0);
+
+    put<std::uint64_t>(out, m.reports.size());
+    for (const auto &r : m.reports) {
+        put<std::uint64_t>(out, r.step);
+        put<double>(out, r.time);
+        put<std::uint64_t>(out, r.region);
+    }
+
+    put<std::uint64_t>(out, m.records.size());
+    for (const auto &r : m.records) {
+        put<std::uint64_t>(out, r.region);
+        std::uint8_t flags = 0;
+        if (r.tested)
+            flags |= kTested;
+        if (r.rejected)
+            flags |= kRejected;
+        if (r.reported)
+            flags |= kReported;
+        if (r.transitioned)
+            flags |= kTransitioned;
+        if (r.degraded)
+            flags |= kDegraded;
+        put<std::uint8_t>(out, flags);
+    }
+    return out;
+}
+
+CheckpointData
+decode(const std::string &payload)
+{
+    Cursor c(payload);
+    CheckpointData ckpt;
+    core::MonitorState &m = ckpt.monitor;
+    ckpt.source_pos = c.get<std::uint64_t>();
+    m.current = std::size_t(c.get<std::uint64_t>());
+    m.steps_since_change = std::size_t(c.get<std::uint64_t>());
+    m.anomaly_count = std::size_t(c.get<std::uint64_t>());
+    m.step_index = std::size_t(c.get<std::uint64_t>());
+    m.test_calls = std::size_t(c.get<std::uint64_t>());
+    m.outage_len = std::size_t(c.get<std::uint64_t>());
+    m.resync_pending = c.get<std::uint8_t>() != 0;
+
+    m.degraded.quarantined = std::size_t(c.get<std::uint64_t>());
+    m.degraded.outages = std::size_t(c.get<std::uint64_t>());
+    m.degraded.resyncs = std::size_t(c.get<std::uint64_t>());
+    m.degraded.longest_outage = std::size_t(c.get<std::uint64_t>());
+    for (std::size_t &kind : m.degraded.by_kind)
+        kind = std::size_t(c.get<std::uint64_t>());
+
+    const std::uint64_t n_energies = c.count("gate energy");
+    m.gate_energies.resize(std::size_t(n_energies));
+    for (double &e : m.gate_energies)
+        e = c.get<double>();
+
+    const std::uint64_t rows = c.count("history row");
+    const std::uint64_t width = c.count("history width");
+    m.history.resize(std::size_t(rows));
+    for (auto &row : m.history) {
+        row.resize(std::size_t(width));
+        for (double &v : row)
+            v = c.get<double>();
+    }
+
+    const std::uint64_t n_reports = c.count("report");
+    m.reports.resize(std::size_t(n_reports));
+    for (auto &r : m.reports) {
+        r.step = std::size_t(c.get<std::uint64_t>());
+        r.time = c.get<double>();
+        r.region = std::size_t(c.get<std::uint64_t>());
+    }
+
+    const std::uint64_t n_records = c.count("record");
+    m.records.resize(std::size_t(n_records));
+    for (auto &r : m.records) {
+        r.region = std::size_t(c.get<std::uint64_t>());
+        const std::uint8_t flags = c.get<std::uint8_t>();
+        r.tested = (flags & kTested) != 0;
+        r.rejected = (flags & kRejected) != 0;
+        r.reported = (flags & kReported) != 0;
+        r.transitioned = (flags & kTransitioned) != 0;
+        r.degraded = (flags & kDegraded) != 0;
+    }
+
+    if (!c.exhausted())
+        throw core::FormatError("checkpoint: trailing payload bytes");
+    return ckpt;
+}
+
+} // namespace
+
+void
+saveCheckpoint(const CheckpointData &ckpt, std::ostream &os)
+{
+    core::writeFramed(os, kMagic, kVersion, encode(ckpt));
+}
+
+CheckpointData
+loadCheckpoint(std::istream &is)
+{
+    std::string payload;
+    core::readFramed(is, kMagic, kVersion, 1, "checkpoint", payload);
+    return decode(payload);
+}
+
+void
+saveCheckpointFile(const CheckpointData &ckpt, const std::string &path)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            throw core::IoError("checkpoint: cannot open " + tmp);
+        }
+        try {
+            saveCheckpoint(ckpt, os);
+        } catch (...) {
+            os.close();
+            std::remove(tmp.c_str());
+            throw;
+        }
+        os.flush();
+        if (!os) {
+            os.close();
+            std::remove(tmp.c_str());
+            throw core::IoError("checkpoint: short write to " + tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw core::IoError("checkpoint: cannot rename " + tmp +
+                            " to " + path);
+    }
+}
+
+CheckpointData
+loadCheckpointFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw core::IoError("checkpoint: cannot open " + path);
+    return loadCheckpoint(is);
+}
+
+} // namespace eddie::serve

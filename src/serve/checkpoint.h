@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Crash-consistent checkpoints of a running monitor (DESIGN.md §7).
+ * A checkpoint carries the source position plus the complete
+ * core::MonitorState, wrapped in the shared CRC32+length v2 framing
+ * (core/capture_io.h), and the file write is atomic: serialize to
+ * `path.tmp`, fsync-equivalent flush, then rename over `path`. A
+ * crash at any instant therefore leaves either the previous complete
+ * checkpoint or the new complete checkpoint — never a torn one — and
+ * a flipped bit fails the CRC as a typed FormatError instead of
+ * resuming from silently-wrong state.
+ *
+ * Restoring a checkpoint into a fresh Monitor over the same model and
+ * config, and re-seeking the source to source_pos, continues the
+ * stream with bit-identical verdicts (regression-tested in
+ * tests/serve).
+ */
+
+#ifndef EDDIE_SERVE_CHECKPOINT_H
+#define EDDIE_SERVE_CHECKPOINT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/monitor.h"
+
+namespace eddie::serve
+{
+
+/** Everything resume needs: where the source was, and the monitor's
+ *  full mutable state at that point. */
+struct CheckpointData
+{
+    /** Next item the source will deliver (== windows processed, since
+     *  a window is checkpointed only after its step completed). */
+    std::uint64_t source_pos = 0;
+    core::MonitorState monitor;
+};
+
+/** Writes one framed checkpoint (magic "EDDIECKP", version 1). */
+void saveCheckpoint(const CheckpointData &ckpt, std::ostream &os);
+
+/** Reads a checkpoint written by saveCheckpoint(). Throws IoError on
+ *  truncation, FormatError on corruption. */
+CheckpointData loadCheckpoint(std::istream &is);
+
+/**
+ * Atomic file write: serializes to @p path + ".tmp", then renames
+ * over @p path. On any failure the tmp file is removed and IoError is
+ * thrown; the previous checkpoint at @p path is untouched.
+ */
+void saveCheckpointFile(const CheckpointData &ckpt,
+                        const std::string &path);
+
+/** Loads @p path; throws IoError when the file cannot be opened. */
+CheckpointData loadCheckpointFile(const std::string &path);
+
+} // namespace eddie::serve
+
+#endif // EDDIE_SERVE_CHECKPOINT_H

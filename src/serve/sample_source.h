@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Sample sources for the serving runtime: where the offline pipeline
+ * iterates a fully materialized STS vector, the supervised runtime
+ * pulls windows one at a time from a SampleSource that may stall,
+ * fail transiently, or end.
+ *
+ * Three layers compose:
+ *  - VectorSource replays a captured stream and is seekable — the
+ *    property checkpoint recovery needs (resume re-seeks the source
+ *    to the checkpointed position and replays).
+ *  - FlakySource wraps any source with the deterministic fault
+ *    schedule of faults/source_faults.h (stalls and transient errors
+ *    keyed by (seed, index, attempt), never data loss).
+ *  - RetryingSource turns those recoverable statuses back into
+ *    delivered windows via bounded retries with capped exponential
+ *    backoff (backoff.h), surfacing a stall only after the attempt
+ *    budget is exhausted.
+ */
+
+#ifndef EDDIE_SERVE_SAMPLE_SOURCE_H
+#define EDDIE_SERVE_SAMPLE_SOURCE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "backoff.h"
+#include "core/sts.h"
+#include "faults/source_faults.h"
+
+namespace eddie::serve
+{
+
+/** Outcome of one pull from a source. */
+enum class PullStatus
+{
+    /** A window was delivered. */
+    Ready,
+    /** No data yet; retry later. */
+    Stalled,
+    /** The pull failed but the source is still alive; retry. */
+    TransientError,
+    /** The stream is exhausted; no further pulls will deliver. */
+    EndOfStream,
+};
+
+/** One pull result; sts is meaningful only when status is Ready. */
+struct Pull
+{
+    PullStatus status = PullStatus::EndOfStream;
+    core::Sts sts;
+};
+
+/** Delivery-path counters, aggregated into ServeStats. */
+struct SourceStats
+{
+    std::uint64_t delivered = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t errors = 0;
+    /** Retry attempts spent recovering stalls/errors. */
+    std::uint64_t retries = 0;
+    /** Pulls abandoned after exhausting the retry budget. */
+    std::uint64_t give_ups = 0;
+};
+
+/** Pull-based window stream. Implementations are single-consumer. */
+class SampleSource
+{
+  public:
+    virtual ~SampleSource() = default;
+
+    /** Pulls the next window (or a non-Ready status). */
+    virtual Pull next() = 0;
+
+    /**
+     * Repositions so the next delivered window is item @p pos.
+     * Returns false for non-seekable sources; checkpoint recovery
+     * requires true (serve/supervisor.h refuses to resume
+     * otherwise).
+     */
+    virtual bool seek(std::uint64_t pos) = 0;
+
+    /** Index of the next window to deliver. */
+    virtual std::uint64_t position() const = 0;
+
+    /** Delivery-path counters (wrappers aggregate their own). */
+    virtual SourceStats stats() const { return {}; }
+};
+
+/** Replays a shared captured stream; seekable, never faults. */
+class VectorSource : public SampleSource
+{
+  public:
+    explicit VectorSource(
+        std::shared_ptr<const std::vector<core::Sts>> stream);
+
+    Pull next() override;
+    bool seek(std::uint64_t pos) override;
+    std::uint64_t position() const override { return pos_; }
+
+  private:
+    std::shared_ptr<const std::vector<core::Sts>> stream_;
+    std::uint64_t pos_ = 0;
+};
+
+/**
+ * Wraps a source with the deterministic fault schedule of
+ * faults/source_faults.h. Each call to next() consults the schedule
+ * for (item index, attempt) and either injects a Stall /
+ * TransientError (incrementing the per-item attempt counter) or
+ * forwards to the inner source. Seeking resets the attempt counter,
+ * so a replay after recovery sees the same schedule.
+ */
+class FlakySource : public SampleSource
+{
+  public:
+    FlakySource(SampleSource &inner,
+                const faults::SourceFaultConfig &faults);
+
+    Pull next() override;
+    bool seek(std::uint64_t pos) override;
+    std::uint64_t position() const override { return inner_.position(); }
+    SourceStats stats() const override { return stats_; }
+
+  private:
+    SampleSource &inner_;
+    faults::SourceFaultConfig faults_;
+    /** Faulted attempts spent on the item at the current position. */
+    std::uint64_t attempt_ = 0;
+    SourceStats stats_;
+};
+
+/** Retry policy for RetryingSource. */
+struct RetryConfig
+{
+    /** Total attempts per window (first try included) before the
+     *  pull is abandoned as a give-up. */
+    std::size_t max_attempts = 8;
+    BackoffConfig backoff;
+};
+
+/**
+ * Retries Stalled / TransientError pulls with backoff until a window
+ * is delivered or the attempt budget runs out. Delivery resets the
+ * backoff schedule. The sleep is injectable so tests and benches run
+ * the full retry logic without wall-clock waits.
+ */
+class RetryingSource : public SampleSource
+{
+  public:
+    using SleepFn = std::function<void(double ms)>;
+
+    /** @param sleep nullptr = real sleep (std::this_thread). */
+    RetryingSource(SampleSource &inner, const RetryConfig &cfg,
+                   SleepFn sleep = nullptr);
+
+    /** Ready, EndOfStream, or Stalled after budget exhaustion (a
+     *  counted give-up; the caller decides whether to re-pull). */
+    Pull next() override;
+    bool seek(std::uint64_t pos) override;
+    std::uint64_t position() const override { return inner_.position(); }
+    /** Full delivery accounting: every inner stall/error passes
+     *  through this layer, so its counters cover the whole path. */
+    SourceStats stats() const override;
+
+  private:
+    SampleSource &inner_;
+    RetryConfig cfg_;
+    Backoff backoff_;
+    SleepFn sleep_;
+    SourceStats stats_;
+};
+
+} // namespace eddie::serve
+
+#endif // EDDIE_SERVE_SAMPLE_SOURCE_H

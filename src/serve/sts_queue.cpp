@@ -1,0 +1,94 @@
+#include "sts_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace eddie::serve
+{
+
+StsQueue::StsQueue(const StsQueueConfig &cfg)
+    : cfg_(cfg), ring_(std::max<std::size_t>(cfg.capacity, 1))
+{
+    if (cfg.capacity == 0)
+        throw std::invalid_argument("sts queue: zero capacity");
+}
+
+bool
+StsQueue::push(core::Sts sts)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (ring_.full() && !closed_) {
+        if (cfg_.policy == BackpressurePolicy::Block) {
+            ++stats_.blocked_pushes;
+            not_full_.wait(lock, [this] {
+                return !ring_.full() || closed_;
+            });
+        } else {
+            ring_.popFront();
+            ++stats_.dropped_oldest;
+        }
+    }
+    if (closed_)
+        return false;
+    ring_.pushBack(std::move(sts));
+    ++stats_.pushed;
+    stats_.max_depth =
+        std::max<std::uint64_t>(stats_.max_depth, ring_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+}
+
+std::optional<core::Sts>
+StsQueue::popFor(double timeout_ms)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            std::max(timeout_ms, 0.0)),
+        [this] { return !ring_.empty() || closed_; });
+    if (ring_.empty())
+        return std::nullopt;
+    core::Sts sts = ring_.popFront();
+    ++stats_.popped;
+    lock.unlock();
+    not_full_.notify_one();
+    return sts;
+}
+
+void
+StsQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+}
+
+bool
+StsQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+bool
+StsQueue::drained() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && ring_.empty();
+}
+
+QueueStats
+StsQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace eddie::serve

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bounded STS hand-off queue between a feeder (source) thread and a
+ * monitor worker, backed by core::RingQueue. The capacity bound is
+ * the backpressure point; what happens at the bound is an explicit
+ * policy:
+ *
+ *  - Block: the feeder waits for space. Nothing is lost, the source
+ *    slows to the monitor's pace (correct for seekable/replayable
+ *    sources, and the only policy compatible with bit-identical
+ *    checkpoint recovery).
+ *  - DropOldest: the oldest queued window is discarded to admit the
+ *    new one. The monitor stays current at the cost of gaps
+ *    (live-capture posture; verdicts are then best-effort).
+ *
+ * Both outcomes are counted in QueueStats, never silent.
+ */
+
+#ifndef EDDIE_SERVE_STS_QUEUE_H
+#define EDDIE_SERVE_STS_QUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+
+#include "core/ring_buffer.h"
+#include "core/sts.h"
+
+namespace eddie::serve
+{
+
+/** What a full queue does to an incoming push. */
+enum class BackpressurePolicy
+{
+    Block,
+    DropOldest,
+};
+
+struct StsQueueConfig
+{
+    std::size_t capacity = 64;
+    BackpressurePolicy policy = BackpressurePolicy::Block;
+};
+
+/** Counters; every bound hit is visible here. */
+struct QueueStats
+{
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+    /** Windows discarded by DropOldest. */
+    std::uint64_t dropped_oldest = 0;
+    /** Pushes that had to wait under Block. */
+    std::uint64_t blocked_pushes = 0;
+    /** High-water mark of queue depth. */
+    std::uint64_t max_depth = 0;
+};
+
+/** Single-producer / single-consumer bounded queue. */
+class StsQueue
+{
+  public:
+    explicit StsQueue(const StsQueueConfig &cfg);
+
+    /**
+     * Enqueues one window, applying the backpressure policy at the
+     * bound. Returns false when the queue was closed (the window is
+     * not enqueued).
+     */
+    bool push(core::Sts sts);
+
+    /**
+     * Dequeues the next window, waiting up to @p timeout_ms. Empty
+     * optional = timed out, or closed and drained. The timeout keeps
+     * the worker's heartbeat fresh while idle (the watchdog must not
+     * mistake an empty queue for a hang).
+     */
+    std::optional<core::Sts> popFor(double timeout_ms);
+
+    /** Wakes all waiters; pushes fail from now on, pops drain what
+     *  remains. Idempotent. */
+    void close();
+
+    bool closed() const;
+    /** Closed and empty: no further window will ever be popped. */
+    bool drained() const;
+    QueueStats stats() const;
+
+  private:
+    StsQueueConfig cfg_;
+    mutable std::mutex mu_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    core::RingQueue<core::Sts> ring_;
+    QueueStats stats_;
+    bool closed_ = false;
+};
+
+} // namespace eddie::serve
+
+#endif // EDDIE_SERVE_STS_QUEUE_H

@@ -1,0 +1,543 @@
+#include "supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "common/crc32.h"
+#include "core/errors.h"
+
+namespace eddie::serve
+{
+
+namespace
+{
+
+/** Steady-clock milliseconds (monotonic; only differences matter). */
+double
+nowMs()
+{
+    using namespace std::chrono;
+    return duration<double, std::milli>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+sleepMs(double ms)
+{
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(std::max(ms, 0.0)));
+}
+
+/** Worker poll timeout; short enough that heartbeats stay far fresher
+ *  than any sane watchdog deadline while the queue is empty. */
+constexpr double kPopTimeoutMs = 2.0;
+
+/** Shard lifecycle states (stored in an atomic<int>). */
+enum ShardStatus : int
+{
+    kRunning = 0,
+    kEof,       ///< source exhausted, queue drained, final checkpoint
+    kStopped,   ///< graceful stop before EOF
+    kCrashed,   ///< worker caught an exception from the step
+    kEscalated, ///< restart budget exhausted; degraded mode
+};
+
+enum class FailureKind
+{
+    Crash,
+    Hang,
+    SourceDead,
+};
+
+} // namespace
+
+RestartBudget::RestartBudget(std::size_t budget, double window_ms)
+    : budget_(budget), window_ms_(window_ms)
+{
+}
+
+bool
+RestartBudget::allow(double now_ms)
+{
+    if (escalated_)
+        return false;
+    while (!times_.empty() && now_ms - times_.front() > window_ms_)
+        times_.pop_front();
+    if (times_.size() >= budget_) {
+        escalated_ = true;
+        return false;
+    }
+    times_.push_back(now_ms);
+    return true;
+}
+
+std::size_t
+RestartBudget::used(double now_ms) const
+{
+    while (!times_.empty() && now_ms - times_.front() > window_ms_)
+        times_.pop_front();
+    return times_.size();
+}
+
+std::string
+shardCheckpointPath(const std::string &path, std::size_t shard,
+                    std::size_t num_shards)
+{
+    if (path.empty() || num_shards <= 1)
+        return path;
+    return path + "." + std::to_string(shard);
+}
+
+/** One source + queue + monitor worker under supervision. Threads
+ *  capture a reference; shards live behind unique_ptr so the address
+ *  is stable for the whole run. */
+struct Supervisor::Shard
+{
+    std::size_t index = 0;
+    SampleSource *source = nullptr;
+    std::string ckpt_path;
+
+    /** Keeps the model the monitor references alive across hot
+     *  reloads (Monitor holds a reference, not ownership). */
+    std::shared_ptr<const core::TrainedModel> model;
+    std::unique_ptr<core::Monitor> monitor;
+    std::unique_ptr<StsQueue> queue;
+    /** Queue counters accumulated across restarts (a restart swaps in
+     *  a fresh queue). Guarded by Supervisor::mu_. */
+    QueueStats queue_acc;
+    /** Source counters snapshotted while the feeder is quiescent.
+     *  Guarded by Supervisor::mu_. */
+    SourceStats source_snap;
+
+    std::thread feeder;
+    std::thread worker;
+    /** Teardown flag; honored by both loops and by step hooks. */
+    std::atomic<bool> cancel{false};
+    std::atomic<double> heartbeat_ms{0.0};
+    std::atomic<bool> in_step{false};
+    /** Feeder saw the delivery path give up past its retry budget. */
+    std::atomic<bool> source_dead{false};
+    std::atomic<int> status{kRunning};
+    std::atomic<std::uint64_t> processed{0};
+
+    /** Restart snapshot; guarded by ckpt_mu (worker writes, watchdog
+     *  reads on restart). */
+    std::mutex ckpt_mu;
+    CheckpointData last_ckpt;
+
+    RestartBudget budget{0, 0.0};
+};
+
+Supervisor::Supervisor(std::shared_ptr<const core::TrainedModel> model,
+                       ServeConfig cfg)
+    : model_(std::move(model)), cfg_(std::move(cfg))
+{
+    if (!model_)
+        throw core::Error("supervisor: null model");
+}
+
+Supervisor::~Supervisor() = default;
+
+std::shared_ptr<const core::TrainedModel>
+Supervisor::model() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return model_;
+}
+
+void
+Supervisor::feederLoop(Shard &shard)
+{
+    while (!shard.cancel.load() && !stop_.load()) {
+        Pull pull = shard.source->next();
+        switch (pull.status) {
+        case PullStatus::Ready:
+            if (!shard.queue->push(std::move(pull.sts)))
+                return; // queue closed under us: teardown or stop
+            continue;
+        case PullStatus::EndOfStream:
+            shard.queue->close();
+            return;
+        case PullStatus::Stalled:
+        case PullStatus::TransientError:
+            // Surfaced past the retry layer: the delivery path is out
+            // of budget. Flag it for the watchdog (restart/escalate)
+            // rather than spinning against a dead source.
+            shard.source_dead.store(true);
+            return;
+        }
+    }
+    if (stop_.load())
+        shard.queue->close();
+}
+
+void
+Supervisor::writeCheckpoint(Shard &shard, const CheckpointData &ckpt)
+{
+    {
+        std::lock_guard<std::mutex> lock(shard.ckpt_mu);
+        shard.last_ckpt = ckpt;
+    }
+    if (!shard.ckpt_path.empty()) {
+        try {
+            saveCheckpointFile(ckpt, shard.ckpt_path);
+        } catch (const core::IoError &) {
+            // Disk trouble degrades durability (recovery falls back
+            // to the in-memory snapshot just taken), it does not take
+            // the monitoring loop down.
+            return;
+        }
+    }
+    checkpoints_written_.fetch_add(1);
+}
+
+void
+Supervisor::workerLoop(Shard &shard)
+{
+    std::size_t since_ckpt = 0;
+    const auto snapshot = [&shard] {
+        CheckpointData ckpt;
+        ckpt.monitor = shard.monitor->exportState();
+        ckpt.source_pos = ckpt.monitor.step_index;
+        return ckpt;
+    };
+    while (true) {
+        if (shard.cancel.load())
+            return; // watchdog teardown; it sets the next status
+        shard.heartbeat_ms.store(nowMs());
+        if (stop_.load()) {
+            writeCheckpoint(shard, snapshot());
+            shard.status.store(kStopped);
+            shard.queue->close(); // unblocks a feeder stuck pushing
+            return;
+        }
+        std::optional<core::Sts> sts = shard.queue->popFor(kPopTimeoutMs);
+        if (!sts) {
+            if (shard.queue->drained()) {
+                writeCheckpoint(shard, snapshot());
+                shard.status.store(kEof);
+                return;
+            }
+            continue; // idle poll; heartbeat stays fresh
+        }
+        shard.in_step.store(true);
+        try {
+            if (hook_)
+                hook_(shard.monitor->records().size(), shard.cancel);
+            shard.monitor->step(*sts);
+        } catch (...) {
+            shard.in_step.store(false);
+            shard.status.store(kCrashed);
+            return;
+        }
+        shard.in_step.store(false);
+        shard.processed.fetch_add(1);
+        if (cfg_.checkpoint_interval != 0 &&
+            ++since_ckpt >= cfg_.checkpoint_interval) {
+            since_ckpt = 0;
+            writeCheckpoint(shard, snapshot());
+        }
+    }
+}
+
+void
+Supervisor::startShard(Shard &shard, bool restoring)
+{
+    {
+        // stats() dereferences shard.queue under mu_, so the swap to
+        // a fresh queue must be guarded too.
+        std::lock_guard<std::mutex> lock(mu_);
+        shard.queue = std::make_unique<StsQueue>(cfg_.queue);
+    }
+    shard.cancel.store(false);
+    shard.in_step.store(false);
+    shard.source_dead.store(false);
+    shard.heartbeat_ms.store(nowMs());
+    shard.status.store(kRunning);
+    if (restoring)
+        checkpoint_restores_.fetch_add(1);
+    shard.feeder = std::thread([this, &shard] { feederLoop(shard); });
+    shard.worker = std::thread([this, &shard] { workerLoop(shard); });
+}
+
+void
+Supervisor::stopShardThreads(Shard &shard)
+{
+    shard.cancel.store(true);
+    if (shard.queue)
+        shard.queue->close();
+    if (shard.feeder.joinable())
+        shard.feeder.join();
+    if (shard.worker.joinable())
+        shard.worker.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard.queue) {
+        const QueueStats q = shard.queue->stats();
+        shard.queue_acc.pushed += q.pushed;
+        shard.queue_acc.popped += q.popped;
+        shard.queue_acc.dropped_oldest += q.dropped_oldest;
+        shard.queue_acc.blocked_pushes += q.blocked_pushes;
+        shard.queue_acc.max_depth =
+            std::max(shard.queue_acc.max_depth, q.max_depth);
+        shard.queue.reset();
+    }
+    shard.source_snap = shard.source->stats();
+}
+
+void
+Supervisor::handleFailure(Shard &shard, double now_ms)
+{
+    const int status = shard.status.load();
+    FailureKind kind = FailureKind::Hang;
+    if (status == kCrashed)
+        kind = FailureKind::Crash;
+    else if (shard.source_dead.load())
+        kind = FailureKind::SourceDead;
+    switch (kind) {
+    case FailureKind::Crash:
+        worker_crashes_.fetch_add(1);
+        break;
+    case FailureKind::Hang:
+        worker_hangs_.fetch_add(1);
+        break;
+    case FailureKind::SourceDead:
+        break; // already counted in the source's give_ups
+    }
+
+    stopShardThreads(shard);
+
+    CheckpointData ckpt;
+    {
+        std::lock_guard<std::mutex> lock(shard.ckpt_mu);
+        ckpt = shard.last_ckpt;
+    }
+    bool restartable = shard.budget.allow(now_ms);
+    if (restartable)
+        restartable = shard.source->seek(ckpt.source_pos);
+    if (!restartable) {
+        escalations_.fetch_add(1);
+        shard.status.store(kEscalated);
+        return;
+    }
+
+    std::shared_ptr<const core::TrainedModel> model;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        model = model_;
+    }
+    shard.model = std::move(model);
+    shard.monitor =
+        std::make_unique<core::Monitor>(*shard.model, cfg_.monitor);
+    shard.monitor->restoreState(ckpt.monitor);
+    startShard(shard, true);
+    worker_restarts_.fetch_add(1);
+    restart_latency_ms_.fetch_add(nowMs() - now_ms);
+}
+
+void
+Supervisor::maybeReloadModel(double now_ms)
+{
+    if (cfg_.model_path.empty())
+        return;
+    if (now_ms - last_model_poll_ms_ < cfg_.model_poll_ms)
+        return;
+    last_model_poll_ms_ = now_ms;
+    const auto crc = common::crc32File(cfg_.model_path);
+    if (!crc || *crc == model_crc_)
+        return;
+    std::shared_ptr<const core::TrainedModel> fresh;
+    try {
+        std::ifstream is(cfg_.model_path);
+        if (!is)
+            return;
+        fresh = std::make_shared<const core::TrainedModel>(
+            core::loadModel(is));
+    } catch (const std::exception &) {
+        // Half-written or corrupt artifact: keep serving the current
+        // model; the next poll re-checks the CRC.
+        return;
+    }
+    // A file truncated before its #crc32 trailer still parses (the
+    // trailer is optional for legacy models), so require the bytes to
+    // be stable across the load: if the CRC moved, a write is in
+    // flight — skip, and the next poll sees the finished file.
+    const auto crc_after = common::crc32File(cfg_.model_path);
+    if (!crc_after || *crc_after != *crc)
+        return;
+    model_crc_ = *crc;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        model_ = fresh;
+    }
+    model_reloads_.fetch_add(1);
+
+    // Live-restart every active shard on the new model from its
+    // *current* state (not the last checkpoint): no verdicts are lost
+    // and the restart budget is not charged — a reload is an
+    // operator action, not a failure.
+    for (auto &sp : shards_) {
+        Shard &shard = *sp;
+        if (shard.status.load() != kRunning)
+            continue;
+        stopShardThreads(shard);
+        CheckpointData ckpt;
+        ckpt.monitor = shard.monitor->exportState();
+        ckpt.source_pos = ckpt.monitor.step_index;
+        if (!shard.source->seek(ckpt.source_pos)) {
+            escalations_.fetch_add(1);
+            shard.status.store(kEscalated);
+            continue;
+        }
+        shard.model = fresh;
+        shard.monitor = std::make_unique<core::Monitor>(
+            *shard.model, cfg_.monitor);
+        shard.monitor->restoreState(ckpt.monitor);
+        writeCheckpoint(shard, ckpt);
+        startShard(shard, false);
+    }
+}
+
+std::vector<ShardResult>
+Supervisor::run(const std::vector<SampleSource *> &sources)
+{
+    stop_.store(false);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shards_.clear();
+        for (std::size_t i = 0; i < sources.size(); ++i) {
+            auto shard = std::make_unique<Shard>();
+            shard->index = i;
+            shard->source = sources[i];
+            shard->ckpt_path = shardCheckpointPath(
+                cfg_.checkpoint_path, i, sources.size());
+            shard->budget = RestartBudget(cfg_.watchdog.restart_budget,
+                                          cfg_.watchdog.restart_window_ms);
+            shards_.push_back(std::move(shard));
+        }
+    }
+    if (!cfg_.model_path.empty())
+        model_crc_ = common::crc32File(cfg_.model_path).value_or(0);
+    last_model_poll_ms_ = nowMs();
+
+    for (auto &sp : shards_) {
+        Shard &shard = *sp;
+        shard.model = model_;
+        shard.monitor = std::make_unique<core::Monitor>(
+            *shard.model, cfg_.monitor);
+        bool restoring = false;
+        if (cfg_.resume && !shard.ckpt_path.empty()) {
+            try {
+                const CheckpointData ckpt =
+                    loadCheckpointFile(shard.ckpt_path);
+                if (shard.source->seek(ckpt.source_pos)) {
+                    shard.monitor->restoreState(ckpt.monitor);
+                    restoring = true;
+                }
+            } catch (const core::IoError &) {
+                // No checkpoint yet: a cold start, not an error.
+            }
+        }
+        // Seed the restart snapshot so a failure before the first
+        // periodic checkpoint still restores instead of escalating.
+        shard.last_ckpt.monitor = shard.monitor->exportState();
+        shard.last_ckpt.source_pos = shard.last_ckpt.monitor.step_index;
+        startShard(shard, restoring);
+    }
+
+    while (true) {
+        sleepMs(cfg_.watchdog.poll_interval_ms);
+        const double now = nowMs();
+        if (stop_check_ && stop_check_())
+            stop_.store(true);
+        if (!stop_.load())
+            maybeReloadModel(now);
+        bool all_done = true;
+        for (auto &sp : shards_) {
+            Shard &shard = *sp;
+            const int status = shard.status.load();
+            if (status == kEof || status == kStopped ||
+                status == kEscalated)
+                continue;
+            all_done = false;
+            const bool hung =
+                shard.in_step.load() &&
+                now - shard.heartbeat_ms.load() >
+                    cfg_.watchdog.heartbeat_deadline_ms;
+            if (status == kCrashed || shard.source_dead.load() || hung)
+                handleFailure(shard, now);
+        }
+        if (all_done)
+            break;
+    }
+
+    std::vector<ShardResult> results(shards_.size());
+    for (auto &sp : shards_) {
+        Shard &shard = *sp;
+        if (shard.feeder.joinable())
+            shard.feeder.join();
+        if (shard.worker.joinable())
+            shard.worker.join();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shard.source_snap = shard.source->stats();
+        }
+        ShardResult &out = results[shard.index];
+        const int status = shard.status.load();
+        if (status == kEscalated) {
+            std::lock_guard<std::mutex> lock(shard.ckpt_mu);
+            out.records = shard.last_ckpt.monitor.records;
+            out.reports = shard.last_ckpt.monitor.reports;
+            out.degraded = shard.last_ckpt.monitor.degraded;
+            out.escalated = true;
+        } else {
+            out.records = shard.monitor->records();
+            out.reports = shard.monitor->reports();
+            out.degraded = shard.monitor->degradedStats();
+            out.stopped = status == kStopped;
+        }
+        out.steps = out.records.size();
+    }
+    return results;
+}
+
+core::ServeStats
+Supervisor::stats() const
+{
+    core::ServeStats st;
+    st.worker_crashes = worker_crashes_.load();
+    st.worker_hangs = worker_hangs_.load();
+    st.worker_restarts = worker_restarts_.load();
+    st.escalations = escalations_.load();
+    st.checkpoints_written = checkpoints_written_.load();
+    st.checkpoint_restores = checkpoint_restores_.load();
+    st.model_reloads = model_reloads_.load();
+    st.restart_latency_ms = restart_latency_ms_.load();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &sp : shards_) {
+        const Shard &shard = *sp;
+        QueueStats q = shard.queue_acc;
+        if (shard.queue) {
+            const QueueStats live = shard.queue->stats();
+            q.pushed += live.pushed;
+            q.popped += live.popped;
+            q.dropped_oldest += live.dropped_oldest;
+            q.blocked_pushes += live.blocked_pushes;
+            q.max_depth = std::max(q.max_depth, live.max_depth);
+        }
+        st.delivered += q.pushed;
+        st.dropped_oldest += q.dropped_oldest;
+        st.blocked_pushes += q.blocked_pushes;
+        st.processed += shard.processed.load();
+        st.source_stalls += shard.source_snap.stalls;
+        st.source_errors += shard.source_snap.errors;
+        st.source_retries += shard.source_snap.retries;
+        st.source_give_ups += shard.source_snap.give_ups;
+    }
+    return st;
+}
+
+} // namespace eddie::serve

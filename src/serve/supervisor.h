@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Supervised streaming runtime (DESIGN.md §7). A Supervisor owns one
+ * shard per sample source; each shard runs a feeder thread (source →
+ * bounded queue) and a monitor worker thread (queue → Monitor::step),
+ * while the supervisor's watchdog loop:
+ *
+ *  - collects worker heartbeats and declares a hang when a worker
+ *    has been inside a step past the heartbeat deadline;
+ *  - restarts crashed / hung / source-dead shards from their last
+ *    checkpoint (re-seeking the source, so no window is skipped and
+ *    verdicts stay bit-identical under the Block backpressure
+ *    policy), charging a restarts-per-window budget;
+ *  - escalates a shard to degraded mode when the budget is exhausted
+ *    (its last checkpointed verdicts become its final result);
+ *  - hot-reloads the model when the model file's CRC changes,
+ *    swapping the shared_ptr atomically and restarting shards from
+ *    their live state (no verdict loss, not charged to the budget).
+ *
+ * Failure injection for tests goes through a cancel-aware StepHook:
+ * throwing simulates a worker crash, blocking until the cancel flag
+ * simulates a hang the watchdog must detect. Real recovery machinery,
+ * simulated faults — the same split as faults/fault_injector.h.
+ */
+
+#ifndef EDDIE_SERVE_SUPERVISOR_H
+#define EDDIE_SERVE_SUPERVISOR_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "checkpoint.h"
+#include "core/metrics.h"
+#include "core/model.h"
+#include "core/monitor.h"
+#include "sample_source.h"
+#include "sts_queue.h"
+
+namespace eddie::serve
+{
+
+/** Watchdog and restart policy. */
+struct WatchdogConfig
+{
+    /** A worker inside a step for longer than this is hung. */
+    double heartbeat_deadline_ms = 500.0;
+    /** Restarts allowed per shard within restart_window_ms before
+     *  the shard escalates to degraded mode. */
+    std::size_t restart_budget = 3;
+    double restart_window_ms = 10000.0;
+    /** Watchdog poll cadence. */
+    double poll_interval_ms = 2.0;
+};
+
+/**
+ * Sliding-window restart budget, factored out of the supervisor so
+ * the escalation policy is unit-testable with synthetic clocks: pure
+ * state over injected timestamps, no threads.
+ */
+class RestartBudget
+{
+  public:
+    RestartBudget(std::size_t budget, double window_ms);
+
+    /**
+     * Asks to spend one restart at time @p now_ms. Records it and
+     * returns true while fewer than `budget` restarts happened in the
+     * trailing window; otherwise flips to escalated (permanently) and
+     * returns false.
+     */
+    bool allow(double now_ms);
+
+    bool escalated() const { return escalated_; }
+
+    /** Restarts still inside the trailing window at @p now_ms. */
+    std::size_t used(double now_ms) const;
+
+  private:
+    std::size_t budget_;
+    double window_ms_;
+    mutable std::deque<double> times_;
+    bool escalated_ = false;
+};
+
+/** Everything the runtime needs beyond the model and the sources. */
+struct ServeConfig
+{
+    core::MonitorConfig monitor;
+    StsQueueConfig queue;
+    WatchdogConfig watchdog;
+    /** Monitor steps between checkpoints (0 disables periodic
+     *  checkpoints; the in-memory restart snapshot is still kept). */
+    std::size_t checkpoint_interval = 64;
+    /** Checkpoint file; empty = in-memory snapshots only. With
+     *  multiple shards, shard i writes to `path + "." + i`. */
+    std::string checkpoint_path;
+    /** Resume from checkpoint_path when the file exists. */
+    bool resume = false;
+    /** Model file watched for hot reload; empty disables watching. */
+    std::string model_path;
+    double model_poll_ms = 200.0;
+};
+
+/** Final verdicts and accounting of one shard. */
+struct ShardResult
+{
+    std::vector<core::StepRecord> records;
+    std::vector<core::AnomalyReport> reports;
+    core::DegradedStats degraded;
+    /** Monitor steps completed (== records.size()). */
+    std::size_t steps = 0;
+    /** The restart budget ran out; records/reports are the state at
+     *  the last successful checkpoint. */
+    bool escalated = false;
+    /** Graceful stop (requestStop / stop check) before EOF. */
+    bool stopped = false;
+};
+
+/** Per-shard checkpoint file path (shard suffix only when several
+ *  shards share one configured path). */
+std::string shardCheckpointPath(const std::string &path,
+                                std::size_t shard,
+                                std::size_t num_shards);
+
+class Supervisor
+{
+  public:
+    /**
+     * Test/bench hook invoked before every monitor step with the
+     * shard-local step ordinal. Throwing simulates a crash; blocking
+     * until @p cancel becomes true simulates a hang (hooks MUST honor
+     * cancel, or teardown joins would deadlock).
+     */
+    using StepHook = std::function<void(std::size_t step,
+                                        const std::atomic<bool> &cancel)>;
+    /** Polled by the watchdog; returning true requests a graceful
+     *  stop (signal handlers hook in here). */
+    using StopCheck = std::function<bool()>;
+
+    Supervisor(std::shared_ptr<const core::TrainedModel> model,
+               ServeConfig cfg);
+    /** Out of line: Shard is incomplete in this header. */
+    ~Supervisor();
+
+    /**
+     * Runs every source to completion (EOF, graceful stop, or
+     * escalation) and returns one result per source. Sources must
+     * outlive the call and be seekable for restart/resume to work.
+     * Not reentrant.
+     */
+    std::vector<ShardResult>
+    run(const std::vector<SampleSource *> &sources);
+
+    /** Requests a graceful stop: workers finish their current step,
+     *  write a final checkpoint, and exit. Thread-safe. */
+    void requestStop() { stop_.store(true); }
+
+    void setStopCheck(StopCheck check) { stop_check_ = std::move(check); }
+    void setStepHook(StepHook hook) { hook_ = std::move(hook); }
+
+    /** Aggregated runtime counters (valid during and after run()). */
+    core::ServeStats stats() const;
+
+    /** Currently served model (changes after a hot reload). */
+    std::shared_ptr<const core::TrainedModel> model() const;
+
+  private:
+    struct Shard;
+
+    void startShard(Shard &shard, bool restoring);
+    void stopShardThreads(Shard &shard);
+    void feederLoop(Shard &shard);
+    void workerLoop(Shard &shard);
+    void writeCheckpoint(Shard &shard, const CheckpointData &ckpt);
+    void handleFailure(Shard &shard, double now_ms);
+    void maybeReloadModel(double now_ms);
+
+    std::shared_ptr<const core::TrainedModel> model_;
+    ServeConfig cfg_;
+    StepHook hook_;
+    StopCheck stop_check_;
+    std::atomic<bool> stop_{false};
+
+    mutable std::mutex mu_; ///< guards shards_ and model_
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    std::atomic<std::uint64_t> worker_crashes_{0};
+    std::atomic<std::uint64_t> worker_hangs_{0};
+    std::atomic<std::uint64_t> worker_restarts_{0};
+    std::atomic<std::uint64_t> escalations_{0};
+    std::atomic<std::uint64_t> checkpoints_written_{0};
+    std::atomic<std::uint64_t> checkpoint_restores_{0};
+    std::atomic<std::uint64_t> model_reloads_{0};
+    std::atomic<double> restart_latency_ms_{0.0};
+    std::uint32_t model_crc_ = 0;
+    double last_model_poll_ms_ = 0.0;
+};
+
+} // namespace eddie::serve
+
+#endif // EDDIE_SERVE_SUPERVISOR_H

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Backoff schedule and source-fault determinism: the retry path must
+ * be a pure function of its seeds, because checkpoint recovery
+ * replays it and the recovery tests assert bit-identical outcomes.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/errors.h"
+#include "faults/source_faults.h"
+#include "serve/backoff.h"
+#include "serve/sample_source.h"
+
+namespace
+{
+
+using namespace eddie;
+using namespace eddie::serve;
+
+TEST(Backoff, GrowsExponentiallyUpToCapWithoutJitter)
+{
+    BackoffConfig cfg;
+    cfg.initial_ms = 1.0;
+    cfg.multiplier = 2.0;
+    cfg.max_ms = 10.0;
+    cfg.jitter = 0.0;
+    Backoff b(cfg);
+    EXPECT_DOUBLE_EQ(b.nextDelayMs(), 1.0);
+    EXPECT_DOUBLE_EQ(b.nextDelayMs(), 2.0);
+    EXPECT_DOUBLE_EQ(b.nextDelayMs(), 4.0);
+    EXPECT_DOUBLE_EQ(b.nextDelayMs(), 8.0);
+    EXPECT_DOUBLE_EQ(b.nextDelayMs(), 10.0); // capped
+    EXPECT_DOUBLE_EQ(b.nextDelayMs(), 10.0);
+}
+
+TEST(Backoff, ScheduleIsDeterministicInTheSeed)
+{
+    BackoffConfig cfg;
+    cfg.seed = 1234;
+    Backoff a(cfg), b(cfg);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(a.nextDelayMs(), b.nextDelayMs());
+
+    BackoffConfig other = cfg;
+    other.seed = 1235;
+    Backoff c(cfg), d(other);
+    bool any_difference = false;
+    for (int i = 0; i < 32; ++i)
+        any_difference |= c.nextDelayMs() != d.nextDelayMs();
+    EXPECT_TRUE(any_difference);
+}
+
+TEST(Backoff, ResetReplaysTheSameSchedule)
+{
+    BackoffConfig cfg;
+    Backoff b(cfg);
+    std::vector<double> first;
+    for (int i = 0; i < 8; ++i)
+        first.push_back(b.nextDelayMs());
+    b.reset();
+    EXPECT_EQ(b.attempts(), 0u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(b.nextDelayMs(), first[std::size_t(i)]);
+}
+
+TEST(Backoff, JitterStaysWithinTheConfiguredBand)
+{
+    BackoffConfig cfg;
+    cfg.initial_ms = 4.0;
+    cfg.multiplier = 1.0;
+    cfg.max_ms = 4.0;
+    cfg.jitter = 0.25;
+    Backoff b(cfg);
+    for (int i = 0; i < 256; ++i) {
+        const double d = b.nextDelayMs();
+        EXPECT_GE(d, 4.0 * 0.75);
+        EXPECT_LE(d, 4.0 * 1.25);
+    }
+}
+
+TEST(Backoff, RejectsInvalidConfigs)
+{
+    BackoffConfig bad;
+    bad.multiplier = 0.5;
+    EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+    bad = BackoffConfig{};
+    bad.max_ms = 0.1; // below initial_ms
+    EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+    bad = BackoffConfig{};
+    bad.jitter = 1.0;
+    EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+    bad = BackoffConfig{};
+    bad.initial_ms = -1.0;
+    EXPECT_THROW(Backoff{bad}, std::invalid_argument);
+}
+
+TEST(SourceFaults, FateIsPureInSeedIndexAndAttempt)
+{
+    faults::SourceFaultConfig cfg;
+    cfg.enabled = true;
+    cfg.stall_prob = 0.3;
+    cfg.error_prob = 0.2;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        for (std::uint64_t a = 0; a < 4; ++a)
+            EXPECT_EQ(faults::pullFate(cfg, i, a),
+                      faults::pullFate(cfg, i, a));
+}
+
+TEST(SourceFaults, ConsecutiveFaultCapForcesDelivery)
+{
+    faults::SourceFaultConfig cfg;
+    cfg.enabled = true;
+    cfg.stall_prob = 1.0; // every uncapped attempt stalls
+    cfg.max_consecutive = 3;
+    for (std::uint64_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(faults::pullFate(cfg, i, 2), faults::PullFate::Stall);
+        EXPECT_EQ(faults::pullFate(cfg, i, 3),
+                  faults::PullFate::Deliver);
+    }
+}
+
+TEST(SourceFaults, RejectsInvalidProbabilities)
+{
+    faults::SourceFaultConfig cfg;
+    cfg.stall_prob = -0.1;
+    EXPECT_THROW(faults::validate(cfg), core::ChannelFault);
+    cfg = {};
+    cfg.stall_prob = 0.7;
+    cfg.error_prob = 0.7;
+    EXPECT_THROW(faults::validate(cfg), core::ChannelFault);
+}
+
+TEST(RetryingSource, RecoversEveryWindowAndCountsTheWork)
+{
+    auto stream =
+        std::make_shared<const std::vector<core::Sts>>(64);
+    VectorSource base(stream);
+    faults::SourceFaultConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.stall_prob = 0.3;
+    fcfg.error_prob = 0.2;
+    fcfg.max_consecutive = 3;
+    FlakySource flaky(base, fcfg);
+    RetryConfig rcfg;
+    rcfg.max_attempts = 8; // above the consecutive-fault cap
+    RetryingSource retrying(flaky, rcfg, [](double) {});
+
+    std::size_t delivered = 0;
+    while (true) {
+        const Pull pull = retrying.next();
+        if (pull.status == PullStatus::EndOfStream)
+            break;
+        ASSERT_EQ(pull.status, PullStatus::Ready);
+        ++delivered;
+    }
+    EXPECT_EQ(delivered, stream->size());
+    const SourceStats stats = retrying.stats();
+    EXPECT_EQ(stats.delivered, stream->size());
+    EXPECT_GT(stats.retries, 0u);
+    EXPECT_EQ(stats.give_ups, 0u);
+    EXPECT_EQ(stats.retries, stats.stalls + stats.errors);
+}
+
+TEST(RetryingSource, ExhaustedBudgetSurfacesAsCountedGiveUp)
+{
+    auto stream =
+        std::make_shared<const std::vector<core::Sts>>(4);
+    VectorSource base(stream);
+    faults::SourceFaultConfig fcfg;
+    fcfg.enabled = true;
+    fcfg.stall_prob = 1.0;
+    fcfg.max_consecutive = 8; // deeper than the retry budget
+    FlakySource flaky(base, fcfg);
+    RetryConfig rcfg;
+    rcfg.max_attempts = 3;
+    RetryingSource retrying(flaky, rcfg, [](double) {});
+
+    const Pull pull = retrying.next();
+    EXPECT_EQ(pull.status, PullStatus::Stalled);
+    EXPECT_EQ(retrying.stats().give_ups, 1u);
+}
+
+} // namespace

@@ -6,9 +6,14 @@
  *   eddie_monitor <model-file> <workload>
  *       [--scale S] [--seed N] [--em] [--snr DB] [--threads T]
  *       [--inject loop|burst] [--payload N] [--contamination R]
- *       [--target REGION]
+ *       [--target REGION] [--checkpoint FILE]
  *
  * The scale/path options must match how the model was trained.
+ *
+ * SIGINT/SIGTERM stop the monitoring loop gracefully: the current
+ * window finishes, metrics over the processed prefix are flushed, and
+ * with --checkpoint a final resumable snapshot is written (a second
+ * signal hard-exits).
  */
 
 #include <cstdio>
@@ -16,6 +21,8 @@
 
 #include "core/pipeline.h"
 #include "inject/scenarios.h"
+#include "serve/checkpoint.h"
+#include "signal_util.h"
 #include "tool_util.h"
 
 using namespace eddie;
@@ -75,8 +82,41 @@ run(int argc, char **argv)
         return 2;
     }
 
+    tools::handleStopSignals();
     core::Pipeline pipe(std::move(workload), cfg);
-    const auto ev = pipe.monitorRun(model, seed, plan);
+
+    // Explicit step loop (instead of Pipeline::monitorRun) so a stop
+    // signal can interrupt between windows; metrics are then scored
+    // over the processed prefix (scoreRun tolerates partial records).
+    const auto stream = pipe.captureRunShared(seed, plan);
+    core::Monitor monitor(model, cfg.monitor);
+    bool interrupted = false;
+    for (const auto &sts : *stream) {
+        if (tools::stopRequested()) {
+            interrupted = true;
+            break;
+        }
+        monitor.step(sts);
+    }
+
+    core::RunEvaluation ev;
+    ev.reports = monitor.reports();
+    ev.records = monitor.records();
+    ev.metrics = core::scoreRun(*stream, ev.records, ev.reports, model);
+    ev.degraded = monitor.degradedStats();
+
+    const std::string ckpt_path = args.get("checkpoint");
+    if (!ckpt_path.empty()) {
+        serve::CheckpointData ckpt;
+        ckpt.monitor = monitor.exportState();
+        ckpt.source_pos = ckpt.monitor.step_index;
+        serve::saveCheckpointFile(ckpt, ckpt_path);
+        std::printf("checkpoint written to %s (%zu steps)\n",
+                    ckpt_path.c_str(), ckpt.monitor.step_index);
+    }
+    if (interrupted)
+        std::printf("interrupted after %zu of %zu STS windows\n",
+                    ev.records.size(), stream->size());
 
     std::printf("monitored %zu STS windows\n", ev.metrics.groups);
     std::printf("anomaly reports: %zu\n", ev.reports.size());

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Graceful-shutdown signals for the long-running tools. The first
+ * SIGINT/SIGTERM raises a flag the tool's main loop polls — it
+ * finishes the current window, flushes metrics, and writes a final
+ * checkpoint before exiting; a second signal while that unwinds
+ * hard-exits (the operator's escape hatch from a stuck flush).
+ */
+
+#ifndef EDDIE_TOOLS_SIGNAL_UTIL_H
+#define EDDIE_TOOLS_SIGNAL_UTIL_H
+
+#include <csignal>
+#include <cstdlib>
+
+namespace eddie::tools
+{
+
+namespace detail
+{
+
+inline volatile std::sig_atomic_t g_stop = 0;
+
+inline void
+onStopSignal(int sig)
+{
+    if (g_stop != 0)
+        std::_Exit(128 + sig);
+    g_stop = 1;
+    // Re-arm: some platforms reset the disposition on delivery, and
+    // the second-signal hard exit needs the handler in place.
+    std::signal(sig, onStopSignal);
+}
+
+} // namespace detail
+
+/** Installs the SIGINT/SIGTERM graceful-stop handlers. */
+inline void
+handleStopSignals()
+{
+    std::signal(SIGINT, detail::onStopSignal);
+    std::signal(SIGTERM, detail::onStopSignal);
+}
+
+/** True once a stop signal arrived; poll from the main loop. */
+inline bool
+stopRequested()
+{
+    return detail::g_stop != 0;
+}
+
+} // namespace eddie::tools
+
+#endif // EDDIE_TOOLS_SIGNAL_UTIL_H
