@@ -13,12 +13,14 @@
  * (legacy copy-and-sort vs presorted kernels vs sharded
  * monitorBatch, with STS/sec, runs/sec, and K-S calls/sec),
  * benchmarks the supervised serving runtime (steady-state STS/s
- * through a Supervisor, checkpoint write overhead, and recovery
+ * through a Supervisor, delta-checkpoint group-commit overhead, the
+ * isolated cost of a full snapshot vs one delta commit, and recovery
  * latency after an injected worker crash — all required to
  * reproduce the bare monitor's verdicts bit-for-bit), and
- * writes a machine-readable BENCH_pipeline.json with stage
- * wall-times, before/after kernel speedups, cache hit rates,
- * speedups vs. 1 thread, and a final "asserts" block recording
+ * atomically writes a machine-readable BENCH_pipeline.json (tmp +
+ * rename) with stage wall-times, before/after kernel speedups,
+ * cache hit rates, requested vs resolved thread counts with
+ * per-stage shard timings, and a final "asserts" block recording
  * whether the perf targets held on this machine.
  *
  *   perf_pipeline [--workload sha] [--scale S] [--runs N]
@@ -435,22 +437,43 @@ main(int argc, char **argv)
 
     // Sharded: full monitorRun chains (capture lookup + step loop +
     // scoring) distributed over the pool, timed against the same
-    // warm cache.
+    // warm cache. Each grid point records the thread count the pool
+    // actually resolved to (the hardware clamp) plus the per-stage
+    // breakdown, so a flat curve is attributable from the artifact
+    // alone: clamped resolution means the host lacks cores; a fat
+    // setup_ms means per-run state construction dominates; a fat
+    // capture_ms means the cache is not serving lookups.
     std::vector<double> sharded_ms;
+    std::vector<std::size_t> resolved_grid;
+    std::vector<core::BatchStageTimings> sharded_stages;
     for (std::size_t t : grid) {
         core::PipelineConfig c = cached_cfg;
         c.threads = t;
         core::Pipeline p(workloads::makeWorkload(workload_name, scale),
                          c);
-        sharded_ms.push_back(
-            bestOf(2, [&] { (void)p.monitorBatch(model, seeds); }));
-        std::printf("  sharded x%-2zu threads: %8.1f ms  "
-                    "(%.3g runs/s, %.2fx vs legacy serial)\n",
-                    t, sharded_ms.back(),
+        core::BatchStageTimings bt;
+        sharded_ms.push_back(bestOf(
+            2, [&] { (void)p.monitorBatch(model, seeds, {}, &bt); }));
+        resolved_grid.push_back(bt.resolved_threads);
+        sharded_stages.push_back(bt);
+        std::printf("  sharded x%-2zu threads (resolved %zu): %8.1f ms"
+                    "  (%.3g runs/s, %.2fx vs legacy serial; capture "
+                    "%.1f / setup %.1f / kernel %.1f / score %.1f)\n",
+                    t, bt.resolved_threads, sharded_ms.back(),
                     perSec(monitor_runs, sharded_ms.back()),
-                    legacy_ms / sharded_ms.back());
+                    legacy_ms / sharded_ms.back(), bt.capture_ms,
+                    bt.setup_ms, bt.kernel_ms, bt.score_ms);
     }
     const double sharded_8_speedup = legacy_ms / sharded_ms.back();
+    const double sharded_self_speedup =
+        sharded_ms.front() / sharded_ms.back();
+    // The scaling target only binds when the hardware can actually
+    // run >= 4 workers; otherwise the artifact itself (requested vs
+    // resolved + stage timings above) is the proof of the clamp.
+    const bool host_clamped =
+        common::ThreadPool::resolveThreads(grid.back()) < 4;
+    const bool sharded_scaling_ok =
+        sharded_self_speedup >= 2.0 || host_clamped;
 
     // Stage 6: the supervised serving runtime (src/serve/) over the
     // same pre-captured streams, one shard per stream behind the
@@ -485,9 +508,29 @@ main(int argc, char **argv)
                     return false;
             return true;
         };
+    // The steady-vs-checkpointed ratio needs a run long enough that
+    // the one-time initial group snapshot and thread-scheduling noise
+    // (17 threads on however many cores the host grants) do not
+    // dominate a couple of milliseconds of wall time: tile each
+    // captured stream, so the serving run measures steady-state
+    // per-cut cost. Verdict baselines are computed over the tiled
+    // streams, so bit-identical still means bit-identical.
+    constexpr std::size_t kServeTile = 16;
+    std::vector<std::shared_ptr<const std::vector<core::Sts>>>
+        serve_streams;
+    std::size_t serve_total_sts = 0;
+    for (const auto &stream : streams) {
+        auto tiled = std::make_shared<std::vector<core::Sts>>();
+        tiled->reserve(stream->size() * kServeTile);
+        for (std::size_t r = 0; r < kServeTile; ++r)
+            tiled->insert(tiled->end(), stream->begin(),
+                          stream->end());
+        serve_total_sts += tiled->size();
+        serve_streams.push_back(std::move(tiled));
+    }
     std::vector<std::vector<core::StepRecord>> serve_base_records;
     std::vector<std::vector<core::AnomalyReport>> serve_base_reports;
-    for (const auto &stream : streams) {
+    for (const auto &stream : serve_streams) {
         core::Monitor m(model, cfg.monitor);
         for (const auto &sts : *stream)
             m.step(sts);
@@ -505,8 +548,8 @@ main(int argc, char **argv)
         std::vector<std::unique_ptr<serve::VectorSource>> owned;
         std::vector<serve::SampleSource *> sources;
         for (std::size_t i = 0; i < num_shards; ++i) {
-            owned.push_back(
-                std::make_unique<serve::VectorSource>(streams[i]));
+            owned.push_back(std::make_unique<serve::VectorSource>(
+                serve_streams[i]));
             sources.push_back(owned.back().get());
         }
         serve::Supervisor sup(shared_model, sc);
@@ -529,36 +572,52 @@ main(int argc, char **argv)
             return true;
         };
 
+    // Steady and checkpointed runs are best-of-5, with the two
+    // configurations interleaved within each repetition: the overhead
+    // ratio is a few percent, while run-to-run drift on a loaded
+    // 1-core host is tens of percent, so back-to-back pairs (plus
+    // best-of) are what make the ratio trustworthy. The verdict check
+    // runs on every repetition, the stats come from the last.
     serve::ServeConfig steady_cfg;
     steady_cfg.monitor = cfg.monitor;
     steady_cfg.checkpoint_interval = 0;
-    double serve_steady_ms = 0.0;
-    core::ServeStats serve_steady_stats;
-    const auto steady_results = runServe(
-        steady_cfg, streams.size(), nullptr, serve_steady_ms,
-        serve_steady_stats);
-    bool serving_verdicts_ok = verdictsMatch(steady_results);
-    const double serve_sts_per_sec =
-        perSec(monitor_total_sts, serve_steady_ms);
-
     serve::ServeConfig ckpt_cfg = steady_cfg;
     ckpt_cfg.checkpoint_interval = 32;
     ckpt_cfg.checkpoint_path = out_path + ".serve-ckpt";
-    double serve_ckpt_ms = 0.0;
+    bool serving_verdicts_ok = true;
+    const std::size_t serve_reps = 7;
+    double serve_steady_ms = -1.0;
+    double serve_ckpt_ms = -1.0;
+    core::ServeStats serve_steady_stats;
     core::ServeStats serve_ckpt_stats;
-    const auto ckpt_results = runServe(ckpt_cfg, streams.size(),
-                                       nullptr, serve_ckpt_ms,
-                                       serve_ckpt_stats);
-    serving_verdicts_ok &= verdictsMatch(ckpt_results);
-    for (std::size_t i = 0; i < streams.size(); ++i)
-        std::remove(serve::shardCheckpointPath(
-                        ckpt_cfg.checkpoint_path, i, streams.size())
-                        .c_str());
+    for (std::size_t rep = 0; rep < serve_reps; ++rep) {
+        double ms = 0.0;
+        serving_verdicts_ok &= verdictsMatch(
+            runServe(steady_cfg, streams.size(), nullptr, ms,
+                     serve_steady_stats));
+        if (serve_steady_ms < 0.0 || ms < serve_steady_ms)
+            serve_steady_ms = ms;
+        serving_verdicts_ok &= verdictsMatch(
+            runServe(ckpt_cfg, streams.size(), nullptr, ms,
+                     serve_ckpt_stats));
+        if (serve_ckpt_ms < 0.0 || ms < serve_ckpt_ms)
+            serve_ckpt_ms = ms;
+        // Fresh files each repetition — otherwise rep N+1 appends to
+        // rep N's delta log and replays it at startup.
+        std::remove(ckpt_cfg.checkpoint_path.c_str());
+        std::remove((ckpt_cfg.checkpoint_path + ".dlt").c_str());
+    }
+    const double serve_sts_per_sec =
+        perSec(serve_total_sts, serve_steady_ms);
+    std::remove(ckpt_cfg.checkpoint_path.c_str());
+    std::remove((ckpt_cfg.checkpoint_path + ".dlt").c_str());
     const double ckpt_overhead_pct =
         (serve_ckpt_ms / serve_steady_ms - 1.0) * 100.0;
 
     // Isolated cost of one checkpoint write: serialize + fsync-free
-    // atomic rename of a full end-of-stream monitor state.
+    // atomic rename of a full end-of-stream monitor state, and the
+    // incremental alternative — cutting a steady-state delta and
+    // group-committing it to the append-only log.
     core::Monitor full_monitor(model, cfg.monitor);
     for (const auto &sts : *streams.front())
         full_monitor.step(sts);
@@ -570,9 +629,27 @@ main(int argc, char **argv)
         5, [&] { serve::saveCheckpointFile(snap, snap_path); });
     std::remove(snap_path.c_str());
 
+    double delta_commit_ms = 0.0;
+    {
+        serve::CheckpointStoreConfig store_cfg;
+        store_cfg.path = snap_path;
+        store_cfg.num_shards = 1;
+        store_cfg.full_every = 1u << 20; // never rewrite in the loop
+        serve::CheckpointStore store(store_cfg);
+        store.submitFull(0, snap);
+        full_monitor.resetDeltaBaseline(); // deltas chain off snap
+        store.flush(); // full snapshot; later flushes are deltas
+        delta_commit_ms = bestOf(5, [&] {
+            store.submitDelta(0, full_monitor.exportDelta());
+            store.flush();
+        });
+    }
+    std::remove(snap_path.c_str());
+    std::remove((snap_path + ".dlt").c_str());
+
     serve::ServeConfig rec_cfg = steady_cfg;
     rec_cfg.checkpoint_interval = 16;
-    const std::size_t crash_step = streams.front()->size() / 2;
+    const std::size_t crash_step = serve_streams.front()->size() / 2;
     auto crash_fired = std::make_shared<std::atomic<bool>>(false);
     double serve_rec_ms = 0.0;
     core::ServeStats serve_rec_stats;
@@ -593,14 +670,23 @@ main(int argc, char **argv)
     std::printf("  steady:       %8.1f ms  (%.3g STS/s)%s\n",
                 serve_steady_ms, serve_sts_per_sec,
                 serving_verdicts_ok ? "" : "  VERDICT MISMATCH");
-    std::printf("  checkpointed: %8.1f ms  (%llu checkpoints, "
+    std::printf("  checkpointed: %8.1f ms  (%llu cuts, %llu group "
+                "commits, %llu full snapshots, %llu delta bytes, "
                 "%+.1f%% vs steady)\n",
                 serve_ckpt_ms,
                 (unsigned long long)
                     serve_ckpt_stats.checkpoints_written,
+                (unsigned long long)serve_ckpt_stats.group_commits,
+                (unsigned long long)serve_ckpt_stats.full_snapshots,
+                (unsigned long long)serve_ckpt_stats.delta_bytes,
                 ckpt_overhead_pct);
-    std::printf("  ckpt write:   %8.3f ms per checkpoint\n",
-                checkpoint_write_ms);
+    std::printf("  worker stages: queue wait %8.1f ms, step %8.1f "
+                "ms, delta cut %8.1f ms (summed across shards)\n",
+                serve_ckpt_stats.queue_wait_ms,
+                serve_ckpt_stats.step_ms,
+                serve_ckpt_stats.checkpoint_ms);
+    std::printf("  full write:   %8.3f ms;  delta commit: %8.3f ms\n",
+                checkpoint_write_ms, delta_commit_ms);
     std::printf("  recovery:     %8.1f ms  (%llu restart(s), "
                 "%.2f ms restart latency)\n",
                 serve_rec_ms,
@@ -679,9 +765,13 @@ main(int argc, char **argv)
         std::fflush(stdout);
     }
 
-    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    // Written atomically: readers (CI's python asserts, concurrent
+    // plotting scripts) either see the previous complete artifact or
+    // this one, never a torn half-written file.
+    const std::string tmp_path = out_path + ".tmp";
+    std::FILE *f = std::fopen(tmp_path.c_str(), "w");
     if (f == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        std::fprintf(stderr, "cannot write %s\n", tmp_path.c_str());
         return 1;
     }
     std::fprintf(f, "{\n");
@@ -693,6 +783,14 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"monitor_runs\": %zu,\n", monitor_runs);
     std::fprintf(f, "  \"hardware_threads\": %zu,\n",
                  common::ThreadPool::hardwareThreads());
+    std::fprintf(f, "  \"thread_grid\": {\"requested\": [");
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        std::fprintf(f, "%s%zu", i == 0 ? "" : ", ", grid[i]);
+    std::fprintf(f, "], \"resolved\": [");
+    for (std::size_t i = 0; i < resolved_grid.size(); ++i)
+        std::fprintf(f, "%s%zu", i == 0 ? "" : ", ",
+                     resolved_grid[i]);
+    std::fprintf(f, "]},\n");
     std::fprintf(f, "  \"capture_ms\": %.3f,\n", capture_ms);
     std::fprintf(f, "  \"stft_ms\": %.3f,\n", stft_ms);
     std::fprintf(f, "  \"stft_samples_per_sec\": %.1f,\n",
@@ -753,6 +851,19 @@ main(int argc, char **argv)
         std::fprintf(f, "%s\"%zu\": %.3f", i == 0 ? "" : ", ",
                      grid[i], legacy_ms / sharded_ms[i]);
     std::fprintf(f, "},\n");
+    std::fprintf(f, "    \"sharded_stages\": {\n");
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto &t = sharded_stages[i];
+        std::fprintf(f,
+                     "      \"%zu\": {\"requested_threads\": %zu, "
+                     "\"resolved_threads\": %zu, \"capture_ms\": "
+                     "%.3f, \"setup_ms\": %.3f, \"kernel_ms\": %.3f, "
+                     "\"score_ms\": %.3f}%s\n",
+                     grid[i], t.requested_threads, t.resolved_threads,
+                     t.capture_ms, t.setup_ms, t.kernel_ms,
+                     t.score_ms, i + 1 == grid.size() ? "" : ",");
+    }
+    std::fprintf(f, "    },\n");
     std::fprintf(f, "    \"verdicts_identical\": %s\n",
                  verdicts_identical ? "true" : "false");
     std::fprintf(f, "  },\n");
@@ -775,6 +886,23 @@ main(int argc, char **argv)
                  ckpt_overhead_pct);
     std::fprintf(f, "    \"checkpoint_write_ms\": %.3f,\n",
                  checkpoint_write_ms);
+    std::fprintf(f, "    \"delta_commit_ms\": %.3f,\n",
+                 delta_commit_ms);
+    std::fprintf(f, "    \"group_commits\": %llu,\n",
+                 (unsigned long long)serve_ckpt_stats.group_commits);
+    std::fprintf(f, "    \"full_snapshots\": %llu,\n",
+                 (unsigned long long)serve_ckpt_stats.full_snapshots);
+    std::fprintf(f, "    \"delta_bytes\": %llu,\n",
+                 (unsigned long long)serve_ckpt_stats.delta_bytes);
+    std::fprintf(f, "    \"delta_fallbacks\": %llu,\n",
+                 (unsigned long long)
+                     serve_ckpt_stats.delta_fallbacks);
+    std::fprintf(f,
+                 "    \"worker_stage_ms\": {\"queue_wait\": %.3f, "
+                 "\"step\": %.3f, \"checkpoint\": %.3f},\n",
+                 serve_ckpt_stats.queue_wait_ms,
+                 serve_ckpt_stats.step_ms,
+                 serve_ckpt_stats.checkpoint_ms);
     std::fprintf(f, "    \"recovery_ms\": %.3f,\n", serve_rec_ms);
     std::fprintf(f, "    \"worker_crashes\": %llu,\n",
                  (unsigned long long)serve_rec_stats.worker_crashes);
@@ -790,6 +918,12 @@ main(int argc, char **argv)
                  monitor_loop_speedup >= 2.0 ? "true" : "false");
     std::fprintf(f, "    \"sharded_8_speedup_vs_legacy_ge_3\": %s,\n",
                  sharded_8_speedup >= 3.0 ? "true" : "false");
+    std::fprintf(f, "    \"sharded_scaling_ok\": %s,\n",
+                 sharded_scaling_ok ? "true" : "false");
+    std::fprintf(f, "    \"host_thread_clamped\": %s,\n",
+                 host_clamped ? "true" : "false");
+    std::fprintf(f, "    \"checkpoint_overhead_lt_10\": %s,\n",
+                 ckpt_overhead_pct < 10.0 ? "true" : "false");
     std::fprintf(f, "    \"train_8_no_slowdown\": %s,\n",
                  train_ms[0] / train_ms.back() >= 1.0 ? "true"
                                                       : "false");
@@ -813,6 +947,10 @@ main(int argc, char **argv)
     std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
+    if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+        std::fprintf(stderr, "cannot publish %s\n", out_path.c_str());
+        return 1;
+    }
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

@@ -191,14 +191,15 @@ describe(const CaptureCacheStats &stats)
 std::string
 describe(const ServeStats &stats)
 {
-    char buf[320];
+    char buf[448];
     std::snprintf(
         buf, sizeof buf,
         "serve: %llu delivered, %llu processed, %llu dropped, "
         "%llu blocked pushes, %llu retries (%llu stalls, %llu errors, "
         "%llu give-ups), %llu restarts (%llu crashes, %llu hangs, "
         "%llu escalations), %llu checkpoints, %llu restores, "
-        "%llu model reloads",
+        "%llu model reloads, %llu group commits (%llu full, "
+        "%llu delta bytes, %llu fallbacks)",
         static_cast<unsigned long long>(stats.delivered),
         static_cast<unsigned long long>(stats.processed),
         static_cast<unsigned long long>(stats.dropped_oldest),
@@ -213,7 +214,11 @@ describe(const ServeStats &stats)
         static_cast<unsigned long long>(stats.escalations),
         static_cast<unsigned long long>(stats.checkpoints_written),
         static_cast<unsigned long long>(stats.checkpoint_restores),
-        static_cast<unsigned long long>(stats.model_reloads));
+        static_cast<unsigned long long>(stats.model_reloads),
+        static_cast<unsigned long long>(stats.group_commits),
+        static_cast<unsigned long long>(stats.full_snapshots),
+        static_cast<unsigned long long>(stats.delta_bytes),
+        static_cast<unsigned long long>(stats.delta_fallbacks));
     return std::string(buf);
 }
 

@@ -1,7 +1,9 @@
 #include "monitor.h"
 
 #include <algorithm>
+#include <string>
 
+#include "errors.h"
 #include "stats/ks.h"
 #include "stats/mwu.h"
 
@@ -99,6 +101,133 @@ Monitor::restoreState(const MonitorState &state)
     gate_.restoreEnergies(state.gate_energies);
     reports_ = state.reports;
     records_ = state.records;
+    resetDeltaBaseline();
+}
+
+void
+Monitor::resetDeltaBaseline()
+{
+    delta_base_step_ = step_index_;
+    delta_base_records_ = records_.size();
+    delta_base_reports_ = reports_.size();
+    delta_base_pushes_ = history_.pushes();
+    retro_low_water_ = std::size_t(-1);
+}
+
+MonitorStateDelta
+Monitor::exportDelta()
+{
+    MonitorStateDelta d;
+    d.base_step = delta_base_step_;
+    d.step = step_index_;
+    d.current = current_;
+    d.steps_since_change = steps_since_change_;
+    d.anomaly_count = anomaly_count_;
+    d.test_calls = test_calls_;
+    d.outage_len = outage_len_;
+    d.resync_pending = resync_pending_;
+    d.degraded = degraded_;
+    d.gate_energies = gate_.exportEnergies();
+
+    d.history_pushes = history_.pushes();
+    d.history_count = history_.size();
+    // Rows appended since the base cut that are still resident: when
+    // the interval pushed a ring-full or more (or clear() emptied the
+    // ring mid-interval), every resident row is new and the tail is a
+    // full replacement; otherwise it is a pure append and apply
+    // evicts from the front down to history_count.
+    const std::uint64_t appended = history_.pushes() - delta_base_pushes_;
+    const std::size_t tail_n = std::size_t(
+        std::min<std::uint64_t>(appended, history_.size()));
+    d.history_tail.resize(tail_n);
+    for (std::size_t i = 0; i < tail_n; ++i) {
+        auto &row = d.history_tail[i];
+        row.resize(history_.width());
+        const std::size_t src = history_.size() - tail_n + i;
+        for (std::size_t p = 0; p < history_.width(); ++p)
+            row[p] = history_.at(src, p);
+    }
+
+    d.records_from = std::min(delta_base_records_, retro_low_water_);
+    d.records.assign(records_.begin() + std::ptrdiff_t(d.records_from),
+                     records_.end());
+    d.reports_from = delta_base_reports_;
+    d.reports.assign(reports_.begin() + std::ptrdiff_t(d.reports_from),
+                     reports_.end());
+
+    resetDeltaBaseline();
+    return d;
+}
+
+void
+Monitor::reset()
+{
+    current_ = model_.entry_region < model_.regions.size()
+                   ? model_.entry_region
+                   : 0;
+    steps_since_change_ = 0;
+    anomaly_count_ = 0;
+    step_index_ = 0;
+    test_calls_ = 0;
+    outage_len_ = 0;
+    resync_pending_ = false;
+    history_.clear();
+    reports_.clear();
+    records_.clear();
+    degraded_ = DegradedStats{};
+    gate_.reset();
+    resetDeltaBaseline();
+}
+
+void
+applyDelta(MonitorState &state, const MonitorStateDelta &delta)
+{
+    if (delta.base_step != state.step_index)
+        throw FormatError("monitor delta: chain gap (base " +
+                          std::to_string(delta.base_step) +
+                          ", state at " +
+                          std::to_string(state.step_index) + ")");
+    state.current = delta.current;
+    state.steps_since_change = delta.steps_since_change;
+    state.anomaly_count = delta.anomaly_count;
+    state.step_index = delta.step;
+    state.test_calls = delta.test_calls;
+    state.outage_len = delta.outage_len;
+    state.resync_pending = delta.resync_pending;
+    state.degraded = delta.degraded;
+    state.gate_energies = delta.gate_energies;
+
+    if (delta.history_tail.size() > delta.history_count)
+        throw FormatError("monitor delta: tail exceeds ring count");
+    if (delta.history_tail.size() == delta.history_count) {
+        // Full replacement: the interval refilled (or cleared) the
+        // whole ring.
+        state.history = delta.history_tail;
+    } else {
+        for (const auto &row : delta.history_tail)
+            state.history.push_back(row);
+        if (state.history.size() < delta.history_count)
+            throw FormatError("monitor delta: ring underflow");
+        state.history.erase(
+            state.history.begin(),
+            state.history.end() - std::ptrdiff_t(delta.history_count));
+    }
+
+    if (delta.records_from > state.records.size())
+        throw FormatError("monitor delta: record rewrite past end");
+    state.records.resize(std::size_t(delta.records_from));
+    state.records.insert(state.records.end(), delta.records.begin(),
+                         delta.records.end());
+    // One record per step, always — a cheap structural check that
+    // catches mismatched chains the scalars alone would miss.
+    if (state.records.size() != delta.step)
+        throw FormatError("monitor delta: record count != step index");
+
+    if (delta.reports_from > state.reports.size())
+        throw FormatError("monitor delta: report rewrite past end");
+    state.reports.resize(std::size_t(delta.reports_from));
+    state.reports.insert(state.reports.end(), delta.reports.begin(),
+                         delta.reports.end());
 }
 
 void
@@ -360,6 +489,12 @@ Monitor::step(const Sts &sts)
                      k < streak && k < records_.size(); ++k) {
                     records_[records_.size() - 1 - k].reported = true;
                 }
+                // The streak may reach back before the last delta
+                // cut; remember the lowest rewritten index so
+                // exportDelta() re-sends those records.
+                const std::size_t low =
+                    records_.size() - std::min(streak, records_.size());
+                retro_low_water_ = std::min(retro_low_water_, low);
                 anomaly_count_ = 0;
             }
         }

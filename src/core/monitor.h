@@ -16,6 +16,7 @@
 #define EDDIE_CORE_MONITOR_H
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -161,6 +162,73 @@ struct MonitorState
     std::vector<StepRecord> records;
 };
 
+/**
+ * Incremental snapshot: everything a monitor changed since the
+ * previous cut, chained by step index. Small scalars (region
+ * position, streak counters, degraded stats, the bounded gate-energy
+ * window) are carried absolutely — they are O(1) and re-deriving
+ * them from per-step mutations would be fragile. The unbounded parts
+ * are carried as true deltas:
+ *
+ *  - history_tail: the PeakHistory rows pushed since the base cut
+ *    that are still resident in the ring (oldest first). When the
+ *    interval pushed at least a ring-full (or a resync cleared the
+ *    ring), the tail IS the whole resident ring
+ *    (history_tail.size() == history_count) and apply replaces
+ *    instead of appending.
+ *  - records/reports: appended entries, plus records_from — the
+ *    rewrite low-water mark, because an anomaly report retro-marks
+ *    up to report_threshold records that may precede the base cut.
+ *
+ * applyDelta() folds one delta into the MonitorState of the previous
+ * cut; a chain of deltas applied onto a full snapshot reproduces
+ * exportState() at the final cut exactly (property-tested). The
+ * serving runtime serializes these into the group-committed delta
+ * log (serve/checkpoint.h, DESIGN.md §7).
+ */
+struct MonitorStateDelta
+{
+    /** step_index at the previous cut — the chain link. */
+    std::uint64_t base_step = 0;
+    /** step_index at this cut. */
+    std::uint64_t step = 0;
+
+    /** Absolute scalar state at this cut. */
+    std::size_t current = 0;
+    std::size_t steps_since_change = 0;
+    std::size_t anomaly_count = 0;
+    std::size_t test_calls = 0;
+    std::size_t outage_len = 0;
+    bool resync_pending = false;
+    DegradedStats degraded;
+    std::vector<double> gate_energies;
+
+    /** Total ring pushes and resident rows at this cut. */
+    std::uint64_t history_pushes = 0;
+    std::uint64_t history_count = 0;
+    /** Rows pushed since the base cut still resident, oldest first. */
+    std::vector<std::vector<double>> history_tail;
+
+    /** Records are rewritten from this index (retro-marked streaks
+     *  can reach back before the base cut, never further than
+     *  report_threshold entries). */
+    std::uint64_t records_from = 0;
+    std::vector<StepRecord> records;
+    /** Reports are append-only. */
+    std::uint64_t reports_from = 0;
+    std::vector<AnomalyReport> reports;
+};
+
+/**
+ * Folds @p delta into @p state (the state at delta.base_step),
+ * advancing it to delta.step. Throws FormatError when the chain does
+ * not link up (base_step mismatch, impossible history arithmetic, or
+ * an out-of-range rewrite index) — the delta-log replay in
+ * serve/checkpoint.cpp turns that into a fall-back to the last full
+ * snapshot.
+ */
+void applyDelta(MonitorState &state, const MonitorStateDelta &delta);
+
 /** Online monitor; feed STSs in arrival order via step(). */
 class Monitor
 {
@@ -181,6 +249,31 @@ class Monitor
      * different model after a hot reload) are truncated or padded.
      */
     void restoreState(const MonitorState &state);
+
+    /**
+     * Exports the changes since the previous cut (construction,
+     * restoreState(), reset(), or the last exportDelta() call) and
+     * advances the cut baseline to now. Applying the returned delta
+     * onto the MonitorState of the previous cut reproduces
+     * exportState() exactly. Non-const: it moves the baseline.
+     */
+    MonitorStateDelta exportDelta();
+
+    /** Moves the delta baseline to the current position without
+     *  exporting — the serving runtime calls this after it persists
+     *  a full snapshot, so the next delta chains off that cut. */
+    void resetDeltaBaseline();
+
+    /**
+     * Returns the monitor to its just-constructed state (stream
+     * position zero, empty history/verdicts, fresh gate) without
+     * reallocating the history ring, scratch arena, presorted views,
+     * or candidate graph. Stepping a reset monitor over a stream is
+     * bit-identical to stepping a freshly constructed one — the
+     * property Pipeline::monitorBatch relies on to reuse one monitor
+     * per shard instead of constructing one per run.
+     */
+    void reset();
 
     /** All reports so far. */
     const std::vector<AnomalyReport> &reports() const { return reports_; }
@@ -268,6 +361,17 @@ class Monitor
     /** Set when an outage invalidated the history; cleared by the
      *  re-lock scan once enough good windows arrive. */
     bool resync_pending_ = false;
+
+    /** Delta-cut baseline: stream position at the last exportDelta()
+     *  (or restore/reset). */
+    std::uint64_t delta_base_step_ = 0;
+    std::size_t delta_base_records_ = 0;
+    std::size_t delta_base_reports_ = 0;
+    std::uint64_t delta_base_pushes_ = 0;
+    /** Lowest record index retro-marked by a report since the last
+     *  cut (SIZE_MAX = none) — the rewrite window exportDelta() must
+     *  re-send even though those records predate the baseline. */
+    std::size_t retro_low_water_ = std::size_t(-1);
 };
 
 } // namespace eddie::core

@@ -1,7 +1,10 @@
 #include "pipeline.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "capture_cache.h"
 #include "common/thread_pool.h"
@@ -223,6 +226,38 @@ keyPlan(KeyBuilder &kb, const cpu::InjectionPlan &plan)
     }
 }
 
+/**
+ * Seed/plan-independent half of the cache key: program, regions, and
+ * the full capture configuration. The v3 layout puts these first so a
+ * Pipeline can serialize them once and prepend the cached bytes on
+ * every lookup instead of re-walking the program per capture.
+ */
+std::string
+captureKeyPrefix(const workloads::Workload &workload,
+                 const PipelineConfig &config)
+{
+    KeyBuilder kb;
+    kb.str("EDDIE-CKEY-v3");
+    keyProgram(kb, workload.program);
+    keyRegions(kb, workload.regions);
+    keyCoreConfig(kb, config.core);
+    keyEnergy(kb, config.energy);
+    keySignalChain(kb, config);
+    return kb.take();
+}
+
+/** Per-invocation half: input image, seed, and injection plan. */
+std::string
+captureKeySuffix(const workloads::Workload &workload,
+                 std::uint64_t seed, const cpu::InjectionPlan &plan)
+{
+    KeyBuilder kb;
+    keyInput(kb, workload.make_input(seed));
+    kb.u64(seed);
+    keyPlan(kb, plan);
+    return kb.take();
+}
+
 } // namespace
 
 std::string
@@ -230,21 +265,13 @@ captureCacheKey(const workloads::Workload &workload,
                 const PipelineConfig &config, std::uint64_t seed,
                 const cpu::InjectionPlan &plan)
 {
-    KeyBuilder kb;
-    kb.str("EDDIE-CKEY-v2");
-    keyProgram(kb, workload.program);
-    keyRegions(kb, workload.regions);
-    keyInput(kb, workload.make_input(seed));
-    keyCoreConfig(kb, config.core);
-    keyEnergy(kb, config.energy);
-    keySignalChain(kb, config);
-    kb.u64(seed);
-    keyPlan(kb, plan);
-    return kb.take();
+    return captureKeyPrefix(workload, config) +
+           captureKeySuffix(workload, seed, plan);
 }
 
 Pipeline::Pipeline(workloads::Workload workload, PipelineConfig config)
-    : workload_(std::move(workload)), config_(std::move(config))
+    : workload_(std::move(workload)), config_(std::move(config)),
+      key_prefix_(captureKeyPrefix(workload_, config_))
 {
 }
 
@@ -336,7 +363,7 @@ Pipeline::captureRunShared(std::uint64_t seed,
             toSts(simulate(seed, plan)));
     }
     return config_.capture_cache->getOrComputeShared(
-        captureCacheKey(workload_, config_, seed, plan),
+        key_prefix_ + captureKeySuffix(workload_, seed, plan),
         [&] { return toSts(simulate(seed, plan)); });
 }
 
@@ -379,18 +406,94 @@ Pipeline::monitorRun(const TrainedModel &model, std::uint64_t seed,
 std::vector<RunEvaluation>
 Pipeline::monitorBatch(const TrainedModel &model,
                        const std::vector<std::uint64_t> &seeds,
-                       const std::vector<cpu::InjectionPlan> &plans) const
+                       const std::vector<cpu::InjectionPlan> &plans,
+                       BatchStageTimings *timings) const
 {
     if (!plans.empty() && plans.size() != seeds.size())
         throw std::invalid_argument(
             "monitorBatch: plans must be empty or match seeds");
-    common::ThreadPool pool(
-        common::ThreadPool::resolveThreads(config_.threads));
-    return pool.parallelMap(seeds.size(), [&](std::size_t i) {
-        return monitorRun(model, seeds[i],
-                          plans.empty() ? cpu::InjectionPlan()
-                                        : plans[i]);
+    const std::size_t total = seeds.size();
+    const std::size_t resolved =
+        common::ThreadPool::resolveThreads(config_.threads);
+    const std::size_t workers =
+        std::max<std::size_t>(std::min(resolved, total), 1);
+    if (timings != nullptr) {
+        *timings = BatchStageTimings{};
+        timings->requested_threads =
+            config_.threads == 0 ? resolved : config_.threads;
+        timings->resolved_threads = workers;
+    }
+    if (total == 0)
+        return {};
+
+    struct ShardOut
+    {
+        std::vector<RunEvaluation> evals;
+        BatchStageTimings t;
+    };
+    common::ThreadPool pool(workers);
+    // One contiguous chunk of seeds per worker; each chunk reuses one
+    // shard-local Monitor (reset between runs) so the steady-state
+    // loop does no per-run history/gate reallocation. Concatenating
+    // chunks in shard order restores the seeds[i] <-> result[i]
+    // mapping, and a reset monitor steps bit-identically to a fresh
+    // one, so output is independent of the worker count.
+    auto shards = pool.parallelMap(workers, [&](std::size_t s) {
+        using clock = std::chrono::steady_clock;
+        const auto ms = [](clock::time_point a, clock::time_point b) {
+            return std::chrono::duration<double, std::milli>(b - a)
+                .count();
+        };
+        ShardOut out;
+        const std::size_t lo = s * total / workers;
+        const std::size_t hi = (s + 1) * total / workers;
+        out.evals.reserve(hi - lo);
+
+        auto t0 = clock::now();
+        Monitor monitor(model, config_.monitor);
+        auto t1 = clock::now();
+        out.t.setup_ms += ms(t0, t1);
+        for (std::size_t i = lo; i < hi; ++i) {
+            t0 = clock::now();
+            const auto stream = captureRunShared(
+                seeds[i],
+                plans.empty() ? cpu::InjectionPlan() : plans[i]);
+            t1 = clock::now();
+            out.t.capture_ms += ms(t0, t1);
+
+            monitor.reset();
+            t0 = clock::now();
+            out.t.setup_ms += ms(t1, t0);
+            for (const auto &sts : *stream)
+                monitor.step(sts);
+            t1 = clock::now();
+            out.t.kernel_ms += ms(t0, t1);
+
+            RunEvaluation ev;
+            ev.reports = monitor.reports();
+            ev.records = monitor.records();
+            ev.metrics =
+                scoreRun(*stream, ev.records, ev.reports, model);
+            ev.degraded = monitor.degradedStats();
+            out.t.score_ms += ms(t1, clock::now());
+            out.evals.push_back(std::move(ev));
+        }
+        return out;
     });
+
+    std::vector<RunEvaluation> result;
+    result.reserve(total);
+    for (auto &sh : shards) {
+        if (timings != nullptr) {
+            timings->capture_ms += sh.t.capture_ms;
+            timings->setup_ms += sh.t.setup_ms;
+            timings->kernel_ms += sh.t.kernel_ms;
+            timings->score_ms += sh.t.score_ms;
+        }
+        for (auto &ev : sh.evals)
+            result.push_back(std::move(ev));
+    }
+    return result;
 }
 
 } // namespace eddie::core

@@ -89,6 +89,26 @@ struct RunEvaluation
     DegradedStats degraded;
 };
 
+/**
+ * Per-stage wall-clock breakdown of one monitorBatch() call, summed
+ * across shard workers. Each stage answers one question about a flat
+ * scaling curve: was the time spent obtaining streams (capture),
+ * preparing per-run state (setup), stepping the monitor (kernel), or
+ * scoring verdicts (score) — and did the pool actually run the
+ * requested thread count, or did the hardware clamp it
+ * (resolved_threads < requested when hardware concurrency is the
+ * binding constraint)?
+ */
+struct BatchStageTimings
+{
+    std::size_t requested_threads = 0;
+    std::size_t resolved_threads = 0;
+    double capture_ms = 0.0;
+    double setup_ms = 0.0;
+    double kernel_ms = 0.0;
+    double score_ms = 0.0;
+};
+
 /** Binds a workload to a configuration and runs the experiment
  *  stages. */
 class Pipeline
@@ -137,11 +157,20 @@ class Pipeline
      * seeds.size()), so the output order — and every value in it —
      * is independent of the thread count. This is the Monte-Carlo
      * engine behind the bench/ figures.
+     *
+     * Seeds are split into one contiguous chunk per resolved worker;
+     * each chunk reuses a single shard-local Monitor (reset between
+     * runs) as its scratch arena, so the steady-state hot path
+     * allocates nothing per run. Stepping a reset monitor is
+     * bit-identical to a fresh one, so results are still independent
+     * of the thread count. @p timings, when non-null, receives the
+     * per-stage breakdown.
      */
     std::vector<RunEvaluation>
     monitorBatch(const TrainedModel &model,
                  const std::vector<std::uint64_t> &seeds,
-                 const std::vector<cpu::InjectionPlan> &plans = {}) const;
+                 const std::vector<cpu::InjectionPlan> &plans = {},
+                 BatchStageTimings *timings = nullptr) const;
 
     const workloads::Workload &workload() const { return workload_; }
     const PipelineConfig &config() const { return config_; }
@@ -149,6 +178,10 @@ class Pipeline
   private:
     workloads::Workload workload_;
     PipelineConfig config_;
+    /** Seed- and plan-independent prefix of the capture cache key
+     *  (program, regions, core, energy, signal chain), serialized
+     *  once at construction instead of once per lookup. */
+    std::string key_prefix_;
 };
 
 /**

@@ -121,6 +121,10 @@ class QualityGate
      *  newest energy_window values are kept. */
     void restoreEnergies(const std::vector<double> &energies);
 
+    /** Drops the baseline window, returning the gate to its
+     *  just-constructed state (Monitor::reset()). */
+    void reset() { energies_.clear(); }
+
   private:
     const TrainedModel &model_;
     QualityConfig cfg_;

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -87,6 +88,7 @@ class PeakHistory
         data_.assign(cap_ * width_, fill_);
         head_ = 0;
         count_ = 0;
+        pushes_ = 0;
     }
 
     /** Appends one row (newest), evicting the oldest when full. */
@@ -98,10 +100,20 @@ class PeakHistory
         std::fill(dst + n, dst + width_, fill_);
         head_ = (head_ + 1) % cap_;
         count_ = std::min(count_ + 1, cap_);
+        ++pushes_;
     }
 
     /** Rows currently held (<= capacity). */
     std::size_t size() const { return count_; }
+
+    /**
+     * Total rows pushed since reset() — a monotonic sequence number
+     * that keeps counting across clear() (a resync drops the rows but
+     * not the stream position). Two snapshots of this counter bound
+     * exactly which rows were appended between them, which is what
+     * the delta-checkpoint exporter (monitor.h) iterates over.
+     */
+    std::uint64_t pushes() const { return pushes_; }
 
     /** Values per row (the padded rank count). */
     std::size_t width() const { return width_; }
@@ -122,6 +134,7 @@ class PeakHistory
     std::size_t width_ = 0;
     std::size_t head_ = 0; ///< slot the next push writes
     std::size_t count_ = 0;
+    std::uint64_t pushes_ = 0;
     double fill_ = 0.0;
 };
 

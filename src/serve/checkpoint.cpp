@@ -1,10 +1,14 @@
 #include "checkpoint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <utility>
 
+#include "common/crc32.h"
 #include "core/capture_io.h"
 #include "core/errors.h"
 
@@ -15,7 +19,11 @@ namespace
 {
 
 constexpr char kMagic[8] = {'E', 'D', 'D', 'I', 'E', 'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
+constexpr char kDeltaMagic[8] = {'E', 'D', 'D', 'I',
+                                 'E', 'D', 'L', 'T'};
+constexpr std::uint32_t kVersion = 1;      ///< single-shard full state
+constexpr std::uint32_t kGroupVersion = 2; ///< epoch + all shards
+constexpr std::uint32_t kDeltaVersion = 1; ///< delta-log segment
 /** Element-count sanity cap; a corrupt length field must fail as
  *  FormatError, not as a giant allocation. */
 constexpr std::uint64_t kMaxElements = std::uint64_t(1) << 32;
@@ -70,11 +78,10 @@ class Cursor
     std::size_t off_ = 0;
 };
 
-std::string
-encode(const CheckpointData &ckpt)
+void
+encodeInto(std::string &out, const CheckpointData &ckpt)
 {
     const core::MonitorState &m = ckpt.monitor;
-    std::string out;
     put<std::uint64_t>(out, ckpt.source_pos);
     put<std::uint64_t>(out, m.current);
     put<std::uint64_t>(out, m.steps_since_change);
@@ -126,13 +133,11 @@ encode(const CheckpointData &ckpt)
             flags |= kDegraded;
         put<std::uint8_t>(out, flags);
     }
-    return out;
 }
 
 CheckpointData
-decode(const std::string &payload)
+decodeFrom(Cursor &c)
 {
-    Cursor c(payload);
     CheckpointData ckpt;
     core::MonitorState &m = ckpt.monitor;
     ckpt.source_pos = c.get<std::uint64_t>();
@@ -184,30 +189,190 @@ decode(const std::string &payload)
         r.transitioned = (flags & kTransitioned) != 0;
         r.degraded = (flags & kDegraded) != 0;
     }
+    return ckpt;
+}
 
+CheckpointData
+decode(const std::string &payload)
+{
+    Cursor c(payload);
+    CheckpointData ckpt = decodeFrom(c);
     if (!c.exhausted())
         throw core::FormatError("checkpoint: trailing payload bytes");
     return ckpt;
 }
 
-} // namespace
-
 void
-saveCheckpoint(const CheckpointData &ckpt, std::ostream &os)
+encodeDeltaInto(std::string &out, const core::MonitorStateDelta &d)
 {
-    core::writeFramed(os, kMagic, kVersion, encode(ckpt));
+    put<std::uint64_t>(out, d.base_step);
+    put<std::uint64_t>(out, d.step);
+    put<std::uint64_t>(out, d.current);
+    put<std::uint64_t>(out, d.steps_since_change);
+    put<std::uint64_t>(out, d.anomaly_count);
+    put<std::uint64_t>(out, d.test_calls);
+    put<std::uint64_t>(out, d.outage_len);
+    put<std::uint8_t>(out, d.resync_pending ? 1 : 0);
+
+    put<std::uint64_t>(out, d.degraded.quarantined);
+    put<std::uint64_t>(out, d.degraded.outages);
+    put<std::uint64_t>(out, d.degraded.resyncs);
+    put<std::uint64_t>(out, d.degraded.longest_outage);
+    for (std::size_t kind : d.degraded.by_kind)
+        put<std::uint64_t>(out, kind);
+
+    put<std::uint64_t>(out, d.gate_energies.size());
+    for (double e : d.gate_energies)
+        put<double>(out, e);
+
+    put<std::uint64_t>(out, d.history_pushes);
+    put<std::uint64_t>(out, d.history_count);
+    const std::uint64_t width =
+        d.history_tail.empty() ? 0 : d.history_tail.front().size();
+    put<std::uint64_t>(out, d.history_tail.size());
+    put<std::uint64_t>(out, width);
+    for (const auto &row : d.history_tail)
+        for (std::size_t p = 0; p < width; ++p)
+            put<double>(out, p < row.size() ? row[p] : 0.0);
+
+    put<std::uint64_t>(out, d.records_from);
+    put<std::uint64_t>(out, d.records.size());
+    for (const auto &r : d.records) {
+        put<std::uint64_t>(out, r.region);
+        std::uint8_t flags = 0;
+        if (r.tested)
+            flags |= kTested;
+        if (r.rejected)
+            flags |= kRejected;
+        if (r.reported)
+            flags |= kReported;
+        if (r.transitioned)
+            flags |= kTransitioned;
+        if (r.degraded)
+            flags |= kDegraded;
+        put<std::uint8_t>(out, flags);
+    }
+
+    put<std::uint64_t>(out, d.reports_from);
+    put<std::uint64_t>(out, d.reports.size());
+    for (const auto &r : d.reports) {
+        put<std::uint64_t>(out, r.step);
+        put<double>(out, r.time);
+        put<std::uint64_t>(out, r.region);
+    }
 }
 
-CheckpointData
-loadCheckpoint(std::istream &is)
+core::MonitorStateDelta
+decodeDeltaFrom(Cursor &c)
 {
-    std::string payload;
-    core::readFramed(is, kMagic, kVersion, 1, "checkpoint", payload);
-    return decode(payload);
+    core::MonitorStateDelta d;
+    d.base_step = c.get<std::uint64_t>();
+    d.step = c.get<std::uint64_t>();
+    d.current = std::size_t(c.get<std::uint64_t>());
+    d.steps_since_change = std::size_t(c.get<std::uint64_t>());
+    d.anomaly_count = std::size_t(c.get<std::uint64_t>());
+    d.test_calls = std::size_t(c.get<std::uint64_t>());
+    d.outage_len = std::size_t(c.get<std::uint64_t>());
+    d.resync_pending = c.get<std::uint8_t>() != 0;
+
+    d.degraded.quarantined = std::size_t(c.get<std::uint64_t>());
+    d.degraded.outages = std::size_t(c.get<std::uint64_t>());
+    d.degraded.resyncs = std::size_t(c.get<std::uint64_t>());
+    d.degraded.longest_outage = std::size_t(c.get<std::uint64_t>());
+    for (std::size_t &kind : d.degraded.by_kind)
+        kind = std::size_t(c.get<std::uint64_t>());
+
+    const std::uint64_t n_energies = c.count("gate energy");
+    d.gate_energies.resize(std::size_t(n_energies));
+    for (double &e : d.gate_energies)
+        e = c.get<double>();
+
+    d.history_pushes = c.get<std::uint64_t>();
+    d.history_count = c.count("ring row");
+    const std::uint64_t rows = c.count("tail row");
+    const std::uint64_t width = c.count("tail width");
+    d.history_tail.resize(std::size_t(rows));
+    for (auto &row : d.history_tail) {
+        row.resize(std::size_t(width));
+        for (double &v : row)
+            v = c.get<double>();
+    }
+
+    d.records_from = c.count("record rewrite index");
+    const std::uint64_t n_records = c.count("record");
+    d.records.resize(std::size_t(n_records));
+    for (auto &r : d.records) {
+        r.region = std::size_t(c.get<std::uint64_t>());
+        const std::uint8_t flags = c.get<std::uint8_t>();
+        r.tested = (flags & kTested) != 0;
+        r.rejected = (flags & kRejected) != 0;
+        r.reported = (flags & kReported) != 0;
+        r.transitioned = (flags & kTransitioned) != 0;
+        r.degraded = (flags & kDegraded) != 0;
+    }
+
+    d.reports_from = c.count("report rewrite index");
+    const std::uint64_t n_reports = c.count("report");
+    d.reports.resize(std::size_t(n_reports));
+    for (auto &r : d.reports) {
+        r.step = std::size_t(c.get<std::uint64_t>());
+        r.time = c.get<double>();
+        r.region = std::size_t(c.get<std::uint64_t>());
+    }
+    return d;
 }
 
+/** Raw little helper for the version-range frame reader below. */
+template <typename T>
+T
+getRaw(std::istream &is, const char *what)
+{
+    T value;
+    is.read(reinterpret_cast<char *>(&value), sizeof value);
+    if (!is)
+        throw core::IoError(std::string(what) + ": truncated input");
+    return value;
+}
+
+/**
+ * Reads one "EDDIECKP" frame accepting BOTH layout versions (the
+ * shared core::readFramed insists on exactly one). Returns the stored
+ * version; the caller dispatches v1 (single shard) vs v2 (group).
+ */
+std::uint32_t
+readCheckpointFrame(std::istream &is, std::string &payload)
+{
+    const char *what = "checkpoint";
+    char stored[8];
+    is.read(stored, sizeof stored);
+    if (!is)
+        throw core::IoError(std::string(what) + ": truncated input");
+    if (std::memcmp(stored, kMagic, sizeof stored) != 0)
+        throw core::FormatError(std::string(what) + ": bad magic");
+    const auto version = getRaw<std::uint32_t>(is, what);
+    if (version < kVersion || version > kGroupVersion)
+        throw core::FormatError(std::string(what) +
+                                ": unsupported version");
+    const auto size = getRaw<std::uint64_t>(is, what);
+    if (size > (std::uint64_t(1) << 40))
+        throw core::FormatError(std::string(what) +
+                                ": implausible size");
+    payload.resize(std::size_t(size));
+    is.read(payload.data(), std::streamsize(payload.size()));
+    if (!is)
+        throw core::IoError(std::string(what) + ": truncated payload");
+    const auto stored_crc = getRaw<std::uint32_t>(is, what);
+    if (stored_crc != common::crc32(payload))
+        throw core::FormatError(std::string(what) +
+                                ": checksum mismatch");
+    return version;
+}
+
+/** Atomic tmp+flush+rename writer shared by the v1 and v2 file
+ *  savers. */
 void
-saveCheckpointFile(const CheckpointData &ckpt, const std::string &path)
+writeFileAtomic(const std::string &path,
+                const std::function<void(std::ostream &)> &emit)
 {
     const std::string tmp = path + ".tmp";
     {
@@ -216,7 +381,7 @@ saveCheckpointFile(const CheckpointData &ckpt, const std::string &path)
             throw core::IoError("checkpoint: cannot open " + tmp);
         }
         try {
-            saveCheckpoint(ckpt, os);
+            emit(os);
         } catch (...) {
             os.close();
             std::remove(tmp.c_str());
@@ -236,6 +401,31 @@ saveCheckpointFile(const CheckpointData &ckpt, const std::string &path)
     }
 }
 
+} // namespace
+
+void
+saveCheckpoint(const CheckpointData &ckpt, std::ostream &os)
+{
+    std::string payload;
+    encodeInto(payload, ckpt);
+    core::writeFramed(os, kMagic, kVersion, payload);
+}
+
+CheckpointData
+loadCheckpoint(std::istream &is)
+{
+    std::string payload;
+    core::readFramed(is, kMagic, kVersion, 1, "checkpoint", payload);
+    return decode(payload);
+}
+
+void
+saveCheckpointFile(const CheckpointData &ckpt, const std::string &path)
+{
+    writeFileAtomic(path,
+                    [&](std::ostream &os) { saveCheckpoint(ckpt, os); });
+}
+
 CheckpointData
 loadCheckpointFile(const std::string &path)
 {
@@ -243,6 +433,408 @@ loadCheckpointFile(const std::string &path)
     if (!is)
         throw core::IoError("checkpoint: cannot open " + path);
     return loadCheckpoint(is);
+}
+
+void
+saveGroupCheckpoint(const GroupCheckpoint &group, std::ostream &os)
+{
+    std::string payload;
+    put<std::uint64_t>(payload, group.epoch);
+    put<std::uint64_t>(payload, group.shards.size());
+    for (const auto &shard : group.shards)
+        encodeInto(payload, shard);
+    core::writeFramed(os, kMagic, kGroupVersion, payload);
+}
+
+GroupCheckpoint
+loadGroupCheckpoint(std::istream &is)
+{
+    std::string payload;
+    const std::uint32_t version = readCheckpointFrame(is, payload);
+    GroupCheckpoint group;
+    if (version == kVersion) {
+        // Legacy single-shard file: one chain-less shard, epoch 0.
+        group.shards.push_back(decode(payload));
+        return group;
+    }
+    Cursor c(payload);
+    group.epoch = c.get<std::uint64_t>();
+    const std::uint64_t n = c.count("shard");
+    group.shards.reserve(std::size_t(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+        group.shards.push_back(decodeFrom(c));
+    if (!c.exhausted())
+        throw core::FormatError("checkpoint: trailing payload bytes");
+    return group;
+}
+
+void
+saveGroupCheckpointFile(const GroupCheckpoint &group,
+                        const std::string &path)
+{
+    writeFileAtomic(path, [&](std::ostream &os) {
+        saveGroupCheckpoint(group, os);
+    });
+}
+
+GroupCheckpoint
+loadGroupCheckpointFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw core::IoError("checkpoint: cannot open " + path);
+    return loadGroupCheckpoint(is);
+}
+
+std::size_t
+appendDeltaSegment(std::ostream &os, const DeltaSegment &seg)
+{
+    std::string payload;
+    payload.reserve(512 * (seg.entries.size() + 1));
+    put<std::uint64_t>(payload, seg.epoch);
+    put<std::uint64_t>(payload, seg.entries.size());
+    for (const auto &entry : seg.entries) {
+        put<std::uint64_t>(payload, entry.shard);
+        encodeDeltaInto(payload, entry.delta);
+    }
+    // Frame into one contiguous buffer so the segment lands in a
+    // single stream write — the group-commit contract.
+    std::ostringstream framed(std::ios::binary);
+    core::writeFramed(framed, kDeltaMagic, kDeltaVersion, payload);
+    const std::string bytes = framed.str();
+    os.write(bytes.data(), std::streamsize(bytes.size()));
+    return bytes.size();
+}
+
+bool
+readDeltaSegment(std::istream &is, DeltaSegment &seg)
+{
+    if (is.peek() == std::char_traits<char>::eof())
+        return false; // clean end of log
+    std::string payload;
+    core::readFramed(is, kDeltaMagic, kDeltaVersion, 1, "delta log",
+                     payload);
+    Cursor c(payload);
+    seg.epoch = c.get<std::uint64_t>();
+    const std::uint64_t n = c.count("delta entry");
+    seg.entries.clear();
+    seg.entries.reserve(std::size_t(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        DeltaEntry entry;
+        entry.shard = c.get<std::uint64_t>();
+        entry.delta = decodeDeltaFrom(c);
+        seg.entries.push_back(std::move(entry));
+    }
+    if (!c.exhausted())
+        throw core::FormatError("delta log: trailing payload bytes");
+    return true;
+}
+
+std::string
+shardCheckpointPath(const std::string &base, std::size_t shard,
+                    std::size_t shards)
+{
+    if (base.empty() || shards <= 1)
+        return base;
+    return base + "." + std::to_string(shard);
+}
+
+CheckpointStore::CheckpointStore(const CheckpointStoreConfig &cfg)
+    : cfg_(cfg), mirrors_(std::max<std::size_t>(cfg.num_shards, 1)),
+      mirror_gen_(mirrors_.size(), 0)
+{
+    if (cfg_.full_every == 0)
+        cfg_.full_every = 1;
+}
+
+std::vector<bool>
+CheckpointStore::recover()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<bool> recovered(mirrors_.size(), false);
+    if (cfg_.path.empty())
+        return recovered;
+
+    GroupCheckpoint group;
+    bool have_group = false;
+    try {
+        group = loadGroupCheckpointFile(cfg_.path);
+        have_group = true;
+    } catch (const core::Error &) {
+        // Missing or unreadable snapshot: fall through to the legacy
+        // per-shard layout, then to a cold start.
+    }
+
+    if (!have_group) {
+        if (mirrors_.size() > 1) {
+            for (std::size_t i = 0; i < mirrors_.size(); ++i) {
+                try {
+                    mirrors_[i] = loadCheckpointFile(shardCheckpointPath(
+                        cfg_.path, i, mirrors_.size()));
+                    recovered[i] = true;
+                } catch (const core::Error &) {
+                }
+            }
+        }
+        return recovered;
+    }
+
+    for (std::size_t i = 0;
+         i < group.shards.size() && i < mirrors_.size(); ++i) {
+        mirrors_[i] = std::move(group.shards[i]);
+        recovered[i] = true;
+    }
+    epoch_ = group.epoch;
+
+    // Replay matching-epoch delta segments. Each segment commits
+    // transactionally: decode fully (CRC-checked by the framing),
+    // apply onto copies, then publish — so a torn or chain-broken
+    // segment leaves every mirror at the previous good cut.
+    std::ifstream dlt(cfg_.path + ".dlt", std::ios::binary);
+    if (!dlt)
+        return recovered;
+    DeltaSegment seg;
+    while (true) {
+        try {
+            if (!readDeltaSegment(dlt, seg))
+                break;
+        } catch (const core::Error &) {
+            ++stats_.delta_fallbacks;
+            ++stats_.delta_segments_dropped;
+            break;
+        }
+        if (seg.epoch != epoch_) {
+            // Stale segment from before the last snapshot rewrite (a
+            // crash between the rename and the truncation).
+            ++stats_.delta_segments_dropped;
+            continue;
+        }
+        bool ok = true;
+        std::vector<std::pair<std::size_t, CheckpointData>> staged;
+        for (const auto &entry : seg.entries) {
+            if (entry.shard >= mirrors_.size()) {
+                ok = false;
+                break;
+            }
+            CheckpointData next = mirrors_[std::size_t(entry.shard)];
+            for (const auto &prior : staged)
+                if (prior.first == std::size_t(entry.shard))
+                    next = prior.second;
+            try {
+                core::applyDelta(next.monitor, entry.delta);
+            } catch (const core::Error &) {
+                ok = false;
+                break;
+            }
+            next.source_pos = next.monitor.step_index;
+            staged.emplace_back(std::size_t(entry.shard),
+                                std::move(next));
+        }
+        if (!ok) {
+            ++stats_.delta_fallbacks;
+            ++stats_.delta_segments_dropped;
+            break;
+        }
+        for (auto &entry : staged)
+            mirrors_[entry.first] = std::move(entry.second);
+    }
+    return recovered;
+}
+
+void
+CheckpointStore::submitFull(std::size_t shard, CheckpointData ckpt)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard >= mirrors_.size())
+        return;
+    // Queued deltas for this shard no longer chain onto its mirror;
+    // the snapshot rewrite the dirty flag forces supersedes them. The
+    // generation bump also invalidates any of them currently riding
+    // an in-flight flush batch.
+    const auto stale = [shard](const DeltaEntry &e) {
+        return std::size_t(e.shard) == shard;
+    };
+    pending_.erase(
+        std::remove_if(pending_.begin(), pending_.end(), stale),
+        pending_.end());
+    staged_.erase(
+        std::remove_if(staged_.begin(), staged_.end(), stale),
+        staged_.end());
+    ++mirror_gen_[shard];
+    mirrors_[shard] = std::move(ckpt);
+    full_dirty_ = true;
+}
+
+void
+CheckpointStore::submitDelta(std::size_t shard,
+                             core::MonitorStateDelta delta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard >= mirrors_.size())
+        return;
+    // Monitoring hot path: one move into the pending list and out.
+    // The mirror fold (applyDelta) runs at flush/mirror time on the
+    // watchdog thread, so eight shard workers cutting checkpoints
+    // never serialize behind each other's state application.
+    DeltaEntry entry;
+    entry.shard = shard;
+    entry.delta = std::move(delta);
+    pending_.push_back(std::move(entry));
+}
+
+void
+CheckpointStore::foldAllLocked()
+{
+    // Advances the mirrors to the newest cut by consuming every
+    // queued delta (staged_ first: those are older). Only the full
+    // snapshot rewrite and the path-less flush need this — in the
+    // steady state the mirrors deliberately lag, so the hot path
+    // never pays applyDelta at all.
+    const auto fold = [this](std::vector<DeltaEntry> &entries) {
+        for (auto &entry : entries) {
+            CheckpointData &m = mirrors_[std::size_t(entry.shard)];
+            core::applyDelta(m.monitor, entry.delta);
+            m.source_pos = m.monitor.step_index;
+        }
+        entries.clear();
+    };
+    fold(staged_);
+    fold(pending_);
+}
+
+CheckpointData
+CheckpointStore::mirror(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard >= mirrors_.size())
+        return CheckpointData{};
+    // Non-consuming read: replay this shard's unfolded deltas onto a
+    // copy, leaving the queues intact for the next log write /
+    // snapshot fold. Restart-path only, so O(queued) is fine.
+    CheckpointData out = mirrors_[shard];
+    const auto replay = [&](const std::vector<DeltaEntry> &entries) {
+        for (const auto &entry : entries)
+            if (std::size_t(entry.shard) == shard) {
+                core::applyDelta(out.monitor, entry.delta);
+                out.source_pos = out.monitor.step_index;
+            }
+    };
+    replay(staged_);
+    replay(pending_);
+    return out;
+}
+
+void
+CheckpointStore::forceFullSnapshot()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    full_dirty_ = true;
+}
+
+void
+CheckpointStore::openDeltaLogLocked(bool truncate)
+{
+    if (delta_log_.is_open() && !truncate)
+        return;
+    if (delta_log_.is_open())
+        delta_log_.close();
+    delta_log_.clear();
+    delta_log_.open(cfg_.path + ".dlt",
+                    std::ios::binary |
+                        (truncate ? std::ios::trunc : std::ios::app));
+}
+
+bool
+CheckpointStore::writeFullSnapshotLocked()
+{
+    // Every queued delta folds into the mirrors (and out of memory)
+    // here — on a dead disk this still bounds memory, since the
+    // mirrors then carry the cuts the log never got.
+    foldAllLocked();
+    GroupCheckpoint group;
+    group.epoch = epoch_ + 1;
+    group.shards = mirrors_;
+    try {
+        saveGroupCheckpointFile(group, cfg_.path);
+    } catch (const core::IoError &) {
+        ++stats_.write_failures;
+        return false;
+    }
+    // The snapshot carries everything the queued deltas said, so the
+    // log restarts empty under the new epoch. A crash before the
+    // truncation is benign: replay skips the stale-epoch segments.
+    epoch_ = group.epoch;
+    commits_since_full_ = 0;
+    full_dirty_ = false;
+    openDeltaLogLocked(true);
+    ++stats_.full_snapshots;
+    ++stats_.group_commits;
+    return true;
+}
+
+bool
+CheckpointStore::flush()
+{
+    // io_mu_ serializes writers (the watchdog poll plus per-worker
+    // EOF flushes) so segments land in submission order; mu_ is held
+    // only long enough to move the queues, so shard workers cutting
+    // checkpoints never wait behind serialization or disk.
+    std::lock_guard<std::mutex> io_lock(io_mu_);
+    DeltaSegment seg;
+    std::vector<std::uint64_t> gen_snap;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (cfg_.path.empty()) {
+            foldAllLocked(); // mirrors still track every cut in memory
+            full_dirty_ = false;
+            return true;
+        }
+        if (full_dirty_ || commits_since_full_ >= cfg_.full_every)
+            return writeFullSnapshotLocked();
+        if (pending_.empty())
+            return true;
+        seg.epoch = epoch_;
+        seg.entries = std::move(pending_);
+        pending_.clear();
+        gen_snap = mirror_gen_;
+    }
+
+    // The log stays open across commits (append mode seeks to the end
+    // on every write); reopen only after a failure cleared the stream.
+    if (!delta_log_.is_open() || !delta_log_)
+        openDeltaLogLocked(false);
+    const std::size_t seg_bytes = appendDeltaSegment(delta_log_, seg);
+    delta_log_.flush();
+    const bool wrote = bool(delta_log_);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    // Written or not, the entries stay queued for the snapshot fold:
+    // on a write failure the mirrors (via the forced snapshot below)
+    // are the only copy left, so losing them here would lose cuts.
+    // Entries whose shard took a submitFull while the lock was
+    // released are superseded — their chain no longer applies.
+    for (auto &entry : seg.entries)
+        if (mirror_gen_[std::size_t(entry.shard)] ==
+            gen_snap[std::size_t(entry.shard)])
+            staged_.push_back(std::move(entry));
+    if (!wrote) {
+        // Degraded durability: the queued cuts survive in memory and
+        // the next successful full snapshot re-anchors the chain.
+        ++stats_.write_failures;
+        full_dirty_ = true;
+        return false;
+    }
+    stats_.delta_bytes += seg_bytes;
+    ++stats_.group_commits;
+    ++commits_since_full_;
+    return true;
+}
+
+CheckpointStoreStats
+CheckpointStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
 }
 
 } // namespace eddie::serve

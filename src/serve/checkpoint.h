@@ -1,27 +1,44 @@
 /**
  * @file
- * Crash-consistent checkpoints of a running monitor (DESIGN.md §7).
- * A checkpoint carries the source position plus the complete
- * core::MonitorState, wrapped in the shared CRC32+length v2 framing
- * (core/capture_io.h), and the file write is atomic: serialize to
- * `path.tmp`, fsync-equivalent flush, then rename over `path`. A
- * crash at any instant therefore leaves either the previous complete
- * checkpoint or the new complete checkpoint — never a torn one — and
- * a flipped bit fails the CRC as a typed FormatError instead of
- * resuming from silently-wrong state.
+ * Crash-consistent checkpoints of running monitors (DESIGN.md §7).
  *
- * Restoring a checkpoint into a fresh Monitor over the same model and
- * config, and re-seeking the source to source_pos, continues the
- * stream with bit-identical verdicts (regression-tested in
+ * Format v1 (magic "EDDIECKP", version 1): one shard's source
+ * position plus its complete core::MonitorState, in the shared
+ * CRC32+length framing (core/capture_io.h). Still written by
+ * saveCheckpoint() and still loadable — resume accepts v1 files.
+ *
+ * Format v2 adds incremental, group-committed checkpoints:
+ *
+ *  - A *group snapshot* (same magic, version 2) holds an epoch number
+ *    and every shard's full state in one file, written atomically
+ *    (tmp + flush + rename).
+ *  - A *delta log* (`<path>.dlt`, magic "EDDIEDLT") is an append-only
+ *    sequence of individually-framed segments; each segment is one
+ *    group commit: the epoch it chains onto plus every shard's
+ *    core::MonitorStateDelta since its previous cut. All shards'
+ *    deltas land in one buffered write + one flush instead of N
+ *    rewrite-the-world file replacements.
+ *
+ * CheckpointStore owns both files plus an in-memory full-state mirror
+ * per shard (what the supervisor restarts crashed workers from).
+ * Recovery loads the snapshot, replays matching-epoch delta segments
+ * onto it, and — on a truncated, bit-flipped, or chain-broken
+ * segment — falls back to the state reconstructed so far, counting
+ * the fallback. Resume from any delta chain is bit-identical to
+ * resume from a full snapshot at the same cut (property-tested in
  * tests/serve).
  */
 
 #ifndef EDDIE_SERVE_CHECKPOINT_H
 #define EDDIE_SERVE_CHECKPOINT_H
 
+#include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <iosfwd>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/monitor.h"
 
@@ -55,6 +72,171 @@ void saveCheckpointFile(const CheckpointData &ckpt,
 
 /** Loads @p path; throws IoError when the file cannot be opened. */
 CheckpointData loadCheckpointFile(const std::string &path);
+
+/** All shards' full states at one cut, plus the epoch that names the
+ *  delta chain anchored on it. */
+struct GroupCheckpoint
+{
+    std::uint64_t epoch = 0;
+    std::vector<CheckpointData> shards;
+};
+
+/** Writes one framed group snapshot (magic "EDDIECKP", version 2). */
+void saveGroupCheckpoint(const GroupCheckpoint &group, std::ostream &os);
+
+/** Reads a v2 group snapshot — or a v1 single-shard checkpoint,
+ *  returned as a one-shard group with epoch 0 (legacy files carry no
+ *  delta chain). Throws IoError/FormatError like loadCheckpoint(). */
+GroupCheckpoint loadGroupCheckpoint(std::istream &is);
+
+/** Atomic file variants (tmp + flush + rename, like
+ *  saveCheckpointFile). */
+void saveGroupCheckpointFile(const GroupCheckpoint &group,
+                             const std::string &path);
+GroupCheckpoint loadGroupCheckpointFile(const std::string &path);
+
+/** One shard's delta within a group commit. */
+struct DeltaEntry
+{
+    std::uint64_t shard = 0;
+    core::MonitorStateDelta delta;
+};
+
+/** One group commit in the delta log. */
+struct DeltaSegment
+{
+    /** Epoch of the full snapshot this segment chains onto; replay
+     *  skips segments from other epochs (a crash between the
+     *  snapshot rename and the log truncation leaves stale ones). */
+    std::uint64_t epoch = 0;
+    std::vector<DeltaEntry> entries;
+};
+
+/** Appends one framed segment (magic "EDDIEDLT") as a single
+ *  buffered write; the caller flushes to commit. Returns the bytes
+ *  written. */
+std::size_t appendDeltaSegment(std::ostream &os,
+                               const DeltaSegment &seg);
+
+/** Reads the next segment. Returns false on clean end-of-log; throws
+ *  IoError on a torn tail, FormatError on corruption. */
+bool readDeltaSegment(std::istream &is, DeltaSegment &seg);
+
+/** Per-shard checkpoint path of the legacy (pre-v2) layout: one v1
+ *  file per shard, "path.i" when sharded. Recovery still reads it. */
+std::string shardCheckpointPath(const std::string &base,
+                                std::size_t shard, std::size_t shards);
+
+/** CheckpointStore knobs. */
+struct CheckpointStoreConfig
+{
+    /** Group snapshot file; the delta log lives at path + ".dlt".
+     *  Empty = in-memory mirrors only (no persistence). */
+    std::string path;
+    std::size_t num_shards = 1;
+    /** Group commits between full-snapshot rewrites (chain length
+     *  bound — recovery replays at most this many segments). */
+    std::size_t full_every = 16;
+};
+
+/** Counters surfaced into core::ServeStats. */
+struct CheckpointStoreStats
+{
+    std::uint64_t group_commits = 0;
+    std::uint64_t full_snapshots = 0;
+    std::uint64_t delta_bytes = 0;
+    std::uint64_t delta_fallbacks = 0;
+    std::uint64_t delta_segments_dropped = 0;
+    /** Swallowed I/O failures (durability degraded, serving
+     *  continues — same policy as the v1 per-shard writer). */
+    std::uint64_t write_failures = 0;
+};
+
+/**
+ * The group-committed checkpoint pipeline. Workers submit deltas (or
+ * full states) as they cut them — cheap, in-memory, applied at once
+ * to the shard's mirror so a restart always has the newest cut — and
+ * the supervisor's watchdog calls flush() once per poll to land
+ * everything pending in one buffered append + one flush. Every
+ * full_every commits (and whenever a full submit re-anchored a
+ * shard's chain) the store atomically rewrites the group snapshot
+ * and truncates the log. Thread-safe; all operations share one
+ * mutex, held across the (small, buffered) log append.
+ */
+class CheckpointStore
+{
+  public:
+    explicit CheckpointStore(const CheckpointStoreConfig &cfg);
+
+    /**
+     * Best-effort recovery from disk: loads the group snapshot (v2,
+     * or a legacy v1 file, or legacy per-shard "path.i" v1 files) and
+     * replays matching-epoch delta segments onto it. A torn, corrupt,
+     * or chain-broken segment stops the replay at the last good
+     * state (fallbacks counted). Returns per-shard recovery flags;
+     * recovered states are read back via mirror().
+     */
+    std::vector<bool> recover();
+
+    /** Replaces @p shard's mirror wholesale, re-anchoring its chain:
+     *  the next flush rewrites the full snapshot. */
+    void submitFull(std::size_t shard, CheckpointData ckpt);
+
+    /** Queues @p delta for the next group commit. This is the worker
+     *  hot path: the critical section is one move into the pending
+     *  list — applying to the shard's mirror is deferred to the next
+     *  full-snapshot fold (or replayed on a mirror() read), off the
+     *  monitoring thread. Deltas for one shard must chain (each
+     *  base_step matching the previous cut); a gap surfaces as
+     *  FormatError at fold/replay time. */
+    void submitDelta(std::size_t shard, core::MonitorStateDelta delta);
+
+    /** The shard's full state at its newest cut: the snapshot-time
+     *  mirror plus a replay of the shard's queued deltas. */
+    CheckpointData mirror(std::size_t shard);
+
+    /** Group commit: lands all pending deltas in one buffered append
+     *  + one flush, rewriting the full snapshot instead when due.
+     *  Returns false when an I/O failure was swallowed. */
+    bool flush();
+
+    /** Forces the next flush to rewrite the full snapshot (hot model
+     *  reload re-anchors every shard's chain). */
+    void forceFullSnapshot();
+
+    CheckpointStoreStats stats() const;
+
+  private:
+    bool writeFullSnapshotLocked();
+    void openDeltaLogLocked(bool truncate);
+    void foldAllLocked();
+
+    CheckpointStoreConfig cfg_;
+    mutable std::mutex mu_;
+    /** Serializes flush() callers; segment encode + disk IO happen
+     *  under this lock alone, so submitDelta (which needs only mu_)
+     *  never blocks behind a write in progress. */
+    std::mutex io_mu_;
+    /** Per-shard state at the last full snapshot — deliberately
+     *  lagging: in the steady state cuts ride the delta queues and
+     *  the mirrors advance only when a snapshot is rewritten, so the
+     *  checkpointed hot path never pays applyDelta. mirror() replays
+     *  the queues on top for reads. */
+    std::vector<CheckpointData> mirrors_;
+    /** Bumped by submitFull; lets an in-flight flush detect that a
+     *  shard's queued deltas were superseded mid-write. */
+    std::vector<std::uint64_t> mirror_gen_;
+    /** Deltas not yet written to the log (next group commit). */
+    std::vector<DeltaEntry> pending_;
+    /** Deltas written to the log but not yet folded into the
+     *  mirrors; consumed by the next full-snapshot fold. */
+    std::vector<DeltaEntry> staged_;
+    std::uint64_t epoch_ = 0;
+    std::size_t commits_since_full_ = 0;
+    bool full_dirty_ = true; ///< next flush must rewrite the snapshot
+    std::ofstream delta_log_;
+    CheckpointStoreStats stats_;
+};
 
 } // namespace eddie::serve
 

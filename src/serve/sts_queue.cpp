@@ -59,6 +59,29 @@ StsQueue::popFor(double timeout_ms)
     return sts;
 }
 
+std::size_t
+StsQueue::popBatch(std::vector<core::Sts> &out, std::size_t max_items,
+                   double timeout_ms)
+{
+    out.clear();
+    if (max_items == 0)
+        return 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            std::max(timeout_ms, 0.0)),
+        [this] { return !ring_.empty() || closed_; });
+    while (!ring_.empty() && out.size() < max_items) {
+        out.push_back(ring_.popFront());
+        ++stats_.popped;
+    }
+    lock.unlock();
+    if (!out.empty())
+        not_full_.notify_one();
+    return out.size();
+}
+
 void
 StsQueue::close()
 {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/ring_buffer.h"
 #include "core/sts.h"
@@ -76,6 +77,18 @@ class StsQueue
      * mistake an empty queue for a hang).
      */
     std::optional<core::Sts> popFor(double timeout_ms);
+
+    /**
+     * Batched dequeue: waits up to @p timeout_ms for the first
+     * window, then drains up to @p max_items under the same lock
+     * acquisition — one mutex round-trip and one producer wakeup per
+     * batch instead of per window, the hand-off that keeps sharded
+     * workers off each other's cache lines. @p out is cleared first
+     * and its capacity reused. Returns the number of windows
+     * dequeued (0 = timed out, or closed and drained).
+     */
+    std::size_t popBatch(std::vector<core::Sts> &out,
+                         std::size_t max_items, double timeout_ms);
 
     /** Wakes all waiters; pushes fail from now on, pops drain what
      *  remains. Idempotent. */

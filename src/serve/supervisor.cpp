@@ -83,15 +83,6 @@ RestartBudget::used(double now_ms) const
     return times_.size();
 }
 
-std::string
-shardCheckpointPath(const std::string &path, std::size_t shard,
-                    std::size_t num_shards)
-{
-    if (path.empty() || num_shards <= 1)
-        return path;
-    return path + "." + std::to_string(shard);
-}
-
 /** One source + queue + monitor worker under supervision. Threads
  *  capture a reference; shards live behind unique_ptr so the address
  *  is stable for the whole run. */
@@ -99,7 +90,6 @@ struct Supervisor::Shard
 {
     std::size_t index = 0;
     SampleSource *source = nullptr;
-    std::string ckpt_path;
 
     /** Keeps the model the monitor references alive across hot
      *  reloads (Monitor holds a reference, not ownership). */
@@ -123,11 +113,6 @@ struct Supervisor::Shard
     std::atomic<bool> source_dead{false};
     std::atomic<int> status{kRunning};
     std::atomic<std::uint64_t> processed{0};
-
-    /** Restart snapshot; guarded by ckpt_mu (worker writes, watchdog
-     *  reads on restart). */
-    std::mutex ckpt_mu;
-    CheckpointData last_ckpt;
 
     RestartBudget budget{0, 0.0};
 };
@@ -176,22 +161,9 @@ Supervisor::feederLoop(Shard &shard)
 }
 
 void
-Supervisor::writeCheckpoint(Shard &shard, const CheckpointData &ckpt)
+Supervisor::cutDelta(Shard &shard)
 {
-    {
-        std::lock_guard<std::mutex> lock(shard.ckpt_mu);
-        shard.last_ckpt = ckpt;
-    }
-    if (!shard.ckpt_path.empty()) {
-        try {
-            saveCheckpointFile(ckpt, shard.ckpt_path);
-        } catch (const core::IoError &) {
-            // Disk trouble degrades durability (recovery falls back
-            // to the in-memory snapshot just taken), it does not take
-            // the monitoring loop down.
-            return;
-        }
-    }
+    store_->submitDelta(shard.index, shard.monitor->exportDelta());
     checkpoints_written_.fetch_add(1);
 }
 
@@ -199,48 +171,85 @@ void
 Supervisor::workerLoop(Shard &shard)
 {
     std::size_t since_ckpt = 0;
-    const auto snapshot = [&shard] {
-        CheckpointData ckpt;
-        ckpt.monitor = shard.monitor->exportState();
-        ckpt.source_pos = ckpt.monitor.step_index;
-        return ckpt;
+    std::vector<core::Sts> batch;
+    batch.reserve(std::max<std::size_t>(cfg_.queue_batch, 1));
+    // Stage timings, accumulated locally and published once per
+    // batch: three atomic adds per batch instead of per window.
+    double wait_ms = 0.0, work_ms = 0.0, cut_ms = 0.0;
+    const auto publish = [&] {
+        queue_wait_ms_.fetch_add(wait_ms);
+        step_ms_.fetch_add(work_ms);
+        checkpoint_ms_.fetch_add(cut_ms);
+        wait_ms = work_ms = cut_ms = 0.0;
     };
     while (true) {
-        if (shard.cancel.load())
+        if (shard.cancel.load()) {
+            publish();
             return; // watchdog teardown; it sets the next status
+        }
         shard.heartbeat_ms.store(nowMs());
         if (stop_.load()) {
-            writeCheckpoint(shard, snapshot());
+            // The final cut rides the supervisor's closing flush —
+            // one group commit for all shards instead of a disk
+            // round-trip per worker exit.
+            cutDelta(shard);
+            publish();
             shard.status.store(kStopped);
             shard.queue->close(); // unblocks a feeder stuck pushing
             return;
         }
-        std::optional<core::Sts> sts = shard.queue->popFor(kPopTimeoutMs);
-        if (!sts) {
+        const double t_wait = nowMs();
+        const std::size_t n = shard.queue->popBatch(
+            batch, std::max<std::size_t>(cfg_.queue_batch, 1),
+            kPopTimeoutMs);
+        wait_ms += nowMs() - t_wait;
+        if (n == 0) {
             if (shard.queue->drained()) {
-                writeCheckpoint(shard, snapshot());
+                cutDelta(shard); // lands in the supervisor's flush
+                publish();
                 shard.status.store(kEof);
                 return;
             }
             continue; // idle poll; heartbeat stays fresh
         }
-        shard.in_step.store(true);
-        try {
-            if (hook_)
-                hook_(shard.monitor->records().size(), shard.cancel);
-            shard.monitor->step(*sts);
-        } catch (...) {
+        for (core::Sts &sts : batch) {
+            if (shard.cancel.load()) {
+                publish();
+                return;
+            }
+            if (stop_.load()) {
+                cutDelta(shard); // lands in the supervisor's flush
+                publish();
+                shard.status.store(kStopped);
+                shard.queue->close();
+                return;
+            }
+            shard.heartbeat_ms.store(nowMs());
+            shard.in_step.store(true);
+            const double t_step = nowMs();
+            try {
+                if (hook_)
+                    hook_(shard.monitor->records().size(),
+                          shard.cancel);
+                shard.monitor->step(sts);
+            } catch (...) {
+                shard.in_step.store(false);
+                publish();
+                shard.status.store(kCrashed);
+                return;
+            }
+            work_ms += nowMs() - t_step;
             shard.in_step.store(false);
-            shard.status.store(kCrashed);
-            return;
+            shard.processed.fetch_add(1);
+            if (cfg_.checkpoint_interval != 0 &&
+                ++since_ckpt >= cfg_.checkpoint_interval) {
+                since_ckpt = 0;
+                const double t_cut = nowMs();
+                cutDelta(shard);
+                cut_ms += nowMs() - t_cut;
+            }
         }
-        shard.in_step.store(false);
-        shard.processed.fetch_add(1);
-        if (cfg_.checkpoint_interval != 0 &&
-            ++since_ckpt >= cfg_.checkpoint_interval) {
-            since_ckpt = 0;
-            writeCheckpoint(shard, snapshot());
-        }
+        publish();
     }
 }
 
@@ -310,11 +319,9 @@ Supervisor::handleFailure(Shard &shard, double now_ms)
 
     stopShardThreads(shard);
 
-    CheckpointData ckpt;
-    {
-        std::lock_guard<std::mutex> lock(shard.ckpt_mu);
-        ckpt = shard.last_ckpt;
-    }
+    // The store mirror is the shard's newest cut (deltas are applied
+    // to it synchronously on submit, before any disk latency).
+    const CheckpointData ckpt = store_->mirror(shard.index);
     bool restartable = shard.budget.allow(now_ms);
     if (restartable)
         restartable = shard.source->seek(ckpt.source_pos);
@@ -396,9 +403,13 @@ Supervisor::maybeReloadModel(double now_ms)
         shard.monitor = std::make_unique<core::Monitor>(
             *shard.model, cfg_.monitor);
         shard.monitor->restoreState(ckpt.monitor);
-        writeCheckpoint(shard, ckpt);
+        // A full-state submit re-anchors the shard's delta chain;
+        // the forced snapshot on the next flush makes it durable.
+        store_->submitFull(shard.index, ckpt);
+        checkpoints_written_.fetch_add(1);
         startShard(shard, false);
     }
+    store_->flush();
 }
 
 std::vector<ShardResult>
@@ -412,13 +423,19 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
             auto shard = std::make_unique<Shard>();
             shard->index = i;
             shard->source = sources[i];
-            shard->ckpt_path = shardCheckpointPath(
-                cfg_.checkpoint_path, i, sources.size());
             shard->budget = RestartBudget(cfg_.watchdog.restart_budget,
                                           cfg_.watchdog.restart_window_ms);
             shards_.push_back(std::move(shard));
         }
     }
+    CheckpointStoreConfig store_cfg;
+    store_cfg.path = cfg_.checkpoint_path;
+    store_cfg.num_shards = sources.size();
+    store_cfg.full_every = cfg_.full_snapshot_every;
+    store_ = std::make_unique<CheckpointStore>(store_cfg);
+    std::vector<bool> recovered(sources.size(), false);
+    if (cfg_.resume)
+        recovered = store_->recover();
     if (!cfg_.model_path.empty())
         model_crc_ = common::crc32File(cfg_.model_path).value_or(0);
     last_model_poll_ms_ = nowMs();
@@ -429,22 +446,21 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
         shard.monitor = std::make_unique<core::Monitor>(
             *shard.model, cfg_.monitor);
         bool restoring = false;
-        if (cfg_.resume && !shard.ckpt_path.empty()) {
-            try {
-                const CheckpointData ckpt =
-                    loadCheckpointFile(shard.ckpt_path);
-                if (shard.source->seek(ckpt.source_pos)) {
-                    shard.monitor->restoreState(ckpt.monitor);
-                    restoring = true;
-                }
-            } catch (const core::IoError &) {
-                // No checkpoint yet: a cold start, not an error.
+        if (recovered[shard.index]) {
+            const CheckpointData ckpt = store_->mirror(shard.index);
+            if (shard.source->seek(ckpt.source_pos)) {
+                shard.monitor->restoreState(ckpt.monitor);
+                restoring = true;
             }
         }
-        // Seed the restart snapshot so a failure before the first
-        // periodic checkpoint still restores instead of escalating.
-        shard.last_ckpt.monitor = shard.monitor->exportState();
-        shard.last_ckpt.source_pos = shard.last_ckpt.monitor.step_index;
+        // Seed the restart mirror so a failure before the first
+        // periodic cut still restores instead of escalating. For a
+        // resumed shard this re-anchors the recovered chain: the
+        // first flush compacts it into a fresh full snapshot.
+        CheckpointData seed;
+        seed.monitor = shard.monitor->exportState();
+        seed.source_pos = seed.monitor.step_index;
+        store_->submitFull(shard.index, std::move(seed));
         startShard(shard, restoring);
     }
 
@@ -470,9 +486,14 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
             if (status == kCrashed || shard.source_dead.load() || hung)
                 handleFailure(shard, now);
         }
+        // The group commit: every shard's pending deltas land in one
+        // buffered append + one flush per poll, instead of N
+        // rewrite-the-world file replacements per checkpoint cut.
+        store_->flush();
         if (all_done)
             break;
     }
+    store_->flush();
 
     std::vector<ShardResult> results(shards_.size());
     for (auto &sp : shards_) {
@@ -488,10 +509,10 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
         ShardResult &out = results[shard.index];
         const int status = shard.status.load();
         if (status == kEscalated) {
-            std::lock_guard<std::mutex> lock(shard.ckpt_mu);
-            out.records = shard.last_ckpt.monitor.records;
-            out.reports = shard.last_ckpt.monitor.reports;
-            out.degraded = shard.last_ckpt.monitor.degraded;
+            const CheckpointData ckpt = store_->mirror(shard.index);
+            out.records = ckpt.monitor.records;
+            out.reports = ckpt.monitor.reports;
+            out.degraded = ckpt.monitor.degraded;
             out.escalated = true;
         } else {
             out.records = shard.monitor->records();
@@ -516,6 +537,17 @@ Supervisor::stats() const
     st.checkpoint_restores = checkpoint_restores_.load();
     st.model_reloads = model_reloads_.load();
     st.restart_latency_ms = restart_latency_ms_.load();
+    st.queue_wait_ms = queue_wait_ms_.load();
+    st.step_ms = step_ms_.load();
+    st.checkpoint_ms = checkpoint_ms_.load();
+    if (store_) {
+        const CheckpointStoreStats cs = store_->stats();
+        st.group_commits = cs.group_commits;
+        st.full_snapshots = cs.full_snapshots;
+        st.delta_bytes = cs.delta_bytes;
+        st.delta_fallbacks = cs.delta_fallbacks;
+        st.delta_segments_dropped = cs.delta_segments_dropped;
+    }
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto &sp : shards_) {
         const Shard &shard = *sp;

@@ -94,14 +94,22 @@ struct ServeConfig
     core::MonitorConfig monitor;
     StsQueueConfig queue;
     WatchdogConfig watchdog;
-    /** Monitor steps between checkpoints (0 disables periodic
-     *  checkpoints; the in-memory restart snapshot is still kept). */
+    /** Monitor steps between delta-checkpoint cuts (0 disables
+     *  periodic checkpoints; the in-memory restart mirror is still
+     *  kept). */
     std::size_t checkpoint_interval = 64;
-    /** Checkpoint file; empty = in-memory snapshots only. With
-     *  multiple shards, shard i writes to `path + "." + i`. */
+    /** Group-snapshot file; the delta log lives at path + ".dlt".
+     *  Empty = in-memory mirrors only (see serve/checkpoint.h). */
     std::string checkpoint_path;
-    /** Resume from checkpoint_path when the file exists. */
+    /** Resume from checkpoint_path when the file exists (v2 group
+     *  snapshots, legacy v1 files, and legacy per-shard "path.i"
+     *  files are all accepted). */
     bool resume = false;
+    /** Group commits between full-snapshot rewrites (bounds the
+     *  delta chain recovery has to replay). */
+    std::size_t full_snapshot_every = 16;
+    /** Windows drained per queue-lock acquisition by each worker. */
+    std::size_t queue_batch = 16;
     /** Model file watched for hot reload; empty disables watching. */
     std::string model_path;
     double model_poll_ms = 200.0;
@@ -121,12 +129,6 @@ struct ShardResult
     /** Graceful stop (requestStop / stop check) before EOF. */
     bool stopped = false;
 };
-
-/** Per-shard checkpoint file path (shard suffix only when several
- *  shards share one configured path). */
-std::string shardCheckpointPath(const std::string &path,
-                                std::size_t shard,
-                                std::size_t num_shards);
 
 class Supervisor
 {
@@ -177,7 +179,10 @@ class Supervisor
     void stopShardThreads(Shard &shard);
     void feederLoop(Shard &shard);
     void workerLoop(Shard &shard);
-    void writeCheckpoint(Shard &shard, const CheckpointData &ckpt);
+    /** Cuts a delta at the worker's current position: applies it to
+     *  the shard's store mirror and queues it for the next group
+     *  commit. */
+    void cutDelta(Shard &shard);
     void handleFailure(Shard &shard, double now_ms);
     void maybeReloadModel(double now_ms);
 
@@ -189,6 +194,10 @@ class Supervisor
 
     mutable std::mutex mu_; ///< guards shards_ and model_
     std::vector<std::unique_ptr<Shard>> shards_;
+    /** Group-committed checkpoint pipeline; also the per-shard
+     *  restart mirrors (replaces the old per-shard snapshot +
+     *  rewrite-the-file-per-cut writer). */
+    std::unique_ptr<CheckpointStore> store_;
 
     std::atomic<std::uint64_t> worker_crashes_{0};
     std::atomic<std::uint64_t> worker_hangs_{0};
@@ -198,6 +207,12 @@ class Supervisor
     std::atomic<std::uint64_t> checkpoint_restores_{0};
     std::atomic<std::uint64_t> model_reloads_{0};
     std::atomic<double> restart_latency_ms_{0.0};
+    /** Per-stage worker time (summed across shards): queue wait vs
+     *  monitor stepping vs delta cutting — the breakdown that makes
+     *  a flat sharding curve attributable. */
+    std::atomic<double> queue_wait_ms_{0.0};
+    std::atomic<double> step_ms_{0.0};
+    std::atomic<double> checkpoint_ms_{0.0};
     std::uint32_t model_crc_ = 0;
     double last_model_poll_ms_ = 0.0;
 };

@@ -99,6 +99,31 @@ TEST(PeakHistoryTest, ClearKeepsShapeAndRestartsCleanly)
     EXPECT_EQ(h.at(0, 1), 6.0);
 }
 
+TEST(PeakHistoryTest, PushCounterIsMonotonicAcrossClearAndWrap)
+{
+    // The delta exporter keys "how many rows were appended since the
+    // last cut" off pushes(), so the counter must keep counting
+    // through ring wrap-around AND through clear() (an outage resync
+    // drops the rows but not the fact that pushes happened) — only
+    // reset() zeroes it.
+    PeakHistory h;
+    h.reset(2, 1, 0.0);
+    EXPECT_EQ(h.pushes(), 0u);
+    for (int i = 0; i < 5; ++i)
+        h.push({double(i)});
+    EXPECT_EQ(h.pushes(), 5u); // wrapped twice, counter kept going
+    EXPECT_EQ(h.size(), 2u);
+
+    h.clear();
+    EXPECT_EQ(h.size(), 0u);
+    EXPECT_EQ(h.pushes(), 5u); // survives clear()
+    h.push({9.0});
+    EXPECT_EQ(h.pushes(), 6u);
+
+    h.reset(2, 1, 0.0);
+    EXPECT_EQ(h.pushes(), 0u); // reset() starts a new life
+}
+
 TEST(PeakHistoryTest, DegenerateShapesAreClampedToOne)
 {
     PeakHistory h;

@@ -177,6 +177,7 @@ TEST(Supervisor, KillThenResumeFromDiskIsBitIdentical)
     const Fixture &f = fixture();
     const std::string path = testing::TempDir() + "serve_kill_resume";
     std::remove(path.c_str());
+    std::remove((path + ".dlt").c_str());
 
     ServeConfig cfg = f.config();
     cfg.checkpoint_path = path;
@@ -208,6 +209,7 @@ TEST(Supervisor, KillThenResumeFromDiskIsBitIdentical)
     // The resumed run only processed the tail.
     EXPECT_LT(sup.stats().processed, f.stream->size());
     std::remove(path.c_str());
+    std::remove((path + ".dlt").c_str());
 }
 
 /** Graceful stop mid-stream writes a final checkpoint; resuming from
@@ -217,6 +219,7 @@ TEST(Supervisor, GracefulStopThenResumeIsBitIdentical)
     const Fixture &f = fixture();
     const std::string path = testing::TempDir() + "serve_stop_resume";
     std::remove(path.c_str());
+    std::remove((path + ".dlt").c_str());
 
     ServeConfig cfg = f.config();
     cfg.checkpoint_path = path;
@@ -248,6 +251,7 @@ TEST(Supervisor, GracefulStopThenResumeIsBitIdentical)
     EXPECT_TRUE(sameRecords(results[0].records, f.baseline_records));
     EXPECT_TRUE(sameReports(results[0].reports, f.baseline_reports));
     std::remove(path.c_str());
+    std::remove((path + ".dlt").c_str());
 }
 
 /** The flaky-source acceptance property: stalls and transient errors

@@ -13,8 +13,8 @@
  *       [--stall-prob P] [--error-prob P] [--source-seed N]
  *       [--retries N]
  *       [--queue N] [--drop-oldest]
- *       [--checkpoint FILE] [--ckpt-interval N] [--resume]
- *       [--watch-model]
+ *       [--checkpoint FILE] [--ckpt-interval N] [--full-every N]
+ *       [--resume] [--queue-batch N] [--watch-model]
  *
  * Shard i monitors the stream captured with seed + i. SIGINT/SIGTERM
  * request a graceful stop: workers finish their current window, write
@@ -54,7 +54,8 @@ run(int argc, char **argv)
             "       [--shards N] [--stall-prob P] [--error-prob P] "
             "[--source-seed N] [--retries N]\n"
             "       [--queue N] [--drop-oldest] [--checkpoint FILE] "
-            "[--ckpt-interval N] [--resume] [--watch-model]\n");
+            "[--ckpt-interval N] [--full-every N] [--resume]\n"
+            "       [--queue-batch N] [--watch-model]\n");
         return 2;
     }
     const std::string model_path = args.positional()[0];
@@ -150,6 +151,10 @@ run(int argc, char **argv)
         std::size_t(std::max(args.getLong("ckpt-interval", 64), 0L));
     scfg.checkpoint_path = args.get("checkpoint");
     scfg.resume = args.has("resume");
+    scfg.full_snapshot_every =
+        std::size_t(std::max(args.getLong("full-every", 16), 1L));
+    scfg.queue_batch =
+        std::size_t(std::max(args.getLong("queue-batch", 16), 1L));
     if (args.has("watch-model"))
         scfg.model_path = model_path;
 
