@@ -66,9 +66,23 @@ loadSpill(std::istream &is, const std::string &key)
 
 } // namespace
 
+namespace
+{
+/** Namespacing prefix for spill artifacts inside a shared archive
+ *  (models and checkpoints use other prefixes). The archive key is
+ *  the FULL capture key, so — unlike the hash-named spill_dir files
+ *  — a lookup can never collide and needs no key verification. */
+constexpr const char *kSpillPrefix = "spill/";
+} // namespace
+
 CaptureCache::CaptureCache(CaptureCacheConfig config)
     : config_(std::move(config))
 {
+    if (!config_.spill_archive.empty()) {
+        store::ArchiveConfig arc;
+        arc.path = config_.spill_archive;
+        archive_ = std::make_unique<store::Archive>(arc);
+    }
 }
 
 std::string
@@ -108,9 +122,47 @@ CaptureCache::getOrComputeShared(
         }
     }
 
-    // Disk tier: a spill file is trusted only if its stored key
-    // matches byte for byte and the embedded stream passes its CRC.
-    // A damaged file can cost a recompute but never poison the
+    // Archive tier: keyed get against the container mmap. Integrity
+    // comes from the archive's per-sector CRCs plus the payload
+    // decoder's own bounds checks; any damage is a counted soft miss
+    // (corrupt vs short read), never a poisoned entry.
+    if (archive_) {
+        std::span<const char> span;
+        switch (archive_->get(kSpillPrefix + key, span)) {
+        case store::GetStatus::Ok: {
+            bool short_read = false;
+            try {
+                auto value = std::make_shared<const std::vector<Sts>>(
+                    decodeStsPayload(span.data(), span.size()));
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.disk_hits;
+                if (index_.find(key) == index_.end())
+                    insertLocked(key, value);
+                return value;
+            } catch (const IoError &) {
+                short_read = true;
+            } catch (const std::exception &) {
+            }
+            std::lock_guard<std::mutex> lock(mu_);
+            if (short_read)
+                ++stats_.spill_short_read;
+            else
+                ++stats_.spill_corrupt;
+            break;
+        }
+        case store::GetStatus::Corrupt: {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.spill_corrupt;
+            break;
+        }
+        case store::GetStatus::Missing:
+            break; // fall through to the legacy spill directory
+        }
+    }
+
+    // Legacy disk tier: a spill file is trusted only if its stored
+    // key matches byte for byte and the embedded stream passes its
+    // CRC. A damaged file can cost a recompute but never poison the
     // cache: it is counted (corrupt vs short read) and the lookup
     // proceeds as a miss.
     if (!config_.spill_dir.empty()) {
@@ -165,9 +217,22 @@ CaptureCache::insertLocked(
 {
     lru_.emplace_front(key, std::move(value));
     index_[key] = lru_.begin();
+    std::size_t staged = 0;
     while (lru_.size() > config_.capacity) {
         const Entry &victim = lru_.back();
-        if (!config_.spill_dir.empty()) {
+        if (archive_) {
+            // Archive tier: stage the victim now, commit the whole
+            // eviction wave in one group commit below. Like the
+            // legacy path, a failure is a counted soft loss — the
+            // entry is still evicted, a later lookup recomputes.
+            try {
+                archive_->stagePut(kSpillPrefix + victim.first,
+                                   encodeStsPayload(*victim.second));
+                ++staged;
+            } catch (const std::exception &) {
+                ++stats_.spill_write_failed;
+            }
+        } else if (!config_.spill_dir.empty()) {
             // A failed spill (ENOSPC, short write, open failure) is a
             // counted soft failure: the entry is evicted without its
             // spill and the partial file removed so a later lookup
@@ -206,6 +271,12 @@ CaptureCache::insertLocked(
         ++stats_.evictions;
         index_.erase(victim.first);
         lru_.pop_back();
+    }
+    if (staged > 0) {
+        if (archive_->commit())
+            stats_.spills += staged;
+        else
+            stats_.spill_write_failed += staged;
     }
     stats_.entries = lru_.size();
 }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "metrics.h"
+#include "store/archive.h"
 #include "sts.h"
 
 namespace eddie::core
@@ -51,9 +52,21 @@ struct CaptureCacheConfig
      * Directory for the on-disk spill tier; empty disables it. When
      * set, LRU evictions are written there and misses consult the
      * directory before falling back to the simulator. The directory
-     * must exist.
+     * must exist. (Legacy layout: one hash-named file per key.)
      */
     std::string spill_dir;
+    /**
+     * EDDIEARC container for the spill tier; empty disables it. One
+     * archive file replaces the file-per-key spill_dir layout:
+     * evictions become group-committed puts, lookups become keyed
+     * gets against the mmap (a corrupt segment is a counted miss,
+     * like a corrupt spill file). Takes precedence over spill_dir
+     * for writes; a populated legacy spill_dir is still consulted
+     * on an archive miss, so existing spills stay readable through
+     * the migration. The archive is created on first use; an
+     * unopenable path throws IoError from the constructor.
+     */
+    std::string spill_archive;
 };
 
 /**
@@ -109,6 +122,11 @@ class CaptureCache
     std::string spillPath(const std::string &key) const;
 
     CaptureCacheConfig config_;
+    /** Spill container when config_.spill_archive is set. The archive
+     *  has its own internal lock; it is never called under mu_ except
+     *  for staging/committing evictions in insertLocked (the archive
+     *  never calls back into the cache, so the order is acyclic). */
+    std::unique_ptr<store::Archive> archive_;
 
     mutable std::mutex mu_;
     /** MRU-first recency list; map values point into it. */

@@ -8,6 +8,7 @@
 
 #include "common/crc32.h"
 #include "errors.h"
+#include "store/span_stream.h"
 
 namespace eddie::core
 {
@@ -233,6 +234,24 @@ loadStsStream(std::istream &is)
         return readStsPayload(is, version);
     std::istringstream ps(payload, std::ios::binary);
     return readStsPayload(ps, version);
+}
+
+std::string
+encodeStsPayload(const std::vector<Sts> &stream)
+{
+    std::ostringstream payload(std::ios::binary);
+    writeStsPayload(stream, payload);
+    return payload.str();
+}
+
+std::vector<Sts>
+decodeStsPayload(const char *data, std::size_t size)
+{
+    store::SpanStream is(data, size);
+    auto stream = readStsPayload(is, kStsVersion);
+    if (is.peek() != std::char_traits<char>::eof())
+        throw FormatError("sts stream: trailing payload bytes");
+    return stream;
 }
 
 void

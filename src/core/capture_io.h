@@ -55,6 +55,18 @@ void saveStsStream(const std::vector<Sts> &stream, std::ostream &os);
 std::vector<Sts> loadStsStream(std::istream &is);
 
 /**
+ * Encodes an STS stream as the raw (unframed) v2 payload — the value
+ * format of archive-resident streams, e.g. the capture cache's spill
+ * segments; integrity comes from the container's per-sector CRCs
+ * instead of the stream framing.
+ */
+std::string encodeStsPayload(const std::vector<Sts> &stream);
+
+/** Decodes encodeStsPayload() output straight from a span (zero-copy
+ *  from an archive mapping). Throws IoError/FormatError. */
+std::vector<Sts> decodeStsPayload(const char *data, std::size_t size);
+
+/**
  * Shared v2 integrity framing (capture, STS stream, checkpoint
  * files): magic, u32 version, u64 payload length, payload bytes,
  * CRC-32 of the payload. A flipped bit fails the checksum and a short

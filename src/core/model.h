@@ -110,6 +110,42 @@ void saveModel(const TrainedModel &model, std::ostream &os);
  *  input. */
 TrainedModel loadModel(std::istream &is);
 
+/**
+ * Binary model codec — the payload stored under the "model" key of
+ * an EDDIEARC archive (store/archive.h). Fixed-width little-endian
+ * fields, so loading is bounds-checked memcpy instead of strtod
+ * parsing; integrity comes from the archive's per-sector CRCs.
+ */
+std::string encodeModelBinary(const TrainedModel &model);
+
+/** Decodes encodeModelBinary() output, applying the same validation
+ *  rules as the text loader (caps, sorted ranks, finite values) and
+ *  finalizing the presorted references. Throws FormatError. */
+TrainedModel decodeModelBinary(const char *data, std::size_t size);
+
+/** On-disk model flavors saveModelFile() can produce. */
+enum class ModelFormat
+{
+    Text,    ///< legacy "eddie-model 1" text + #crc32 trailer
+    Archive, ///< EDDIEARC container with a binary "model" artifact
+};
+
+/**
+ * Writes @p path atomically (tmp + rename) in the requested format.
+ * Both flavors load back through loadModelFile(); the text flavor
+ * stays readable by every pre-archive tool. Throws IoError.
+ */
+void saveModelFile(const TrainedModel &model, const std::string &path,
+                   ModelFormat format = ModelFormat::Text);
+
+/**
+ * Format-version switch: sniffs @p path and loads it as an EDDIEARC
+ * archive (mmap + CRC-verify + binary decode) or as a legacy text
+ * model (parse). This is the loader every tool and the serving
+ * runtime's hot reload go through.
+ */
+TrainedModel loadModelFile(const std::string &path);
+
 } // namespace eddie::core
 
 #endif // EDDIE_CORE_MODEL_H

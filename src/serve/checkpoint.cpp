@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <sstream>
 #include <utility>
 
 #include "common/crc32.h"
 #include "core/capture_io.h"
 #include "core/errors.h"
+#include "store/span_stream.h"
 
 namespace eddie::serve
 {
@@ -27,6 +30,21 @@ constexpr std::uint32_t kDeltaVersion = 1; ///< delta-log segment
 /** Element-count sanity cap; a corrupt length field must fail as
  *  FormatError, not as a giant allocation. */
 constexpr std::uint64_t kMaxElements = std::uint64_t(1) << 32;
+
+/** Archive-mode keys: the snapshot image and the numbered delta
+ *  segments ("ckpt/dlt/00000000", …; zero-padded so the archive's
+ *  lexicographic key order IS replay order). */
+constexpr const char *kSnapKey = "ckpt/snap";
+constexpr const char *kDeltaPrefix = "ckpt/dlt/";
+
+std::string
+deltaKey(std::uint64_t n)
+{
+    char key[32];
+    std::snprintf(key, sizeof key, "%s%08llu", kDeltaPrefix,
+                  static_cast<unsigned long long>(n));
+    return key;
+}
 
 /** StepRecord flag bits (u8 in the payload). */
 constexpr std::uint8_t kTested = 1 << 0;
@@ -545,6 +563,104 @@ CheckpointStore::CheckpointStore(const CheckpointStoreConfig &cfg)
 {
     if (cfg_.full_every == 0)
         cfg_.full_every = 1;
+    if (cfg_.use_archive && !cfg_.path.empty()) {
+        store::ArchiveConfig arc;
+        arc.path = cfg_.path + ".arc";
+        archive_ = std::make_unique<store::Archive>(arc);
+    }
+}
+
+bool
+CheckpointStore::applySegmentLocked(const DeltaSegment &seg)
+{
+    // Transactional: decode fully, apply onto copies, then publish —
+    // a torn or chain-broken segment leaves every mirror at the
+    // previous good cut.
+    std::vector<std::pair<std::size_t, CheckpointData>> staged;
+    for (const auto &entry : seg.entries) {
+        if (entry.shard >= mirrors_.size())
+            return false;
+        CheckpointData next = mirrors_[std::size_t(entry.shard)];
+        for (const auto &prior : staged)
+            if (prior.first == std::size_t(entry.shard))
+                next = prior.second;
+        try {
+            core::applyDelta(next.monitor, entry.delta);
+        } catch (const core::Error &) {
+            return false;
+        }
+        next.source_pos = next.monitor.step_index;
+        staged.emplace_back(std::size_t(entry.shard),
+                            std::move(next));
+    }
+    for (auto &entry : staged)
+        mirrors_[entry.first] = std::move(entry.second);
+    return true;
+}
+
+bool
+CheckpointStore::recoverFromArchiveLocked(std::vector<bool> &recovered)
+{
+    // A missing or damaged snapshot segment falls back to the legacy
+    // file layout — that is the in-place migration path: first run
+    // with use_archive reads the old files, first flush writes the
+    // archive.
+    std::span<const char> snap;
+    if (archive_->get(kSnapKey, snap) != store::GetStatus::Ok)
+        return false;
+    GroupCheckpoint group;
+    try {
+        store::SpanStream is(snap.data(), snap.size());
+        group = loadGroupCheckpoint(is);
+    } catch (const core::Error &) {
+        return false;
+    }
+    for (std::size_t i = 0;
+         i < group.shards.size() && i < mirrors_.size(); ++i) {
+        mirrors_[i] = std::move(group.shards[i]);
+        recovered[i] = true;
+    }
+    epoch_ = group.epoch;
+
+    // Replay the delta segments in key order (zero-padded numbering
+    // makes that commit order). Only the chain the snapshot anchors
+    // exists — the snapshot rewrite removed older keys in the same
+    // atomic commit that landed it — but the epoch check stays as
+    // defense in depth.
+    for (const auto &key : archive_->keys()) {
+        if (key.rfind(kDeltaPrefix, 0) != 0)
+            continue;
+        next_delta_key_ =
+            std::strtoull(key.c_str() + std::strlen(kDeltaPrefix),
+                          nullptr, 10) +
+            1;
+        std::span<const char> span;
+        if (archive_->get(key, span) != store::GetStatus::Ok) {
+            ++stats_.delta_fallbacks;
+            ++stats_.delta_segments_dropped;
+            break;
+        }
+        DeltaSegment seg;
+        try {
+            store::SpanStream is(span.data(), span.size());
+            if (!readDeltaSegment(is, seg))
+                break;
+        } catch (const core::Error &) {
+            ++stats_.delta_fallbacks;
+            ++stats_.delta_segments_dropped;
+            break;
+        }
+        if (seg.epoch != epoch_) {
+            ++stats_.delta_segments_dropped;
+            continue;
+        }
+        if (!applySegmentLocked(seg)) {
+            ++stats_.delta_fallbacks;
+            ++stats_.delta_segments_dropped;
+            break;
+        }
+    }
+    return true;
 }
 
 std::vector<bool>
@@ -553,6 +669,9 @@ CheckpointStore::recover()
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<bool> recovered(mirrors_.size(), false);
     if (cfg_.path.empty())
+        return recovered;
+
+    if (archive_ && recoverFromArchiveLocked(recovered))
         return recovered;
 
     GroupCheckpoint group;
@@ -609,34 +728,11 @@ CheckpointStore::recover()
             ++stats_.delta_segments_dropped;
             continue;
         }
-        bool ok = true;
-        std::vector<std::pair<std::size_t, CheckpointData>> staged;
-        for (const auto &entry : seg.entries) {
-            if (entry.shard >= mirrors_.size()) {
-                ok = false;
-                break;
-            }
-            CheckpointData next = mirrors_[std::size_t(entry.shard)];
-            for (const auto &prior : staged)
-                if (prior.first == std::size_t(entry.shard))
-                    next = prior.second;
-            try {
-                core::applyDelta(next.monitor, entry.delta);
-            } catch (const core::Error &) {
-                ok = false;
-                break;
-            }
-            next.source_pos = next.monitor.step_index;
-            staged.emplace_back(std::size_t(entry.shard),
-                                std::move(next));
-        }
-        if (!ok) {
+        if (!applySegmentLocked(seg)) {
             ++stats_.delta_fallbacks;
             ++stats_.delta_segments_dropped;
             break;
         }
-        for (auto &entry : staged)
-            mirrors_[entry.first] = std::move(entry.second);
     }
     return recovered;
 }
@@ -745,6 +841,27 @@ CheckpointStore::openDeltaLogLocked(bool truncate)
 }
 
 bool
+CheckpointStore::writeSnapshotArchiveLocked(const GroupCheckpoint &group)
+{
+    // The new snapshot image and the removal of every delta key land
+    // in ONE group commit: either the whole rewrite is visible to a
+    // later scan or none of it is, so — unlike the rename-then-
+    // truncate file pair — stale-epoch delta segments structurally
+    // cannot survive a crash.
+    std::ostringstream framed(std::ios::binary);
+    saveGroupCheckpoint(group, framed);
+    try {
+        archive_->stagePut(kSnapKey, framed.str());
+        for (const auto &key : archive_->keys())
+            if (key.rfind(kDeltaPrefix, 0) == 0)
+                archive_->stageRemove(key);
+    } catch (const core::Error &) {
+        return false;
+    }
+    return archive_->commit();
+}
+
+bool
 CheckpointStore::writeFullSnapshotLocked()
 {
     // Every queued delta folds into the mirrors (and out of memory)
@@ -754,11 +871,19 @@ CheckpointStore::writeFullSnapshotLocked()
     GroupCheckpoint group;
     group.epoch = epoch_ + 1;
     group.shards = mirrors_;
-    try {
-        saveGroupCheckpointFile(group, cfg_.path);
-    } catch (const core::IoError &) {
-        ++stats_.write_failures;
-        return false;
+    if (archive_) {
+        if (!writeSnapshotArchiveLocked(group)) {
+            ++stats_.write_failures;
+            return false;
+        }
+        next_delta_key_ = 0;
+    } else {
+        try {
+            saveGroupCheckpointFile(group, cfg_.path);
+        } catch (const core::IoError &) {
+            ++stats_.write_failures;
+            return false;
+        }
     }
     // The snapshot carries everything the queued deltas said, so the
     // log restarts empty under the new epoch. A crash before the
@@ -766,7 +891,8 @@ CheckpointStore::writeFullSnapshotLocked()
     epoch_ = group.epoch;
     commits_since_full_ = 0;
     full_dirty_ = false;
-    openDeltaLogLocked(true);
+    if (!archive_)
+        openDeltaLogLocked(true);
     ++stats_.full_snapshots;
     ++stats_.group_commits;
     return true;
@@ -782,6 +908,7 @@ CheckpointStore::flush()
     std::lock_guard<std::mutex> io_lock(io_mu_);
     DeltaSegment seg;
     std::vector<std::uint64_t> gen_snap;
+    std::uint64_t delta_key = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (cfg_.path.empty()) {
@@ -797,15 +924,31 @@ CheckpointStore::flush()
         seg.entries = std::move(pending_);
         pending_.clear();
         gen_snap = mirror_gen_;
+        if (archive_)
+            delta_key = next_delta_key_++;
     }
 
-    // The log stays open across commits (append mode seeks to the end
-    // on every write); reopen only after a failure cleared the stream.
-    if (!delta_log_.is_open() || !delta_log_)
-        openDeltaLogLocked(false);
-    const std::size_t seg_bytes = appendDeltaSegment(delta_log_, seg);
-    delta_log_.flush();
-    const bool wrote = bool(delta_log_);
+    std::size_t seg_bytes = 0;
+    bool wrote = false;
+    if (archive_) {
+        // Same framed bytes the .dlt log would carry, landed as one
+        // keyed segment = one archive group commit. A failed put is
+        // rolled back inside the archive (truncate to the pre-commit
+        // end), so a torn batch never reaches a later scan; the key
+        // number is simply skipped, which replay tolerates.
+        std::ostringstream framed(std::ios::binary);
+        seg_bytes = appendDeltaSegment(framed, seg);
+        wrote = archive_->put(deltaKey(delta_key), framed.str());
+    } else {
+        // The log stays open across commits (append mode seeks to the
+        // end on every write); reopen only after a failure cleared the
+        // stream.
+        if (!delta_log_.is_open() || !delta_log_)
+            openDeltaLogLocked(false);
+        seg_bytes = appendDeltaSegment(delta_log_, seg);
+        delta_log_.flush();
+        wrote = bool(delta_log_);
+    }
 
     std::lock_guard<std::mutex> lock(mu_);
     // Written or not, the entries stay queued for the snapshot fold:

@@ -36,11 +36,13 @@
 #include <cstdint>
 #include <fstream>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/monitor.h"
+#include "store/archive.h"
 
 namespace eddie::serve
 {
@@ -137,6 +139,22 @@ struct CheckpointStoreConfig
     /** Group commits between full-snapshot rewrites (chain length
      *  bound — recovery replays at most this many segments). */
     std::size_t full_every = 16;
+    /**
+     * Store snapshots and delta segments as keyed segments of ONE
+     * EDDIEARC container at path + ".arc" instead of the
+     * snapshot-file + ".dlt" pair. The values are the exact framed
+     * bytes of the v2 formats above (key "ckpt/snap" holds a
+     * saveGroupCheckpoint() image, "ckpt/dlt/<n>" one
+     * appendDeltaSegment() image), so the two layouts round-trip
+     * bit-identically. A snapshot rewrite stages the new image plus
+     * the removal of every delta key in one atomic group commit —
+     * stale-epoch segments structurally cannot survive it. Recovery
+     * prefers the archive; when it is absent or empty the legacy
+     * files are read (so flipping this flag on migrates in place)
+     * and the first flush writes the archive. An unopenable archive
+     * path throws IoError from the constructor.
+     */
+    bool use_archive = false;
 };
 
 /** Counters surfaced into core::ServeStats. */
@@ -210,6 +228,12 @@ class CheckpointStore
     bool writeFullSnapshotLocked();
     void openDeltaLogLocked(bool truncate);
     void foldAllLocked();
+    /** Archive-mode halves of recover() and the snapshot rewrite. */
+    bool recoverFromArchiveLocked(std::vector<bool> &recovered);
+    bool writeSnapshotArchiveLocked(const GroupCheckpoint &group);
+    /** Applies one decoded delta segment transactionally onto the
+     *  mirrors; false = damaged (bad shard or broken chain). */
+    bool applySegmentLocked(const DeltaSegment &seg);
 
     CheckpointStoreConfig cfg_;
     mutable std::mutex mu_;
@@ -235,6 +259,13 @@ class CheckpointStore
     std::size_t commits_since_full_ = 0;
     bool full_dirty_ = true; ///< next flush must rewrite the snapshot
     std::ofstream delta_log_;
+    /** Container when cfg_.use_archive (at cfg_.path + ".arc"); the
+     *  archive's own lock nests inside io_mu_/mu_ and it never calls
+     *  back, so the order is acyclic. */
+    std::unique_ptr<store::Archive> archive_;
+    /** Key number of the next delta segment ("ckpt/dlt/<n>"); reset
+     *  by each snapshot rewrite (which removes the delta keys). */
+    std::uint64_t next_delta_key_ = 0;
     CheckpointStoreStats stats_;
 };
 

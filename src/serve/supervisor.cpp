@@ -358,11 +358,12 @@ Supervisor::maybeReloadModel(double now_ms)
         return;
     std::shared_ptr<const core::TrainedModel> fresh;
     try {
-        std::ifstream is(cfg_.model_path);
-        if (!is)
-            return;
+        // Format-sniffing loader: an EDDIEARC model reloads as mmap +
+        // sector CRC check + binary decode (the hot-reload fast path
+        // benched in perf_pipeline's artifact_store section); a text
+        // model takes the legacy parse.
         fresh = std::make_shared<const core::TrainedModel>(
-            core::loadModel(is));
+            core::loadModelFile(cfg_.model_path));
     } catch (const std::exception &) {
         // Half-written or corrupt artifact: keep serving the current
         // model; the next poll re-checks the CRC.
@@ -432,6 +433,7 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
     store_cfg.path = cfg_.checkpoint_path;
     store_cfg.num_shards = sources.size();
     store_cfg.full_every = cfg_.full_snapshot_every;
+    store_cfg.use_archive = cfg_.checkpoint_archive;
     store_ = std::make_unique<CheckpointStore>(store_cfg);
     std::vector<bool> recovered(sources.size(), false);
     if (cfg_.resume)

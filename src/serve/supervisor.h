@@ -108,6 +108,11 @@ struct ServeConfig
     /** Group commits between full-snapshot rewrites (bounds the
      *  delta chain recovery has to replay). */
     std::size_t full_snapshot_every = 16;
+    /** Keep snapshots and delta segments in one EDDIEARC container at
+     *  checkpoint_path + ".arc" instead of the file pair; legacy
+     *  files are still read when the archive is absent (see
+     *  CheckpointStoreConfig::use_archive). */
+    bool checkpoint_archive = false;
     /** Windows drained per queue-lock acquisition by each worker. */
     std::size_t queue_batch = 16;
     /** Model file watched for hot reload; empty disables watching. */

@@ -23,27 +23,108 @@ toUnit(std::uint64_t bits)
     return double(bits >> 11) * 0x1.0p-53;
 }
 
+/** Ziggurat layer boundary where the tail algorithm takes over. */
+constexpr double kZigR = 3.442619855899;
+
+/**
+ * Marsaglia–Tsang ziggurat tables for the standard normal, 128
+ * layers of equal area vn. kn[i] is the acceptance threshold for a
+ * 31-bit magnitude (accept ⇒ the draw scaled by wn[i] lies strictly
+ * inside layer i), fn[i] = exp(-x_i^2/2) for the wedge test.
+ */
+struct ZigTables
+{
+    std::uint32_t kn[128];
+    double wn[128];
+    double fn[128];
+
+    ZigTables()
+    {
+        const double m1 = 2147483648.0; // 2^31
+        const double vn = 9.91256303526217e-3;
+        double dn = kZigR;
+        double tn = dn;
+        const double q = vn / std::exp(-0.5 * dn * dn);
+        kn[0] = std::uint32_t((dn / q) * m1);
+        kn[1] = 0;
+        wn[0] = q / m1;
+        wn[127] = dn / m1;
+        fn[0] = 1.0;
+        fn[127] = std::exp(-0.5 * dn * dn);
+        for (int i = 126; i >= 1; --i) {
+            dn = std::sqrt(
+                -2.0 * std::log(vn / dn + std::exp(-0.5 * dn * dn)));
+            kn[i + 1] = std::uint32_t((dn / tn) * m1);
+            tn = dn;
+            fn[i] = std::exp(-0.5 * dn * dn);
+            wn[i] = dn / m1;
+        }
+    }
+};
+
+const ZigTables &
+zigTables()
+{
+    static const ZigTables tables;
+    return tables;
+}
+
 } // namespace
 
 void
 gaussianBlock(std::mt19937_64 &rng, double *dst, std::size_t n)
 {
-    constexpr double two_pi = 2.0 * std::numbers::pi;
-    std::size_t i = 0;
-    for (; i + 1 < n; i += 2) {
-        // 1 - u keeps u1 in (0, 1] so the log is finite.
-        const double u1 = 1.0 - toUnit(rng());
-        const double u2 = toUnit(rng());
-        const double r = std::sqrt(-2.0 * std::log(u1));
-        const double a = two_pi * u2;
-        dst[i] = r * std::cos(a);
-        dst[i + 1] = r * std::sin(a);
-    }
-    if (i < n) {
-        const double u1 = 1.0 - toUnit(rng());
-        const double u2 = toUnit(rng());
-        const double r = std::sqrt(-2.0 * std::log(u1));
-        dst[i] = r * std::cos(two_pi * u2);
+    const ZigTables &t = zigTables();
+    // One 64-bit draw feeds two 32-bit ziggurat samples; the spare
+    // half lives only within this call, keeping the function a pure
+    // function of the RNG state.
+    std::uint64_t bits = 0;
+    bool have_spare = false;
+    const auto next32 = [&]() -> std::uint32_t {
+        if (have_spare) {
+            have_spare = false;
+            return std::uint32_t(bits >> 32);
+        }
+        bits = rng();
+        have_spare = true;
+        return std::uint32_t(bits);
+    };
+    // 1 - u keeps the uniform in (0, 1] so the logs are finite.
+    const auto uni = [&]() { return 1.0 - toUnit(rng()); };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (;;) {
+            const std::uint32_t u = next32();
+            const std::int32_t hz = std::int32_t(u);
+            const std::size_t iz = u & 127;
+            // Two's-complement magnitude; 0u - u is correct for
+            // INT32_MIN too, where std::abs would be UB.
+            const std::uint32_t mag = hz < 0 ? 0u - u : u;
+            if (mag < t.kn[iz]) { // ~98.8%: one multiply, done
+                dst[i] = double(hz) * t.wn[iz];
+                break;
+            }
+            if (iz == 0) {
+                // Base layer: sample the tail beyond kZigR via
+                // Marsaglia's exponential-majorant rejection.
+                double x;
+                double y;
+                do {
+                    x = -std::log(uni()) / kZigR;
+                    y = -std::log(uni());
+                } while (y + y < x * x);
+                dst[i] = hz < 0 ? -(kZigR + x) : kZigR + x;
+                break;
+            }
+            // Wedge between layer iz and its inscribed rectangle.
+            const double x = double(hz) * t.wn[iz];
+            if (t.fn[iz] + uni() * (t.fn[iz - 1] - t.fn[iz]) <
+                std::exp(-0.5 * x * x)) {
+                dst[i] = x;
+                break;
+            }
+            // Rejected: redraw from scratch.
+        }
     }
 }
 

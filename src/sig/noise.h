@@ -16,13 +16,16 @@ namespace eddie::sig
 {
 
 /**
- * Fills dst[0..n) with independent standard-normal samples via a
- * blocked Box-Muller transform: raw 64-bit draws are mapped straight
- * to (0,1] / [0,1) uniforms and each (log, sqrt, cos, sin) group
- * yields two outputs, with no rejection loop — unlike
- * std::normal_distribution's polar method this does a fixed amount of
- * work per sample, which is what makes it fast at passband rates.
- * Deterministic given the RNG state.
+ * Fills dst[0..n) with independent standard-normal samples via the
+ * Marsaglia–Tsang ziggurat (128 layers): ~98.8% of samples cost one
+ * 32-bit draw, a table compare, and one multiply — no transcendentals
+ * on the common path, unlike Box–Muller's (log, sqrt, cos, sin) per
+ * pair or std::normal_distribution's polar rejection. The wedge and
+ * tail corrections (exp/log) run on the remaining ~1.2%. Each 64-bit
+ * RNG draw feeds two samples; deterministic given the RNG state (the
+ * exact sequence is a function of the algorithm, so it differs from
+ * the previous Box–Muller one — nothing persists raw noise, only
+ * statistics, so seeds keep meaning "same run").
  */
 void gaussianBlock(std::mt19937_64 &rng, double *dst, std::size_t n);
 

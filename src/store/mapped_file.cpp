@@ -1,0 +1,82 @@
+#include "mapped_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/errors.h"
+
+namespace eddie::store
+{
+
+void
+MappedFile::open(const std::string &path, std::size_t length)
+{
+    reset();
+    if (length == 0)
+        return;
+
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        throw core::IoError("mapped_file: cannot open " + path);
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 ||
+        st.st_size < static_cast<off_t>(length)) {
+        ::close(fd);
+        throw core::IoError("mapped_file: " + path +
+                            " shorter than requested mapping");
+    }
+
+    void *p = ::mmap(nullptr, length, PROT_READ, MAP_SHARED, fd, 0);
+    if (p != MAP_FAILED) {
+        ::close(fd);
+        data_ = static_cast<char *>(p);
+        size_ = length;
+        mapped_ = true;
+        return;
+    }
+
+    // Fallback: plain reads into an owned buffer. Correctness is
+    // identical; only the zero-copy property is lost.
+    char *buf = new (std::nothrow) char[length];
+    if (buf == nullptr) {
+        ::close(fd);
+        throw core::IoError("mapped_file: cannot buffer " + path);
+    }
+    std::size_t got = 0;
+    while (got < length) {
+        const ssize_t n = ::read(fd, buf + got, length - got);
+        if (n <= 0) {
+            delete[] buf;
+            ::close(fd);
+            throw core::IoError("mapped_file: short read from " +
+                                path);
+        }
+        got += std::size_t(n);
+    }
+    ::close(fd);
+    data_ = buf;
+    size_ = length;
+    mapped_ = false;
+}
+
+void
+MappedFile::reset()
+{
+    if (data_ != nullptr) {
+        if (mapped_)
+            ::munmap(data_, size_);
+        else
+            delete[] data_;
+    }
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+}
+
+} // namespace eddie::store

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Read-only memory mapping of a file region (the archive's zero-copy
+ * read path). POSIX mmap with MAP_SHARED, so bytes appended to the
+ * file through a descriptor after the mapping was created are visible
+ * through any mapping that covers them; the Archive still remaps
+ * after growth because a mapping's *length* is fixed at creation.
+ *
+ * On hosts (or filesystems) where mmap fails, the class falls back to
+ * reading the region into an owned buffer — same API, no zero-copy.
+ * The distinction is observable via mapped() and counted by the
+ * archive's stats so benchmarks cannot silently measure the fallback.
+ */
+
+#ifndef EDDIE_STORE_MAPPED_FILE_H
+#define EDDIE_STORE_MAPPED_FILE_H
+
+#include <cstddef>
+#include <string>
+
+namespace eddie::store
+{
+
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile() { reset(); }
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    MappedFile(MappedFile &&other) noexcept { swap(other); }
+    MappedFile &operator=(MappedFile &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            swap(other);
+        }
+        return *this;
+    }
+
+    /**
+     * Maps the first @p length bytes of @p path read-only. Throws
+     * core::IoError when the file cannot be opened or is shorter
+     * than @p length; a zero-length request yields an empty mapping.
+     * mmap failure itself is not an error: the bytes are read into a
+     * private buffer instead (mapped() reports which happened).
+     */
+    void open(const std::string &path, std::size_t length);
+
+    /** Unmaps / frees; safe on an empty object. */
+    void reset();
+
+    const char *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    /** True when data() is a real mmap, false for the read fallback
+     *  (or an empty object). */
+    bool mapped() const { return mapped_; }
+
+  private:
+    void swap(MappedFile &other) noexcept
+    {
+        std::swap(data_, other.data_);
+        std::swap(size_, other.size_);
+        std::swap(mapped_, other.mapped_);
+    }
+
+    char *data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_ = false;
+};
+
+} // namespace eddie::store
+
+#endif // EDDIE_STORE_MAPPED_FILE_H

@@ -33,13 +33,8 @@ run(int argc, char **argv)
                      "[--snr DB]\n");
         return 2;
     }
-    std::ifstream is(args.positional()[0]);
-    if (!is) {
-        std::fprintf(stderr, "cannot read %s\n",
-                     args.positional()[0].c_str());
-        return 1;
-    }
-    const auto model = core::loadModel(is);
+    // Sniffs text vs EDDIEARC archive models.
+    const auto model = core::loadModelFile(args.positional()[0]);
     const auto capture = core::loadCaptureFile(args.positional()[1]);
 
     core::PipelineConfig cfg;

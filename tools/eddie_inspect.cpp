@@ -26,13 +26,8 @@ run(int argc, char **argv)
                              "[--histogram REGION]\n");
         return 2;
     }
-    std::ifstream is(args.positional()[0]);
-    if (!is) {
-        std::fprintf(stderr, "cannot read %s\n",
-                     args.positional()[0].c_str());
-        return 1;
-    }
-    const auto model = core::loadModel(is);
+    // Sniffs text vs EDDIEARC archive models.
+    const auto model = core::loadModelFile(args.positional()[0]);
 
     std::printf("EDDIE model: %zu regions (%zu loop regions), "
                 "alpha=%.3g, entry=%s\n",

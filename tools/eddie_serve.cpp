@@ -55,17 +55,13 @@ run(int argc, char **argv)
             "[--source-seed N] [--retries N]\n"
             "       [--queue N] [--drop-oldest] [--checkpoint FILE] "
             "[--ckpt-interval N] [--full-every N] [--resume]\n"
-            "       [--queue-batch N] [--watch-model]\n");
+            "       [--ckpt-arc] [--queue-batch N] [--watch-model]\n");
         return 2;
     }
     const std::string model_path = args.positional()[0];
-    std::ifstream is(model_path);
-    if (!is) {
-        std::fprintf(stderr, "cannot read %s\n", model_path.c_str());
-        return 1;
-    }
+    // Sniffs text vs EDDIEARC archive models.
     auto model = std::make_shared<const core::TrainedModel>(
-        core::loadModel(is));
+        core::loadModelFile(model_path));
 
     core::PipelineConfig cfg;
     cfg.threads = std::size_t(args.getLong("threads", 0));
@@ -153,6 +149,9 @@ run(int argc, char **argv)
     scfg.resume = args.has("resume");
     scfg.full_snapshot_every =
         std::size_t(std::max(args.getLong("full-every", 16), 1L));
+    // One EDDIEARC container instead of the snapshot + .dlt pair;
+    // legacy checkpoints are still read when the archive is absent.
+    scfg.checkpoint_archive = args.has("ckpt-arc");
     scfg.queue_batch =
         std::size_t(std::max(args.getLong("queue-batch", 16), 1L));
     if (args.has("watch-model"))

@@ -5,10 +5,13 @@
  *
  *   eddie_train <workload> <model-file>
  *       [--scale S] [--runs N] [--em] [--snr DB] [--alpha A]
- *       [--threads T]
+ *       [--threads T] [--arc]
  *
- * The model file is a plain-text artifact consumed by eddie_monitor
- * and eddie_inspect.
+ * By default the model file is the legacy plain-text artifact; with
+ * --arc it is written as an EDDIEARC archive (binary model segment,
+ * mmap + CRC-verified load). Either flavor is consumed by
+ * eddie_monitor, eddie_inspect, eddie_analyze, and eddie_serve —
+ * they all load through the format-sniffing core::loadModelFile().
  */
 
 #include <cstdio>
@@ -31,9 +34,11 @@ run(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: eddie_train <workload> <model-file> "
                      "[--scale S] [--runs N] [--em] [--snr DB] "
-                     "[--alpha A] [--threads T]\n"
+                     "[--alpha A] [--threads T] [--arc]\n"
                      "  --threads 0 (default) uses all hardware "
                      "threads; any value yields the same model\n"
+                     "  --arc writes an EDDIEARC archive instead of "
+                     "the legacy text format\n"
                      "  workloads:");
         for (const auto &n : workloads::workloadNames())
             std::fprintf(stderr, " %s", n.c_str());
@@ -69,13 +74,11 @@ run(int argc, char **argv)
     std::printf("trained %zu of %zu regions\n", trained,
                 model.regions.size());
 
-    std::ofstream os(out_path);
-    if (!os) {
-        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-        return 1;
-    }
-    core::saveModel(model, os);
-    std::printf("model written to %s\n", out_path.c_str());
+    const auto format = args.has("arc") ? core::ModelFormat::Archive
+                                        : core::ModelFormat::Text;
+    core::saveModelFile(model, out_path, format);
+    std::printf("model written to %s (%s)\n", out_path.c_str(),
+                args.has("arc") ? "archive" : "text");
     return 0;
 }
 
