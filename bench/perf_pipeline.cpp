@@ -36,6 +36,7 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -714,6 +715,153 @@ main(int argc, char **argv)
                 (unsigned long long)serve_rec_stats.worker_restarts,
                 serve_rec_stats.restart_latency_ms);
 
+    // Stage 6b: fleet isolation (the multi-tenant runtime). Three
+    // tenants, one tiled stream each. The clean run is the baseline;
+    // the faulted run crash-loops tenant "t0" three times (restart
+    // budget raised, breaker disabled, so the victim recovers and
+    // finishes) while the neighbors run clean. The figure of merit is
+    // the worst HEALTHY tenant's completion latency, faulted vs
+    // clean: per-tenant fault domains mean a misbehaving neighbor
+    // must cost its peers at most a few percent. An over-subscribed
+    // open attempt exercises admission accounting in the same run.
+    const std::size_t fleet_tenants =
+        std::min<std::size_t>(3, serve_streams.size());
+    std::vector<std::size_t> fleet_lens;
+    for (std::size_t t = 0; t < fleet_tenants; ++t)
+        fleet_lens.push_back(serve_streams[t]->size());
+    struct FleetBenchOut
+    {
+        double healthy_ms = 0.0;
+        serve::FleetResult fr;
+        core::ServeStats stats;
+        bool verdicts_ok = true;
+    };
+    const auto runFleetBench = [&](bool faulted) {
+        serve::TenantRegistry reg;
+        std::vector<std::unique_ptr<serve::VectorSource>> owned;
+        for (std::size_t t = 0; t < fleet_tenants; ++t) {
+            serve::TenantSpec spec;
+            // Two-step append: GCC 12's -Wrestrict misfires on
+            // operator+(const char*, std::string&&).
+            spec.id = "t";
+            spec.id += std::to_string(t);
+            spec.model = shared_model;
+            if (t == 0) {
+                spec.quota.max_sessions = 1;
+                if (faulted) {
+                    spec.quota.restart_budget = 16;
+                    spec.breaker.fault_threshold = 0;
+                }
+            }
+            reg.addTenant(spec);
+        }
+        for (std::size_t t = 0; t < fleet_tenants; ++t) {
+            owned.push_back(std::make_unique<serve::VectorSource>(
+                serve_streams[t]));
+            std::string id = "t";
+            id += std::to_string(t);
+            if (!reg.openSession(id, owned.back().get()).admitted)
+                throw std::runtime_error("fleet bench: not admitted");
+        }
+        serve::VectorSource extra(serve_streams[0]);
+        if (reg.openSession("t0", &extra).admitted)
+            throw std::runtime_error("fleet bench: over-admitted");
+
+        serve::ServeConfig fcfg;
+        fcfg.monitor = cfg.monitor;
+        fcfg.checkpoint_interval = 32; // in-memory mirrors only
+        serve::Supervisor sup(fcfg);
+        const std::size_t crash_steps[] = {fleet_lens[0] / 4,
+                                           fleet_lens[0] / 2,
+                                           fleet_lens[0] * 3 / 4};
+        auto fired =
+            std::make_shared<std::array<std::atomic<bool>, 3>>();
+        for (auto &b : *fired)
+            b.store(false);
+        auto finish =
+            std::make_shared<std::array<std::atomic<double>, 3>>();
+        for (auto &fm : *finish)
+            fm.store(0.0);
+        const auto bench_t0 = Clock::now();
+        sup.setFleetStepHook(
+            [&, fired, finish](std::size_t session,
+                               const std::string &tenant,
+                               std::size_t step,
+                               const std::atomic<bool> &) {
+                if (faulted && tenant == "t0")
+                    for (std::size_t k = 0; k < 3; ++k)
+                        if (step == crash_steps[k] &&
+                            !(*fired)[k].exchange(true))
+                            throw std::runtime_error(
+                                "fleet bench: injected crash");
+                // Sessions open tenant-major, so session == tenant
+                // index here; stamp each healthy tenant's last step.
+                if (session > 0 && step + 1 == fleet_lens[session])
+                    (*finish)[session].store(msSince(bench_t0));
+            });
+        FleetBenchOut out;
+        out.fr = sup.runFleet(reg);
+        out.stats = sup.stats();
+        for (std::size_t s = 1; s < fleet_tenants; ++s)
+            out.healthy_ms =
+                std::max(out.healthy_ms, (*finish)[s].load());
+        for (std::size_t s = 0; s < fleet_tenants; ++s)
+            out.verdicts_ok &=
+                recordsEqual(out.fr.sessions[s].records,
+                             serve_base_records[s]) &&
+                reportsEqual(out.fr.sessions[s].reports,
+                             serve_base_reports[s]);
+        return out;
+    };
+    // Interleaved best-of-3 pairs, same discipline (and reason) as
+    // the steady/checkpointed serving comparison above.
+    double fleet_clean_ms = -1.0;
+    double fleet_faulted_ms = -1.0;
+    FleetBenchOut fleet_clean;
+    FleetBenchOut fleet_faulted;
+    bool fleet_verdicts_ok = true;
+    for (int rep = 0; rep < 3; ++rep) {
+        FleetBenchOut c = runFleetBench(false);
+        fleet_verdicts_ok &= c.verdicts_ok;
+        if (fleet_clean_ms < 0.0 || c.healthy_ms < fleet_clean_ms) {
+            fleet_clean_ms = c.healthy_ms;
+            fleet_clean = std::move(c);
+        }
+        FleetBenchOut x = runFleetBench(true);
+        fleet_verdicts_ok &= x.verdicts_ok;
+        if (fleet_faulted_ms < 0.0 ||
+            x.healthy_ms < fleet_faulted_ms) {
+            fleet_faulted_ms = x.healthy_ms;
+            fleet_faulted = std::move(x);
+        }
+    }
+    // Guard the single-stream case (one tenant = no healthy
+    // neighbors): 0/0 here would put a NaN in the JSON artifact.
+    const double fleet_degradation_pct =
+        fleet_clean_ms > 0.0
+            ? (fleet_faulted_ms / fleet_clean_ms - 1.0) * 100.0
+            : 0.0;
+    const bool fleet_isolation_ok = fleet_degradation_pct < 5.0;
+    std::printf("fleet isolation (%zu tenants, crash-looping t0):\n",
+                fleet_tenants);
+    std::printf("  healthy latency: clean %8.1f ms, faulted %8.1f ms "
+                "(%+.2f%% neighbor degradation)%s\n",
+                fleet_clean_ms, fleet_faulted_ms,
+                fleet_degradation_pct,
+                fleet_verdicts_ok ? "" : "  VERDICT MISMATCH");
+    std::printf("  victim: %llu restart(s), budget used %zu, breaker "
+                "%s; admission: %llu admitted, %llu refused\n",
+                (unsigned long long)
+                    fleet_faulted.stats.worker_restarts,
+                fleet_faulted.fr.tenants[0].restarts_used,
+                fleet_faulted.fr.tenants[0].breaker_tripped
+                    ? "tripped"
+                    : "closed",
+                (unsigned long long)
+                    fleet_faulted.fr.admission.sessions_admitted,
+                (unsigned long long)
+                    fleet_faulted.fr.admission.rejected_tenant_limit);
+
     // Stage 7: the EDDIEARC artifact store (src/store/) against the
     // legacy per-kind persistence it replaced.
     //
@@ -1098,6 +1246,32 @@ main(int argc, char **argv)
     std::fprintf(f, "    \"verdicts_identical\": %s\n",
                  serving_verdicts_ok ? "true" : "false");
     std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"fleet_isolation\": {\n");
+    std::fprintf(f, "    \"tenants\": %zu,\n", fleet_tenants);
+    std::fprintf(f, "    \"clean_healthy_ms\": %.3f,\n",
+                 fleet_clean_ms);
+    std::fprintf(f, "    \"faulted_healthy_ms\": %.3f,\n",
+                 fleet_faulted_ms);
+    std::fprintf(f, "    \"neighbor_degradation_pct\": %.2f,\n",
+                 fleet_degradation_pct);
+    std::fprintf(f, "    \"victim_restarts\": %llu,\n",
+                 (unsigned long long)
+                     fleet_faulted.stats.worker_restarts);
+    std::fprintf(f, "    \"victim_budget_used\": %zu,\n",
+                 fleet_faulted.fr.tenants[0].restarts_used);
+    std::fprintf(f, "    \"victim_breaker_tripped\": %s,\n",
+                 fleet_faulted.fr.tenants[0].breaker_tripped
+                     ? "true"
+                     : "false");
+    std::fprintf(f, "    \"sessions_admitted\": %llu,\n",
+                 (unsigned long long)
+                     fleet_faulted.fr.admission.sessions_admitted);
+    std::fprintf(f, "    \"sessions_rejected_tenant_limit\": %llu,\n",
+                 (unsigned long long)
+                     fleet_faulted.fr.admission.rejected_tenant_limit);
+    std::fprintf(f, "    \"verdicts_identical\": %s\n",
+                 fleet_verdicts_ok ? "true" : "false");
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"artifact_store\": {\n");
     std::fprintf(f, "    \"model_text_load_ms\": %.3f,\n",
                  model_text_load_ms);
@@ -1154,8 +1328,12 @@ main(int argc, char **argv)
                  recovery_tail_only ? "true" : "false");
     std::fprintf(f, "    \"verdicts_identical\": %s,\n",
                  verdicts_identical ? "true" : "false");
-    std::fprintf(f, "    \"serving_verdicts_identical\": %s\n",
+    std::fprintf(f, "    \"serving_verdicts_identical\": %s,\n",
                  serving_verdicts_ok ? "true" : "false");
+    std::fprintf(f, "    \"fleet_neighbor_degradation_lt_5\": %s,\n",
+                 fleet_isolation_ok ? "true" : "false");
+    std::fprintf(f, "    \"fleet_verdicts_identical\": %s\n",
+                 fleet_verdicts_ok ? "true" : "false");
     std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"degradation_sweep\": [\n");
     for (std::size_t i = 0; i < sweep.size(); ++i) {

@@ -20,8 +20,10 @@
 #ifndef EDDIE_CORE_ERRORS_H
 #define EDDIE_CORE_ERRORS_H
 
+#include <cerrno>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 
 namespace eddie::core
 {
@@ -40,6 +42,33 @@ class IoError : public Error
   public:
     using Error::Error;
 };
+
+/**
+ * Builds an IoError carrying the failed operation, the path, an
+ * optional byte offset, and the calling thread's current errno
+ * (decoded plus numeric). Call it in the throw expression directly
+ * after the failing syscall so errno is still the syscall's:
+ *
+ *     throw ioErrorErrno("archive: open", path);
+ *     throw ioErrorErrno("checkpoint: write", tmp, off);
+ *
+ * errno == 0 (e.g. a short read that set no error) omits the errno
+ * clause rather than inventing one.
+ */
+inline IoError
+ioErrorErrno(const std::string &operation, const std::string &path,
+             long long offset = -1)
+{
+    const int err = errno;
+    std::string msg = operation + " failed for " + path;
+    if (offset >= 0)
+        msg += " at offset " + std::to_string(offset);
+    if (err != 0)
+        msg += ": " +
+               std::error_code(err, std::generic_category()).message() +
+               " (errno " + std::to_string(err) + ")";
+    return IoError(msg);
+}
 
 /** The bytes were read but are not a valid artifact: bad magic or
  *  version, checksum mismatch, non-finite or out-of-range value,

@@ -191,7 +191,7 @@ describe(const CaptureCacheStats &stats)
 std::string
 describe(const ServeStats &stats)
 {
-    char buf[448];
+    char buf[640];
     std::snprintf(
         buf, sizeof buf,
         "serve: %llu delivered, %llu processed, %llu dropped, "
@@ -199,7 +199,9 @@ describe(const ServeStats &stats)
         "%llu give-ups), %llu restarts (%llu crashes, %llu hangs, "
         "%llu escalations), %llu checkpoints, %llu restores, "
         "%llu model reloads, %llu group commits (%llu full, "
-        "%llu delta bytes, %llu fallbacks)",
+        "%llu delta bytes, %llu fallbacks), fleet: %llu tenants, "
+        "%llu sessions (%llu rejected), %llu breaker trips, "
+        "%llu shed, %llu throttled, %llu snapshot decode failures",
         static_cast<unsigned long long>(stats.delivered),
         static_cast<unsigned long long>(stats.processed),
         static_cast<unsigned long long>(stats.dropped_oldest),
@@ -218,7 +220,15 @@ describe(const ServeStats &stats)
         static_cast<unsigned long long>(stats.group_commits),
         static_cast<unsigned long long>(stats.full_snapshots),
         static_cast<unsigned long long>(stats.delta_bytes),
-        static_cast<unsigned long long>(stats.delta_fallbacks));
+        static_cast<unsigned long long>(stats.delta_fallbacks),
+        static_cast<unsigned long long>(stats.tenants),
+        static_cast<unsigned long long>(stats.sessions),
+        static_cast<unsigned long long>(stats.sessions_rejected),
+        static_cast<unsigned long long>(stats.breaker_trips),
+        static_cast<unsigned long long>(stats.windows_shed),
+        static_cast<unsigned long long>(stats.windows_throttled),
+        static_cast<unsigned long long>(
+            stats.snapshot_decode_failures));
     return std::string(buf);
 }
 

@@ -161,6 +161,22 @@ struct ServeStats
     double queue_wait_ms = 0.0;
     double step_ms = 0.0;
     double checkpoint_ms = 0.0;
+    /** Fleet runtime (serve/tenant.h): tenants and sessions the last
+     *  runFleet multiplexed. Zero in single-tenant mode. */
+    std::uint64_t tenants = 0;
+    std::uint64_t sessions = 0;
+    /** Per-tenant circuit breakers tripped (each isolates one tenant
+     *  into degraded mode; neighbors keep running). */
+    std::uint64_t breaker_trips = 0;
+    /** Session opens refused by admission (all ShedReasons). */
+    std::uint64_t sessions_rejected = 0;
+    /** Windows dropped / feeder naps taken by per-tenant STS/s rate
+     *  quotas. */
+    std::uint64_t windows_shed = 0;
+    std::uint64_t windows_throttled = 0;
+    /** Tenant snapshots that existed but failed to decode during
+     *  resume (FaultClass::CheckpointDecode trips). */
+    std::uint64_t snapshot_decode_failures = 0;
 };
 
 /** One-line human-readable summary of the cache counters. */

@@ -8,22 +8,25 @@
 namespace eddie::faults
 {
 
-namespace
-{
-
-/** splitmix64 finalizer over the mixed identifiers (same scheme as
- *  fault_injector.cpp's classSeed, so schedules are reproducible and
- *  independent across (seed, index, attempt) triples). */
 std::uint64_t
-mix(std::uint64_t seed, std::uint64_t index, std::uint64_t attempt)
+fateMix(std::uint64_t seed, std::uint64_t a, std::uint64_t b)
 {
-    std::uint64_t z = seed ^ (index * 0x9E3779B97F4A7C15ULL) ^
-                      (attempt * 0xBF58476D1CE4E5B9ULL) ^
+    std::uint64_t z = seed ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                      (b * 0xBF58476D1CE4E5B9ULL) ^
                       0x50FA5CEDULL;
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
     return z ^ (z >> 31);
 }
+
+double
+fateUniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b)
+{
+    return double(fateMix(seed, a, b) >> 11) * 0x1.0p-53;
+}
+
+namespace
+{
 
 void
 checkProbability(double v, const char *what)
@@ -55,8 +58,7 @@ pullFate(const SourceFaultConfig &cfg, std::uint64_t index,
     // windows, they never destroy them.
     if (attempt >= cfg.max_consecutive)
         return PullFate::Deliver;
-    const double u = double(mix(cfg.seed, index, attempt) >> 11) *
-                     0x1.0p-53;
+    const double u = fateUniform(cfg.seed, index, attempt);
     if (u < cfg.stall_prob)
         return PullFate::Stall;
     if (u < cfg.stall_prob + cfg.error_prob)

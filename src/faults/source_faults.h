@@ -54,6 +54,20 @@ enum class PullFate
 void validate(const SourceFaultConfig &cfg);
 
 /**
+ * splitmix64 finalizer over the mixed identifiers (same scheme as
+ * fault_injector.cpp's classSeed). This is the shared deterministic
+ * draw behind pullFate and the serve-layer chaos scheduler
+ * (serve/chaos.h): pure in (seed, a, b), so every fate stream is
+ * replayable from its seed alone.
+ */
+std::uint64_t fateMix(std::uint64_t seed, std::uint64_t a,
+                      std::uint64_t b);
+
+/** fateMix folded to a uniform draw in [0, 1). */
+double fateUniform(std::uint64_t seed, std::uint64_t a,
+                   std::uint64_t b);
+
+/**
  * Fate of attempt @p attempt (0-based) at delivering item @p index.
  * Pure and stateless: derived by hashing (seed, index, attempt), so
  * concurrent shards with different seeds draw independent schedules

@@ -378,7 +378,10 @@ readCheckpointFrame(std::istream &is, std::string &payload)
     payload.resize(std::size_t(size));
     is.read(payload.data(), std::streamsize(payload.size()));
     if (!is)
-        throw core::IoError(std::string(what) + ": truncated payload");
+        throw core::IoError(std::string(what) +
+                            ": truncated payload (wanted " +
+                            std::to_string(size) + " bytes, got " +
+                            std::to_string(is.gcount()) + ")");
     const auto stored_crc = getRaw<std::uint32_t>(is, what);
     if (stored_crc != common::crc32(payload))
         throw core::FormatError(std::string(what) +
@@ -394,9 +397,11 @@ writeFileAtomic(const std::string &path,
 {
     const std::string tmp = path + ".tmp";
     {
+        errno = 0; // stream failures report the underlying errno
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os) {
-            throw core::IoError("checkpoint: cannot open " + tmp);
+            throw core::ioErrorErrno("checkpoint: open for write",
+                                     tmp);
         }
         try {
             emit(os);
@@ -407,15 +412,18 @@ writeFileAtomic(const std::string &path,
         }
         os.flush();
         if (!os) {
+            auto err = core::ioErrorErrno("checkpoint: write", tmp);
             os.close();
             std::remove(tmp.c_str());
-            throw core::IoError("checkpoint: short write to " + tmp);
+            throw err;
         }
     }
+    errno = 0;
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        auto err = core::ioErrorErrno(
+            "checkpoint: rename to " + path, tmp);
         std::remove(tmp.c_str());
-        throw core::IoError("checkpoint: cannot rename " + tmp +
-                            " to " + path);
+        throw err;
     }
 }
 
@@ -447,9 +455,10 @@ saveCheckpointFile(const CheckpointData &ckpt, const std::string &path)
 CheckpointData
 loadCheckpointFile(const std::string &path)
 {
+    errno = 0;
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        throw core::IoError("checkpoint: cannot open " + path);
+        throw core::ioErrorErrno("checkpoint: open", path);
     return loadCheckpoint(is);
 }
 
@@ -498,9 +507,10 @@ saveGroupCheckpointFile(const GroupCheckpoint &group,
 GroupCheckpoint
 loadGroupCheckpointFile(const std::string &path)
 {
+    errno = 0;
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        throw core::IoError("checkpoint: cannot open " + path);
+        throw core::ioErrorErrno("checkpoint: open", path);
     return loadGroupCheckpoint(is);
 }
 
@@ -563,11 +573,32 @@ CheckpointStore::CheckpointStore(const CheckpointStoreConfig &cfg)
 {
     if (cfg_.full_every == 0)
         cfg_.full_every = 1;
-    if (cfg_.use_archive && !cfg_.path.empty()) {
+    if (cfg_.shared_archive != nullptr) {
+        arc_ = cfg_.shared_archive;
+    } else if (cfg_.use_archive && !cfg_.path.empty()) {
         store::ArchiveConfig arc;
         arc.path = cfg_.path + ".arc";
         archive_ = std::make_unique<store::Archive>(arc);
+        arc_ = archive_.get();
     }
+}
+
+std::string
+CheckpointStore::snapKeyStr() const
+{
+    return cfg_.key_prefix + kSnapKey;
+}
+
+std::string
+CheckpointStore::deltaPrefixStr() const
+{
+    return cfg_.key_prefix + kDeltaPrefix;
+}
+
+std::string
+CheckpointStore::deltaKeyStr(std::uint64_t n) const
+{
+    return cfg_.key_prefix + deltaKey(n);
 }
 
 bool
@@ -606,13 +637,20 @@ CheckpointStore::recoverFromArchiveLocked(std::vector<bool> &recovered)
     // with use_archive reads the old files, first flush writes the
     // archive.
     std::span<const char> snap;
-    if (archive_->get(kSnapKey, snap) != store::GetStatus::Ok)
+    const store::GetStatus got = arc_->get(snapKeyStr(), snap);
+    if (got != store::GetStatus::Ok) {
+        // Corrupt-but-present is checkpoint rot, not a cold start;
+        // the fleet breaker keys off this counter.
+        if (got == store::GetStatus::Corrupt)
+            ++stats_.snapshot_decode_failures;
         return false;
+    }
     GroupCheckpoint group;
     try {
         store::SpanStream is(snap.data(), snap.size());
         group = loadGroupCheckpoint(is);
     } catch (const core::Error &) {
+        ++stats_.snapshot_decode_failures;
         return false;
     }
     for (std::size_t i = 0;
@@ -627,15 +665,15 @@ CheckpointStore::recoverFromArchiveLocked(std::vector<bool> &recovered)
     // exists — the snapshot rewrite removed older keys in the same
     // atomic commit that landed it — but the epoch check stays as
     // defense in depth.
-    for (const auto &key : archive_->keys()) {
-        if (key.rfind(kDeltaPrefix, 0) != 0)
+    const std::string prefix = deltaPrefixStr();
+    for (const auto &key : arc_->keys()) {
+        if (key.rfind(prefix, 0) != 0)
             continue;
         next_delta_key_ =
-            std::strtoull(key.c_str() + std::strlen(kDeltaPrefix),
-                          nullptr, 10) +
+            std::strtoull(key.c_str() + prefix.size(), nullptr, 10) +
             1;
         std::span<const char> span;
-        if (archive_->get(key, span) != store::GetStatus::Ok) {
+        if (arc_->get(key, span) != store::GetStatus::Ok) {
             ++stats_.delta_fallbacks;
             ++stats_.delta_segments_dropped;
             break;
@@ -668,10 +706,14 @@ CheckpointStore::recover()
 {
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<bool> recovered(mirrors_.size(), false);
-    if (cfg_.path.empty())
+    // A shared archive works without a path (keys are the namespace);
+    // path-less AND archive-less means in-memory only.
+    if (cfg_.path.empty() && arc_ == nullptr)
         return recovered;
 
-    if (archive_ && recoverFromArchiveLocked(recovered))
+    if (arc_ && recoverFromArchiveLocked(recovered))
+        return recovered;
+    if (cfg_.path.empty())
         return recovered;
 
     GroupCheckpoint group;
@@ -679,6 +721,10 @@ CheckpointStore::recover()
     try {
         group = loadGroupCheckpointFile(cfg_.path);
         have_group = true;
+    } catch (const core::FormatError &) {
+        // The file exists but its bytes are rotten: counted so the
+        // caller can tell corruption from a cold start.
+        ++stats_.snapshot_decode_failures;
     } catch (const core::Error &) {
         // Missing or unreadable snapshot: fall through to the legacy
         // per-shard layout, then to a cold start.
@@ -851,14 +897,18 @@ CheckpointStore::writeSnapshotArchiveLocked(const GroupCheckpoint &group)
     std::ostringstream framed(std::ios::binary);
     saveGroupCheckpoint(group, framed);
     try {
-        archive_->stagePut(kSnapKey, framed.str());
-        for (const auto &key : archive_->keys())
-            if (key.rfind(kDeltaPrefix, 0) == 0)
-                archive_->stageRemove(key);
+        arc_->stagePut(snapKeyStr(), framed.str());
+        // Only THIS store's delta keys: in a shared multi-tenant
+        // container, removing another prefix would tear a neighbor's
+        // chain out from under its snapshot.
+        const std::string prefix = deltaPrefixStr();
+        for (const auto &key : arc_->keys())
+            if (key.rfind(prefix, 0) == 0)
+                arc_->stageRemove(key);
     } catch (const core::Error &) {
         return false;
     }
-    return archive_->commit();
+    return arc_->commit();
 }
 
 bool
@@ -871,7 +921,7 @@ CheckpointStore::writeFullSnapshotLocked()
     GroupCheckpoint group;
     group.epoch = epoch_ + 1;
     group.shards = mirrors_;
-    if (archive_) {
+    if (arc_) {
         if (!writeSnapshotArchiveLocked(group)) {
             ++stats_.write_failures;
             return false;
@@ -891,7 +941,7 @@ CheckpointStore::writeFullSnapshotLocked()
     epoch_ = group.epoch;
     commits_since_full_ = 0;
     full_dirty_ = false;
-    if (!archive_)
+    if (!arc_)
         openDeltaLogLocked(true);
     ++stats_.full_snapshots;
     ++stats_.group_commits;
@@ -911,7 +961,7 @@ CheckpointStore::flush()
     std::uint64_t delta_key = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (cfg_.path.empty()) {
+        if (cfg_.path.empty() && arc_ == nullptr) {
             foldAllLocked(); // mirrors still track every cut in memory
             full_dirty_ = false;
             return true;
@@ -924,13 +974,13 @@ CheckpointStore::flush()
         seg.entries = std::move(pending_);
         pending_.clear();
         gen_snap = mirror_gen_;
-        if (archive_)
+        if (arc_)
             delta_key = next_delta_key_++;
     }
 
     std::size_t seg_bytes = 0;
     bool wrote = false;
-    if (archive_) {
+    if (arc_) {
         // Same framed bytes the .dlt log would carry, landed as one
         // keyed segment = one archive group commit. A failed put is
         // rolled back inside the archive (truncate to the pre-commit
@@ -938,7 +988,7 @@ CheckpointStore::flush()
         // number is simply skipped, which replay tolerates.
         std::ostringstream framed(std::ios::binary);
         seg_bytes = appendDeltaSegment(framed, seg);
-        wrote = archive_->put(deltaKey(delta_key), framed.str());
+        wrote = arc_->put(deltaKeyStr(delta_key), framed.str());
     } else {
         // The log stays open across commits (append mode seeks to the
         // end on every write); reopen only after a failure cleared the

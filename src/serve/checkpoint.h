@@ -155,6 +155,27 @@ struct CheckpointStoreConfig
      * path throws IoError from the constructor.
      */
     bool use_archive = false;
+    /**
+     * Key namespace of this store inside the archive: keys become
+     * "<key_prefix>ckpt/snap" and "<key_prefix>ckpt/dlt/<n>". This is
+     * the per-tenant fault domain of the fleet runtime — every
+     * tenant's store writes its own prefix (e.g. "tenant/<id>/") into
+     * one shared container, and a snapshot rewrite removes only the
+     * delta keys under its own prefix, so one tenant's checkpoint rot
+     * or rewrite can never disturb a neighbor's chain. Empty (the
+     * default) is the legacy single-tenant layout, bit-compatible
+     * with PR-7 archives. Ignored in file mode.
+     */
+    std::string key_prefix;
+    /**
+     * Non-owned shared container to keep this store's keys in,
+     * instead of opening a private one at path + ".arc". Implies
+     * archive mode; `path` then only names the legacy-migration
+     * fallback files. The caller guarantees the archive outlives the
+     * store and that flush() across stores sharing one archive is
+     * serialized (the supervisor's watchdog is the only flusher).
+     */
+    store::Archive *shared_archive = nullptr;
 };
 
 /** Counters surfaced into core::ServeStats. */
@@ -168,6 +189,13 @@ struct CheckpointStoreStats
     /** Swallowed I/O failures (durability degraded, serving
      *  continues — same policy as the v1 per-shard writer). */
     std::uint64_t write_failures = 0;
+    /**
+     * A snapshot that *exists* failed to decode during recover() —
+     * corruption, not absence (a missing snapshot is a cold start and
+     * counts nothing). The fleet runtime's circuit breaker treats
+     * this as FaultClass::CheckpointDecode for the owning tenant.
+     */
+    std::uint64_t snapshot_decode_failures = 0;
 };
 
 /**
@@ -227,6 +255,10 @@ class CheckpointStore
   private:
     bool writeFullSnapshotLocked();
     void openDeltaLogLocked(bool truncate);
+    /** Archive keys under this store's namespace prefix. */
+    std::string snapKeyStr() const;
+    std::string deltaPrefixStr() const;
+    std::string deltaKeyStr(std::uint64_t n) const;
     void foldAllLocked();
     /** Archive-mode halves of recover() and the snapshot rewrite. */
     bool recoverFromArchiveLocked(std::vector<bool> &recovered);
@@ -263,6 +295,9 @@ class CheckpointStore
      *  archive's own lock nests inside io_mu_/mu_ and it never calls
      *  back, so the order is acyclic. */
     std::unique_ptr<store::Archive> archive_;
+    /** The archive actually used: archive_.get(), or the non-owned
+     *  cfg_.shared_archive; nullptr = file mode. */
+    store::Archive *arc_ = nullptr;
     /** Key number of the next delta segment ("ckpt/dlt/<n>"); reset
      *  by each snapshot rewrite (which removes the delta keys). */
     std::uint64_t next_delta_key_ = 0;

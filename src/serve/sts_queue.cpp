@@ -8,6 +8,13 @@
 namespace eddie::serve
 {
 
+std::size_t
+stsBytes(const core::Sts &sts)
+{
+    return sizeof(core::Sts) +
+           sts.peak_freqs.size() * sizeof(double);
+}
+
 StsQueue::StsQueue(const StsQueueConfig &cfg)
     : cfg_(cfg), ring_(std::max<std::size_t>(cfg.capacity, 1))
 {
@@ -18,24 +25,38 @@ StsQueue::StsQueue(const StsQueueConfig &cfg)
 bool
 StsQueue::push(core::Sts sts)
 {
+    const std::size_t cost = stsBytes(sts);
     std::unique_lock<std::mutex> lock(mu_);
-    if (ring_.full() && !closed_) {
+    // Over the bound when the ring is full OR admitting this window
+    // would bust the byte quota. An oversized window against an empty
+    // queue is admitted (see StsQueueConfig::max_bytes).
+    const auto over = [this, cost] {
+        return ring_.full() ||
+               (cfg_.max_bytes != 0 && !ring_.empty() &&
+                bytes_ + cost > cfg_.max_bytes);
+    };
+    if (over() && !closed_) {
         if (cfg_.policy == BackpressurePolicy::Block) {
             ++stats_.blocked_pushes;
-            not_full_.wait(lock, [this] {
-                return !ring_.full() || closed_;
-            });
+            not_full_.wait(lock,
+                           [&] { return !over() || closed_; });
         } else {
-            ring_.popFront();
-            ++stats_.dropped_oldest;
+            while (over() && !ring_.empty()) {
+                const core::Sts victim = ring_.popFront();
+                bytes_ -= stsBytes(victim);
+                ++stats_.dropped_oldest;
+            }
         }
     }
     if (closed_)
         return false;
     ring_.pushBack(std::move(sts));
+    bytes_ += cost;
     ++stats_.pushed;
     stats_.max_depth =
         std::max<std::uint64_t>(stats_.max_depth, ring_.size());
+    stats_.max_queued_bytes =
+        std::max<std::uint64_t>(stats_.max_queued_bytes, bytes_);
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -53,6 +74,7 @@ StsQueue::popFor(double timeout_ms)
     if (ring_.empty())
         return std::nullopt;
     core::Sts sts = ring_.popFront();
+    bytes_ -= stsBytes(sts);
     ++stats_.popped;
     lock.unlock();
     not_full_.notify_one();
@@ -74,6 +96,7 @@ StsQueue::popBatch(std::vector<core::Sts> &out, std::size_t max_items,
         [this] { return !ring_.empty() || closed_; });
     while (!ring_.empty() && out.size() < max_items) {
         out.push_back(ring_.popFront());
+        bytes_ -= stsBytes(out.back());
         ++stats_.popped;
     }
     lock.unlock();
@@ -111,7 +134,9 @@ QueueStats
 StsQueue::stats() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    QueueStats s = stats_;
+    s.queued_bytes = bytes_;
+    return s;
 }
 
 } // namespace eddie::serve

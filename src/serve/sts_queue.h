@@ -42,7 +42,21 @@ struct StsQueueConfig
 {
     std::size_t capacity = 64;
     BackpressurePolicy policy = BackpressurePolicy::Block;
+    /**
+     * Byte quota over queued windows (stsBytes sum); 0 = unbounded.
+     * This is the per-tenant memory fence for the fleet runtime:
+     * window *count* alone lets one tenant with huge peak lists eat
+     * the process. The bound applies the same policy as capacity —
+     * Block waits, DropOldest evicts until the new window fits. A
+     * window larger than the whole quota is still admitted when the
+     * queue is empty (otherwise Block would deadlock); the quota then
+     * holds again from the next push.
+     */
+    std::size_t max_bytes = 0;
 };
+
+/** Accounting size of one queued window: struct + its peak list. */
+std::size_t stsBytes(const core::Sts &sts);
 
 /** Counters; every bound hit is visible here. */
 struct QueueStats
@@ -55,6 +69,10 @@ struct QueueStats
     std::uint64_t blocked_pushes = 0;
     /** High-water mark of queue depth. */
     std::uint64_t max_depth = 0;
+    /** Bytes currently queued (stsBytes sum). */
+    std::uint64_t queued_bytes = 0;
+    /** High-water mark of queued_bytes. */
+    std::uint64_t max_queued_bytes = 0;
 };
 
 /** Single-producer / single-consumer bounded queue. */
@@ -106,6 +124,7 @@ class StsQueue
     std::condition_variable not_empty_;
     core::RingQueue<core::Sts> ring_;
     QueueStats stats_;
+    std::size_t bytes_ = 0;
     bool closed_ = false;
 };
 

@@ -55,34 +55,6 @@ enum class FailureKind
 
 } // namespace
 
-RestartBudget::RestartBudget(std::size_t budget, double window_ms)
-    : budget_(budget), window_ms_(window_ms)
-{
-}
-
-bool
-RestartBudget::allow(double now_ms)
-{
-    if (escalated_)
-        return false;
-    while (!times_.empty() && now_ms - times_.front() > window_ms_)
-        times_.pop_front();
-    if (times_.size() >= budget_) {
-        escalated_ = true;
-        return false;
-    }
-    times_.push_back(now_ms);
-    return true;
-}
-
-std::size_t
-RestartBudget::used(double now_ms) const
-{
-    while (!times_.empty() && now_ms - times_.front() > window_ms_)
-        times_.pop_front();
-    return times_.size();
-}
-
 /** One source + queue + monitor worker under supervision. Threads
  *  capture a reference; shards live behind unique_ptr so the address
  *  is stable for the whole run. */
@@ -90,6 +62,19 @@ struct Supervisor::Shard
 {
     std::size_t index = 0;
     SampleSource *source = nullptr;
+
+    /** Fleet mode only; nullptr = legacy single-tenant run. */
+    Tenant *tenant = nullptr;
+    /** Store this shard checkpoints into (legacy: store_; fleet: the
+     *  tenant's store) and its shard id within that store. */
+    CheckpointStore *store = nullptr;
+    std::size_t store_shard = 0;
+    /** Per-shard queue bound (fleet: from the tenant quota). */
+    StsQueueConfig queue_cfg;
+    /** Live longest-quarantine-run, published by the worker after
+     *  each step so the watchdog can spot a quarantine storm without
+     *  touching the Monitor across threads. */
+    std::atomic<std::uint64_t> longest_outage{0};
 
     /** Keeps the model the monitor references alive across hot
      *  reloads (Monitor holds a reference, not ownership). */
@@ -125,6 +110,10 @@ Supervisor::Supervisor(std::shared_ptr<const core::TrainedModel> model,
         throw core::Error("supervisor: null model");
 }
 
+Supervisor::Supervisor(ServeConfig cfg) : cfg_(std::move(cfg))
+{
+}
+
 Supervisor::~Supervisor() = default;
 
 std::shared_ptr<const core::TrainedModel>
@@ -138,6 +127,33 @@ void
 Supervisor::feederLoop(Shard &shard)
 {
     while (!shard.cancel.load() && !stop_.load()) {
+        if (shard.tenant != nullptr) {
+            // Per-tenant STS/s quota, enforced *before* the pull so
+            // Throttle delays delivery without reordering or losing
+            // windows (verdicts stay bit-identical); Shed consumes
+            // the pull and drops it, counted.
+            double wait_ms = 0.0;
+            const RateDecision d =
+                shard.tenant->admitWindow(nowMs(), wait_ms);
+            if (d == RateDecision::Throttle) {
+                // Bounded naps so cancel/stop stay responsive.
+                sleepMs(std::min(wait_ms, 1.0));
+                continue;
+            }
+            if (d == RateDecision::Shed) {
+                Pull shed = shard.source->next();
+                if (shed.status == PullStatus::EndOfStream) {
+                    shard.queue->close();
+                    return;
+                }
+                if (shed.status == PullStatus::Stalled ||
+                    shed.status == PullStatus::TransientError) {
+                    shard.source_dead.store(true);
+                    return;
+                }
+                continue;
+            }
+        }
         Pull pull = shard.source->next();
         switch (pull.status) {
         case PullStatus::Ready:
@@ -163,7 +179,8 @@ Supervisor::feederLoop(Shard &shard)
 void
 Supervisor::cutDelta(Shard &shard)
 {
-    store_->submitDelta(shard.index, shard.monitor->exportDelta());
+    shard.store->submitDelta(shard.store_shard,
+                             shard.monitor->exportDelta());
     checkpoints_written_.fetch_add(1);
 }
 
@@ -231,6 +248,10 @@ Supervisor::workerLoop(Shard &shard)
                 if (hook_)
                     hook_(shard.monitor->records().size(),
                           shard.cancel);
+                if (fleet_hook_ && shard.tenant != nullptr)
+                    fleet_hook_(shard.index, shard.tenant->id(),
+                                shard.monitor->records().size(),
+                                shard.cancel);
                 shard.monitor->step(sts);
             } catch (...) {
                 shard.in_step.store(false);
@@ -241,6 +262,9 @@ Supervisor::workerLoop(Shard &shard)
             work_ms += nowMs() - t_step;
             shard.in_step.store(false);
             shard.processed.fetch_add(1);
+            if (shard.tenant != nullptr)
+                shard.longest_outage.store(
+                    shard.monitor->degradedStats().longest_outage);
             if (cfg_.checkpoint_interval != 0 &&
                 ++since_ckpt >= cfg_.checkpoint_interval) {
                 since_ckpt = 0;
@@ -260,7 +284,7 @@ Supervisor::startShard(Shard &shard, bool restoring)
         // stats() dereferences shard.queue under mu_, so the swap to
         // a fresh queue must be guarded too.
         std::lock_guard<std::mutex> lock(mu_);
-        shard.queue = std::make_unique<StsQueue>(cfg_.queue);
+        shard.queue = std::make_unique<StsQueue>(shard.queue_cfg);
     }
     shard.cancel.store(false);
     shard.in_step.store(false);
@@ -319,10 +343,22 @@ Supervisor::handleFailure(Shard &shard, double now_ms)
 
     stopShardThreads(shard);
 
+    // Fleet mode: every restart-worthy fault also feeds the tenant's
+    // circuit breaker; a trip isolates the WHOLE tenant (neighbors
+    // untouched) instead of burning budget on a rotten tenant.
+    if (shard.tenant != nullptr &&
+        shard.tenant->breaker().record(FaultClass::WorkerFault,
+                                       now_ms)) {
+        escalateTenant(*shard.tenant);
+        return;
+    }
+
     // The store mirror is the shard's newest cut (deltas are applied
     // to it synchronously on submit, before any disk latency).
-    const CheckpointData ckpt = store_->mirror(shard.index);
-    bool restartable = shard.budget.allow(now_ms);
+    const CheckpointData ckpt = shard.store->mirror(shard.store_shard);
+    RestartBudget &budget =
+        shard.tenant != nullptr ? shard.tenant->budget() : shard.budget;
+    bool restartable = budget.allow(now_ms);
     if (restartable)
         restartable = shard.source->seek(ckpt.source_pos);
     if (!restartable) {
@@ -331,18 +367,39 @@ Supervisor::handleFailure(Shard &shard, double now_ms)
         return;
     }
 
-    std::shared_ptr<const core::TrainedModel> model;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        model = model_;
+    if (shard.tenant == nullptr) {
+        std::shared_ptr<const core::TrainedModel> model;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            model = model_;
+        }
+        shard.model = std::move(model);
     }
-    shard.model = std::move(model);
+    // Fleet shards keep their tenant's model (no hot reload there).
     shard.monitor =
         std::make_unique<core::Monitor>(*shard.model, cfg_.monitor);
     shard.monitor->restoreState(ckpt.monitor);
     startShard(shard, true);
     worker_restarts_.fetch_add(1);
     restart_latency_ms_.fetch_add(nowMs() - now_ms);
+}
+
+void
+Supervisor::escalateTenant(Tenant &tenant)
+{
+    breaker_trips_.fetch_add(1);
+    for (auto &sp : shards_) {
+        Shard &shard = *sp;
+        if (shard.tenant != &tenant)
+            continue;
+        const int status = shard.status.load();
+        if (status == kEof || status == kStopped ||
+            status == kEscalated)
+            continue;
+        stopShardThreads(shard);
+        escalations_.fetch_add(1);
+        shard.status.store(kEscalated);
+    }
 }
 
 void
@@ -416,14 +473,19 @@ Supervisor::maybeReloadModel(double now_ms)
 std::vector<ShardResult>
 Supervisor::run(const std::vector<SampleSource *> &sources)
 {
+    if (!model_)
+        throw core::Error(
+            "supervisor: run() on a fleet-mode supervisor");
     stop_.store(false);
     {
         std::lock_guard<std::mutex> lock(mu_);
+        registry_ = nullptr; // drop a previous fleet run's registry
         shards_.clear();
         for (std::size_t i = 0; i < sources.size(); ++i) {
             auto shard = std::make_unique<Shard>();
             shard->index = i;
             shard->source = sources[i];
+            shard->queue_cfg = cfg_.queue;
             shard->budget = RestartBudget(cfg_.watchdog.restart_budget,
                                           cfg_.watchdog.restart_window_ms);
             shards_.push_back(std::move(shard));
@@ -435,6 +497,10 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
     store_cfg.full_every = cfg_.full_snapshot_every;
     store_cfg.use_archive = cfg_.checkpoint_archive;
     store_ = std::make_unique<CheckpointStore>(store_cfg);
+    for (auto &sp : shards_) {
+        sp->store = store_.get();
+        sp->store_shard = sp->index;
+    }
     std::vector<bool> recovered(sources.size(), false);
     if (cfg_.resume)
         recovered = store_->recover();
@@ -511,7 +577,8 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
         ShardResult &out = results[shard.index];
         const int status = shard.status.load();
         if (status == kEscalated) {
-            const CheckpointData ckpt = store_->mirror(shard.index);
+            const CheckpointData ckpt =
+                shard.store->mirror(shard.store_shard);
             out.records = ckpt.monitor.records;
             out.reports = ckpt.monitor.reports;
             out.degraded = ckpt.monitor.degraded;
@@ -525,6 +592,226 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
         out.steps = out.records.size();
     }
     return results;
+}
+
+FleetResult
+Supervisor::runFleet(TenantRegistry &registry)
+{
+    stop_.store(false);
+    const auto &sessions = registry.sessions();
+    const auto &tenants = registry.tenants();
+    const double t0 = nowMs();
+
+    // One checkpoint store per tenant — THE per-tenant fault domain.
+    // Archive mode: every store keys into one shared container under
+    // "tenant/<id>/" (only the watchdog thread flushes, so the shared
+    // stage/commit batches never interleave). File mode: a private
+    // snapshot+log pair per tenant at path + "." + id.
+    fleet_archive_.reset();
+    tenant_stores_.clear();
+    if (cfg_.checkpoint_archive && !cfg_.checkpoint_path.empty()) {
+        store::ArchiveConfig arc;
+        arc.path = cfg_.checkpoint_path + ".arc";
+        fleet_archive_ = std::make_unique<store::Archive>(arc);
+    }
+    std::vector<std::size_t> tenant_sessions(tenants.size(), 0);
+    for (const auto &session : sessions)
+        ++tenant_sessions[session.tenant->index()];
+    for (Tenant *tenant : tenants) {
+        CheckpointStoreConfig sc;
+        sc.num_shards =
+            std::max<std::size_t>(tenant_sessions[tenant->index()], 1);
+        sc.full_every = cfg_.full_snapshot_every;
+        if (fleet_archive_) {
+            sc.shared_archive = fleet_archive_.get();
+            sc.key_prefix = "tenant/" + tenant->id() + "/";
+        } else if (!cfg_.checkpoint_path.empty()) {
+            sc.path = cfg_.checkpoint_path + "." + tenant->id();
+        }
+        tenant_stores_.push_back(
+            std::make_unique<CheckpointStore>(sc));
+    }
+
+    // Per-tenant recovery. A snapshot that exists but fails to decode
+    // is checkpoint rot: it feeds the tenant's breaker (default
+    // threshold 1 → the tenant is isolated before it serves a single
+    // window off a corrupt base), while its neighbors resume cleanly.
+    std::vector<bool> recovered;
+    std::vector<std::size_t> recovered_base(tenants.size(), 0);
+    {
+        std::size_t base = 0;
+        for (Tenant *tenant : tenants) {
+            recovered_base[tenant->index()] = base;
+            auto &store = tenant_stores_[tenant->index()];
+            std::vector<bool> rec(
+                std::max<std::size_t>(
+                    tenant_sessions[tenant->index()], 1),
+                false);
+            if (cfg_.resume) {
+                rec = store->recover();
+                const auto cs = store->stats();
+                const bool was_tripped = tenant->breaker().tripped();
+                for (std::uint64_t i = 0;
+                     i < cs.snapshot_decode_failures; ++i)
+                    if (tenant->breaker().record(
+                            FaultClass::CheckpointDecode, t0))
+                        break;
+                if (!was_tripped && tenant->breaker().tripped())
+                    breaker_trips_.fetch_add(1);
+            }
+            recovered.insert(recovered.end(), rec.begin(), rec.end());
+            base += rec.size();
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        registry_ = &registry;
+        shards_.clear();
+        for (std::size_t i = 0; i < sessions.size(); ++i) {
+            const TenantSession &session = sessions[i];
+            auto shard = std::make_unique<Shard>();
+            shard->index = i;
+            shard->source = session.source;
+            shard->tenant = session.tenant;
+            shard->store =
+                tenant_stores_[session.tenant->index()].get();
+            shard->store_shard = session.ordinal;
+            shard->queue_cfg = cfg_.queue;
+            const TenantQuota &quota = session.tenant->spec().quota;
+            shard->queue_cfg.capacity =
+                std::max<std::size_t>(quota.queue_capacity, 1);
+            shard->queue_cfg.max_bytes = quota.queue_max_bytes;
+            shards_.push_back(std::move(shard));
+        }
+    }
+
+    for (auto &sp : shards_) {
+        Shard &shard = *sp;
+        if (shard.tenant->breaker().tripped()) {
+            // Tripped before start (checkpoint rot): the session is
+            // born escalated; its result is whatever its last good
+            // cut recovered to (a cold mirror when nothing did).
+            escalations_.fetch_add(1);
+            shard.status.store(kEscalated);
+            continue;
+        }
+        shard.model = shard.tenant->spec().model;
+        shard.monitor = std::make_unique<core::Monitor>(
+            *shard.model, cfg_.monitor);
+        bool restoring = false;
+        const std::size_t rec_index =
+            recovered_base[shard.tenant->index()] + shard.store_shard;
+        if (rec_index < recovered.size() && recovered[rec_index]) {
+            const CheckpointData ckpt =
+                shard.store->mirror(shard.store_shard);
+            if (shard.source->seek(ckpt.source_pos)) {
+                shard.monitor->restoreState(ckpt.monitor);
+                restoring = true;
+            }
+        }
+        CheckpointData seed;
+        seed.monitor = shard.monitor->exportState();
+        seed.source_pos = seed.monitor.step_index;
+        shard.store->submitFull(shard.store_shard, std::move(seed));
+        startShard(shard, restoring);
+    }
+
+    while (true) {
+        sleepMs(cfg_.watchdog.poll_interval_ms);
+        const double now = nowMs();
+        if (stop_check_ && stop_check_())
+            stop_.store(true);
+        bool all_done = true;
+        for (auto &sp : shards_) {
+            Shard &shard = *sp;
+            const int status = shard.status.load();
+            if (status == kEof || status == kStopped ||
+                status == kEscalated)
+                continue;
+            all_done = false;
+            // Quarantine storm: the stream itself is rotten past the
+            // tenant's threshold — restarting cannot help, so the
+            // breaker (not the budget) handles it.
+            const std::size_t storm =
+                shard.tenant->spec().breaker.storm_outage_windows;
+            if (storm != 0 && !shard.tenant->breaker().tripped() &&
+                shard.longest_outage.load() >= storm) {
+                shard.tenant->breaker().record(
+                    FaultClass::QuarantineStorm, now);
+                escalateTenant(*shard.tenant);
+                continue;
+            }
+            const bool hung =
+                shard.in_step.load() &&
+                now - shard.heartbeat_ms.load() >
+                    cfg_.watchdog.heartbeat_deadline_ms;
+            if (status == kCrashed || shard.source_dead.load() || hung)
+                handleFailure(shard, now);
+        }
+        // One group commit per tenant per poll; the watchdog is the
+        // only flusher, so stage/commit batches on the shared archive
+        // never interleave across tenants.
+        for (auto &store : tenant_stores_)
+            store->flush();
+        if (all_done)
+            break;
+    }
+    for (auto &store : tenant_stores_)
+        store->flush();
+
+    FleetResult fleet;
+    fleet.sessions.resize(shards_.size());
+    for (auto &sp : shards_) {
+        Shard &shard = *sp;
+        if (shard.feeder.joinable())
+            shard.feeder.join();
+        if (shard.worker.joinable())
+            shard.worker.join();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shard.source_snap = shard.source->stats();
+        }
+        ShardResult &out = fleet.sessions[shard.index];
+        const int status = shard.status.load();
+        if (status == kEscalated) {
+            const CheckpointData ckpt =
+                shard.store->mirror(shard.store_shard);
+            out.records = ckpt.monitor.records;
+            out.reports = ckpt.monitor.reports;
+            out.degraded = ckpt.monitor.degraded;
+            out.escalated = true;
+        } else {
+            out.records = shard.monitor->records();
+            out.reports = shard.monitor->reports();
+            out.degraded = shard.monitor->degradedStats();
+            out.stopped = status == kStopped;
+        }
+        out.steps = out.records.size();
+    }
+
+    const double t_end = nowMs();
+    for (Tenant *tenant : tenants) {
+        TenantResult tr;
+        tr.id = tenant->id();
+        const CircuitBreaker &breaker = tenant->breaker();
+        tr.breaker_tripped = breaker.tripped();
+        tr.breaker_cause = breaker.cause();
+        tr.worker_faults = breaker.count(FaultClass::WorkerFault);
+        tr.quarantine_storms =
+            breaker.count(FaultClass::QuarantineStorm);
+        tr.checkpoint_decode_failures =
+            breaker.count(FaultClass::CheckpointDecode);
+        tr.restarts_used = tenant->budget().used(t_end);
+        tr.budget_escalated = tenant->budget().escalated();
+        tr.windows_shed = tenant->windowsShed();
+        tr.windows_throttled = tenant->windowsThrottled();
+        registry.noteRateCounters(tr.windows_shed,
+                                  tr.windows_throttled);
+        fleet.tenants.push_back(std::move(tr));
+    }
+    fleet.admission = registry.admissionStats();
+    return fleet;
 }
 
 core::ServeStats
@@ -549,8 +836,31 @@ Supervisor::stats() const
         st.delta_bytes = cs.delta_bytes;
         st.delta_fallbacks = cs.delta_fallbacks;
         st.delta_segments_dropped = cs.delta_segments_dropped;
+        st.snapshot_decode_failures = cs.snapshot_decode_failures;
     }
+    for (const auto &store : tenant_stores_) {
+        const CheckpointStoreStats cs = store->stats();
+        st.group_commits += cs.group_commits;
+        st.full_snapshots += cs.full_snapshots;
+        st.delta_bytes += cs.delta_bytes;
+        st.delta_fallbacks += cs.delta_fallbacks;
+        st.delta_segments_dropped += cs.delta_segments_dropped;
+        st.snapshot_decode_failures += cs.snapshot_decode_failures;
+    }
+    st.breaker_trips = breaker_trips_.load();
     std::lock_guard<std::mutex> lock(mu_);
+    if (registry_ != nullptr) {
+        st.tenants = registry_->tenants().size();
+        st.sessions = registry_->sessions().size();
+        const AdmissionStats adm = registry_->admissionStats();
+        st.sessions_rejected = adm.rejected_fleet_limit +
+            adm.rejected_tenant_limit + adm.rejected_unknown_tenant +
+            adm.rejected_breaker_open;
+        for (const Tenant *tenant : registry_->tenants()) {
+            st.windows_shed += tenant->windowsShed();
+            st.windows_throttled += tenant->windowsThrottled();
+        }
+    }
     for (const auto &sp : shards_) {
         const Shard &shard = *sp;
         QueueStats q = shard.queue_acc;

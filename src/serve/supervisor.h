@@ -41,6 +41,7 @@
 #include "core/monitor.h"
 #include "sample_source.h"
 #include "sts_queue.h"
+#include "tenant.h"
 
 namespace eddie::serve
 {
@@ -56,36 +57,6 @@ struct WatchdogConfig
     double restart_window_ms = 10000.0;
     /** Watchdog poll cadence. */
     double poll_interval_ms = 2.0;
-};
-
-/**
- * Sliding-window restart budget, factored out of the supervisor so
- * the escalation policy is unit-testable with synthetic clocks: pure
- * state over injected timestamps, no threads.
- */
-class RestartBudget
-{
-  public:
-    RestartBudget(std::size_t budget, double window_ms);
-
-    /**
-     * Asks to spend one restart at time @p now_ms. Records it and
-     * returns true while fewer than `budget` restarts happened in the
-     * trailing window; otherwise flips to escalated (permanently) and
-     * returns false.
-     */
-    bool allow(double now_ms);
-
-    bool escalated() const { return escalated_; }
-
-    /** Restarts still inside the trailing window at @p now_ms. */
-    std::size_t used(double now_ms) const;
-
-  private:
-    std::size_t budget_;
-    double window_ms_;
-    mutable std::deque<double> times_;
-    bool escalated_ = false;
 };
 
 /** Everything the runtime needs beyond the model and the sources. */
@@ -135,6 +106,35 @@ struct ShardResult
     bool stopped = false;
 };
 
+/** One tenant's outcome of a fleet run. */
+struct TenantResult
+{
+    std::string id;
+    /** The tenant's circuit breaker tripped; all its sessions were
+     *  isolated into degraded mode (escalated). */
+    bool breaker_tripped = false;
+    FaultClass breaker_cause = FaultClass::WorkerFault;
+    std::uint64_t worker_faults = 0;
+    std::uint64_t quarantine_storms = 0;
+    std::uint64_t checkpoint_decode_failures = 0;
+    /** Restarts charged to the tenant's budget. */
+    std::size_t restarts_used = 0;
+    bool budget_escalated = false;
+    std::uint64_t windows_shed = 0;
+    std::uint64_t windows_throttled = 0;
+};
+
+/** Everything a fleet run produced. */
+struct FleetResult
+{
+    /** One per admitted session, indexed like
+     *  TenantRegistry::sessions(). */
+    std::vector<ShardResult> sessions;
+    /** One per tenant, registration order. */
+    std::vector<TenantResult> tenants;
+    AdmissionStats admission;
+};
+
 class Supervisor
 {
   public:
@@ -146,12 +146,25 @@ class Supervisor
      */
     using StepHook = std::function<void(std::size_t step,
                                         const std::atomic<bool> &cancel)>;
+    /**
+     * Fleet-mode hook: like StepHook but also names the session and
+     * tenant, so chaos/bench harnesses can target one tenant's
+     * sessions while its neighbors run clean.
+     */
+    using FleetStepHook =
+        std::function<void(std::size_t session,
+                           const std::string &tenant, std::size_t step,
+                           const std::atomic<bool> &cancel)>;
     /** Polled by the watchdog; returning true requests a graceful
      *  stop (signal handlers hook in here). */
     using StopCheck = std::function<bool()>;
 
     Supervisor(std::shared_ptr<const core::TrainedModel> model,
                ServeConfig cfg);
+    /** Fleet-mode constructor: models come from the tenants, so no
+     *  process-wide model is held (run() then throws; use
+     *  runFleet()). */
+    explicit Supervisor(ServeConfig cfg);
     /** Out of line: Shard is incomplete in this header. */
     ~Supervisor();
 
@@ -164,12 +177,39 @@ class Supervisor
     std::vector<ShardResult>
     run(const std::vector<SampleSource *> &sources);
 
+    /**
+     * Multi-tenant fleet run (DESIGN.md §9): one shard per admitted
+     * session in @p registry, each checkpointing into its tenant's
+     * own store — a per-tenant key namespace of one shared EDDIEARC
+     * container (checkpoint_archive) or a per-tenant file pair at
+     * checkpoint_path + "." + id. Per-tenant fault domains:
+     *
+     *  - the RestartBudget is the tenant's (all its sessions draw
+     *    from one pool; exhaustion escalates the failing session);
+     *  - every restart-worthy fault also feeds the tenant's circuit
+     *    breaker; a trip (repeated worker faults, a quarantine storm
+     *    at/above the configured outage length, or a checkpoint
+     *    decode failure during resume) escalates ALL the tenant's
+     *    sessions at once, and neighbors are untouched;
+     *  - feeders enforce the tenant's STS/s quota (Throttle naps
+     *    preserve verdict bit-identity; Shed drops are counted).
+     *
+     * Sessions of healthy tenants finish with verdicts bit-identical
+     * to a clean serial run of the same streams (Block policy).
+     * ServeConfig's model_path/hot-reload machinery is inert here.
+     */
+    FleetResult runFleet(TenantRegistry &registry);
+
     /** Requests a graceful stop: workers finish their current step,
      *  write a final checkpoint, and exit. Thread-safe. */
     void requestStop() { stop_.store(true); }
 
     void setStopCheck(StopCheck check) { stop_check_ = std::move(check); }
     void setStepHook(StepHook hook) { hook_ = std::move(hook); }
+    void setFleetStepHook(FleetStepHook hook)
+    {
+        fleet_hook_ = std::move(hook);
+    }
 
     /** Aggregated runtime counters (valid during and after run()). */
     core::ServeStats stats() const;
@@ -190,10 +230,14 @@ class Supervisor
     void cutDelta(Shard &shard);
     void handleFailure(Shard &shard, double now_ms);
     void maybeReloadModel(double now_ms);
+    /** Trips-side isolation: stops and escalates every session of
+     *  @p tenant (their last cuts become their final results). */
+    void escalateTenant(Tenant &tenant);
 
     std::shared_ptr<const core::TrainedModel> model_;
     ServeConfig cfg_;
     StepHook hook_;
+    FleetStepHook fleet_hook_;
     StopCheck stop_check_;
     std::atomic<bool> stop_{false};
 
@@ -203,6 +247,15 @@ class Supervisor
      *  restart mirrors (replaces the old per-shard snapshot +
      *  rewrite-the-file-per-cut writer). */
     std::unique_ptr<CheckpointStore> store_;
+    /** Fleet mode: one store per tenant (index = Tenant::index()),
+     *  all keyed into fleet_archive_ when checkpoint_archive. Only
+     *  the watchdog thread flushes, so the shared container never
+     *  sees interleaved stage/commit batches. */
+    std::vector<std::unique_ptr<CheckpointStore>> tenant_stores_;
+    std::unique_ptr<store::Archive> fleet_archive_;
+    /** Registry of the current/last runFleet (for stats()); guarded
+     *  by mu_. */
+    TenantRegistry *registry_ = nullptr;
 
     std::atomic<std::uint64_t> worker_crashes_{0};
     std::atomic<std::uint64_t> worker_hangs_{0};
@@ -211,6 +264,7 @@ class Supervisor
     std::atomic<std::uint64_t> checkpoints_written_{0};
     std::atomic<std::uint64_t> checkpoint_restores_{0};
     std::atomic<std::uint64_t> model_reloads_{0};
+    std::atomic<std::uint64_t> breaker_trips_{0};
     std::atomic<double> restart_latency_ms_{0.0};
     /** Per-stage worker time (summed across shards): queue wait vs
      *  monitor stepping vs delta cutting — the breakdown that makes

@@ -103,14 +103,15 @@ Archive::writeSuperblockLocked()
                           common::crc32(block.data(), block.size()));
     block.resize(sector_, '\0');
 
+    errno = 0; // stream failures report the underlying errno
     std::ofstream os(cfg_.path, std::ios::binary | std::ios::trunc);
     if (!os)
-        throw core::IoError("archive: cannot create " + cfg_.path);
+        throw core::ioErrorErrno("archive: create", cfg_.path);
     os.write(block.data(), std::streamsize(block.size()));
     os.flush();
     if (!os)
-        throw core::IoError("archive: short superblock write to " +
-                            cfg_.path);
+        throw core::ioErrorErrno("archive: superblock write",
+                                 cfg_.path);
 }
 
 void
@@ -129,7 +130,9 @@ Archive::openLocked(bool creating_ok)
         fsize = 0;
     if (fsize == 0) {
         if (!creating_ok)
-            throw core::IoError("archive: missing " + cfg_.path);
+            throw core::IoError(
+                "archive: missing " + cfg_.path +
+                (ec ? ": " + ec.message() : std::string()));
         writeSuperblockLocked();
         fsize = sector_;
     }
@@ -170,14 +173,16 @@ Archive::openLocked(bool creating_ok)
         fs::resize_file(cfg_.path, end_, ec);
         if (ec)
             throw core::IoError(
-                "archive: cannot truncate torn tail of " + cfg_.path);
+                "archive: cannot truncate torn tail of " + cfg_.path +
+                " to offset " + std::to_string(end_) + ": " +
+                ec.message());
     }
 
     fd_ = ::open(cfg_.path.c_str(),
                  O_WRONLY | O_APPEND | O_CLOEXEC);
     if (fd_ < 0)
-        throw core::IoError("archive: cannot open " + cfg_.path +
-                            " for append");
+        throw core::ioErrorErrno("archive: open for append",
+                                 cfg_.path);
     staged_seq_ = next_seq_;
     broken_ = false;
 }

@@ -1,6 +1,7 @@
 #include "mapped_file.h"
 
 #include <cstdio>
+#include <string>
 #include <utility>
 
 #include <fcntl.h>
@@ -22,14 +23,22 @@ MappedFile::open(const std::string &path, std::size_t length)
 
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0)
-        throw core::IoError("mapped_file: cannot open " + path);
+        throw core::ioErrorErrno("mapped_file: open", path);
 
     struct stat st{};
-    if (::fstat(fd, &st) != 0 ||
-        st.st_size < static_cast<off_t>(length)) {
+    if (::fstat(fd, &st) != 0) {
+        // Build the error before close(): close may clobber errno.
+        auto err = core::ioErrorErrno("mapped_file: fstat", path);
         ::close(fd);
-        throw core::IoError("mapped_file: " + path +
-                            " shorter than requested mapping");
+        throw err;
+    }
+    if (st.st_size < static_cast<off_t>(length)) {
+        ::close(fd);
+        throw core::IoError(
+            "mapped_file: " + path +
+            " shorter than requested mapping (have " +
+            std::to_string(static_cast<long long>(st.st_size)) +
+            ", need " + std::to_string(length) + " bytes)");
     }
 
     void *p = ::mmap(nullptr, length, PROT_READ, MAP_SHARED, fd, 0);
@@ -50,12 +59,15 @@ MappedFile::open(const std::string &path, std::size_t length)
     }
     std::size_t got = 0;
     while (got < length) {
+        errno = 0; // a clean EOF (n == 0) must not report stale errno
         const ssize_t n = ::read(fd, buf + got, length - got);
         if (n <= 0) {
+            auto err = core::ioErrorErrno(
+                "mapped_file: read", path,
+                static_cast<long long>(got));
             delete[] buf;
             ::close(fd);
-            throw core::IoError("mapped_file: short read from " +
-                                path);
+            throw err;
         }
         got += std::size_t(n);
     }

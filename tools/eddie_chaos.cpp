@@ -1,0 +1,175 @@
+/**
+ * @file
+ * eddie_chaos — deterministic chaos soak for the multi-tenant fleet
+ * runtime (serve/chaos.h).
+ *
+ *   eddie_chaos [--seed N | --seeds N [--first F]]
+ *       [--tenants T] [--sessions S] [--steps W]
+ *       [--kill-prob P] [--hang-prob P] [--budget N]
+ *       [--arc | --files] [--dir DIR] [--keep]
+ *       [--require-all-fates]
+ *
+ * Each seed runs the full scenario: a faulted fleet run (worker
+ * kills/hangs on the victim tenant, queue overflow, starvation), a
+ * torn-commit resume, and a corrupt-snapshot resume, asserting that
+ * healthy tenants' verdicts stay bit-identical to a clean serial run,
+ * restarts stay inside the victim's budget, and recovery from disk is
+ * clean. Without --arc/--files the checkpoint layout alternates by
+ * seed parity so both are covered. --require-all-fates additionally
+ * demands that every fate class actually fired somewhere in the grid
+ * (the acceptance bar for the CI soak).
+ *
+ * Exit codes: 0 clean, 2 usage, 3 invariant violations, 4 a required
+ * fate class never fired.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/chaos.h"
+#include "tool_util.h"
+
+using namespace eddie;
+
+namespace
+{
+
+int
+run(int argc, char **argv)
+{
+    tools::Args args(argc, argv);
+    if (!args.positional().empty()) {
+        std::fprintf(
+            stderr,
+            "usage: eddie_chaos [--seed N | --seeds N [--first F]] "
+            "[--tenants T] [--sessions S]\n"
+            "       [--steps W] [--kill-prob P] [--hang-prob P] "
+            "[--budget N] [--arc | --files]\n"
+            "       [--dir DIR] [--keep] [--require-all-fates]\n");
+        return 2;
+    }
+
+    const long grid = std::max(args.getLong("seeds", 1), 1L);
+    const long first = args.getLong("first", 1);
+
+    serve::ChaosConfig base;
+    base.tenants =
+        std::size_t(std::max(args.getLong("tenants", 3), 2L));
+    base.sessions_per_tenant =
+        std::size_t(std::max(args.getLong("sessions", 1), 1L));
+    base.stream_len =
+        std::size_t(std::max(args.getLong("steps", 160), 16L));
+    base.kill_prob = args.getDouble("kill-prob", base.kill_prob);
+    base.hang_prob = args.getDouble("hang-prob", base.hang_prob);
+    base.restart_budget = std::size_t(std::max(
+        args.getLong("budget", long(base.restart_budget)), 1L));
+
+    // Scratch root: --dir or a fresh mkdtemp under the system tmpdir.
+    std::string root = args.get("dir");
+    bool made_root = false;
+    if (root.empty()) {
+        std::string tmpl =
+            (std::filesystem::temp_directory_path() / "eddie_chaos")
+                .string() +
+            ".XXXXXX";
+        std::vector<char> buf(tmpl.begin(), tmpl.end());
+        buf.push_back('\0');
+        if (::mkdtemp(buf.data()) == nullptr) {
+            std::fprintf(stderr,
+                         "eddie_chaos: cannot create scratch dir\n");
+            return 1;
+        }
+        root = buf.data();
+        made_root = true;
+    } else {
+        std::filesystem::create_directories(root);
+    }
+
+    serve::ChaosReport total;
+    std::size_t failed_seeds = 0;
+    for (long i = 0; i < grid; ++i) {
+        serve::ChaosConfig cfg = base;
+        cfg.seed = std::uint64_t(first + i);
+        // Cover both checkpoint layouts across the grid.
+        cfg.archive = args.has("files") ? false
+                      : args.has("arc") ? true
+                                        : (cfg.seed % 2 == 0);
+        cfg.dir = root + "/s" + std::to_string(cfg.seed);
+        std::filesystem::create_directories(cfg.dir);
+
+        const serve::ChaosReport rep = serve::runChaos(cfg);
+        std::printf("seed %llu [%s]: %s\n",
+                    static_cast<unsigned long long>(cfg.seed),
+                    cfg.archive ? "arc" : "files",
+                    serve::describe(rep).c_str());
+        for (const std::string &v : rep.violations)
+            std::printf("  VIOLATION: %s\n", v.c_str());
+        if (!rep.ok)
+            ++failed_seeds;
+
+        total.kills += rep.kills;
+        total.hangs += rep.hangs;
+        total.blocked_pushes += rep.blocked_pushes;
+        total.windows_throttled += rep.windows_throttled;
+        total.windows_shed += rep.windows_shed;
+        total.torn_bytes += rep.torn_bytes;
+        total.corrupted_snapshots += rep.corrupted_snapshots;
+        total.restarts += rep.restarts;
+        total.breaker_trips += rep.breaker_trips;
+        total.escalations += rep.escalations;
+        total.snapshot_decode_failures += rep.snapshot_decode_failures;
+        total.healthy_sessions_checked += rep.healthy_sessions_checked;
+    }
+
+    if (!args.has("keep") && made_root) {
+        std::error_code ec;
+        std::filesystem::remove_all(root, ec);
+    } else {
+        std::printf("scratch kept at %s\n", root.c_str());
+    }
+
+    std::printf("soak: %ld seeds, %zu failed; %s\n", grid,
+                failed_seeds, serve::describe(total).c_str());
+    if (failed_seeds > 0)
+        return 3;
+
+    if (args.has("require-all-fates")) {
+        const struct
+        {
+            const char *fate;
+            std::uint64_t count;
+        } classes[] = {
+            {"worker-kill", total.kills},
+            {"worker-hang", total.hangs},
+            {"queue-overflow", total.blocked_pushes},
+            {"starvation-throttle", total.windows_throttled},
+            {"starvation-shed", total.windows_shed},
+            {"torn-commit", total.torn_bytes},
+            {"corrupt-checkpoint", total.corrupted_snapshots},
+        };
+        bool missing = false;
+        for (const auto &c : classes) {
+            if (c.count == 0) {
+                std::printf("fate class never exercised: %s\n",
+                            c.fate);
+                missing = true;
+            }
+        }
+        if (missing)
+            return 4;
+        std::printf("all fate classes exercised\n");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return eddie::tools::runTool("eddie_chaos",
+                                 [&] { return run(argc, argv); });
+}

@@ -15,12 +15,22 @@
  *       [--queue N] [--drop-oldest]
  *       [--checkpoint FILE] [--ckpt-interval N] [--full-every N]
  *       [--resume] [--queue-batch N] [--watch-model]
+ *       [--restart-budget N] [--strict-resume]
  *
  * Shard i monitors the stream captured with seed + i. SIGINT/SIGTERM
  * request a graceful stop: workers finish their current window, write
  * a final checkpoint, and the serving counters are flushed; with
  * --resume a later invocation continues from those checkpoints with
  * bit-identical verdicts.
+ *
+ * Exit codes distinguish failure modes so fleet scripts can branch:
+ *   0  clean run, no anomalies
+ *   2  usage / bad arguments
+ *   3  anomalies reported
+ *   4  a shard exhausted its restart budget (escalated; its verdicts
+ *      are the state at its last checkpoint)
+ *   5  --strict-resume: a resume hit an unrecoverable checkpoint
+ *      (snapshot decode failures; the run started cold instead)
  */
 
 #include <cstdio>
@@ -55,7 +65,8 @@ run(int argc, char **argv)
             "[--source-seed N] [--retries N]\n"
             "       [--queue N] [--drop-oldest] [--checkpoint FILE] "
             "[--ckpt-interval N] [--full-every N] [--resume]\n"
-            "       [--ckpt-arc] [--queue-batch N] [--watch-model]\n");
+            "       [--ckpt-arc] [--queue-batch N] [--watch-model]\n"
+            "       [--restart-budget N] [--strict-resume]\n");
         return 2;
     }
     const std::string model_path = args.positional()[0];
@@ -154,6 +165,10 @@ run(int argc, char **argv)
     scfg.checkpoint_archive = args.has("ckpt-arc");
     scfg.queue_batch =
         std::size_t(std::max(args.getLong("queue-batch", 16), 1L));
+    scfg.watchdog.restart_budget = std::size_t(std::max(
+        args.getLong("restart-budget",
+                     long(scfg.watchdog.restart_budget)),
+        0L));
     if (args.has("watch-model"))
         scfg.model_path = model_path;
 
@@ -163,9 +178,11 @@ run(int argc, char **argv)
     const auto results = sup.run(sources);
 
     std::size_t total_reports = 0;
+    bool any_escalated = false;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto &r = results[i];
         total_reports += r.reports.size();
+        any_escalated = any_escalated || r.escalated;
         std::printf("shard %zu: %zu steps, %zu reports%s%s\n", i,
                     r.steps, r.reports.size(),
                     r.escalated ? " [escalated]" : "",
@@ -179,7 +196,24 @@ run(int argc, char **argv)
         if (r.reports.size() > 5)
             std::printf("  ... and %zu more\n", r.reports.size() - 5);
     }
-    std::printf("%s\n", core::describe(sup.stats()).c_str());
+    const core::ServeStats stats = sup.stats();
+    std::printf("%s\n", core::describe(stats).c_str());
+    // Severity-ordered: an unrecoverable checkpoint under
+    // --strict-resume beats escalation beats anomaly verdicts.
+    if (args.has("strict-resume") && scfg.resume &&
+        stats.snapshot_decode_failures > 0) {
+        std::fprintf(stderr,
+                     "eddie_serve: %llu unrecoverable checkpoint "
+                     "shard(s) on resume (--strict-resume)\n",
+                     (unsigned long long)stats.snapshot_decode_failures);
+        return 5;
+    }
+    if (any_escalated) {
+        std::fprintf(stderr, "eddie_serve: restart budget exhausted; "
+                             "escalated shard(s) hold last-checkpoint "
+                             "verdicts\n");
+        return 4;
+    }
     return total_reports == 0 ? 0 : 3;
 }
 
