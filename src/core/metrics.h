@@ -124,6 +124,9 @@ struct ServeStats
     std::uint64_t dropped_oldest = 0;
     /** Backpressure: pushes that had to wait under the block policy. */
     std::uint64_t blocked_pushes = 0;
+    /** Queue condvar wakeups whose predicate was still false (batched
+     *  push/pop wakeups exist to keep this near zero). */
+    std::uint64_t queue_spurious_wakeups = 0;
     std::uint64_t source_stalls = 0;  ///< pull attempts that stalled
     std::uint64_t source_errors = 0;  ///< transient source errors
     std::uint64_t source_retries = 0; ///< backed-off retry attempts

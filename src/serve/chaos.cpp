@@ -353,6 +353,7 @@ runChaos(const ChaosConfig &cfg)
     scfg.watchdog.poll_interval_ms = cfg.poll_interval_ms;
     scfg.checkpoint_interval = cfg.checkpoint_interval;
     scfg.full_snapshot_every = cfg.full_snapshot_every;
+    scfg.scheduler.workers = cfg.scheduler_workers;
     if (!cfg.dir.empty()) {
         scfg.checkpoint_path = cfg.dir + "/ck";
         scfg.checkpoint_archive = cfg.archive;

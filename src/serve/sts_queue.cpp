@@ -38,8 +38,11 @@ StsQueue::push(core::Sts sts)
     if (over() && !closed_) {
         if (cfg_.policy == BackpressurePolicy::Block) {
             ++stats_.blocked_pushes;
-            not_full_.wait(lock,
-                           [&] { return !over() || closed_; });
+            while (over() && !closed_) {
+                not_full_.wait(lock);
+                if (over() && !closed_)
+                    ++stats_.spurious_wakeups;
+            }
         } else {
             while (over() && !ring_.empty()) {
                 const core::Sts victim = ring_.popFront();
@@ -65,12 +68,21 @@ StsQueue::push(core::Sts sts)
 std::optional<core::Sts>
 StsQueue::popFor(double timeout_ms)
 {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                std::max(timeout_ms, 0.0)));
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_for(
-        lock,
-        std::chrono::duration<double, std::milli>(
-            std::max(timeout_ms, 0.0)),
-        [this] { return !ring_.empty() || closed_; });
+    while (ring_.empty() && !closed_) {
+        if (not_empty_.wait_until(lock, deadline) ==
+            std::cv_status::timeout)
+            break;
+        // Woken (not timed out) to a still-empty ring: spurious.
+        if (ring_.empty() && !closed_)
+            ++stats_.spurious_wakeups;
+    }
     if (ring_.empty())
         return std::nullopt;
     core::Sts sts = ring_.popFront();
@@ -88,12 +100,20 @@ StsQueue::popBatch(std::vector<core::Sts> &out, std::size_t max_items,
     out.clear();
     if (max_items == 0)
         return 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                std::max(timeout_ms, 0.0)));
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_for(
-        lock,
-        std::chrono::duration<double, std::milli>(
-            std::max(timeout_ms, 0.0)),
-        [this] { return !ring_.empty() || closed_; });
+    while (ring_.empty() && !closed_) {
+        if (not_empty_.wait_until(lock, deadline) ==
+            std::cv_status::timeout)
+            break;
+        if (ring_.empty() && !closed_)
+            ++stats_.spurious_wakeups;
+    }
     while (!ring_.empty() && out.size() < max_items) {
         out.push_back(ring_.popFront());
         bytes_ -= stsBytes(out.back());
@@ -103,6 +123,78 @@ StsQueue::popBatch(std::vector<core::Sts> &out, std::size_t max_items,
     if (!out.empty())
         not_full_.notify_one();
     return out.size();
+}
+
+std::size_t
+StsQueue::pushBatch(std::vector<core::Sts> &in, bool may_block)
+{
+    if (in.empty())
+        return 0;
+    std::size_t pushed = 0;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        for (core::Sts &sts : in) {
+            const std::size_t cost = stsBytes(sts);
+            const auto over = [this, cost] {
+                return ring_.full() ||
+                       (cfg_.max_bytes != 0 && !ring_.empty() &&
+                        bytes_ + cost > cfg_.max_bytes);
+            };
+            if (over() && !closed_) {
+                if (cfg_.policy == BackpressurePolicy::Block) {
+                    if (!may_block) {
+                        // A deferred push is the non-blocking face of
+                        // Block backpressure: the producer yields and
+                        // holds the window instead of waiting here.
+                        ++stats_.blocked_pushes;
+                        break;
+                    }
+                    ++stats_.blocked_pushes;
+                    // The consumer may be parked unaware of the
+                    // windows already admitted this batch; wake it
+                    // before waiting on it, or the hand-off deadlocks.
+                    not_empty_.notify_one();
+                    while (over() && !closed_) {
+                        not_full_.wait(lock);
+                        if (over() && !closed_)
+                            ++stats_.spurious_wakeups;
+                    }
+                } else {
+                    while (over() && !ring_.empty()) {
+                        const core::Sts victim = ring_.popFront();
+                        bytes_ -= stsBytes(victim);
+                        ++stats_.dropped_oldest;
+                    }
+                }
+            }
+            if (closed_)
+                break;
+            ring_.pushBack(std::move(sts));
+            bytes_ += cost;
+            ++stats_.pushed;
+            ++pushed;
+            stats_.max_depth = std::max<std::uint64_t>(
+                stats_.max_depth, ring_.size());
+            stats_.max_queued_bytes = std::max<std::uint64_t>(
+                stats_.max_queued_bytes, bytes_);
+        }
+    }
+    if (pushed != 0)
+        not_empty_.notify_one();
+    in.erase(in.begin(),
+             in.begin() + static_cast<std::ptrdiff_t>(pushed));
+    return pushed;
+}
+
+std::size_t
+StsQueue::headroom() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_)
+        return 0;
+    const std::size_t cap = std::max<std::size_t>(cfg_.capacity, 1);
+    const std::size_t depth = ring_.size();
+    return depth >= cap ? 0 : cap - depth;
 }
 
 void

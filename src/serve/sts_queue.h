@@ -69,6 +69,11 @@ struct QueueStats
     std::uint64_t blocked_pushes = 0;
     /** High-water mark of queue depth. */
     std::uint64_t max_depth = 0;
+    /** Condvar wakeups that found their predicate still false (a
+     *  blocked push woken while still over the bound, or a pop woken
+     *  to a still-empty ring). Batch wakeups exist to keep this near
+     *  zero; the scheduler bench records it. */
+    std::uint64_t spurious_wakeups = 0;
     /** Bytes currently queued (stsBytes sum). */
     std::uint64_t queued_bytes = 0;
     /** High-water mark of queued_bytes. */
@@ -87,6 +92,32 @@ class StsQueue
      * not enqueued).
      */
     bool push(core::Sts sts);
+
+    /**
+     * Batched enqueue to match popBatch: one mutex acquisition and
+     * ONE consumer wakeup for the whole batch instead of one per
+     * window — the producer-side half of the batched hand-off the
+     * fleet scheduler's ingestion pool rides. Windows are moved out
+     * of @p in front-to-back; the pushed prefix is erased from @p in
+     * (leftovers stay, in order, for the caller to retry).
+     *
+     * With @p may_block (default), applies the full backpressure
+     * policy per window — the call pushes everything unless the queue
+     * closes mid-batch. With may_block == false, stops at the first
+     * window the bound refuses instead of waiting, so a multiplexed
+     * feeder can never be parked on one slow tenant's queue.
+     * Returns the number of windows enqueued.
+     */
+    std::size_t pushBatch(std::vector<core::Sts> &in,
+                          bool may_block = true);
+
+    /**
+     * Free window slots right now (0 once closed). A feeder that
+     * clamps its pull chunk to this and uses pushBatch(.., false)
+     * never blocks; the byte quota can still refuse earlier, which
+     * the non-blocking push surfaces as leftovers.
+     */
+    std::size_t headroom() const;
 
     /**
      * Dequeues the next window, waiting up to @p timeout_ms. Empty

@@ -92,8 +92,13 @@ struct Supervisor::Shard
     std::thread worker;
     /** Teardown flag; honored by both loops and by step hooks. */
     std::atomic<bool> cancel{false};
-    std::atomic<double> heartbeat_ms{0.0};
+    /** Completed-step counter — the watchdog's progress signal (a
+     *  hang is in_step held with this frozen past the deadline). */
+    std::atomic<std::uint64_t> progress_seq{0};
     std::atomic<bool> in_step{false};
+    // Watchdog-only hang tracking (single-threaded access).
+    std::uint64_t wd_seen_seq = 0;
+    double wd_seen_ms = 0.0;
     /** Feeder saw the delivery path give up past its retry budget. */
     std::atomic<bool> source_dead{false};
     std::atomic<int> status{kRunning};
@@ -204,7 +209,6 @@ Supervisor::workerLoop(Shard &shard)
             publish();
             return; // watchdog teardown; it sets the next status
         }
-        shard.heartbeat_ms.store(nowMs());
         if (stop_.load()) {
             // The final cut rides the supervisor's closing flush —
             // one group commit for all shards instead of a disk
@@ -241,7 +245,6 @@ Supervisor::workerLoop(Shard &shard)
                 shard.queue->close();
                 return;
             }
-            shard.heartbeat_ms.store(nowMs());
             shard.in_step.store(true);
             const double t_step = nowMs();
             try {
@@ -261,6 +264,7 @@ Supervisor::workerLoop(Shard &shard)
             }
             work_ms += nowMs() - t_step;
             shard.in_step.store(false);
+            shard.progress_seq.fetch_add(1);
             shard.processed.fetch_add(1);
             if (shard.tenant != nullptr)
                 shard.longest_outage.store(
@@ -289,7 +293,8 @@ Supervisor::startShard(Shard &shard, bool restoring)
     shard.cancel.store(false);
     shard.in_step.store(false);
     shard.source_dead.store(false);
-    shard.heartbeat_ms.store(nowMs());
+    shard.wd_seen_seq = shard.progress_seq.load();
+    shard.wd_seen_ms = nowMs();
     shard.status.store(kRunning);
     if (restoring)
         checkpoint_restores_.fetch_add(1);
@@ -314,6 +319,7 @@ Supervisor::stopShardThreads(Shard &shard)
         shard.queue_acc.popped += q.popped;
         shard.queue_acc.dropped_oldest += q.dropped_oldest;
         shard.queue_acc.blocked_pushes += q.blocked_pushes;
+        shard.queue_acc.spurious_wakeups += q.spurious_wakeups;
         shard.queue_acc.max_depth =
             std::max(shard.queue_acc.max_depth, q.max_depth);
         shard.queue.reset();
@@ -480,6 +486,7 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
     {
         std::lock_guard<std::mutex> lock(mu_);
         registry_ = nullptr; // drop a previous fleet run's registry
+        fleet_sched_.reset();
         shards_.clear();
         for (std::size_t i = 0; i < sources.size(); ++i) {
             auto shard = std::make_unique<Shard>();
@@ -547,10 +554,18 @@ Supervisor::run(const std::vector<SampleSource *> &sources)
                 status == kEscalated)
                 continue;
             all_done = false;
-            const bool hung =
-                shard.in_step.load() &&
-                now - shard.heartbeat_ms.load() >
-                    cfg_.watchdog.heartbeat_deadline_ms;
+            // Progress-sequence liveness: refresh while the shard
+            // advances or rests between steps; hung = in_step held
+            // with a frozen sequence past the deadline.
+            const std::uint64_t seq = shard.progress_seq.load();
+            bool hung = false;
+            if (seq != shard.wd_seen_seq || !shard.in_step.load()) {
+                shard.wd_seen_seq = seq;
+                shard.wd_seen_ms = now;
+            } else {
+                hung = now - shard.wd_seen_ms >
+                       cfg_.watchdog.heartbeat_deadline_ms;
+            }
             if (status == kCrashed || shard.source_dead.load() || hung)
                 handleFailure(shard, now);
         }
@@ -664,10 +679,79 @@ Supervisor::runFleet(TenantRegistry &registry)
         }
     }
 
+    // Event-driven fair-share runtime: multiplex every admitted
+    // session over cfg_.scheduler.workers threads (DESIGN.md §10).
+    // Store/recovery/breaker setup above is shared; only the
+    // execution engine differs, and verdicts are bit-identical.
+    if (cfg_.scheduler.workers > 0) {
+        std::vector<SchedulerSessionSpec> specs;
+        specs.reserve(sessions.size());
+        for (const TenantSession &session : sessions) {
+            SchedulerSessionSpec spec;
+            spec.tenant = session.tenant;
+            spec.source = session.source;
+            spec.store =
+                tenant_stores_[session.tenant->index()].get();
+            spec.store_shard = session.ordinal;
+            spec.queue = cfg_.queue;
+            const TenantQuota &quota = session.tenant->spec().quota;
+            spec.queue.capacity =
+                std::max<std::size_t>(quota.queue_capacity, 1);
+            spec.queue.max_bytes = quota.queue_max_bytes;
+            spec.born_escalated = session.tenant->breaker().tripped();
+            const std::size_t rec_index =
+                recovered_base[session.tenant->index()] +
+                session.ordinal;
+            spec.recovered =
+                rec_index < recovered.size() && recovered[rec_index];
+            specs.push_back(std::move(spec));
+        }
+        SchedulerRunConfig rc;
+        rc.monitor = cfg_.monitor;
+        rc.sched = cfg_.scheduler;
+        rc.heartbeat_deadline_ms =
+            cfg_.watchdog.heartbeat_deadline_ms;
+        rc.poll_interval_ms = cfg_.watchdog.poll_interval_ms;
+        rc.checkpoint_interval = cfg_.checkpoint_interval;
+        auto sched = std::make_unique<FleetScheduler>(
+            std::move(rc), std::move(specs), tenants, stop_);
+        sched->setStopCheck(stop_check_);
+        sched->setFleetStepHook(
+            [this](std::size_t session, const std::string &tenant,
+                   std::size_t step,
+                   const std::atomic<bool> &cancel) {
+                if (hook_)
+                    hook_(step, cancel);
+                if (fleet_hook_)
+                    fleet_hook_(session, tenant, step, cancel);
+            });
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            registry_ = &registry;
+            shards_.clear();
+            fleet_sched_ = std::move(sched);
+        }
+        std::vector<SessionOutcome> outs = fleet_sched_->run();
+        FleetResult fleet;
+        fleet.sessions.resize(outs.size());
+        for (std::size_t i = 0; i < outs.size(); ++i) {
+            ShardResult &out = fleet.sessions[i];
+            out.records = std::move(outs[i].records);
+            out.reports = std::move(outs[i].reports);
+            out.degraded = outs[i].degraded;
+            out.steps = outs[i].steps;
+            out.escalated = outs[i].escalated;
+            out.stopped = outs[i].stopped;
+        }
+        assembleTenantResults(registry, fleet, nowMs());
+        return fleet;
+    }
+
     {
         std::lock_guard<std::mutex> lock(mu_);
         registry_ = &registry;
         shards_.clear();
+        fleet_sched_.reset();
         for (std::size_t i = 0; i < sessions.size(); ++i) {
             const TenantSession &session = sessions[i];
             auto shard = std::make_unique<Shard>();
@@ -742,10 +826,15 @@ Supervisor::runFleet(TenantRegistry &registry)
                 escalateTenant(*shard.tenant);
                 continue;
             }
-            const bool hung =
-                shard.in_step.load() &&
-                now - shard.heartbeat_ms.load() >
-                    cfg_.watchdog.heartbeat_deadline_ms;
+            const std::uint64_t seq = shard.progress_seq.load();
+            bool hung = false;
+            if (seq != shard.wd_seen_seq || !shard.in_step.load()) {
+                shard.wd_seen_seq = seq;
+                shard.wd_seen_ms = now;
+            } else {
+                hung = now - shard.wd_seen_ms >
+                       cfg_.watchdog.heartbeat_deadline_ms;
+            }
             if (status == kCrashed || shard.source_dead.load() || hung)
                 handleFailure(shard, now);
         }
@@ -790,8 +879,15 @@ Supervisor::runFleet(TenantRegistry &registry)
         out.steps = out.records.size();
     }
 
-    const double t_end = nowMs();
-    for (Tenant *tenant : tenants) {
+    assembleTenantResults(registry, fleet, nowMs());
+    return fleet;
+}
+
+void
+Supervisor::assembleTenantResults(TenantRegistry &registry,
+                                  FleetResult &fleet, double now_ms)
+{
+    for (Tenant *tenant : registry.tenants()) {
         TenantResult tr;
         tr.id = tenant->id();
         const CircuitBreaker &breaker = tenant->breaker();
@@ -802,7 +898,7 @@ Supervisor::runFleet(TenantRegistry &registry)
             breaker.count(FaultClass::QuarantineStorm);
         tr.checkpoint_decode_failures =
             breaker.count(FaultClass::CheckpointDecode);
-        tr.restarts_used = tenant->budget().used(t_end);
+        tr.restarts_used = tenant->budget().used(now_ms);
         tr.budget_escalated = tenant->budget().escalated();
         tr.windows_shed = tenant->windowsShed();
         tr.windows_throttled = tenant->windowsThrottled();
@@ -811,7 +907,6 @@ Supervisor::runFleet(TenantRegistry &registry)
         fleet.tenants.push_back(std::move(tr));
     }
     fleet.admission = registry.admissionStats();
-    return fleet;
 }
 
 core::ServeStats
@@ -870,16 +965,44 @@ Supervisor::stats() const
             q.popped += live.popped;
             q.dropped_oldest += live.dropped_oldest;
             q.blocked_pushes += live.blocked_pushes;
+            q.spurious_wakeups += live.spurious_wakeups;
             q.max_depth = std::max(q.max_depth, live.max_depth);
         }
         st.delivered += q.pushed;
         st.dropped_oldest += q.dropped_oldest;
         st.blocked_pushes += q.blocked_pushes;
+        st.queue_spurious_wakeups += q.spurious_wakeups;
         st.processed += shard.processed.load();
         st.source_stalls += shard.source_snap.stalls;
         st.source_errors += shard.source_snap.errors;
         st.source_retries += shard.source_snap.retries;
         st.source_give_ups += shard.source_snap.give_ups;
+    }
+    if (fleet_sched_) {
+        // Scheduler-path runs count in the scheduler's own atomics;
+        // the supervisor's are untouched, so adding is not double
+        // counting.
+        const core::ServeStats fs = fleet_sched_->serveStats();
+        st.worker_crashes += fs.worker_crashes;
+        st.worker_hangs += fs.worker_hangs;
+        st.worker_restarts += fs.worker_restarts;
+        st.escalations += fs.escalations;
+        st.checkpoints_written += fs.checkpoints_written;
+        st.checkpoint_restores += fs.checkpoint_restores;
+        st.breaker_trips += fs.breaker_trips;
+        st.restart_latency_ms += fs.restart_latency_ms;
+        st.queue_wait_ms += fs.queue_wait_ms;
+        st.step_ms += fs.step_ms;
+        st.checkpoint_ms += fs.checkpoint_ms;
+        st.delivered += fs.delivered;
+        st.processed += fs.processed;
+        st.dropped_oldest += fs.dropped_oldest;
+        st.blocked_pushes += fs.blocked_pushes;
+        st.queue_spurious_wakeups += fs.queue_spurious_wakeups;
+        st.source_stalls += fs.source_stalls;
+        st.source_errors += fs.source_errors;
+        st.source_retries += fs.source_retries;
+        st.source_give_ups += fs.source_give_ups;
     }
     return st;
 }

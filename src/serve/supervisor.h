@@ -5,8 +5,9 @@
  * bounded queue) and a monitor worker thread (queue → Monitor::step),
  * while the supervisor's watchdog loop:
  *
- *  - collects worker heartbeats and declares a hang when a worker
- *    has been inside a step past the heartbeat deadline;
+ *  - tracks per-session progress sequence numbers and declares a
+ *    hang when a step has held in_step past the deadline with no
+ *    sequence advance;
  *  - restarts crashed / hung / source-dead shards from their last
  *    checkpoint (re-seeking the source, so no window is skipped and
  *    verdicts stay bit-identical under the Block backpressure
@@ -40,6 +41,7 @@
 #include "core/model.h"
 #include "core/monitor.h"
 #include "sample_source.h"
+#include "scheduler.h"
 #include "sts_queue.h"
 #include "tenant.h"
 
@@ -49,7 +51,10 @@ namespace eddie::serve
 /** Watchdog and restart policy. */
 struct WatchdogConfig
 {
-    /** A worker inside a step for longer than this is hung. */
+    /** A session inside one monitor step for longer than this with no
+     *  progress-sequence advance is hung. (Liveness is per-session
+     *  progress, not per-thread heartbeat: a session that steps
+     *  rarely because it shares a worker is slow, not hung.) */
     double heartbeat_deadline_ms = 500.0;
     /** Restarts allowed per shard within restart_window_ms before
      *  the shard escalates to degraded mode. */
@@ -86,6 +91,12 @@ struct ServeConfig
     bool checkpoint_archive = false;
     /** Windows drained per queue-lock acquisition by each worker. */
     std::size_t queue_batch = 16;
+    /** Fleet runtime selection: scheduler.workers > 0 multiplexes all
+     *  admitted sessions over that many worker threads behind a
+     *  fair-share run queue (serve/scheduler.h); 0 keeps the legacy
+     *  feeder+worker thread pair per session. Verdicts are
+     *  bit-identical either way. runFleet only; run() ignores it. */
+    SchedulerConfig scheduler;
     /** Model file watched for hot reload; empty disables watching. */
     std::string model_path;
     double model_poll_ms = 200.0;
@@ -214,6 +225,14 @@ class Supervisor
     /** Aggregated runtime counters (valid during and after run()). */
     core::ServeStats stats() const;
 
+    /** Scheduler-path counters of the current/last runFleet; nullptr
+     *  when the run used (or will use) the thread-pair runtime. */
+    const FleetScheduler *fleetScheduler() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return fleet_sched_.get();
+    }
+
     /** Currently served model (changes after a hot reload). */
     std::shared_ptr<const core::TrainedModel> model() const;
 
@@ -233,6 +252,10 @@ class Supervisor
     /** Trips-side isolation: stops and escalates every session of
      *  @p tenant (their last cuts become their final results). */
     void escalateTenant(Tenant &tenant);
+    /** Fleet tail shared by both runtimes: per-tenant results +
+     *  admission counters. */
+    void assembleTenantResults(TenantRegistry &registry,
+                               FleetResult &fleet, double now_ms);
 
     std::shared_ptr<const core::TrainedModel> model_;
     ServeConfig cfg_;
@@ -253,6 +276,9 @@ class Supervisor
      *  sees interleaved stage/commit batches. */
     std::vector<std::unique_ptr<CheckpointStore>> tenant_stores_;
     std::unique_ptr<store::Archive> fleet_archive_;
+    /** Scheduler-path runtime of the current/last runFleet (kept for
+     *  stats()); guarded by mu_. */
+    std::unique_ptr<FleetScheduler> fleet_sched_;
     /** Registry of the current/last runFleet (for stats()); guarded
      *  by mu_. */
     TenantRegistry *registry_ = nullptr;

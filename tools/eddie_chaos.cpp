@@ -7,7 +7,7 @@
  *       [--tenants T] [--sessions S] [--steps W]
  *       [--kill-prob P] [--hang-prob P] [--budget N]
  *       [--arc | --files] [--dir DIR] [--keep]
- *       [--require-all-fates]
+ *       [--scheduler [--workers M]] [--require-all-fates]
  *
  * Each seed runs the full scenario: a faulted fleet run (worker
  * kills/hangs on the victim tenant, queue overflow, starvation), a
@@ -15,9 +15,13 @@
  * healthy tenants' verdicts stay bit-identical to a clean serial run,
  * restarts stay inside the victim's budget, and recovery from disk is
  * clean. Without --arc/--files the checkpoint layout alternates by
- * seed parity so both are covered. --require-all-fates additionally
- * demands that every fate class actually fired somewhere in the grid
- * (the acceptance bar for the CI soak).
+ * seed parity so both are covered. --scheduler runs every fleet phase
+ * through the fair-share FleetScheduler (--workers M threads, default
+ * 3) instead of the legacy thread pair — same fates, same invariants,
+ * so a grid on both paths proves the runtimes verdict-identical.
+ * --require-all-fates additionally demands that every fate class
+ * actually fired somewhere in the grid (the acceptance bar for the CI
+ * soak).
  *
  * Exit codes: 0 clean, 2 usage, 3 invariant violations, 4 a required
  * fate class never fired.
@@ -48,7 +52,8 @@ run(int argc, char **argv)
             "[--tenants T] [--sessions S]\n"
             "       [--steps W] [--kill-prob P] [--hang-prob P] "
             "[--budget N] [--arc | --files]\n"
-            "       [--dir DIR] [--keep] [--require-all-fates]\n");
+            "       [--dir DIR] [--keep] [--scheduler [--workers M]] "
+            "[--require-all-fates]\n");
         return 2;
     }
 
@@ -66,6 +71,9 @@ run(int argc, char **argv)
     base.hang_prob = args.getDouble("hang-prob", base.hang_prob);
     base.restart_budget = std::size_t(std::max(
         args.getLong("budget", long(base.restart_budget)), 1L));
+    if (args.has("scheduler") || args.has("workers"))
+        base.scheduler_workers =
+            std::size_t(std::max(args.getLong("workers", 3), 1L));
 
     // Scratch root: --dir or a fresh mkdtemp under the system tmpdir.
     std::string root = args.get("dir");
@@ -101,9 +109,10 @@ run(int argc, char **argv)
         std::filesystem::create_directories(cfg.dir);
 
         const serve::ChaosReport rep = serve::runChaos(cfg);
-        std::printf("seed %llu [%s]: %s\n",
+        std::printf("seed %llu [%s, %s]: %s\n",
                     static_cast<unsigned long long>(cfg.seed),
                     cfg.archive ? "arc" : "files",
+                    cfg.scheduler_workers > 0 ? "sched" : "pair",
                     serve::describe(rep).c_str());
         for (const std::string &v : rep.violations)
             std::printf("  VIOLATION: %s\n", v.c_str());
