@@ -3,6 +3,10 @@
 #include <array>
 #include <fstream>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
 namespace eddie::common
 {
 
@@ -33,6 +37,128 @@ makeTables()
 
 constexpr auto kTables = makeTables();
 
+#if defined(__x86_64__)
+
+/**
+ * Carry-less-multiply fast path (PCLMULQDQ): folds 64-byte blocks of
+ * input into four 128-bit accumulators, then reduces to the 32-bit
+ * CRC register. Same polynomial, bit-identical to the table loop —
+ * the folding constants are x^N mod P(x) for the fold distances, so
+ * this is the identical polynomial division evaluated wider. Used
+ * when the CPU advertises the instructions; wire framing checksums
+ * every streamed batch twice (sender seal + receiver verify), which
+ * made the ~1.8 GB/s table walk a measurable slice of ingest cost.
+ *
+ * @p crc and the return value are the *raw* shift-register state
+ * (already seed-inverted); the caller owns the ^0xFFFFFFFF ends.
+ * @p size must be a multiple of 16 and at least 64.
+ */
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t
+crc32Clmul(const unsigned char *p, std::size_t size,
+           std::uint32_t crc)
+{
+    // Fold constants for reflected 0x04C11DB7 (Intel's "Fast CRC
+    // Computation Using PCLMULQDQ" method): k1/k2 fold across 512
+    // bits, k3/k4 across 128, k5 reduces 128->64, and the last pair
+    // is the Barrett constant mu with the full polynomial P'.
+    const __m128i k1k2 =
+        _mm_set_epi64x(0x01c6e41596, 0x0154442bd4);
+    const __m128i k3k4 =
+        _mm_set_epi64x(0x00ccaa009e, 0x01751997d0);
+    const __m128i k5 = _mm_set_epi64x(0, 0x0163cd6124);
+    const __m128i mu_poly =
+        _mm_set_epi64x(0x01f7011641, 0x01db710641);
+
+    __m128i x1 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(p + 0x00));
+    __m128i x2 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(p + 0x10));
+    __m128i x3 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(p + 0x20));
+    __m128i x4 = _mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(p + 0x30));
+    x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(int(crc)));
+    p += 64;
+    size -= 64;
+
+    while (size >= 64) {
+        const __m128i f1 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+        const __m128i f2 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+        const __m128i f3 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+        const __m128i f4 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+        x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+        x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+        x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+        x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+        x1 = _mm_xor_si128(
+            _mm_xor_si128(x1, f1),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(p + 0x00)));
+        x2 = _mm_xor_si128(
+            _mm_xor_si128(x2, f2),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(p + 0x10)));
+        x3 = _mm_xor_si128(
+            _mm_xor_si128(x3, f3),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(p + 0x20)));
+        x4 = _mm_xor_si128(
+            _mm_xor_si128(x4, f4),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(p + 0x30)));
+        p += 64;
+        size -= 64;
+    }
+
+    // Fold the four accumulators into one.
+    __m128i f = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x2);
+    f = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x3);
+    f = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, f), x4);
+
+    while (size >= 16) {
+        f = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+        x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+        x1 = _mm_xor_si128(
+            _mm_xor_si128(x1, f),
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+        p += 16;
+        size -= 16;
+    }
+
+    // Reduce 128 -> 64 bits.
+    const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+    f = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+    x1 = _mm_xor_si128(_mm_srli_si128(x1, 8), f);
+    f = _mm_srli_si128(x1, 4);
+    x1 = _mm_and_si128(x1, mask32);
+    x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+    x1 = _mm_xor_si128(x1, f);
+
+    // Barrett reduction 64 -> 32 bits.
+    f = _mm_and_si128(x1, mask32);
+    f = _mm_clmulepi64_si128(f, mu_poly, 0x10);
+    f = _mm_and_si128(f, mask32);
+    f = _mm_clmulepi64_si128(f, mu_poly, 0x00);
+    x1 = _mm_xor_si128(x1, f);
+    return std::uint32_t(_mm_extract_epi32(x1, 1));
+}
+
+bool
+haveClmul()
+{
+    static const bool ok = __builtin_cpu_supports("pclmul") &&
+                           __builtin_cpu_supports("sse4.1");
+    return ok;
+}
+
+#endif // __x86_64__
+
 } // namespace
 
 std::uint32_t
@@ -40,6 +166,14 @@ crc32(const void *data, std::size_t size, std::uint32_t seed)
 {
     const auto *p = static_cast<const unsigned char *>(data);
     std::uint32_t c = seed ^ 0xFFFFFFFFu;
+#if defined(__x86_64__)
+    if (size >= 64 && haveClmul()) {
+        const std::size_t folded = size & ~std::size_t(15);
+        c = crc32Clmul(p, folded, c);
+        p += folded;
+        size -= folded;
+    }
+#endif
     while (size >= 8) {
         // Byte-assembled loads keep this endian-portable; compilers
         // lower them to single 32-bit loads on little-endian targets.

@@ -8,7 +8,6 @@
 
 #include "common/crc32.h"
 #include "errors.h"
-#include "store/span_stream.h"
 
 namespace eddie::core
 {
@@ -101,25 +100,8 @@ readCapturePayload(std::istream &is)
     return run;
 }
 
-void
-writeStsPayload(const std::vector<Sts> &stream, std::ostream &os)
-{
-    writeRaw(os, std::uint64_t(stream.size()));
-    for (const auto &sts : stream) {
-        writeRaw(os, sts.t_start);
-        writeRaw(os, sts.t_end);
-        writeRaw(os, std::uint64_t(sts.true_region));
-        writeRaw(os, std::uint8_t(sts.injected ? 1 : 0));
-        writeRaw(os, sts.window_energy);
-        writeRaw(os, sts.peak_energy_frac);
-        writeRaw(os, std::uint8_t(sts.faulted ? 1 : 0));
-        writeRaw(os, std::uint64_t(sts.peak_freqs.size()));
-        os.write(reinterpret_cast<const char *>(sts.peak_freqs.data()),
-                 std::streamsize(sts.peak_freqs.size() *
-                                 sizeof(double)));
-    }
-}
-
+/** Stream reader kept for version-1 files (unframed, no quality
+ *  fields); version-2 payloads go through decodeStsPayload(). */
 std::vector<Sts>
 readStsPayload(std::istream &is, std::uint32_t version)
 {
@@ -219,9 +201,10 @@ loadCapture(std::istream &is)
 void
 saveStsStream(const std::vector<Sts> &stream, std::ostream &os)
 {
-    std::ostringstream payload(std::ios::binary);
-    writeStsPayload(stream, payload);
-    writeFramed(os, kStsMagic, kStsVersion, payload.str());
+    // Same bytes writeStsPayload would produce, via the buffer
+    // encoder the wire hot path uses (one shared v2 serializer).
+    writeFramed(os, kStsMagic, kStsVersion,
+                encodeStsPayload(stream));
 }
 
 std::vector<Sts>
@@ -232,24 +215,97 @@ loadStsStream(std::istream &is)
                                     "sts stream", payload);
     if (version == 1)
         return readStsPayload(is, version);
-    std::istringstream ps(payload, std::ios::binary);
-    return readStsPayload(ps, version);
+    return decodeStsPayload(payload.data(), payload.size());
 }
+
+namespace
+{
+
+template <typename T>
+void
+appendRaw(std::string &out, const T &value)
+{
+    out.append(reinterpret_cast<const char *>(&value), sizeof value);
+}
+
+template <typename T>
+T
+takeRaw(const char *&p, const char *end)
+{
+    if (std::size_t(end - p) < sizeof(T))
+        throw IoError("sts stream: truncated input");
+    T value;
+    std::memcpy(&value, p, sizeof value);
+    p += sizeof value;
+    return value;
+}
+
+} // namespace
+
+// The buffer codecs below produce/consume exactly the version-2 STS
+// payload byte stream, without per-field ostream/istream dispatch:
+// they sit on the wire ingestion hot path (one encode + one decode
+// per streamed batch), where the stream codec's ~0.5 us/window was
+// the single largest per-window cost.
 
 std::string
 encodeStsPayload(const std::vector<Sts> &stream)
 {
-    std::ostringstream payload(std::ios::binary);
-    writeStsPayload(stream, payload);
-    return payload.str();
+    std::size_t bytes = sizeof(std::uint64_t);
+    for (const auto &sts : stream)
+        bytes += 4 * sizeof(double) + 2 * sizeof(std::uint64_t) + 2 +
+                 sts.peak_freqs.size() * sizeof(double);
+    std::string out;
+    out.reserve(bytes);
+    appendRaw(out, std::uint64_t(stream.size()));
+    for (const auto &sts : stream) {
+        appendRaw(out, sts.t_start);
+        appendRaw(out, sts.t_end);
+        appendRaw(out, std::uint64_t(sts.true_region));
+        appendRaw(out, std::uint8_t(sts.injected ? 1 : 0));
+        appendRaw(out, sts.window_energy);
+        appendRaw(out, sts.peak_energy_frac);
+        appendRaw(out, std::uint8_t(sts.faulted ? 1 : 0));
+        appendRaw(out, std::uint64_t(sts.peak_freqs.size()));
+        out.append(reinterpret_cast<const char *>(
+                       sts.peak_freqs.data()),
+                   sts.peak_freqs.size() * sizeof(double));
+    }
+    return out;
 }
 
 std::vector<Sts>
 decodeStsPayload(const char *data, std::size_t size)
 {
-    store::SpanStream is(data, size);
-    auto stream = readStsPayload(is, kStsVersion);
-    if (is.peek() != std::char_traits<char>::eof())
+    const char *p = data;
+    const char *const end = data + size;
+    const auto count = takeRaw<std::uint64_t>(p, end);
+    if (count > (std::uint64_t(1) << 32))
+        throw FormatError("sts stream: implausible size");
+
+    std::vector<Sts> stream{};
+    stream.resize(std::size_t(count));
+    for (auto &sts : stream) {
+        sts.t_start = takeRaw<double>(p, end);
+        sts.t_end = takeRaw<double>(p, end);
+        sts.true_region =
+            std::size_t(takeRaw<std::uint64_t>(p, end));
+        sts.injected = takeRaw<std::uint8_t>(p, end) != 0;
+        sts.window_energy = takeRaw<double>(p, end);
+        sts.peak_energy_frac = takeRaw<double>(p, end);
+        sts.faulted = takeRaw<std::uint8_t>(p, end) != 0;
+        const auto peaks = takeRaw<std::uint64_t>(p, end);
+        if (peaks > (std::uint64_t(1) << 20))
+            throw FormatError("sts stream: implausible peaks");
+        const std::size_t peak_bytes =
+            std::size_t(peaks) * sizeof(double);
+        if (std::size_t(end - p) < peak_bytes)
+            throw IoError("sts stream: truncated input");
+        sts.peak_freqs.resize(std::size_t(peaks));
+        std::memcpy(sts.peak_freqs.data(), p, peak_bytes);
+        p += peak_bytes;
+    }
+    if (p != end)
         throw FormatError("sts stream: trailing payload bytes");
     return stream;
 }
@@ -257,20 +313,23 @@ decodeStsPayload(const char *data, std::size_t size)
 void
 saveCaptureFile(const cpu::RunResult &run, const std::string &path)
 {
+    errno = 0;
     std::ofstream os(path, std::ios::binary);
     if (!os)
-        throw IoError("capture: cannot open " + path);
+        throw ioErrorErrno("capture: open for write", path);
     saveCapture(run, os);
+    os.flush();
     if (!os)
-        throw IoError("capture: write failed: " + path);
+        throw ioErrorErrno("capture: write", path);
 }
 
 cpu::RunResult
 loadCaptureFile(const std::string &path)
 {
+    errno = 0;
     std::ifstream is(path, std::ios::binary);
     if (!is)
-        throw IoError("capture: cannot open " + path);
+        throw ioErrorErrno("capture: open", path);
     return loadCapture(is);
 }
 

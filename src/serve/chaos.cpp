@@ -16,6 +16,7 @@
 #include "prog/builder.h"
 #include "prog/regions.h"
 #include "supervisor.h"
+#include "wire_listener.h"
 
 namespace eddie::serve
 {
@@ -32,6 +33,7 @@ constexpr std::uint64_t kFateSalt = 0xC4A05'F47EULL;
 constexpr std::uint64_t kStreamSalt = 0x57A7;
 constexpr std::uint64_t kPolicySalt = 0x5EDD;
 constexpr std::uint64_t kTearSalt = 0x7EA2;
+constexpr std::uint64_t kWireSalt = 0x7769726;
 
 prog::RegionGraph
 twoLoopGraph()
@@ -572,6 +574,146 @@ runChaos(const ChaosConfig &cfg)
         }
     }
 
+    // ---- Phase W: wire ingestion under byte-level chaos ------------
+    if (cfg.wire_phase) {
+        TenantRegistry reg;
+        buildRegistry(reg, false);
+
+        WireListenerConfig lcfg;
+        // Transport by seed when both are available, so a grid covers
+        // TCP loopback and the AF_UNIX path alike.
+        const bool use_unix =
+            !cfg.dir.empty() &&
+            (faults::fateMix(cfg.seed, 1, kWireSalt) & 1) != 0;
+        if (use_unix)
+            lcfg.unix_path = cfg.dir + "/wire.sock";
+        else
+            lcfg.tcp = "127.0.0.1:0";
+        // Small receive window so backpressure actually engages, and a
+        // short stall budget so a failed client escalates (into a
+        // violation) instead of hanging the run.
+        lcfg.source.recv_capacity = 32;
+        lcfg.source.stall_timeout_ms = 2000.0;
+        lcfg.idle_timeout_ms = 10000.0;
+        WireListener listener(reg, lcfg);
+        listener.start();
+
+        std::vector<WireClientReport> reports(nsess);
+        std::vector<std::thread> clients;
+        clients.reserve(nsess);
+        for (std::size_t s = 0; s < nsess; ++s) {
+            clients.emplace_back([&, s] {
+                WireClientConfig ccfg;
+                if (use_unix)
+                    ccfg.unix_path = lcfg.unix_path;
+                else
+                    ccfg.tcp = listener.tcpAddress();
+                ccfg.tenant = tenantId(s / spt);
+                ccfg.session = s % spt + 1;
+                ccfg.batch_windows = 16;
+                ccfg.ack_timeout_ms = 5000.0;
+                ccfg.backoff.initial_ms = 2.0;
+                ccfg.backoff.max_ms = 50.0;
+                ccfg.chaos = cfg.wire;
+                ccfg.chaos.seed =
+                    faults::fateMix(cfg.seed, s, kWireSalt);
+                VectorSource src(streams[s]);
+                reports[s] = WireClient(ccfg).stream(src);
+            });
+        }
+
+        const std::size_t admitted =
+            listener.awaitSessions(nsess, 30000.0);
+        if (admitted < nsess) {
+            fail("phase W: only " + std::to_string(admitted) + "/" +
+                 std::to_string(nsess) +
+                 " wire sessions admitted within the deadline");
+            listener.drainAndClose();
+            for (std::thread &th : clients)
+                th.join();
+        } else {
+            listener.freezeAdmission();
+            ServeConfig wcfg = scfg;
+            // Wire sources block in next(); only the thread-pair
+            // runtime tolerates a blocking source per feeder.
+            wcfg.scheduler.workers = 0;
+            if (!cfg.dir.empty())
+                wcfg.checkpoint_path = cfg.dir + "/wk";
+            Supervisor sup(wcfg);
+            const FleetResult fr = sup.runFleet(reg);
+            rep.restarts += sup.stats().worker_restarts;
+            // Drain BEFORE joining the clients: an escalated session
+            // stops consuming, its client blocks on a full socket, and
+            // only closing the connection lets that client fail out.
+            listener.drainAndClose();
+            for (std::thread &th : clients)
+                th.join();
+
+            for (std::size_t s = 0; s < nsess; ++s) {
+                const WireClientReport &r = reports[s];
+                if (!r.delivered_all)
+                    fail("phase W: client " + std::to_string(s) +
+                         " failed to deliver its stream (" + r.error +
+                         ")");
+                rep.wire_torn_frames += r.torn_frames;
+                rep.wire_disconnects += r.forced_disconnects;
+                rep.wire_duplicates += r.duplicate_batches;
+                rep.wire_reorders += r.reordered_batches;
+                rep.wire_corrupt_frames += r.corrupted_frames;
+                rep.wire_hostile_lengths += r.hostile_lengths;
+                rep.wire_reconnects += r.reconnects;
+                rep.wire_nacks += r.nacks_received;
+                rep.wire_windows_replayed += r.windows_replayed;
+            }
+            const WireListenerStats ls = listener.stats();
+            rep.wire_malformed += ls.wire.totalErrors();
+            rep.wire_duplicates_dropped += ls.duplicates_dropped;
+
+            // Bit-identity: sessions arrive in admission (connection
+            // race) order, so map each admitted WireSource back to
+            // its stream via (tenant id, session key).
+            const std::vector<WireSource *> srcs = listener.sources();
+            if (srcs.size() != fr.sessions.size()) {
+                fail("phase W: admitted source count does not match "
+                     "fleet session count");
+            } else {
+                for (std::size_t i = 0; i < srcs.size(); ++i) {
+                    std::size_t tenant = cfg.tenants;
+                    for (std::size_t t = 0; t < cfg.tenants; ++t) {
+                        if (srcs[i]->tenantId() == tenantId(t)) {
+                            tenant = t;
+                            break;
+                        }
+                    }
+                    const std::uint64_t key = srcs[i]->sessionKey();
+                    if (tenant >= cfg.tenants || key < 1 ||
+                        key > spt) {
+                        fail("phase W: admitted session has an "
+                             "unknown tenant/session key");
+                        continue;
+                    }
+                    const std::size_t s =
+                        tenant * spt + std::size_t(key - 1);
+                    const ShardResult &r = fr.sessions[i];
+                    if (r.escalated) {
+                        fail("phase W: wire session " +
+                             std::to_string(s) + " escalated");
+                        continue;
+                    }
+                    if (!sameRecords(r.records, serial[s].records) ||
+                        !sameReports(r.reports, serial[s].reports)) {
+                        fail("phase W: wire session " +
+                             std::to_string(s) +
+                             " verdicts diverged from the serial "
+                             "run");
+                        continue;
+                    }
+                    ++rep.wire_sessions_checked;
+                }
+            }
+        }
+    }
+
     rep.ok = rep.violations.empty();
     return rep;
 }
@@ -602,7 +744,35 @@ describe(const ChaosReport &report)
             report.snapshot_decode_failures),
         report.victim_isolated ? "isolated" : "survived",
         report.healthy_sessions_checked);
-    return std::string(buf);
+    std::string out(buf);
+    if (report.wire_sessions_checked > 0 || report.wire_nacks > 0 ||
+        report.wire_malformed > 0) {
+        std::snprintf(
+            buf, sizeof buf,
+            "; wire: %llu torn, %llu disconnects, %llu duplicates, "
+            "%llu reorders, %llu corrupt, %llu hostile lengths, "
+            "%llu reconnects, %llu nacks, %llu replayed, "
+            "%llu malformed rejected, %llu duplicate windows "
+            "dropped, %zu wire sessions verified",
+            static_cast<unsigned long long>(report.wire_torn_frames),
+            static_cast<unsigned long long>(report.wire_disconnects),
+            static_cast<unsigned long long>(report.wire_duplicates),
+            static_cast<unsigned long long>(report.wire_reorders),
+            static_cast<unsigned long long>(
+                report.wire_corrupt_frames),
+            static_cast<unsigned long long>(
+                report.wire_hostile_lengths),
+            static_cast<unsigned long long>(report.wire_reconnects),
+            static_cast<unsigned long long>(report.wire_nacks),
+            static_cast<unsigned long long>(
+                report.wire_windows_replayed),
+            static_cast<unsigned long long>(report.wire_malformed),
+            static_cast<unsigned long long>(
+                report.wire_duplicates_dropped),
+            report.wire_sessions_checked);
+        out += buf;
+    }
+    return out;
 }
 
 } // namespace eddie::serve

@@ -31,6 +31,8 @@
  *                                       (Throttle or Shed by seed)
  *   torn group commit                -> tail truncation + resume
  *   corrupt tenant checkpoint        -> byte flip + resume
+ *   hostile wire traffic (phase W)   -> WireClient byte-level chaos
+ *                                       against a live WireListener
  */
 
 #ifndef EDDIE_SERVE_CHAOS_H
@@ -41,6 +43,7 @@
 #include <vector>
 
 #include "tenant.h"
+#include "wire_client.h"
 
 namespace eddie::serve
 {
@@ -102,6 +105,19 @@ struct ChaosConfig
      *  that is the point: one harness proves both runtimes produce
      *  the same verdicts under the same fate stream. */
     std::size_t scheduler_workers = 0;
+
+    /** Phase W: stream every session over the wire (TCP loopback, or
+     *  the AF_UNIX transport by seed when dir is set) through a
+     *  WireListener/WireClient pair, with the client injecting
+     *  byte-level faults per `wire` — torn frames, mid-batch
+     *  disconnects, duplicate and skip-ahead replays, corrupted
+     *  bytes, hostile length fields. The invariant is the tentpole
+     *  claim: verdicts stay bit-identical to the serial run anyway.
+     *  Always runs the thread-pair runtime (wire sources block). */
+    bool wire_phase = false;
+    /** Fault mix of phase W clients (`seed` is ignored — each client
+     *  draws its own fate stream from the run seed). */
+    WireChaosConfig wire;
 };
 
 /** Per-step fate on a victim session. */
@@ -150,6 +166,25 @@ struct ChaosReport
     bool victim_isolated = false;
     /** Healthy sessions whose verdicts were checked bit-identical. */
     std::size_t healthy_sessions_checked = 0;
+
+    /** Phase W fate-exercise counters (client-side injection tallies;
+     *  a seed grid sums these to prove every wire fate fired). */
+    std::uint64_t wire_torn_frames = 0;
+    std::uint64_t wire_disconnects = 0;
+    std::uint64_t wire_duplicates = 0;
+    std::uint64_t wire_reorders = 0;
+    std::uint64_t wire_corrupt_frames = 0;
+    std::uint64_t wire_hostile_lengths = 0;
+    /** Phase W transport/recovery outcomes. */
+    std::uint64_t wire_reconnects = 0;
+    std::uint64_t wire_nacks = 0;
+    std::uint64_t wire_windows_replayed = 0;
+    /** Listener-side taxonomy: malformed frames rejected (summed
+     *  WireStats buckets) and duplicate windows dropped. */
+    std::uint64_t wire_malformed = 0;
+    std::uint64_t wire_duplicates_dropped = 0;
+    /** Wire sessions whose verdicts were checked bit-identical. */
+    std::size_t wire_sessions_checked = 0;
 };
 
 /**

@@ -1,15 +1,41 @@
 #include "sample_source.h"
 
+#include <cerrno>
 #include <chrono>
+#include <fstream>
 #include <thread>
 #include <utility>
+
+#include "core/capture_io.h"
+#include "core/errors.h"
 
 namespace eddie::serve
 {
 
+namespace
+{
+
+std::shared_ptr<const std::vector<core::Sts>>
+loadStsFile(const std::string &path)
+{
+    errno = 0;
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw core::ioErrorErrno("sts stream: open", path);
+    return std::make_shared<const std::vector<core::Sts>>(
+        core::loadStsStream(is));
+}
+
+} // namespace
+
 VectorSource::VectorSource(
     std::shared_ptr<const std::vector<core::Sts>> stream)
     : stream_(std::move(stream))
+{
+}
+
+StsFileSource::StsFileSource(const std::string &path)
+    : VectorSource(loadStsFile(path))
 {
 }
 

@@ -106,6 +106,21 @@ class VectorSource : public SampleSource
 };
 
 /**
+ * Seekable source over a saved STS stream file ("EDDIESTS",
+ * core/capture_io.h) — the file-backed input of tools/eddie_replay.
+ * The stream is materialized eagerly at construction: replay files
+ * are bounded capture artifacts, and an up-front decode turns a
+ * corrupt file into a typed startup error instead of a mid-run
+ * fault. Open failures throw core::IoError with errno context;
+ * malformed content throws the capture codec's typed errors.
+ */
+class StsFileSource : public VectorSource
+{
+  public:
+    explicit StsFileSource(const std::string &path);
+};
+
+/**
  * Wraps a source with the deterministic fault schedule of
  * faults/source_faults.h. Each call to next() consults the schedule
  * for (item index, attempt) and either injects a Stall /

@@ -65,6 +65,31 @@ StsQueue::push(core::Sts sts)
     return true;
 }
 
+bool
+StsQueue::waitNotFullFor(double timeout_ms)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                std::max(timeout_ms, 0.0)));
+    std::unique_lock<std::mutex> lock(mu_);
+    // Same saturation notion as push(), minus the per-window cost
+    // (unknown here): the caller's retry applies the exact bound.
+    const auto saturated = [this] {
+        return ring_.full() ||
+               (cfg_.max_bytes != 0 && !ring_.empty() &&
+                bytes_ >= cfg_.max_bytes);
+    };
+    while (saturated() && !closed_) {
+        if (not_full_.wait_until(lock, deadline) ==
+            std::cv_status::timeout)
+            break;
+    }
+    return !saturated() || closed_;
+}
+
 std::optional<core::Sts>
 StsQueue::popFor(double timeout_ms)
 {

@@ -120,6 +120,19 @@ class StsQueue
     std::size_t headroom() const;
 
     /**
+     * Waits up to @p timeout_ms for the queue to leave saturation
+     * (ring full, or at the byte quota). The bounded-backpressure
+     * companion of pushBatch(.., false): a producer that must stay
+     * responsive to an abort flag parks here instead of napping
+     * blind, and wakes the moment the consumer frees a slot — on a
+     * saturated queue a fixed nap caps throughput at
+     * capacity/nap_ms, which the wire bench showed as a 5x cliff.
+     * Returns true when a push could now make progress (space freed,
+     * or closed — the caller's next push observes the close).
+     */
+    bool waitNotFullFor(double timeout_ms);
+
+    /**
      * Dequeues the next window, waiting up to @p timeout_ms. Empty
      * optional = timed out, or closed and drained. The timeout keeps
      * the worker's heartbeat fresh while idle (the watchdog must not

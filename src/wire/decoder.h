@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Incremental, allocation-bounded decoder for EDDIEWIRE frames
+ * (frame.h). The contract the fuzz suite enforces:
+ *
+ *  - *Total.* next() over arbitrary fed bytes returns NeedMore, a
+ *    verified Frame, or a typed WireError — never throws, never
+ *    invokes UB, never reads outside the internal buffer.
+ *  - *Bounded.* The decoder buffers at most capacity() ==
+ *    kHeaderSize + max_payload bytes, ever. feed() returns how many
+ *    bytes it accepted; a full buffer always holds a complete frame
+ *    (or a malformed prefix), so draining via next() always restores
+ *    feed() progress. A hostile length field can therefore waste at
+ *    most one frame's worth of memory, not the heap.
+ *  - *Latching.* The first malformed input poisons the stream: the
+ *    error is counted once, next() keeps returning it, feed()
+ *    accepts nothing more. There is no resynchronization heuristic —
+ *    on a stream transport a framing error means the connection is
+ *    lost as a unit, and the peer reconnects (DESIGN.md §11 threat
+ *    model). reset() rearms the decoder for a new connection,
+ *    keeping cumulative stats.
+ */
+
+#ifndef EDDIE_WIRE_DECODER_H
+#define EDDIE_WIRE_DECODER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "frame.h"
+
+namespace eddie::wire
+{
+
+struct FrameDecoderConfig
+{
+    /** Frames with payload_len above this are WireError::Oversized;
+     *  also the decoder's buffering bound. */
+    std::size_t max_payload = kDefaultMaxPayload;
+};
+
+/** One decode step's outcome. */
+enum class DecodeStatus
+{
+    /** No complete frame buffered; feed more bytes (or, after
+     *  endOfInput() with an empty buffer, the stream is done). */
+    NeedMore,
+    /** A frame with verified header and payload CRCs. */
+    Frame,
+    /** Malformed input; the stream is poisoned (see file comment). */
+    Error,
+};
+
+struct Decoded
+{
+    DecodeStatus status = DecodeStatus::NeedMore;
+    /** Valid when status == Frame. */
+    FrameHeader header;
+    /** Payload bytes (header.payload_len of them), pointing into the
+     *  decoder's buffer: valid until the next feed()/reset(). */
+    const char *payload = nullptr;
+    /** Valid when status == Error. */
+    WireError error = WireError::Truncated;
+};
+
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(FrameDecoderConfig cfg = {});
+
+    /** Appends up to (capacity() - buffered()) bytes; returns how
+     *  many were accepted (0 once poisoned). Invalidates the last
+     *  Frame's payload pointer. */
+    std::size_t feed(const void *data, std::size_t size);
+
+    /** Decodes the next frame out of the buffer (see DecodeStatus). */
+    Decoded next();
+
+    /** Declares the byte stream finished (peer closed): a partial
+     *  buffered frame becomes WireError::Truncated on the next
+     *  next(). */
+    void endOfInput();
+
+    /** Rearms for a new byte stream: clears the buffer, the poison
+     *  latch, and the end-of-input flag. Stats are cumulative across
+     *  resets (per-connection totals live in the listener). */
+    void reset();
+
+    /** Decode counters, including one bucket per WireError. */
+    const WireStats &stats() const { return stats_; }
+
+    std::size_t buffered() const { return buf_.size() - head_; }
+    /** Hard buffering bound: kHeaderSize + max_payload. */
+    std::size_t capacity() const
+    {
+        return kHeaderSize + cfg_.max_payload;
+    }
+    bool poisoned() const { return poisoned_; }
+
+  private:
+    Decoded poison(WireError err);
+
+    FrameDecoderConfig cfg_;
+    std::vector<char> buf_;
+    /** Consumed prefix, compacted lazily by feed() so a returned
+     *  payload pointer survives until then. */
+    std::size_t head_ = 0;
+    WireStats stats_;
+    bool poisoned_ = false;
+    WireError error_ = WireError::Truncated;
+    bool end_of_input_ = false;
+};
+
+} // namespace eddie::wire
+
+#endif // EDDIE_WIRE_DECODER_H

@@ -1,0 +1,220 @@
+#include "frame.h"
+
+#include "common/crc32.h"
+
+namespace eddie::wire
+{
+
+namespace
+{
+
+void putU16(std::string &out, std::uint16_t v)
+{
+    out.push_back(char(v & 0xFF));
+    out.push_back(char((v >> 8) & 0xFF));
+}
+
+void putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+void putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(char((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t getU32(const char *p)
+{
+    const auto *u = reinterpret_cast<const unsigned char *>(p);
+    return std::uint32_t(u[0]) | (std::uint32_t(u[1]) << 8) |
+           (std::uint32_t(u[2]) << 16) | (std::uint32_t(u[3]) << 24);
+}
+
+} // namespace
+
+const char *
+name(WireError err)
+{
+    switch (err) {
+    case WireError::BadMagic:
+        return "bad_magic";
+    case WireError::BadVersion:
+        return "bad_version";
+    case WireError::BadType:
+        return "bad_type";
+    case WireError::Oversized:
+        return "oversized";
+    case WireError::HeaderCrc:
+        return "header_crc";
+    case WireError::PayloadCrc:
+        return "payload_crc";
+    case WireError::Truncated:
+        return "truncated";
+    case WireError::SequenceGap:
+        return "sequence_gap";
+    case WireError::BadPayload:
+        return "bad_payload";
+    case WireError::Protocol:
+        return "protocol";
+    }
+    return "unknown";
+}
+
+const char *
+name(FrameType type)
+{
+    switch (type) {
+    case FrameType::Hello:
+        return "hello";
+    case FrameType::Ack:
+        return "ack";
+    case FrameType::StsBatch:
+        return "sts_batch";
+    case FrameType::Heartbeat:
+        return "heartbeat";
+    case FrameType::Eof:
+        return "eof";
+    case FrameType::Nack:
+        return "nack";
+    }
+    return "unknown";
+}
+
+const char *
+name(NackCode code)
+{
+    switch (code) {
+    case NackCode::None:
+        return "none";
+    case NackCode::MalformedFrame:
+        return "malformed_frame";
+    case NackCode::SequenceGap:
+        return "sequence_gap";
+    case NackCode::UnknownTenant:
+        return "unknown_tenant";
+    case NackCode::TenantSessionLimit:
+        return "tenant_session_limit";
+    case NackCode::FleetSessionLimit:
+        return "fleet_session_limit";
+    case NackCode::BreakerOpen:
+        return "breaker_open";
+    case NackCode::AdmissionClosed:
+        return "admission_closed";
+    case NackCode::ProtocolError:
+        return "protocol_error";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+WireStats::totalErrors() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kWireErrorCount; ++i)
+        total += errors[i];
+    return total;
+}
+
+void
+WireStats::merge(const WireStats &other)
+{
+    frames_decoded += other.frames_decoded;
+    bytes_decoded += other.bytes_decoded;
+    for (std::size_t i = 0; i < kWireErrorCount; ++i)
+        errors[i] += other.errors[i];
+}
+
+std::uint64_t
+tenantHash(const std::string &tenant_id)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : tenant_id) {
+        h ^= std::uint64_t(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+encodeHeaderRaw(const FrameHeader &header, std::uint32_t payload_crc)
+{
+    std::string out;
+    out.reserve(kHeaderSize);
+    putU32(out, kMagic);
+    putU16(out, kWireVersion);
+    out.push_back(char(static_cast<std::uint8_t>(header.type)));
+    out.push_back(char(0)); // reserved
+    putU64(out, header.tenant);
+    putU64(out, header.session);
+    putU64(out, header.sequence);
+    putU32(out, header.payload_len);
+    putU32(out, payload_crc);
+    putU32(out, common::crc32(out.data(), out.size()));
+    return out;
+}
+
+std::string
+encodeFrame(const FrameHeader &header, const std::string &payload)
+{
+    FrameHeader h = header;
+    h.payload_len = std::uint32_t(payload.size());
+    std::string out = encodeHeaderRaw(
+        h, common::crc32(payload.data(), payload.size()));
+    out.reserve(kHeaderSize + payload.size());
+    out.append(payload);
+    return out;
+}
+
+std::string
+encodeHelloPayload(const std::string &tenant_id)
+{
+    std::string out;
+    putU32(out, std::uint32_t(tenant_id.size()));
+    out.append(tenant_id);
+    return out;
+}
+
+bool
+decodeHelloPayload(const char *payload, std::size_t size,
+                   std::string &tenant_id)
+{
+    if (size < 4)
+        return false;
+    const std::uint32_t len = getU32(payload);
+    if (len > kMaxTenantIdLen || std::size_t(len) + 4 != size ||
+        len == 0)
+        return false;
+    tenant_id.assign(payload + 4, len);
+    return true;
+}
+
+std::string
+encodeNackPayload(NackCode code, const std::string &msg)
+{
+    std::string out;
+    putU32(out, static_cast<std::uint32_t>(code));
+    putU32(out, std::uint32_t(msg.size()));
+    out.append(msg);
+    return out;
+}
+
+bool
+decodeNackPayload(const char *payload, std::size_t size,
+                  NackCode &code, std::string &msg)
+{
+    if (size < 8)
+        return false;
+    const std::uint32_t raw = getU32(payload);
+    const std::uint32_t len = getU32(payload + 4);
+    if (std::size_t(len) + 8 != size ||
+        raw > static_cast<std::uint32_t>(NackCode::ProtocolError))
+        return false;
+    code = static_cast<NackCode>(raw);
+    msg.assign(payload + 8, len);
+    return true;
+}
+
+} // namespace eddie::wire

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Regenerates the checked-in EDDIEWIRE decoder corpus.
+
+Each file is a raw byte stream the decoder regression test
+(tests/wire/frame_decoder_test.cpp) feeds to a fresh FrameDecoder and
+then finishes with endOfInput(). The filename encodes the expected
+disposition:
+
+  ok__<desc>.bin              decodes to >= 1 frame, zero errors, and
+                              re-encoding the decoded frames must
+                              reproduce the file byte-identically
+  err__<error>__<desc>.bin    the decoder must end poisoned with
+                              exactly the named WireError (the
+                              wire::name() string, e.g. header_crc);
+                              valid frames before the poison are fine
+
+The CRC is zlib's CRC-32 (same polynomial/reflection as the repo's
+slice-by-8 kernel in common/crc32.h), so this script needs nothing
+beyond the standard library. Run from this directory:
+
+  python3 gen_corpus.py
+"""
+
+import struct
+import zlib
+
+MAGIC = 0x31574445  # "EDW1"
+VERSION = 1
+HELLO, ACK, STS_BATCH, HEARTBEAT, EOF_, NACK = 1, 2, 3, 4, 5, 6
+
+
+def header(ftype, tenant, session, sequence, payload_len, payload_crc,
+           *, magic=MAGIC, version=VERSION, reserved=0):
+    h = struct.pack("<IHBBQQQII", magic, version, ftype, reserved,
+                    tenant, session, sequence, payload_len, payload_crc)
+    return h + struct.pack("<I", zlib.crc32(h))
+
+
+def frame(ftype, tenant, session, sequence, payload=b"", **kw):
+    return header(ftype, tenant, session, sequence, len(payload),
+                  zlib.crc32(payload), **kw) + payload
+
+
+def fnv1a64(s):
+    h = 0xCBF29CE484222325
+    for b in s.encode():
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def hello_payload(tenant_id):
+    b = tenant_id.encode()
+    return struct.pack("<I", len(b)) + b
+
+
+def nack_payload(code, msg):
+    b = msg.encode()
+    return struct.pack("<II", code, len(b)) + b
+
+
+def flip(data, index, mask=0xFF):
+    out = bytearray(data)
+    out[index] ^= mask
+    return bytes(out)
+
+
+T = fnv1a64("default")
+
+files = {}
+
+# --- valid streams -------------------------------------------------
+files["ok__hello.bin"] = frame(HELLO, T, 1, 0,
+                               hello_payload("default"))
+files["ok__empty_payload.bin"] = frame(HEARTBEAT, T, 1, 17)
+files["ok__multi.bin"] = (
+    frame(HELLO, T, 2, 0, hello_payload("default")) +
+    frame(STS_BATCH, T, 2, 0, bytes(range(256)) * 3) +
+    frame(HEARTBEAT, T, 2, 3) +
+    frame(EOF_, T, 2, 3))
+files["ok__nack.bin"] = frame(NACK, T, 1, 9,
+                              nack_payload(2, "sequence gap at 9"))
+
+# --- malformed streams ---------------------------------------------
+# Long enough to fill a whole header: the decoder only judges magic
+# once 44 bytes are buffered (shorter junk is Truncated instead).
+files["err__bad_magic__ascii.bin"] = (
+    b"GET / HTTP/1.1\r\nHost: example.invalid\r\n"
+    b"User-Agent: not-eddiewire\r\n\r\n")
+files["err__bad_magic__near_miss.bin"] = frame(
+    HEARTBEAT, T, 1, 0, magic=MAGIC ^ 0x01000000)
+files["err__bad_version__v2.bin"] = frame(HEARTBEAT, T, 1, 0,
+                                          version=2)
+files["err__bad_type__type9.bin"] = frame(9, T, 1, 0)
+files["err__bad_type__reserved.bin"] = frame(HEARTBEAT, T, 1, 0,
+                                             reserved=1)
+# Length field far past the decoder cap, both CRCs still valid: only
+# the cap check can refuse this one.
+files["err__oversized__hostile_len.bin"] = header(
+    STS_BATCH, T, 1, 0, 0x7FFFFFFF, 0)
+good = frame(STS_BATCH, T, 1, 0, b"payload-bytes" * 9)
+files["err__header_crc__flipped_tenant.bin"] = flip(good, 8)
+files["err__header_crc__flipped_len.bin"] = flip(good, 32)
+files["err__payload_crc__flipped_payload.bin"] = flip(good, 44 + 5)
+files["err__truncated__cut_header.bin"] = good[:20]
+files["err__truncated__cut_payload.bin"] = good[:44 + 7]
+# One complete frame, then a torn second one: the decoder must hand
+# out the first frame before poisoning on the cut.
+files["err__truncated__second_frame.bin"] = (
+    frame(HEARTBEAT, T, 1, 1) + good[:50])
+# A full valid frame followed by mid-stream garbage: framing is lost
+# as a unit (no resync), so the garbage is a bad magic.
+files["err__bad_magic__after_frame.bin"] = (
+    frame(HEARTBEAT, T, 1, 1) + b"\x00" * 60)
+
+for fname, data in sorted(files.items()):
+    with open(fname, "wb") as f:
+        f.write(data)
+    print(f"{fname}: {len(data)} bytes")

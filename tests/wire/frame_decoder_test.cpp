@@ -1,0 +1,518 @@
+/**
+ * @file
+ * EDDIEWIRE decoder contract tests (decoder.h): totality over
+ * arbitrary bytes, bounded buffering, latching poison, and byte-exact
+ * round trips. The adversarial half is corpus-driven — a seeded
+ * splice/truncate/bit-flip fuzzer plus checked-in regression files
+ * under tests/wire/corpus/ whose filenames encode the expected
+ * disposition (see gen_corpus.py there).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wire/decoder.h"
+#include "wire/frame.h"
+
+namespace
+{
+
+using namespace eddie;
+using wire::DecodeStatus;
+using wire::FrameDecoder;
+using wire::FrameDecoderConfig;
+using wire::FrameHeader;
+using wire::FrameType;
+using wire::WireError;
+
+std::string
+makeFrame(FrameType type, std::uint64_t seq, const std::string &payload)
+{
+    FrameHeader h;
+    h.type = type;
+    h.tenant = wire::tenantHash("default");
+    h.session = 1;
+    h.sequence = seq;
+    return wire::encodeFrame(h, payload);
+}
+
+/** A multi-frame stream with empty, small, and larger payloads. */
+std::string
+sampleStream(std::vector<FrameHeader> *headers = nullptr,
+             std::vector<std::string> *payloads = nullptr)
+{
+    std::string stream;
+    const auto add = [&](FrameType type, std::uint64_t seq,
+                         const std::string &payload) {
+        const std::string f = makeFrame(type, seq, payload);
+        if (headers) {
+            FrameHeader h;
+            h.type = type;
+            h.tenant = wire::tenantHash("default");
+            h.session = 1;
+            h.sequence = seq;
+            h.payload_len = std::uint32_t(payload.size());
+            headers->push_back(h);
+        }
+        if (payloads)
+            payloads->push_back(payload);
+        stream += f;
+    };
+    add(FrameType::Hello, 0, wire::encodeHelloPayload("default"));
+    add(FrameType::StsBatch, 0, std::string(1000, '\x5a'));
+    add(FrameType::Heartbeat, 4, "");
+    std::string binary;
+    for (int i = 0; i < 600; ++i)
+        binary.push_back(char(i * 37));
+    add(FrameType::StsBatch, 4, binary);
+    add(FrameType::Eof, 8, "");
+    return stream;
+}
+
+/** Drains the decoder, appending frames (re-encoded) to @p out;
+ *  returns the terminal status (NeedMore or Error). */
+DecodeStatus
+drain(FrameDecoder &dec, std::vector<wire::Decoded> *frames = nullptr,
+      std::string *reencoded = nullptr)
+{
+    for (;;) {
+        const wire::Decoded d = dec.next();
+        if (d.status != DecodeStatus::Frame)
+            return d.status;
+        if (reencoded)
+            *reencoded += wire::encodeFrame(
+                d.header,
+                std::string(d.payload, d.header.payload_len));
+        if (frames)
+            frames->push_back(d);
+    }
+}
+
+TEST(FrameDecoder, RoundTripsAStreamAcrossChunkSizes)
+{
+    std::vector<FrameHeader> headers;
+    std::vector<std::string> payloads;
+    const std::string stream = sampleStream(&headers, &payloads);
+
+    for (const std::size_t chunk :
+         {std::size_t(1), std::size_t(2), std::size_t(7),
+          std::size_t(43), std::size_t(44), std::size_t(45),
+          std::size_t(1021), stream.size()}) {
+        FrameDecoder dec;
+        std::vector<FrameHeader> got;
+        std::vector<std::string> got_payloads;
+        std::size_t off = 0;
+        while (off < stream.size()) {
+            const std::size_t n =
+                std::min(chunk, stream.size() - off);
+            const std::size_t accepted = dec.feed(stream.data() + off, n);
+            ASSERT_GT(accepted, 0u);
+            off += accepted;
+            for (;;) {
+                const wire::Decoded d = dec.next();
+                if (d.status != DecodeStatus::Frame) {
+                    ASSERT_EQ(d.status, DecodeStatus::NeedMore);
+                    break;
+                }
+                got.push_back(d.header);
+                got_payloads.emplace_back(d.payload,
+                                          d.header.payload_len);
+            }
+            EXPECT_LE(dec.buffered(), dec.capacity());
+        }
+        dec.endOfInput();
+        EXPECT_EQ(dec.next().status, DecodeStatus::NeedMore);
+        ASSERT_EQ(got.size(), headers.size()) << "chunk=" << chunk;
+        for (std::size_t i = 0; i < headers.size(); ++i) {
+            EXPECT_EQ(got[i].type, headers[i].type);
+            EXPECT_EQ(got[i].tenant, headers[i].tenant);
+            EXPECT_EQ(got[i].session, headers[i].session);
+            EXPECT_EQ(got[i].sequence, headers[i].sequence);
+            EXPECT_EQ(got_payloads[i], payloads[i]);
+        }
+        EXPECT_EQ(dec.stats().frames_decoded, headers.size());
+        EXPECT_EQ(dec.stats().bytes_decoded, stream.size());
+        EXPECT_EQ(dec.stats().totalErrors(), 0u);
+    }
+}
+
+TEST(FrameDecoder, TruncationAtEveryByteBoundaryIsTyped)
+{
+    const std::string frame =
+        makeFrame(FrameType::StsBatch, 3, std::string(64, 'q'));
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+        FrameDecoder dec;
+        ASSERT_EQ(dec.feed(frame.data(), cut), cut);
+        EXPECT_EQ(dec.next().status, DecodeStatus::NeedMore);
+        dec.endOfInput();
+        const wire::Decoded d = dec.next();
+        if (cut == 0) {
+            // Nothing buffered: a clean end of stream, not an error.
+            EXPECT_EQ(d.status, DecodeStatus::NeedMore);
+            EXPECT_EQ(dec.stats().totalErrors(), 0u);
+        } else {
+            ASSERT_EQ(d.status, DecodeStatus::Error) << "cut=" << cut;
+            EXPECT_EQ(d.error, WireError::Truncated);
+            EXPECT_EQ(dec.stats().errorCount(WireError::Truncated), 1u);
+            EXPECT_EQ(dec.stats().totalErrors(), 1u);
+            EXPECT_TRUE(dec.poisoned());
+        }
+    }
+}
+
+TEST(FrameDecoder, BitFlipAtEveryByteYieldsExactlyOneTypedError)
+{
+    const std::string frame =
+        makeFrame(FrameType::Heartbeat, 7, std::string(16, 'p'));
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        std::string bad = frame;
+        bad[i] = char(bad[i] ^ 0x40);
+        FrameDecoder dec;
+        ASSERT_EQ(dec.feed(bad.data(), bad.size()), bad.size());
+        dec.endOfInput();
+        const wire::Decoded d = dec.next();
+        ASSERT_EQ(d.status, DecodeStatus::Error) << "flip@" << i;
+        // Check order is part of the contract: magic and version are
+        // rejected by value before the CRC runs; every other header
+        // byte is caught by the header CRC; payload bytes by the
+        // payload CRC.
+        if (i < 4)
+            EXPECT_EQ(d.error, WireError::BadMagic) << "flip@" << i;
+        else if (i < 6)
+            EXPECT_EQ(d.error, WireError::BadVersion) << "flip@" << i;
+        else if (i < wire::kHeaderSize)
+            EXPECT_EQ(d.error, WireError::HeaderCrc) << "flip@" << i;
+        else
+            EXPECT_EQ(d.error, WireError::PayloadCrc) << "flip@" << i;
+        EXPECT_EQ(dec.stats().frames_decoded, 0u);
+        EXPECT_EQ(dec.stats().totalErrors(), 1u);
+        EXPECT_EQ(dec.stats().errorCount(d.error), 1u);
+    }
+}
+
+TEST(FrameDecoder, HostileLengthIsOversizedNotAnAllocation)
+{
+    FrameHeader h;
+    h.type = FrameType::StsBatch;
+    h.payload_len = 0x7fffffffu;
+    const std::string hostile = wire::encodeHeaderRaw(h, 0);
+
+    FrameDecoder dec;
+    ASSERT_EQ(dec.feed(hostile.data(), hostile.size()),
+              hostile.size());
+    const wire::Decoded d = dec.next();
+    ASSERT_EQ(d.status, DecodeStatus::Error);
+    EXPECT_EQ(d.error, WireError::Oversized);
+    EXPECT_LE(dec.buffered(), dec.capacity());
+
+    // One byte over a small cap is refused; exactly at the cap is a
+    // legal frame.
+    FrameDecoderConfig small;
+    small.max_payload = 64;
+    {
+        FrameDecoder tight(small);
+        const std::string at_cap =
+            makeFrame(FrameType::StsBatch, 0, std::string(64, 'x'));
+        tight.feed(at_cap.data(), at_cap.size());
+        EXPECT_EQ(tight.next().status, DecodeStatus::Frame);
+
+        FrameHeader over;
+        over.type = FrameType::StsBatch;
+        over.payload_len = 65;
+        const std::string bad = wire::encodeHeaderRaw(over, 0);
+        tight.reset();
+        tight.feed(bad.data(), bad.size());
+        const wire::Decoded o = tight.next();
+        ASSERT_EQ(o.status, DecodeStatus::Error);
+        EXPECT_EQ(o.error, WireError::Oversized);
+        EXPECT_EQ(tight.capacity(), wire::kHeaderSize + 64);
+    }
+}
+
+TEST(FrameDecoder, FeedIsBoundedAndPoisonLatches)
+{
+    FrameDecoderConfig cfg;
+    cfg.max_payload = 64;
+    FrameDecoder dec(cfg);
+
+    const std::string garbage(1024, '\x7f');
+    const std::size_t accepted =
+        dec.feed(garbage.data(), garbage.size());
+    EXPECT_LE(accepted, dec.capacity());
+    EXPECT_LE(dec.buffered(), dec.capacity());
+
+    const wire::Decoded d = dec.next();
+    ASSERT_EQ(d.status, DecodeStatus::Error);
+    EXPECT_EQ(d.error, WireError::BadMagic);
+    EXPECT_TRUE(dec.poisoned());
+
+    // Latched: the error repeats, nothing more is accepted, the
+    // error was counted exactly once.
+    EXPECT_EQ(dec.next().status, DecodeStatus::Error);
+    EXPECT_EQ(dec.next().error, WireError::BadMagic);
+    EXPECT_EQ(dec.feed(garbage.data(), garbage.size()), 0u);
+    EXPECT_EQ(dec.stats().errorCount(WireError::BadMagic), 1u);
+    EXPECT_EQ(dec.stats().totalErrors(), 1u);
+
+    // reset() rearms for a new connection but keeps cumulative stats.
+    dec.reset();
+    EXPECT_FALSE(dec.poisoned());
+    const std::string good = makeFrame(FrameType::Heartbeat, 1, "");
+    ASSERT_EQ(dec.feed(good.data(), good.size()), good.size());
+    EXPECT_EQ(dec.next().status, DecodeStatus::Frame);
+    EXPECT_EQ(dec.stats().frames_decoded, 1u);
+    EXPECT_EQ(dec.stats().totalErrors(), 1u);
+}
+
+TEST(FrameDecoder, PayloadPointerSurvivesUntilNextFeed)
+{
+    const std::string payload = "stable-until-feed";
+    const std::string frame =
+        makeFrame(FrameType::StsBatch, 0, payload);
+    FrameDecoder dec;
+    dec.feed(frame.data(), frame.size());
+    const wire::Decoded d = dec.next();
+    ASSERT_EQ(d.status, DecodeStatus::Frame);
+    ASSERT_EQ(d.header.payload_len, payload.size());
+
+    // Further next() calls (NeedMore) must not invalidate the
+    // returned payload; only feed()/reset() may.
+    EXPECT_EQ(dec.next().status, DecodeStatus::NeedMore);
+    EXPECT_EQ(std::memcmp(d.payload, payload.data(), payload.size()),
+              0);
+}
+
+TEST(FrameDecoder, SpliceFuzzNeverEscapesTheContract)
+{
+    const std::string clean = sampleStream();
+    for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+        std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull);
+        std::string bytes = clean;
+        const auto idx = [&](std::size_t bound) {
+            return std::size_t(rng() % std::max<std::size_t>(bound, 1));
+        };
+        // 1-3 mutations: truncate, bit flip, duplicate a slice, or
+        // delete a slice.
+        const int mutations = 1 + int(rng() % 3);
+        for (int m = 0; m < mutations && !bytes.empty(); ++m) {
+            switch (rng() % 4) {
+            case 0:
+                bytes.resize(idx(bytes.size()));
+                break;
+            case 1: {
+                const std::size_t i = idx(bytes.size());
+                bytes[i] = char(bytes[i] ^ (1u << (rng() % 8)));
+                break;
+            }
+            case 2: {
+                const std::size_t at = idx(bytes.size());
+                const std::size_t len =
+                    std::min<std::size_t>(idx(128) + 1,
+                                          bytes.size() - at);
+                bytes.insert(at, bytes.substr(at, len));
+                break;
+            }
+            default: {
+                const std::size_t at = idx(bytes.size());
+                const std::size_t len =
+                    std::min<std::size_t>(idx(64) + 1,
+                                          bytes.size() - at);
+                bytes.erase(at, len);
+                break;
+            }
+            }
+        }
+
+        FrameDecoder dec;
+        std::size_t off = 0;
+        bool errored = false;
+        while (off < bytes.size() && !errored) {
+            const std::size_t want =
+                std::min<std::size_t>(1 + rng() % 97,
+                                      bytes.size() - off);
+            const std::size_t accepted =
+                dec.feed(bytes.data() + off, want);
+            off += accepted;
+            ASSERT_LE(dec.buffered(), dec.capacity());
+            for (;;) {
+                const wire::Decoded d = dec.next();
+                if (d.status == DecodeStatus::Frame) {
+                    ASSERT_LE(d.header.payload_len,
+                              wire::kDefaultMaxPayload);
+                    continue;
+                }
+                if (d.status == DecodeStatus::Error)
+                    errored = true;
+                break;
+            }
+            if (!errored) {
+                ASSERT_GT(accepted, 0u) << "seed=" << seed;
+            }
+        }
+        dec.endOfInput();
+        if (dec.next().status == DecodeStatus::Error)
+            errored = true;
+        if (errored) {
+            // Poison latched: exactly one counted error, feed dead.
+            EXPECT_TRUE(dec.poisoned()) << "seed=" << seed;
+            EXPECT_EQ(dec.stats().totalErrors(), 1u)
+                << "seed=" << seed;
+            EXPECT_EQ(dec.feed(clean.data(), clean.size()), 0u);
+            const wire::Decoded again = dec.next();
+            EXPECT_EQ(again.status, DecodeStatus::Error);
+        } else {
+            EXPECT_EQ(dec.stats().totalErrors(), 0u)
+                << "seed=" << seed;
+        }
+    }
+}
+
+TEST(FramePayloads, HelloCodecRoundTripsAndRejectsMalformed)
+{
+    const std::string payload = wire::encodeHelloPayload("tenant-a");
+    std::string id;
+    ASSERT_TRUE(wire::decodeHelloPayload(payload.data(),
+                                         payload.size(), id));
+    EXPECT_EQ(id, "tenant-a");
+
+    // Empty id, oversize id, short buffer, and trailing junk are all
+    // refused (the listener maps refusal to BadPayload).
+    EXPECT_FALSE(wire::decodeHelloPayload(payload.data(), 3, id));
+    EXPECT_FALSE(wire::decodeHelloPayload(payload.data(),
+                                          payload.size() - 1, id));
+    const std::string trailing = payload + "x";
+    EXPECT_FALSE(wire::decodeHelloPayload(trailing.data(),
+                                          trailing.size(), id));
+    const std::string empty = wire::encodeHelloPayload("");
+    EXPECT_FALSE(wire::decodeHelloPayload(empty.data(), empty.size(),
+                                          id));
+    const std::string huge = wire::encodeHelloPayload(
+        std::string(wire::kMaxTenantIdLen + 1, 'a'));
+    EXPECT_FALSE(wire::decodeHelloPayload(huge.data(), huge.size(),
+                                          id));
+}
+
+TEST(FramePayloads, NackCodecRoundTripsAndRejectsUnknownCodes)
+{
+    const std::string payload = wire::encodeNackPayload(
+        wire::NackCode::SequenceGap, "gap at 17");
+    wire::NackCode code;
+    std::string msg;
+    ASSERT_TRUE(wire::decodeNackPayload(payload.data(),
+                                        payload.size(), code, msg));
+    EXPECT_EQ(code, wire::NackCode::SequenceGap);
+    EXPECT_EQ(msg, "gap at 17");
+
+    std::string bad = payload;
+    bad[0] = char(0x7f); // code u32 out of range
+    EXPECT_FALSE(wire::decodeNackPayload(bad.data(), bad.size(), code,
+                                         msg));
+    EXPECT_FALSE(wire::decodeNackPayload(payload.data(), 6, code,
+                                         msg));
+}
+
+TEST(FramePayloads, TenantHashIsStableAndDiscriminates)
+{
+    const std::uint64_t a = wire::tenantHash("tenant-a");
+    EXPECT_EQ(a, wire::tenantHash("tenant-a"));
+    EXPECT_NE(a, wire::tenantHash("tenant-b"));
+    EXPECT_NE(a, 0u);
+    // FNV-1a 64 offset basis: the empty id hashes to the basis, a
+    // format constant clients in other languages must reproduce.
+    EXPECT_EQ(wire::tenantHash(""), 0xcbf29ce484222325ull);
+}
+
+// ---------------------------------------------------------------
+// Corpus regression: every checked-in byte stream must decode to its
+// filename-encoded disposition. EDDIE_WIRE_CORPUS_DIR (env overrides
+// the compiled-in default) points at tests/wire/corpus/.
+// ---------------------------------------------------------------
+
+std::filesystem::path
+corpusDir()
+{
+    if (const char *env = std::getenv("EDDIE_WIRE_CORPUS_DIR"))
+        return env;
+#ifdef EDDIE_WIRE_CORPUS_DIR
+    return EDDIE_WIRE_CORPUS_DIR;
+#else
+    return "tests/wire/corpus";
+#endif
+}
+
+TEST(WireCorpus, EveryFileDecodesToItsNamedDisposition)
+{
+    const std::filesystem::path dir = corpusDir();
+    ASSERT_TRUE(std::filesystem::is_directory(dir))
+        << "corpus dir missing: " << dir;
+
+    std::size_t checked = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".bin")
+            continue;
+        const std::string fname = entry.path().filename().string();
+        std::ifstream is(entry.path(), std::ios::binary);
+        ASSERT_TRUE(is) << fname;
+        std::string bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+
+        FrameDecoder dec;
+        std::string reencoded;
+        std::vector<wire::Decoded> frames;
+        std::size_t off = 0;
+        DecodeStatus terminal = DecodeStatus::NeedMore;
+        while (off < bytes.size()) {
+            const std::size_t accepted =
+                dec.feed(bytes.data() + off,
+                         std::min<std::size_t>(4096,
+                                               bytes.size() - off));
+            off += accepted;
+            terminal = drain(dec, &frames, &reencoded);
+            if (terminal == DecodeStatus::Error || accepted == 0)
+                break;
+        }
+        if (terminal != DecodeStatus::Error) {
+            dec.endOfInput();
+            terminal = drain(dec, &frames, &reencoded);
+        }
+        ASSERT_LE(dec.buffered(), dec.capacity()) << fname;
+
+        if (fname.rfind("ok__", 0) == 0) {
+            EXPECT_NE(terminal, DecodeStatus::Error) << fname;
+            EXPECT_FALSE(dec.poisoned()) << fname;
+            EXPECT_GE(frames.size(), 1u) << fname;
+            EXPECT_EQ(dec.stats().totalErrors(), 0u) << fname;
+            // Valid streams round-trip byte-identically through
+            // decode → re-encode.
+            EXPECT_EQ(reencoded, bytes) << fname;
+        } else if (fname.rfind("err__", 0) == 0) {
+            ASSERT_EQ(terminal, DecodeStatus::Error) << fname;
+            EXPECT_TRUE(dec.poisoned()) << fname;
+            EXPECT_EQ(dec.stats().totalErrors(), 1u) << fname;
+            // err__<error>__<desc>.bin names the expected WireError.
+            const std::size_t start = 5;
+            std::size_t end = fname.find("__", start);
+            if (end == std::string::npos)
+                end = fname.find(".bin", start);
+            const std::string want = fname.substr(start, end - start);
+            const wire::Decoded last = dec.next();
+            EXPECT_EQ(wire::name(last.error), want) << fname;
+        } else {
+            continue; // gen_corpus.py and friends
+        }
+        ++checked;
+    }
+    // A missing or half-copied corpus must fail loudly, not vacuously
+    // pass.
+    EXPECT_GE(checked, 15u);
+}
+
+} // namespace

@@ -7,12 +7,19 @@
  *   eddie_capture <workload> <capture-file>
  *       [--scale S] [--seed N]
  *       [--inject loop|burst] [--payload N] [--contamination R]
- *       [--target REGION]
+ *       [--target REGION] [--sts]
+ *
+ * --sts writes the extracted STS window stream ("EDDIESTS") instead
+ * of the raw sampled signal — the input format of eddie_replay's
+ * --capture and serve::StsFileSource.
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <fstream>
 
 #include "core/capture_io.h"
+#include "core/errors.h"
 #include "core/pipeline.h"
 #include "inject/scenarios.h"
 #include "tool_util.h"
@@ -31,7 +38,8 @@ run(int argc, char **argv)
                      "usage: eddie_capture <workload> <capture-file> "
                      "[--scale S] [--seed N]\n"
                      "       [--inject loop|burst] [--payload N] "
-                     "[--contamination R] [--target REGION]\n");
+                     "[--contamination R] [--target REGION] "
+                     "[--sts]\n");
         return 2;
     }
     auto workload = workloads::makeWorkload(
@@ -59,6 +67,22 @@ run(int argc, char **argv)
 
     core::PipelineConfig cfg;
     core::Pipeline pipe(std::move(workload), cfg);
+    if (args.has("sts")) {
+        const auto stream = pipe.captureRunShared(seed, plan);
+        errno = 0;
+        std::ofstream os(args.positional()[1], std::ios::binary);
+        if (!os)
+            throw core::ioErrorErrno("sts stream: open for write",
+                                     args.positional()[1]);
+        core::saveStsStream(*stream, os);
+        os.flush();
+        if (!os)
+            throw core::ioErrorErrno("sts stream: write",
+                                     args.positional()[1]);
+        std::printf("captured %zu STS windows -> %s\n", stream->size(),
+                    args.positional()[1].c_str());
+        return 0;
+    }
     const auto rr = pipe.simulate(seed, plan);
     core::saveCaptureFile(rr, args.positional()[1]);
     std::printf("captured %zu samples at %.1f MS/s (%llu "

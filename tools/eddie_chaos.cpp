@@ -7,7 +7,7 @@
  *       [--tenants T] [--sessions S] [--steps W]
  *       [--kill-prob P] [--hang-prob P] [--budget N]
  *       [--arc | --files] [--dir DIR] [--keep]
- *       [--scheduler [--workers M]] [--require-all-fates]
+ *       [--scheduler [--workers M]] [--wire] [--require-all-fates]
  *
  * Each seed runs the full scenario: a faulted fleet run (worker
  * kills/hangs on the victim tenant, queue overflow, starvation), a
@@ -19,9 +19,15 @@
  * through the fair-share FleetScheduler (--workers M threads, default
  * 3) instead of the legacy thread pair — same fates, same invariants,
  * so a grid on both paths proves the runtimes verdict-identical.
- * --require-all-fates additionally demands that every fate class
- * actually fired somewhere in the grid (the acceptance bar for the CI
- * soak).
+ * --wire adds phase W: every session streams over a live socket
+ * (TCP loopback or AF_UNIX, by seed) through a WireListener, with the
+ * client injecting byte-level faults — torn frames, mid-batch
+ * disconnects, duplicate/skip-ahead replays, corrupted bytes, hostile
+ * length fields — and the harness asserting the wire verdicts stay
+ * bit-identical to the serial run anyway. --require-all-fates
+ * additionally demands that every fate class actually fired somewhere
+ * in the grid (the acceptance bar for the CI soak); with --wire the
+ * wire fate classes join the required set.
  *
  * Exit codes: 0 clean, 2 usage, 3 invariant violations, 4 a required
  * fate class never fired.
@@ -74,6 +80,17 @@ run(int argc, char **argv)
     if (args.has("scheduler") || args.has("workers"))
         base.scheduler_workers =
             std::size_t(std::max(args.getLong("workers", 3), 1L));
+    if (args.has("wire")) {
+        base.wire_phase = true;
+        // Every wire fate class on, hot enough that a modest grid
+        // exercises each (the per-sequence cap bounds the damage).
+        base.wire.tear_prob = 0.05;
+        base.wire.disconnect_prob = 0.05;
+        base.wire.duplicate_prob = 0.05;
+        base.wire.reorder_prob = 0.04;
+        base.wire.corrupt_prob = 0.04;
+        base.wire.hostile_len_prob = 0.03;
+    }
 
     // Scratch root: --dir or a fresh mkdtemp under the system tmpdir.
     std::string root = args.get("dir");
@@ -131,6 +148,18 @@ run(int argc, char **argv)
         total.escalations += rep.escalations;
         total.snapshot_decode_failures += rep.snapshot_decode_failures;
         total.healthy_sessions_checked += rep.healthy_sessions_checked;
+        total.wire_torn_frames += rep.wire_torn_frames;
+        total.wire_disconnects += rep.wire_disconnects;
+        total.wire_duplicates += rep.wire_duplicates;
+        total.wire_reorders += rep.wire_reorders;
+        total.wire_corrupt_frames += rep.wire_corrupt_frames;
+        total.wire_hostile_lengths += rep.wire_hostile_lengths;
+        total.wire_reconnects += rep.wire_reconnects;
+        total.wire_nacks += rep.wire_nacks;
+        total.wire_windows_replayed += rep.wire_windows_replayed;
+        total.wire_malformed += rep.wire_malformed;
+        total.wire_duplicates_dropped += rep.wire_duplicates_dropped;
+        total.wire_sessions_checked += rep.wire_sessions_checked;
     }
 
     if (!args.has("keep") && made_root) {
@@ -146,11 +175,12 @@ run(int argc, char **argv)
         return 3;
 
     if (args.has("require-all-fates")) {
-        const struct
+        struct FateClass
         {
             const char *fate;
             std::uint64_t count;
-        } classes[] = {
+        };
+        std::vector<FateClass> classes = {
             {"worker-kill", total.kills},
             {"worker-hang", total.hangs},
             {"queue-overflow", total.blocked_pushes},
@@ -159,8 +189,24 @@ run(int argc, char **argv)
             {"torn-commit", total.torn_bytes},
             {"corrupt-checkpoint", total.corrupted_snapshots},
         };
+        if (args.has("wire")) {
+            classes.push_back({"wire-tear", total.wire_torn_frames});
+            classes.push_back(
+                {"wire-disconnect", total.wire_disconnects});
+            classes.push_back(
+                {"wire-duplicate", total.wire_duplicates});
+            classes.push_back({"wire-reorder", total.wire_reorders});
+            classes.push_back(
+                {"wire-corrupt", total.wire_corrupt_frames});
+            classes.push_back(
+                {"wire-hostile-length", total.wire_hostile_lengths});
+            classes.push_back(
+                {"wire-reconnect", total.wire_reconnects});
+            classes.push_back(
+                {"wire-malformed-rejected", total.wire_malformed});
+        }
         bool missing = false;
-        for (const auto &c : classes) {
+        for (const FateClass &c : classes) {
             if (c.count == 0) {
                 std::printf("fate class never exercised: %s\n",
                             c.fate);

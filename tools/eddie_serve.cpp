@@ -17,6 +17,15 @@
  *       [--resume] [--queue-batch N] [--watch-model]
  *       [--restart-budget N] [--strict-resume]
  *
+ * Wire-ingestion mode replaces the workload with a socket front end
+ * (the EDDIEWIRE protocol, DESIGN.md §11) fed by eddie_replay:
+ *
+ *   eddie_serve <model-file> --listen HOST:PORT | --listen-pipe PATH
+ *       [--expect N] [--tenant ID] [--idle-timeout-ms MS]
+ *       [--checkpoint FILE] [--ckpt-interval N] [--full-every N]
+ *       [--resume] [--ckpt-arc] [--queue-batch N]
+ *       [--restart-budget N]
+ *
  * Shard i monitors the stream captured with seed + i. SIGINT/SIGTERM
  * request a graceful stop: workers finish their current window, write
  * a final checkpoint, and the serving counters are flushed; with
@@ -33,15 +42,19 @@
  *      (snapshot decode failures; the run started cold instead)
  */
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "inject/scenarios.h"
 #include "serve/sample_source.h"
 #include "serve/supervisor.h"
+#include "serve/wire_listener.h"
 #include "signal_util.h"
 #include "tool_util.h"
 
@@ -50,10 +63,160 @@ using namespace eddie;
 namespace
 {
 
+/**
+ * Wire-ingestion mode (--listen / --listen-pipe): no workload is
+ * captured locally — admitted eddie_replay clients stream STS windows
+ * over the EDDIEWIRE protocol into per-session WireSources, and the
+ * fleet supervisor monitors those. SIGINT/SIGTERM drains and closes
+ * the listener FIRST (unblocking any feeder parked on a silent wire)
+ * so the final checkpoint still gets written.
+ */
+int
+runListen(const tools::Args &args)
+{
+    auto model = std::make_shared<const core::TrainedModel>(
+        core::loadModelFile(args.positional()[0]));
+
+    serve::TenantRegistry reg;
+    std::string tenant = args.get("tenant");
+    if (tenant.empty())
+        tenant.assign("default");
+    serve::TenantSpec spec;
+    spec.id = tenant;
+    spec.model = model;
+    reg.addTenant(std::move(spec));
+
+    serve::WireListenerConfig lcfg;
+    lcfg.tcp = args.get("listen");
+    lcfg.unix_path = args.get("listen-pipe");
+    lcfg.idle_timeout_ms =
+        args.getDouble("idle-timeout-ms", lcfg.idle_timeout_ms);
+
+    tools::ignoreSigpipe();
+    tools::handleStopSignals();
+
+    serve::WireListener listener(reg, lcfg);
+    listener.start();
+    if (!listener.tcpAddress().empty())
+        std::printf("listening on tcp %s\n",
+                    listener.tcpAddress().c_str());
+    if (!listener.pipeAddress().empty())
+        std::printf("listening on pipe %s\n",
+                    listener.pipeAddress().c_str());
+    std::fflush(stdout);
+
+    // Admission window: wait for --expect sessions (poll slices so a
+    // stop signal cuts the wait short), then freeze and run.
+    const std::size_t expect =
+        std::size_t(std::max(args.getLong("expect", 1), 1L));
+    std::size_t admitted = 0;
+    while (!tools::stopRequested()) {
+        admitted = listener.awaitSessions(expect, 200.0);
+        if (admitted >= expect)
+            break;
+    }
+    if (admitted < expect) {
+        listener.drainAndClose();
+        std::printf("stopped before %zu sessions connected\n", expect);
+        return 0;
+    }
+    listener.freezeAdmission();
+
+    serve::ServeConfig scfg;
+    scfg.checkpoint_interval =
+        std::size_t(std::max(args.getLong("ckpt-interval", 64), 0L));
+    scfg.checkpoint_path = args.get("checkpoint");
+    scfg.resume = args.has("resume");
+    scfg.full_snapshot_every =
+        std::size_t(std::max(args.getLong("full-every", 16), 1L));
+    scfg.checkpoint_archive = args.has("ckpt-arc");
+    scfg.queue_batch =
+        std::size_t(std::max(args.getLong("queue-batch", 16), 1L));
+    scfg.watchdog.restart_budget = std::size_t(std::max(
+        args.getLong("restart-budget",
+                     long(scfg.watchdog.restart_budget)),
+        0L));
+    // Wire sources block in next(); the thread-pair runtime is the
+    // one that tolerates a blocking source per feeder.
+    scfg.scheduler.workers = 0;
+
+    serve::Supervisor sup(scfg);
+    sup.setStopCheck([] { return tools::stopRequested(); });
+
+    // Drain watcher: on a stop signal, close the wire before the
+    // supervisor writes its final checkpoint so feeders unblock.
+    std::atomic<bool> done{false};
+    std::thread drainer([&] {
+        while (!done.load() && !tools::stopRequested())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        if (!done.load())
+            listener.drainAndClose();
+    });
+
+    const serve::FleetResult fr = sup.runFleet(reg);
+    done.store(true);
+    listener.drainAndClose();
+    drainer.join();
+
+    std::size_t total_reports = 0;
+    bool any_escalated = false;
+    const std::vector<serve::WireSource *> srcs = listener.sources();
+    for (std::size_t i = 0; i < fr.sessions.size(); ++i) {
+        const auto &r = fr.sessions[i];
+        total_reports += r.reports.size();
+        any_escalated = any_escalated || r.escalated;
+        const serve::WireSourceStats ws =
+            i < srcs.size() ? srcs[i]->wireStats()
+                            : serve::WireSourceStats{};
+        std::printf("session %zu: %zu steps, %zu reports, "
+                    "%llu ingested, %llu duplicates dropped%s%s\n",
+                    i, r.steps, r.reports.size(),
+                    (unsigned long long)ws.ingested,
+                    (unsigned long long)ws.duplicates_dropped,
+                    r.escalated ? " [escalated]" : "",
+                    r.stopped ? " [stopped]" : "");
+    }
+    const serve::WireListenerStats ls = listener.stats();
+    std::printf("wire: %llu accepted, %llu reattaches, %llu acks, "
+                "%llu nacks, %llu malformed rejected, %llu conn "
+                "errors, %llu idle closes, %llu bytes\n",
+                (unsigned long long)ls.connections_accepted,
+                (unsigned long long)ls.reattaches,
+                (unsigned long long)ls.acks_sent,
+                (unsigned long long)ls.nacks_sent,
+                (unsigned long long)ls.wire.totalErrors(),
+                (unsigned long long)ls.conn_errors,
+                (unsigned long long)ls.idle_closes,
+                (unsigned long long)ls.bytes_received);
+    std::printf("%s\n", core::describe(sup.stats()).c_str());
+    if (any_escalated) {
+        std::fprintf(stderr,
+                     "eddie_serve: escalated wire session(s)\n");
+        return 4;
+    }
+    return total_reports == 0 ? 0 : 3;
+}
+
 int
 run(int argc, char **argv)
 {
     tools::Args args(argc, argv);
+    if (args.has("listen") || args.has("listen-pipe")) {
+        if (args.positional().size() != 1) {
+            std::fprintf(stderr,
+                         "usage: eddie_serve <model-file> "
+                         "--listen HOST:PORT | --listen-pipe PATH\n"
+                         "       [--expect N] [--tenant ID] "
+                         "[--idle-timeout-ms MS] [--checkpoint FILE]\n"
+                         "       [--ckpt-interval N] [--full-every N] "
+                         "[--resume] [--ckpt-arc]\n"
+                         "       [--queue-batch N] "
+                         "[--restart-budget N]\n");
+            return 2;
+        }
+        return runListen(args);
+    }
     if (args.positional().size() != 2) {
         std::fprintf(
             stderr,

@@ -49,6 +49,19 @@ stopRequested()
     return detail::g_stop != 0;
 }
 
+/**
+ * Ignores SIGPIPE process-wide. The wire tools write to sockets and
+ * pipes whose peer can vanish mid-write; with the default disposition
+ * that kills the process, with SIG_IGN the write fails with EPIPE and
+ * the connection layer counts it as an ordinary connection error
+ * (WireListenerStats::conn_errors). Call before any socket/pipe I/O.
+ */
+inline void
+ignoreSigpipe()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
 } // namespace eddie::tools
 
 #endif // EDDIE_TOOLS_SIGNAL_UTIL_H
